@@ -1,0 +1,110 @@
+// Figure 10 + §IV-C prose reproduction: syncer resource usage.
+//   * CPU: accumulated syncer-thread CPU time per run, with the wall-clock
+//     time (the circle sizes in the paper's figure);
+//   * memory: peak informer-cache bytes, expected to grow linearly with the
+//     pod count at a roughly constant KB/pod slope (paper: ~40KB/pod,
+//     dominated by the two cached copies of every pod);
+//   * syncer restart: time to re-initialize all informer caches (paper:
+//     < 21 s at 100 tenants / 10000 pods);
+//   * periodic scan: time to scan all synchronized objects with one thread
+//     per tenant (paper: < 2 s for 10000 pods).
+#include "bench_common.h"
+
+using namespace vc;
+using namespace vc::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+  const int tenants = args.quick ? 10 : 100;
+
+  std::printf("=== Figure 10: syncer resource usage (%d tenants) ===\n\n", tenants);
+  std::printf("%-8s %14s %12s %14s %14s %12s\n", "pods", "cpu (s)", "wall (s)",
+              "peak mem", "mem/pod", "cache objs");
+
+  size_t prev_bytes = 0;
+  int prev_pods = 0;
+  for (int pods : PodSweep(args)) {
+    RunConfig cfg;
+    cfg.tenants = tenants;
+    cfg.total_pods = pods;
+    RunResult r = RunVcCase(cfg, /*keep_phase_metrics=*/false);
+    double per_pod = pods > prev_pods
+                         ? static_cast<double>(r.peak_cache_bytes - prev_bytes) /
+                               (pods - prev_pods)
+                         : 0;
+    std::printf("%-8d %14.2f %12.1f %14s %13.1fK %12zu\n", pods, r.syncer_cpu_seconds,
+                r.wall_seconds, HumanBytes(r.peak_cache_bytes).c_str(),
+                per_pod / 1024.0, r.cache_objects);
+    prev_bytes = r.peak_cache_bytes;
+    prev_pods = pods;
+  }
+  std::printf("(paper: linear growth; ~40KB/pod slope; ~1.2GB peak and 138s CPU over "
+              "23s wall at 10000 pods — absolute values differ, LINEARITY and the "
+              "two-copies-per-pod mechanism are the reproduction target)\n\n");
+
+  // ---------------- restart + scan micro-measurements at the largest size
+  const int pods = PodSweep(args).back();
+  RunConfig cfg;
+  cfg.tenants = tenants;
+  cfg.total_pods = pods;
+  std::printf("=== §IV-C prose: syncer restart & periodic scan (%d pods, %d tenants) "
+              "===\n",
+              pods, tenants);
+
+  std::unique_ptr<VcDeployment> deploy = BuildDeployment(cfg);
+  std::vector<std::shared_ptr<TenantControlPlane>> tcps = ProvisionTenants(*deploy, cfg);
+  const int per_tenant = cfg.total_pods / cfg.tenants;
+  ParallelFor(cfg.tenants, [&](int t) {
+    TenantClient client(tcps[static_cast<size_t>(t)].get());
+    for (int i = 0; i < per_tenant; ++i) {
+      (void)client.Create(BenchPod("default", StrFormat("bench-%04d", i)));
+    }
+  });
+  // Wait for full sync-through.
+  for (int i = 0; i < 60000; ++i) {
+    if (deploy->syncer().metrics().uws_process.Count() >=
+        static_cast<size_t>(per_tenant * cfg.tenants)) {
+      break;
+    }
+    RealClock::Get()->SleepFor(Millis(20));
+  }
+
+  // Periodic scan cost (one thread per tenant, as in the paper).
+  core::Syncer::ScanRound scan = deploy->syncer().ScanAllTenants();
+  std::printf("scan: %zu objects scanned in %.2fs, %llu resent (paper: <2s for 10000 "
+              "pods; a clean system resends ~0)\n",
+              static_cast<size_t>(scan.objects_scanned), ToSeconds(scan.took),
+              static_cast<unsigned long long>(scan.resent));
+
+  // Syncer restart: build a FRESH syncer over the same tenants and measure
+  // informer re-initialization (the list storm a restart causes).
+  core::Syncer::Options so;
+  so.super_server = &deploy->super().server();
+  so.downward_workers = cfg.downward_workers;
+  so.upward_workers = cfg.upward_workers;
+  so.periodic_scan = false;
+  so.downward_op_cost = cfg.cal.downward_op_cost;
+  so.upward_op_cost = cfg.cal.upward_op_cost;
+  {
+    core::Syncer fresh(std::move(so));
+    for (int t = 0; t < cfg.tenants; ++t) {
+      core::VirtualClusterObj vc_obj;
+      vc_obj.meta.ns = "default";
+      vc_obj.meta.name = TenantName(t);
+      Result<core::VirtualClusterObj> live =
+          deploy->super().server().Get<core::VirtualClusterObj>("default",
+                                                                TenantName(t));
+      if (live.ok()) vc_obj = *live;
+      fresh.AttachTenant(vc_obj, tcps[static_cast<size_t>(t)].get());
+    }
+    Stopwatch sw(RealClock::Get());
+    fresh.Start();
+    bool synced = fresh.WaitForSync(Seconds(300));
+    std::printf("restart: all informer caches re-initialized in %.2fs%s "
+                "(paper: <21s at 100 tenants / 10000 pods)\n",
+                ToSeconds(sw.Elapsed()), synced ? "" : " [TIMED OUT]");
+    fresh.Stop();
+  }
+  deploy->Stop();
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Figure 11 reproduction: the impact of fair queuing on fairness.
+//
+// Workload (paper §IV-D): ten greedy tenants issue 900 Pod creations
+// concurrently each; forty regular tenants issue 10 sequential creations
+// each; all tenants have equal weight.
+//   (a) fair queuing ON  → regular users' average creation time stays small
+//       (<2 s in the paper) while greedy users bear the queueing delay;
+//   (b) fair queuing OFF → the shared FIFO lets the greedy burst starve the
+//       regular users.
+#include <algorithm>
+
+#include "bench_common.h"
+
+using namespace vc;
+using namespace vc::bench;
+
+namespace {
+
+struct FairnessResult {
+  Histogram greedy_means;   // per-greedy-tenant average creation time
+  Histogram regular_means;  // per-regular-tenant average creation time
+  double regular_worst = 0;
+};
+
+FairnessResult RunFairnessCase(bool fair, int greedy_tenants, int greedy_pods,
+                               int regular_tenants, int regular_pods) {
+  RunConfig cfg;
+  cfg.tenants = greedy_tenants + regular_tenants;
+  cfg.fair_queuing = fair;
+  // The paper's greedy burst (900 concurrent creations x 10 tenants) arrives
+  // nearly instantaneously on its 96-core testbed — far above the downward
+  // drain rate, which is what makes the FIFO starve regular users. On this
+  // single-process host the load generators are CPU-bound to a few hundred
+  // creations/s, so we scale the downward worker pool down to preserve the
+  // paper's arrival >> drain ratio (see EXPERIMENTS.md).
+  cfg.downward_workers = 5;
+  std::unique_ptr<VcDeployment> deploy = BuildDeployment(cfg);
+  std::vector<std::shared_ptr<TenantControlPlane>> tcps = ProvisionTenants(*deploy, cfg);
+  deploy->WaitForSync(Seconds(60));
+  RealClock::Get()->SleepFor(Millis(200));
+
+  const int total = greedy_tenants * greedy_pods + regular_tenants * regular_pods;
+  // Tenants 0..greedy-1 are greedy (one thread firing a burst); the rest are
+  // regular users creating their pods one at a time.
+  ParallelFor(cfg.tenants, [&](int t) {
+    TenantClient client(tcps[static_cast<size_t>(t)].get());
+    const bool greedy = t < greedy_tenants;
+    const int n = greedy ? greedy_pods : regular_pods;
+    for (int i = 0; i < n; ++i) {
+      (void)client.Create(BenchPod("default", StrFormat("bench-%04d", i)));
+      if (!greedy) {
+        // "each regular user sent ten Pod creation requests sequentially":
+        // wait for the previous pod before issuing the next.
+        (void)client.WaitPodReady("default", StrFormat("bench-%04d", i), Seconds(600));
+      }
+    }
+  });
+  for (int i = 0; i < 120000; ++i) {
+    if (deploy->syncer().metrics().uws_process.Count() >= static_cast<size_t>(total)) {
+      break;
+    }
+    RealClock::Get()->SleepFor(Millis(20));
+  }
+
+  FairnessResult out;
+  for (int t = 0; t < cfg.tenants; ++t) {
+    Result<apiserver::TypedList<api::Pod>> pods =
+        tcps[static_cast<size_t>(t)]->server().List<api::Pod>("default");
+    if (!pods.ok()) continue;
+    double sum = 0;
+    int n = 0;
+    for (const api::Pod& pod : pods->items) {
+      double s = 0;
+      if (TenantPodLatency(pod, &s)) {
+        sum += s;
+        n++;
+      }
+    }
+    if (n == 0) continue;
+    double mean = sum / n;
+    if (t < greedy_tenants) {
+      out.greedy_means.RecordSeconds(mean);
+    } else {
+      out.regular_means.RecordSeconds(mean);
+      out.regular_worst = std::max(out.regular_worst, mean);
+    }
+  }
+  deploy->Stop();
+  return out;
+}
+
+void Print(const char* title, const FairnessResult& r) {
+  std::printf("%s\n", title);
+  std::printf("  greedy users:  mean-of-means %6.2fs  (min %5.2fs  max %5.2fs)\n",
+              r.greedy_means.MeanSeconds(), r.greedy_means.MinSeconds(),
+              r.greedy_means.MaxSeconds());
+  std::printf("  regular users: mean-of-means %6.2fs  (min %5.2fs  max %5.2fs)\n",
+              r.regular_means.MeanSeconds(), r.regular_means.MinSeconds(),
+              r.regular_means.MaxSeconds());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+  // Fig. 11 keeps the paper's full burst size even in scaled runs: the
+  // starvation contrast only shows while the greedy backlog persists for the
+  // duration of the regular users' sessions.
+  const int greedy_tenants = args.quick ? 3 : 10;
+  const int greedy_pods = args.quick ? 60 : 900;
+  const int regular_tenants = args.quick ? 10 : 40;
+  const int regular_pods = args.quick ? 3 : 10;
+
+  std::printf("=== Figure 11: fair queuing vs shared FIFO ===\n");
+  std::printf("workload: %d greedy tenants x %d concurrent pods, %d regular tenants x "
+              "%d sequential pods, equal weights\n\n",
+              greedy_tenants, greedy_pods, regular_tenants, regular_pods);
+
+  FairnessResult fair = RunFairnessCase(true, greedy_tenants, greedy_pods,
+                                        regular_tenants, regular_pods);
+  Print("(a) fair queuing ENABLED", fair);
+  std::printf("\n");
+  FairnessResult fifo = RunFairnessCase(false, greedy_tenants, greedy_pods,
+                                        regular_tenants, regular_pods);
+  Print("(b) fair queuing DISABLED (shared FIFO)", fifo);
+
+  std::printf("\n--- verdict ---\n");
+  std::printf("regular-user worst-case mean: %.2fs (fair) vs %.2fs (FIFO) — %.1fx\n",
+              fair.regular_worst, fifo.regular_worst,
+              fair.regular_worst > 0 ? fifo.regular_worst / fair.regular_worst : 0.0);
+  std::printf("(paper: with fair queuing all regular users < 2s while greedy users "
+              "bear the delay; without it many regular users are severely delayed)\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Figure 1 (the motivation) reproduction: "Performance interference. When
+// tenants simultaneously send requests to the apiserver, performance
+// abnormalities such as priority inversion, starvation, etc., may occur. In
+// the worst case, a buggy or overwhelming tenant can completely crowd out
+// others by issuing many queries against a large number of resources."
+//
+// Scenario A — SHARED apiserver (one control plane, namespaces + RBAC):
+//   tenant A floods expensive List requests; tenant B's small requests queue
+//   behind them in the bounded-inflight handler pool.
+// Scenario B — VirtualCluster (per-tenant control planes): tenant A floods
+//   its OWN apiserver; tenant B's latency is untouched.
+#include <thread>
+
+#include "bench_common.h"
+
+using namespace vc;
+using namespace vc::bench;
+
+namespace {
+
+constexpr int kVictimRequests = 200;
+constexpr Duration kRequestLatency = Millis(2);
+constexpr int kMaxInflight = 8;
+constexpr int kAggressorThreads = 24;
+
+apiserver::APIServer::Options SharedServerOptions() {
+  apiserver::APIServer::Options o;
+  o.name = "shared-apiserver";
+  o.request_latency = kRequestLatency;
+  o.max_inflight = kMaxInflight;
+  return o;
+}
+
+// Fills the server with listable objects so the aggressor's Lists are
+// "queries against a large number of resources".
+void Populate(apiserver::APIServer& server, const std::string& ns, int pods) {
+  api::NamespaceObj n;
+  n.meta.name = ns;
+  (void)server.Create(n);
+  for (int i = 0; i < pods; ++i) {
+    (void)server.Create(BenchPod(ns, StrFormat("filler-%04d", i)));
+  }
+}
+
+// Victim workload: sequential Get requests; returns per-request latency.
+Histogram VictimRun(apiserver::APIServer& server, const std::string& ns,
+                    const apiserver::RequestContext& ctx) {
+  Histogram h;
+  for (int i = 0; i < kVictimRequests; ++i) {
+    Stopwatch sw(RealClock::Get());
+    (void)server.Get<api::Pod>(ns, "filler-0000", ctx);
+    h.Record(sw.Elapsed());
+  }
+  return h;
+}
+
+Histogram MeasureShared(bool with_aggressor) {
+  apiserver::APIServer server(SharedServerOptions());
+  server.authorizer().Grant("tenant-a",
+                            apiserver::PolicyRule{{"*"}, {"*"}, {"tenant-a-ns"}});
+  server.authorizer().Grant("tenant-b",
+                            apiserver::PolicyRule{{"*"}, {"*"}, {"tenant-b-ns"}});
+  Populate(server, "tenant-a-ns", 500);
+  Populate(server, "tenant-b-ns", 10);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> aggressors;
+  if (with_aggressor) {
+    for (int i = 0; i < kAggressorThreads; ++i) {
+      aggressors.emplace_back([&] {
+        apiserver::RequestContext ctx;
+        ctx.identity.user = "tenant-a";
+        while (!stop.load()) {
+          (void)server.List<api::Pod>("tenant-a-ns", ctx);
+        }
+      });
+    }
+    RealClock::Get()->SleepFor(Millis(50));  // let the flood build up
+  }
+  apiserver::RequestContext victim;
+  victim.identity.user = "tenant-b";
+  Histogram h = VictimRun(server, "tenant-b-ns", victim);
+  stop.store(true);
+  for (auto& t : aggressors) t.join();
+  return h;
+}
+
+Histogram MeasureVirtualCluster() {
+  // Two DEDICATED control planes, each with the SAME handler capacity the
+  // shared apiserver had — isolation, not extra resources, is what helps.
+  apiserver::APIServer::Options o = SharedServerOptions();
+  o.name = "tenant-a-apiserver";
+  apiserver::APIServer server_a(o);
+  o.name = "tenant-b-apiserver";
+  apiserver::APIServer server_b(std::move(o));
+  Populate(server_a, "tenant-a-ns", 500);
+  Populate(server_b, "tenant-b-ns", 10);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> aggressors;
+  for (int i = 0; i < kAggressorThreads; ++i) {
+    aggressors.emplace_back([&] {
+      apiserver::RequestContext ctx;
+      ctx.identity.user = "tenant-a";
+      while (!stop.load()) {
+        (void)server_a.List<api::Pod>("tenant-a-ns", ctx);
+      }
+    });
+  }
+  RealClock::Get()->SleepFor(Millis(50));
+  apiserver::RequestContext victim;
+  victim.identity.user = "tenant-b";
+  Histogram h = VictimRun(server_b, "tenant-b-ns", victim);
+  stop.store(true);
+  for (auto& t : aggressors) t.join();
+  return h;
+}
+
+void Print(const char* label, const Histogram& h) {
+  std::printf("%-44s p50 %7.2fms   p99 %7.2fms   max %7.2fms\n", label,
+              h.PercentileSeconds(50) * 1e3, h.PercentileSeconds(99) * 1e3,
+              h.MaxSeconds() * 1e3);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 1 motivation: control-plane interference ===\n");
+  std::printf("victim: tenant B issuing %d Gets; aggressor: tenant A flooding Lists "
+              "over 500 objects from %d threads; apiserver handler pool: %d\n\n",
+              kVictimRequests, kAggressorThreads, kMaxInflight);
+
+  Histogram idle = MeasureShared(/*with_aggressor=*/false);
+  Print("shared apiserver, no aggressor", idle);
+  Histogram contended = MeasureShared(/*with_aggressor=*/true);
+  Print("shared apiserver, tenant A flooding", contended);
+  Histogram vc_run = MeasureVirtualCluster();
+  Print("VirtualCluster (dedicated control planes)", vc_run);
+
+  std::printf("\ninterference blow-up on the shared control plane: %.1fx at p99; "
+              "with per-tenant apiservers: %.1fx\n",
+              contended.PercentileSeconds(99) / idle.PercentileSeconds(99),
+              vc_run.PercentileSeconds(99) / idle.PercentileSeconds(99));
+  std::printf("(the paper's Fig. 1 problem: a greedy tenant crowds out others on a "
+              "shared apiserver; dedicated tenant control planes remove the shared "
+              "queue entirely)\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 7 reproduction: Pod-creation-time histograms for VirtualCluster vs
+// baseline across {#tenants, #pods, #downward workers}, plus the p99 summary
+// quoted in the paper's §IV-A text and the §IV-intro end-to-end numbers
+// (~23 s VC vs ~18 s baseline at the largest size).
+//
+// Flags: --quick (smoke sizes), --paper (the paper's full 1250..10000 pods).
+#include "bench_common.h"
+
+using namespace vc;
+using namespace vc::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+  std::vector<int> pod_sweep = PodSweep(args);
+  // The paper's twelve cases vary tenants and workers; we run three configs
+  // per pod count: (25 tenants, 20 dws), (100, 20), (100, 40).
+  struct Config {
+    int tenants;
+    int dws;
+  };
+  std::vector<Config> configs = {{25, 20}, {100, 20}, {100, 40}};
+  if (args.quick) configs = {{10, 20}};
+
+  std::printf("=== Figure 7: Pod creation time, VirtualCluster vs baseline ===\n");
+  std::printf("(scaled run: pods x%s of paper sizes; shapes are the target)\n\n",
+              args.paper_scale ? "1" : (args.quick ? "1/50" : "1/5"));
+
+  struct Row {
+    std::string label;
+    double p50, p99, max, mean;
+    size_t n;
+  };
+  std::vector<Row> summary;
+
+  for (int pods : pod_sweep) {
+    // Baseline for this pod count (threads == largest tenant count used).
+    RunConfig base_cfg;
+    base_cfg.tenants = configs.back().tenants;
+    base_cfg.total_pods = pods;
+    RunResult base = RunBaselineCase(base_cfg);
+    std::string base_label = StrFormat("baseline   pods=%-5d threads=%d", pods,
+                                       base_cfg.tenants);
+    std::printf("%s\n",
+                base.latency.Render(base_label, /*bucket=*/base.latency.MaxSeconds() / 9 + 0.01,
+                                    10)
+                    .c_str());
+    summary.push_back({base_label, base.latency.PercentileSeconds(50),
+                       base.latency.PercentileSeconds(99), base.latency.MaxSeconds(),
+                       base.latency.MeanSeconds(), base.latency.Count()});
+
+    for (const Config& c : configs) {
+      RunConfig cfg;
+      cfg.tenants = c.tenants;
+      cfg.total_pods = pods;
+      cfg.downward_workers = c.dws;
+      RunResult vc_run = RunVcCase(cfg, /*keep_phase_metrics=*/false);
+      std::string label = StrFormat("virtualcluster pods=%-5d tenants=%-3d dws=%d", pods,
+                                    c.tenants, c.dws);
+      std::printf("%s\n",
+                  vc_run.latency
+                      .Render(label, vc_run.latency.MaxSeconds() / 9 + 0.01, 10)
+                      .c_str());
+      summary.push_back({label, vc_run.latency.PercentileSeconds(50),
+                         vc_run.latency.PercentileSeconds(99),
+                         vc_run.latency.MaxSeconds(), vc_run.latency.MeanSeconds(),
+                         vc_run.latency.Count()});
+      std::printf("    end-to-end: %.1fs wall (baseline %.1fs)\n\n", vc_run.wall_seconds,
+                  base.wall_seconds);
+    }
+  }
+
+  std::printf("--- p99 summary (paper quotes 3 vs 1, 4 vs 2, 8 vs 8, 14 vs 8 s at "
+              "1250/2500/5000/10000 pods, 100 tenants, 20 workers) ---\n");
+  std::printf("%-52s %8s %8s %8s %8s %8s\n", "case", "n", "mean", "p50", "p99", "max");
+  for (const Row& r : summary) {
+    std::printf("%-52s %8zu %7.2fs %7.2fs %7.2fs %7.2fs\n", r.label.c_str(), r.n, r.mean,
+                r.p50, r.p99, r.max);
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 9 reproduction: Pod-creation throughput.
+//   (a) fixed pod count, varying #tenants — VC throughput should be flat
+//       with a roughly constant ~21% degradation vs baseline;
+//   (b) fixed #tenants, varying pod count — baseline throughput declines as
+//       pods accumulate (scheduler occupancy cost) while VC stays roughly
+//       constant; max degradation ~34% at the smallest size.
+#include "bench_common.h"
+
+using namespace vc;
+using namespace vc::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+
+  // ---------------- (a) fixed pods, varying tenants
+  const int fixed_pods = ScalePods(args, 10000);
+  std::vector<int> tenant_sweep = args.quick ? std::vector<int>{5, 10}
+                                             : std::vector<int>{25, 50, 100};
+  std::printf("=== Figure 9(a): throughput vs #tenants (pods fixed at %d) ===\n",
+              fixed_pods);
+  std::printf("%-10s %16s %16s %12s\n", "tenants", "VC (pods/s)", "baseline (pods/s)",
+              "degradation");
+  double base_at_fixed = 0;
+  {
+    RunConfig base_cfg;
+    base_cfg.tenants = tenant_sweep.back();
+    base_cfg.total_pods = fixed_pods;
+    base_at_fixed = RunBaselineCase(base_cfg).throughput;
+  }
+  for (int tenants : tenant_sweep) {
+    RunConfig cfg;
+    cfg.tenants = tenants;
+    cfg.total_pods = fixed_pods;
+    RunResult vc_run = RunVcCase(cfg, /*keep_phase_metrics=*/false);
+    std::printf("%-10d %16.0f %16.0f %11.1f%%\n", tenants, vc_run.throughput,
+                base_at_fixed,
+                100.0 * (1.0 - vc_run.throughput / base_at_fixed));
+  }
+  std::printf("(paper: constant ~21%% degradation regardless of tenants)\n\n");
+
+  // ---------------- (b) fixed tenants, varying pods
+  const int fixed_tenants = args.quick ? 10 : 100;
+  std::printf("=== Figure 9(b): throughput vs #pods (tenants fixed at %d) ===\n",
+              fixed_tenants);
+  std::printf("%-10s %16s %16s %12s\n", "pods", "VC (pods/s)", "baseline (pods/s)",
+              "degradation");
+  for (int pods : PodSweep(args)) {
+    RunConfig cfg;
+    cfg.tenants = fixed_tenants;
+    cfg.total_pods = pods;
+    RunResult base = RunBaselineCase(cfg);
+    RunResult vc_run = RunVcCase(cfg, /*keep_phase_metrics=*/false);
+    std::printf("%-10d %16.0f %16.0f %11.1f%%\n", pods, vc_run.throughput,
+                base.throughput, 100.0 * (1.0 - vc_run.throughput / base.throughput));
+  }
+  std::printf("(paper: VC roughly constant; baseline declines with pod count; "
+              "max degradation ~34%%)\n");
+  return 0;
+}

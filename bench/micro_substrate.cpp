@@ -1,0 +1,168 @@
+// google-benchmark microbenchmarks for the substrate hot paths: kv store
+// operations, watch fan-out, codec, work queues (standard vs fair), and the
+// scheduler filter cost — the building blocks whose constants the
+// calibration in EXPERIMENTS.md rests on.
+#include <benchmark/benchmark.h>
+
+#include "api/codec.h"
+#include "apiserver/apiserver.h"
+#include "client/fairqueue.h"
+#include "client/workqueue.h"
+#include "kv/kvstore.h"
+#include "scheduler/predicates.h"
+
+namespace vc {
+namespace {
+
+api::Pod BenchPod(int i) {
+  api::Pod p;
+  p.meta.ns = "default";
+  p.meta.name = "pod-" + std::to_string(i);
+  p.meta.uid = NewUid();
+  p.meta.labels = {{"app", "bench"}, {"idx", std::to_string(i)}};
+  api::Container c;
+  c.name = "app";
+  c.image = "registry.example.com/app:v1.2.3";
+  c.requests = {250, 64ll << 20};
+  c.limits = {500, 128ll << 20};
+  p.spec.containers.push_back(c);
+  return p;
+}
+
+void BM_KvPut(benchmark::State& state) {
+  kv::KvStore store;
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Put("/k" + std::to_string(i++ % 1000), "value"));
+  }
+}
+BENCHMARK(BM_KvPut);
+
+void BM_KvGet(benchmark::State& state) {
+  kv::KvStore store;
+  for (int i = 0; i < 1000; ++i) store.Put("/k" + std::to_string(i), "value");
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Get("/k" + std::to_string(i++ % 1000)));
+  }
+}
+BENCHMARK(BM_KvGet);
+
+void BM_KvList(benchmark::State& state) {
+  kv::KvStore store;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    store.Put("/registry/Pod/default/p" + std::to_string(i), std::string(512, 'x'));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.List("/registry/Pod/"));
+  }
+}
+BENCHMARK(BM_KvList)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_KvWatchFanout(benchmark::State& state) {
+  kv::KvStore store;
+  std::vector<std::shared_ptr<kv::WatchChannel>> watchers;
+  for (int64_t w = 0; w < state.range(0); ++w) {
+    watchers.push_back(*store.Watch("/k", 0, 1 << 20));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Put("/k", "v"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KvWatchFanout)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_PodEncode(benchmark::State& state) {
+  api::Pod p = BenchPod(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(api::Encode(p));
+  }
+}
+BENCHMARK(BM_PodEncode);
+
+void BM_PodDecode(benchmark::State& state) {
+  std::string data = api::Encode(BenchPod(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(api::Decode<api::Pod>(data));
+  }
+}
+BENCHMARK(BM_PodDecode);
+
+void BM_ApiServerCreate(benchmark::State& state) {
+  apiserver::APIServer server({});
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.Create(BenchPod(i++)));
+  }
+}
+BENCHMARK(BM_ApiServerCreate);
+
+void BM_WorkQueueAddGetDone(benchmark::State& state) {
+  client::WorkQueue q;
+  int i = 0;
+  for (auto _ : state) {
+    q.Add("key-" + std::to_string(i++ % 64));
+    if (auto k = q.Get()) q.Done(*k);
+  }
+}
+BENCHMARK(BM_WorkQueueAddGetDone);
+
+// The paper notes WRR dequeue is O(#sub-queues); quantify it.
+void BM_FairQueueDequeue(benchmark::State& state) {
+  client::FairQueue q;
+  const int tenants = static_cast<int>(state.range(0));
+  for (int t = 0; t < tenants; ++t) {
+    q.RegisterTenant("tenant-" + std::to_string(t), 1);
+  }
+  // Keep exactly one busy tenant: worst case scans all empty sub-queues.
+  int i = 0;
+  for (auto _ : state) {
+    q.Add("tenant-0", "key-" + std::to_string(i++ % 16));
+    if (auto item = q.Get()) q.Done(*item);
+  }
+}
+BENCHMARK(BM_FairQueueDequeue)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SchedulerFilter(benchmark::State& state) {
+  std::vector<std::shared_ptr<const api::Node>> nodes;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    api::Node n;
+    n.meta.name = "node-" + std::to_string(i);
+    n.status.capacity = {96000, 328ll << 30};
+    n.status.allocatable = n.status.capacity;
+    n.status.conditions = {{api::kNodeReady, true, 1, ""}};
+    nodes.push_back(std::make_shared<const api::Node>(std::move(n)));
+  }
+  std::vector<std::shared_ptr<const api::Pod>> pods;
+  for (int i = 0; i < 200; ++i) {
+    api::Pod p = BenchPod(i);
+    p.spec.node_name = "node-" + std::to_string(i % state.range(0));
+    pods.push_back(std::make_shared<const api::Pod>(std::move(p)));
+  }
+  api::Pod incoming = BenchPod(9999);
+  for (auto _ : state) {
+    auto infos = scheduler::BuildNodeInfos(nodes, pods);
+    int fits = 0;
+    for (auto& [name, info] : infos) {
+      if (scheduler::FilterNode(incoming, info).empty()) fits++;
+    }
+    benchmark::DoNotOptimize(fits);
+  }
+}
+BENCHMARK(BM_SchedulerFilter)->Arg(10)->Arg(100);
+
+void BM_LabelSelectorMatch(benchmark::State& state) {
+  api::LabelSelector sel;
+  sel.match_labels = {{"app", "web"}, {"tier", "frontend"}};
+  sel.match_expressions = {{"env", api::LabelSelectorRequirement::Op::kIn, {"prod"}}};
+  api::LabelMap labels = {{"app", "web"}, {"tier", "frontend"}, {"env", "prod"}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sel.Matches(labels));
+  }
+}
+BENCHMARK(BM_LabelSelectorMatch);
+
+}  // namespace
+}  // namespace vc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Figure 6 acted out: why VirtualCluster's one-to-one vNode abstraction
+// preserves Kubernetes node semantics where a virtual-kubelet provider node
+// cannot.
+//
+// Scenario: Pod A and Pod B carry a required inter-Pod anti-affinity rule
+// ("never share a host").
+//   * In VirtualCluster, the tenant sees one vNode per physical node, so the
+//     two pods visibly land on different nodes — the constraint is checkable
+//     from the tenant view.
+//   * With a virtual-kubelet style provider, every pod binds to the single
+//     provider node object; the user cannot tell whether the constraint was
+//     honoured (paper: "the user has no idea whether the constraint has been
+//     enforced or not").
+#include <cstdio>
+
+#include "vc/deployment.h"
+
+using namespace vc;
+
+namespace {
+
+api::Pod AntiAffinePod(const std::string& name) {
+  api::Pod p;
+  p.meta.ns = "default";
+  p.meta.name = name;
+  p.meta.labels = {{"group", "spread-me"}};
+  api::Container c;
+  c.name = "app";
+  c.image = "img";
+  p.spec.containers.push_back(c);
+  api::PodAffinityTerm term;
+  term.selector = api::LabelSelector::FromMap({{"group", "spread-me"}});
+  p.spec.required_anti_affinity.push_back(term);
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  core::VcDeployment::Options opts;
+  opts.super.num_nodes = 3;
+  opts.downward_op_cost = Millis(1);
+  opts.upward_op_cost = Millis(1);
+  core::VcDeployment deploy(std::move(opts));
+  if (!deploy.Start().ok()) return 1;
+  deploy.WaitForSync(Seconds(30));
+  auto tenant = deploy.CreateTenant("acme");
+  if (!tenant.ok()) return 1;
+  core::TenantClient kubectl(tenant->get());
+
+  std::printf("creating pod-a and pod-b with required anti-affinity "
+              "(must not share a host)...\n\n");
+  kubectl.Create(AntiAffinePod("pod-a"));
+  kubectl.Create(AntiAffinePod("pod-b"));
+  Result<api::Pod> a = kubectl.WaitPodReady("default", "pod-a", Seconds(30));
+  Result<api::Pod> b = kubectl.WaitPodReady("default", "pod-b", Seconds(30));
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(stderr, "pods did not become ready\n");
+    return 1;
+  }
+
+  std::printf("VirtualCluster tenant view (Fig. 6a):\n");
+  std::printf("  pod-a -> vNode %-8s\n", a->spec.node_name.c_str());
+  std::printf("  pod-b -> vNode %-8s\n", b->spec.node_name.c_str());
+  std::printf("  constraint visibly %s: the vNodes map 1:1 to physical nodes\n",
+              a->spec.node_name != b->spec.node_name ? "HONOURED" : "VIOLATED");
+
+  Result<apiserver::TypedList<api::Node>> vnodes = kubectl.List<api::Node>();
+  std::printf("  tenant's node list (%zu vNodes):", vnodes->items.size());
+  for (const api::Node& n : vnodes->items) std::printf(" %s", n.meta.name.c_str());
+  std::printf("\n\n");
+
+  std::printf("virtual-kubelet style view (Fig. 6b), simulated:\n");
+  std::printf("  pod-a -> virtual-kubelet\n");
+  std::printf("  pod-b -> virtual-kubelet\n");
+  std::printf("  both pods appear on ONE provider node object; whether the\n");
+  std::printf("  anti-affinity was enforced inside the provider is invisible.\n");
+
+  deploy.Stop();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fairness demo (the Fig. 11 phenomenon, interactive scale): one greedy
+// tenant floods the syncer with a burst of pod creations while a regular
+// tenant creates a handful — with fair queuing the regular tenant barely
+// notices; with the shared FIFO it waits behind the whole burst.
+#include <cstdio>
+
+#include "vc/deployment.h"
+
+using namespace vc;
+
+namespace {
+
+double RunScenario(bool fair_queuing) {
+  core::VcDeployment::Options opts;
+  opts.super.num_nodes = 4;
+  opts.fair_queuing = fair_queuing;
+  opts.downward_workers = 2;        // small pool so the burst visibly queues
+  opts.downward_op_cost = Millis(8);
+  opts.upward_op_cost = Millis(1);
+  core::VcDeployment deploy(std::move(opts));
+  if (!deploy.Start().ok()) return -1;
+  deploy.WaitForSync(Seconds(30));
+
+  auto greedy = deploy.CreateTenant("greedy");
+  auto regular = deploy.CreateTenant("regular");
+  if (!greedy.ok() || !regular.ok()) return -1;
+
+  core::TenantClient greedy_kubectl(greedy->get());
+  core::TenantClient regular_kubectl(regular->get());
+
+  auto pod = [](const std::string& name) {
+    api::Pod p;
+    p.meta.ns = "default";
+    p.meta.name = name;
+    api::Container c;
+    c.name = "app";
+    c.image = "img";
+    p.spec.containers.push_back(c);
+    return p;
+  };
+
+  // The greedy tenant fires 300 creations...
+  for (int i = 0; i < 300; ++i) {
+    (void)greedy_kubectl.Create(pod(StrFormat("burst-%03d", i)));
+  }
+  // ...and immediately afterwards the regular tenant asks for ONE pod.
+  Stopwatch sw(RealClock::Get());
+  (void)regular_kubectl.Create(pod("my-single-pod"));
+  Result<api::Pod> ready =
+      regular_kubectl.WaitPodReady("default", "my-single-pod", Seconds(120));
+  double waited = ready.ok() ? ToSeconds(sw.Elapsed()) : -1;
+  deploy.Stop();
+  return waited;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("scenario: greedy tenant bursts 300 pod creations; a regular tenant "
+              "then creates one pod.\n\n");
+  double fair = RunScenario(/*fair_queuing=*/true);
+  std::printf("fair queuing ON:  regular tenant's pod ready in %.2fs\n", fair);
+  double fifo = RunScenario(/*fair_queuing=*/false);
+  std::printf("fair queuing OFF: regular tenant's pod ready in %.2fs\n", fifo);
+  std::printf("\nweighted round-robin across per-tenant sub-queues kept the regular "
+              "tenant %.1fx faster under the neighbor's burst.\n",
+              fair > 0 ? fifo / fair : 0.0);
+  return 0;
+}

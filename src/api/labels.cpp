@@ -1,0 +1,101 @@
+#include "api/labels.h"
+
+#include <algorithm>
+
+namespace vc::api {
+
+bool LabelSelectorRequirement::Matches(const LabelMap& labels) const {
+  auto it = labels.find(key);
+  switch (op) {
+    case Op::kIn:
+      return it != labels.end() &&
+             std::find(values.begin(), values.end(), it->second) != values.end();
+    case Op::kNotIn:
+      return it == labels.end() ||
+             std::find(values.begin(), values.end(), it->second) == values.end();
+    case Op::kExists: return it != labels.end();
+    case Op::kDoesNotExist: return it == labels.end();
+  }
+  return false;
+}
+
+bool LabelSelector::Matches(const LabelMap& labels) const {
+  for (const auto& [k, v] : match_labels) {
+    auto it = labels.find(k);
+    if (it == labels.end() || it->second != v) return false;
+  }
+  for (const auto& req : match_expressions) {
+    if (!req.Matches(labels)) return false;
+  }
+  return true;
+}
+
+Json LabelMapToJson(const LabelMap& m) {
+  Json out = Json::Object();
+  for (const auto& [k, v] : m) out[k] = v;
+  return out;
+}
+
+LabelMap LabelMapFromJson(const Json& j) {
+  LabelMap out;
+  if (!j.is_object()) return out;
+  for (const auto& [k, v] : j.object()) out[k] = v.as_string();
+  return out;
+}
+
+namespace {
+
+const char* OpName(LabelSelectorRequirement::Op op) {
+  switch (op) {
+    case LabelSelectorRequirement::Op::kIn: return "In";
+    case LabelSelectorRequirement::Op::kNotIn: return "NotIn";
+    case LabelSelectorRequirement::Op::kExists: return "Exists";
+    case LabelSelectorRequirement::Op::kDoesNotExist: return "DoesNotExist";
+  }
+  return "Exists";
+}
+
+LabelSelectorRequirement::Op OpFromName(const std::string& s) {
+  if (s == "In") return LabelSelectorRequirement::Op::kIn;
+  if (s == "NotIn") return LabelSelectorRequirement::Op::kNotIn;
+  if (s == "DoesNotExist") return LabelSelectorRequirement::Op::kDoesNotExist;
+  return LabelSelectorRequirement::Op::kExists;
+}
+
+}  // namespace
+
+Json LabelSelectorToJson(const LabelSelector& s) {
+  Json out = Json::Object();
+  if (!s.match_labels.empty()) out["matchLabels"] = LabelMapToJson(s.match_labels);
+  if (!s.match_expressions.empty()) {
+    Json arr = Json::Array();
+    for (const auto& req : s.match_expressions) {
+      Json r = Json::Object();
+      r["key"] = req.key;
+      r["operator"] = OpName(req.op);
+      if (!req.values.empty()) {
+        Json vals = Json::Array();
+        for (const auto& v : req.values) vals.Append(v);
+        r["values"] = std::move(vals);
+      }
+      arr.Append(std::move(r));
+    }
+    out["matchExpressions"] = std::move(arr);
+  }
+  return out;
+}
+
+LabelSelector LabelSelectorFromJson(const Json& j) {
+  LabelSelector s;
+  s.match_labels = LabelMapFromJson(j.Get("matchLabels"));
+  for (const Json& r : j.Get("matchExpressions").array()) {
+    LabelSelectorRequirement req;
+    req.key = r.Get("key").as_string();
+    req.op = OpFromName(r.Get("operator").as_string());
+    for (const Json& v : r.Get("values").array()) req.values.push_back(v.as_string());
+    s.match_expressions.push_back(std::move(req));
+  }
+  return s;
+}
+
+}  // namespace vc::api

@@ -1,0 +1,50 @@
+// Kubernetes label maps and label selectors (matchLabels + set-based
+// matchExpressions). Selectors drive the endpoints controller, ReplicaSets,
+// inter-Pod anti-affinity, and List filtering.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace vc::api {
+
+using LabelMap = std::map<std::string, std::string>;
+
+struct LabelSelectorRequirement {
+  enum class Op { kIn, kNotIn, kExists, kDoesNotExist };
+  std::string key;
+  Op op = Op::kExists;
+  std::vector<std::string> values;
+
+  bool Matches(const LabelMap& labels) const;
+  bool operator==(const LabelSelectorRequirement&) const = default;
+};
+
+// Empty selector (no matchLabels, no expressions) matches nothing when used
+// as a workload selector, but Matches() follows the Kubernetes convention of
+// matching everything; callers that need "select nothing" check Empty().
+struct LabelSelector {
+  LabelMap match_labels;
+  std::vector<LabelSelectorRequirement> match_expressions;
+
+  bool Empty() const { return match_labels.empty() && match_expressions.empty(); }
+  bool Matches(const LabelMap& labels) const;
+
+  static LabelSelector FromMap(LabelMap m) {
+    LabelSelector s;
+    s.match_labels = std::move(m);
+    return s;
+  }
+
+  bool operator==(const LabelSelector&) const = default;
+};
+
+Json LabelMapToJson(const LabelMap& m);
+LabelMap LabelMapFromJson(const Json& j);
+Json LabelSelectorToJson(const LabelSelector& s);
+LabelSelector LabelSelectorFromJson(const Json& j);
+
+}  // namespace vc::api

@@ -1,0 +1,73 @@
+#include "api/meta.h"
+
+namespace vc::api {
+
+Json ObjectMetaToJson(const ObjectMeta& m) {
+  Json out = Json::Object();
+  out["name"] = m.name;
+  if (!m.ns.empty()) out["namespace"] = m.ns;
+  if (!m.uid.empty()) out["uid"] = m.uid;
+  if (m.resource_version != 0) out["resourceVersion"] = m.resource_version;
+  if (m.generation != 0) out["generation"] = m.generation;
+  if (m.creation_timestamp_ms != 0) out["creationTimestamp"] = m.creation_timestamp_ms;
+  if (m.deletion_timestamp_ms) out["deletionTimestamp"] = *m.deletion_timestamp_ms;
+  if (!m.labels.empty()) out["labels"] = LabelMapToJson(m.labels);
+  if (!m.annotations.empty()) out["annotations"] = LabelMapToJson(m.annotations);
+  if (!m.finalizers.empty()) {
+    Json arr = Json::Array();
+    for (const auto& f : m.finalizers) arr.Append(f);
+    out["finalizers"] = std::move(arr);
+  }
+  if (!m.owner_references.empty()) {
+    Json arr = Json::Array();
+    for (const auto& o : m.owner_references) {
+      Json r = Json::Object();
+      r["kind"] = o.kind;
+      r["name"] = o.name;
+      r["uid"] = o.uid;
+      if (o.controller) r["controller"] = true;
+      arr.Append(std::move(r));
+    }
+    out["ownerReferences"] = std::move(arr);
+  }
+  return out;
+}
+
+ObjectMeta ObjectMetaFromJson(const Json& j) {
+  ObjectMeta m;
+  m.name = j.Get("name").as_string();
+  m.ns = j.Get("namespace").as_string();
+  m.uid = j.Get("uid").as_string();
+  m.resource_version = j.Get("resourceVersion").as_int();
+  m.generation = j.Get("generation").as_int();
+  m.creation_timestamp_ms = j.Get("creationTimestamp").as_int();
+  if (j.Has("deletionTimestamp")) m.deletion_timestamp_ms = j.Get("deletionTimestamp").as_int();
+  m.labels = LabelMapFromJson(j.Get("labels"));
+  m.annotations = LabelMapFromJson(j.Get("annotations"));
+  for (const Json& f : j.Get("finalizers").array()) m.finalizers.push_back(f.as_string());
+  for (const Json& r : j.Get("ownerReferences").array()) {
+    OwnerReference o;
+    o.kind = r.Get("kind").as_string();
+    o.name = r.Get("name").as_string();
+    o.uid = r.Get("uid").as_string();
+    o.controller = r.Get("controller").as_bool();
+    m.owner_references.push_back(std::move(o));
+  }
+  return m;
+}
+
+Json ResourceListToJson(const ResourceList& r) {
+  Json out = Json::Object();
+  if (r.cpu_milli != 0) out["cpuMilli"] = r.cpu_milli;
+  if (r.memory_bytes != 0) out["memoryBytes"] = r.memory_bytes;
+  return out;
+}
+
+ResourceList ResourceListFromJson(const Json& j) {
+  ResourceList r;
+  r.cpu_milli = j.Get("cpuMilli").as_int();
+  r.memory_bytes = j.Get("memoryBytes").as_int();
+  return r;
+}
+
+}  // namespace vc::api

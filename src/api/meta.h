@@ -1,0 +1,79 @@
+// ObjectMeta and shared metadata vocabulary for every API type.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "api/labels.h"
+
+namespace vc::api {
+
+// Reference from a dependent object to its owner; drives the garbage
+// collector (cascading deletion) exactly like Kubernetes ownerReferences.
+struct OwnerReference {
+  std::string kind;
+  std::string name;
+  std::string uid;
+  bool controller = false;
+
+  bool operator==(const OwnerReference&) const = default;
+};
+
+struct ObjectMeta {
+  std::string name;
+  std::string ns;  // "namespace"; empty for cluster-scoped objects
+  std::string uid;
+  // resourceVersion: the kv-store mod_revision of the last write. 0 means
+  // "not yet persisted". Optimistic concurrency uses this.
+  int64_t resource_version = 0;
+  int64_t generation = 0;  // bumped on spec changes by the apiserver
+  int64_t creation_timestamp_ms = 0;
+  // Set when a delete has been requested but finalizers are still pending.
+  std::optional<int64_t> deletion_timestamp_ms;
+  LabelMap labels;
+  LabelMap annotations;
+  std::vector<std::string> finalizers;
+  std::vector<OwnerReference> owner_references;
+
+  bool deleting() const { return deletion_timestamp_ms.has_value(); }
+
+  // "namespace/name" for namespaced objects, "name" otherwise. Unique per
+  // resource type within one apiserver.
+  std::string FullName() const { return ns.empty() ? name : ns + "/" + name; }
+
+  bool operator==(const ObjectMeta&) const = default;
+};
+
+Json ObjectMetaToJson(const ObjectMeta& m);
+ObjectMeta ObjectMetaFromJson(const Json& j);
+
+// Resource requests/limits. Kubernetes Quantities are reduced to the two
+// dimensions the scheduler and the paper's workloads use.
+struct ResourceList {
+  int64_t cpu_milli = 0;      // 1000 = 1 CPU
+  int64_t memory_bytes = 0;
+
+  ResourceList& operator+=(const ResourceList& o) {
+    cpu_milli += o.cpu_milli;
+    memory_bytes += o.memory_bytes;
+    return *this;
+  }
+  ResourceList& operator-=(const ResourceList& o) {
+    cpu_milli -= o.cpu_milli;
+    memory_bytes -= o.memory_bytes;
+    return *this;
+  }
+  bool Fits(const ResourceList& capacity) const {
+    return cpu_milli <= capacity.cpu_milli && memory_bytes <= capacity.memory_bytes;
+  }
+  bool operator==(const ResourceList&) const = default;
+};
+
+Json ResourceListToJson(const ResourceList& r);
+ResourceList ResourceListFromJson(const Json& j);
+
+}  // namespace vc::api

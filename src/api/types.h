@@ -1,0 +1,362 @@
+// The Kubernetes object model: the twelve-plus resource types the syncer
+// synchronizes (paper §III-C: "the syncer currently synchronizes twelve types
+// of resources") plus the workload types (ReplicaSet/Deployment) used by the
+// built-in controllers.
+//
+// Each type carries:
+//   static constexpr const char* kKind  — unique kind name ("Pod")
+//   static constexpr bool kNamespaced   — namespace scoped or cluster scoped
+//   ObjectMeta meta                     — standard metadata
+// and has a Codec<T> specialization in api/codec.h.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/labels.h"
+#include "api/meta.h"
+
+namespace vc::api {
+
+// ------------------------------------------------------------------ Pod
+
+struct EnvVar {
+  std::string name;
+  std::string value;
+  bool operator==(const EnvVar&) const = default;
+};
+
+struct Container {
+  std::string name;
+  std::string image;
+  std::vector<std::string> command;
+  std::vector<EnvVar> env;
+  ResourceList requests;
+  ResourceList limits;
+  bool operator==(const Container&) const = default;
+};
+
+struct Toleration {
+  enum class Op { kExists, kEqual };
+  std::string key;
+  Op op = Op::kEqual;
+  std::string value;
+  std::string effect;  // "" tolerates all effects
+
+  bool operator==(const Toleration&) const = default;
+};
+
+struct Taint {
+  std::string key;
+  std::string value;
+  std::string effect;  // "NoSchedule" | "NoExecute" | "PreferNoSchedule"
+  bool operator==(const Taint&) const = default;
+};
+
+// One term of pod (anti-)affinity: "do (not) run near pods matched by
+// `selector`, where 'near' means same value of `topology_key`".
+struct PodAffinityTerm {
+  LabelSelector selector;
+  std::string topology_key = "kubernetes.io/hostname";
+  bool operator==(const PodAffinityTerm&) const = default;
+};
+
+struct VolumeSource {
+  std::string name;
+  // Exactly one of the below is non-empty.
+  std::string secret_name;
+  std::string config_map_name;
+  std::string pvc_name;
+  bool operator==(const VolumeSource&) const = default;
+};
+
+struct PodSpec {
+  std::vector<Container> init_containers;
+  std::vector<Container> containers;
+  LabelMap node_selector;
+  std::string node_name;  // set by the scheduler (Bind)
+  std::vector<Toleration> tolerations;
+  std::vector<PodAffinityTerm> required_anti_affinity;
+  std::vector<PodAffinityTerm> required_affinity;
+  std::string runtime_class;  // "runc" (default) | "kata" | "mock"
+  std::string service_account;
+  std::string hostname;
+  std::string subdomain;  // headless-service subdomain (the one conformance gap)
+  std::vector<VolumeSource> volumes;
+  std::string scheduler_name;  // "" = default scheduler
+  bool operator==(const PodSpec&) const = default;
+
+  ResourceList TotalRequests() const {
+    ResourceList total;
+    for (const Container& c : containers) total += c.requests;
+    return total;
+  }
+};
+
+enum class PodPhase { kPending, kRunning, kSucceeded, kFailed };
+
+std::string PodPhaseName(PodPhase p);
+PodPhase PodPhaseFromName(const std::string& s);
+
+// Standard condition types used by this stack.
+inline constexpr const char* kPodScheduled = "PodScheduled";
+inline constexpr const char* kPodInitialized = "Initialized";
+inline constexpr const char* kPodReady = "Ready";
+
+struct PodCondition {
+  std::string type;
+  bool status = false;
+  int64_t last_transition_ms = 0;
+  std::string reason;
+  bool operator==(const PodCondition&) const = default;
+};
+
+struct ContainerStatus {
+  std::string name;
+  bool ready = false;
+  int32_t restart_count = 0;
+  std::string state;  // "waiting" | "running" | "terminated"
+  bool operator==(const ContainerStatus&) const = default;
+};
+
+struct PodStatus {
+  PodPhase phase = PodPhase::kPending;
+  std::vector<PodCondition> conditions;
+  std::string pod_ip;
+  std::string host_ip;
+  int64_t start_time_ms = 0;
+  std::vector<ContainerStatus> container_statuses;
+  std::string message;
+
+  const PodCondition* FindCondition(const std::string& type) const;
+  // Returns true if the condition value changed.
+  bool SetCondition(const std::string& type, bool status, int64_t now_ms,
+                    const std::string& reason = "");
+  bool Ready() const {
+    const PodCondition* c = FindCondition(kPodReady);
+    return c != nullptr && c->status;
+  }
+  bool operator==(const PodStatus&) const = default;
+};
+
+struct Pod {
+  static constexpr const char* kKind = "Pod";
+  static constexpr bool kNamespaced = true;
+  ObjectMeta meta;
+  PodSpec spec;
+  PodStatus status;
+  bool operator==(const Pod&) const = default;
+};
+
+// ------------------------------------------------------------------ Service
+
+struct ServicePort {
+  std::string name;
+  int32_t port = 0;         // VIP-side port
+  int32_t target_port = 0;  // pod-side port (0 = same as port)
+  std::string protocol = "TCP";
+  bool operator==(const ServicePort&) const = default;
+
+  int32_t EffectiveTargetPort() const { return target_port != 0 ? target_port : port; }
+};
+
+struct ServiceSpec {
+  LabelMap selector;
+  std::vector<ServicePort> ports;
+  std::string cluster_ip;  // allocated by the service controller; "None" = headless
+  std::string type = "ClusterIP";
+  bool operator==(const ServiceSpec&) const = default;
+};
+
+struct Service {
+  static constexpr const char* kKind = "Service";
+  static constexpr bool kNamespaced = true;
+  ObjectMeta meta;
+  ServiceSpec spec;
+  bool operator==(const Service&) const = default;
+};
+
+struct EndpointAddress {
+  std::string ip;
+  std::string node_name;
+  std::string target_pod;  // pod name backing this address
+  bool operator==(const EndpointAddress&) const = default;
+};
+
+struct EndpointSubset {
+  std::vector<EndpointAddress> addresses;
+  std::vector<ServicePort> ports;
+  bool operator==(const EndpointSubset&) const = default;
+};
+
+struct Endpoints {
+  static constexpr const char* kKind = "Endpoints";
+  static constexpr bool kNamespaced = true;
+  ObjectMeta meta;
+  std::vector<EndpointSubset> subsets;
+  bool operator==(const Endpoints&) const = default;
+};
+
+// ------------------------------------------------------------------ Node
+
+struct NodeSpec {
+  std::vector<Taint> taints;
+  bool unschedulable = false;
+  std::string provider_id;
+  bool operator==(const NodeSpec&) const = default;
+};
+
+inline constexpr const char* kNodeReady = "Ready";
+
+struct NodeCondition {
+  std::string type;
+  bool status = false;
+  int64_t last_transition_ms = 0;
+  std::string reason;
+  bool operator==(const NodeCondition&) const = default;
+};
+
+struct NodeStatus {
+  ResourceList capacity;
+  ResourceList allocatable;
+  std::vector<NodeCondition> conditions;
+  std::string address;           // node IP
+  std::string kubelet_endpoint;  // "ip:port" where kubelet API (log/exec) listens
+  int64_t last_heartbeat_ms = 0;
+
+  bool Ready() const {
+    for (const auto& c : conditions) {
+      if (c.type == kNodeReady) return c.status;
+    }
+    return false;
+  }
+  bool operator==(const NodeStatus&) const = default;
+};
+
+struct Node {
+  static constexpr const char* kKind = "Node";
+  static constexpr bool kNamespaced = false;
+  ObjectMeta meta;
+  NodeSpec spec;
+  NodeStatus status;
+  bool operator==(const Node&) const = default;
+};
+
+// ------------------------------------------------------------------ Namespace
+
+struct NamespaceObj {
+  static constexpr const char* kKind = "Namespace";
+  static constexpr bool kNamespaced = false;
+  ObjectMeta meta;
+  std::string phase = "Active";  // "Active" | "Terminating"
+  bool operator==(const NamespaceObj&) const = default;
+};
+
+// --------------------------------------------------- Secret / ConfigMap / SA
+
+struct Secret {
+  static constexpr const char* kKind = "Secret";
+  static constexpr bool kNamespaced = true;
+  ObjectMeta meta;
+  std::string type = "Opaque";
+  std::map<std::string, std::string> data;
+  bool operator==(const Secret&) const = default;
+};
+
+struct ConfigMap {
+  static constexpr const char* kKind = "ConfigMap";
+  static constexpr bool kNamespaced = true;
+  ObjectMeta meta;
+  std::map<std::string, std::string> data;
+  bool operator==(const ConfigMap&) const = default;
+};
+
+struct ServiceAccount {
+  static constexpr const char* kKind = "ServiceAccount";
+  static constexpr bool kNamespaced = true;
+  ObjectMeta meta;
+  std::vector<std::string> secrets;
+  bool operator==(const ServiceAccount&) const = default;
+};
+
+// ------------------------------------------------------------- PV / PVC
+
+struct PersistentVolume {
+  static constexpr const char* kKind = "PersistentVolume";
+  static constexpr bool kNamespaced = false;
+  ObjectMeta meta;
+  int64_t capacity_bytes = 0;
+  std::string storage_class;
+  std::string claim_ref;  // "namespace/name" of bound PVC
+  std::string phase = "Available";  // Available | Bound | Released
+  bool operator==(const PersistentVolume&) const = default;
+};
+
+struct PersistentVolumeClaim {
+  static constexpr const char* kKind = "PersistentVolumeClaim";
+  static constexpr bool kNamespaced = true;
+  ObjectMeta meta;
+  int64_t request_bytes = 0;
+  std::string storage_class;
+  std::string volume_name;  // bound PV
+  std::string phase = "Pending";  // Pending | Bound | Lost
+  bool operator==(const PersistentVolumeClaim&) const = default;
+};
+
+// ------------------------------------------------------------------ Event
+
+struct EventObj {
+  static constexpr const char* kKind = "Event";
+  static constexpr bool kNamespaced = true;
+  ObjectMeta meta;
+  std::string involved_kind;
+  std::string involved_name;  // within meta.ns
+  std::string involved_uid;
+  std::string reason;
+  std::string message;
+  std::string type = "Normal";  // Normal | Warning
+  int32_t count = 1;
+  int64_t last_timestamp_ms = 0;
+  bool operator==(const EventObj&) const = default;
+};
+
+// -------------------------------------------------------- ReplicaSet / Deploy
+
+struct PodTemplateSpec {
+  LabelMap labels;
+  LabelMap annotations;
+  PodSpec spec;
+  bool operator==(const PodTemplateSpec&) const = default;
+};
+
+struct ReplicaSet {
+  static constexpr const char* kKind = "ReplicaSet";
+  static constexpr bool kNamespaced = true;
+  ObjectMeta meta;
+  int32_t replicas = 1;
+  LabelSelector selector;
+  PodTemplateSpec template_;
+  // status
+  int32_t status_replicas = 0;
+  int32_t status_ready = 0;
+  bool operator==(const ReplicaSet&) const = default;
+};
+
+struct Deployment {
+  static constexpr const char* kKind = "Deployment";
+  static constexpr bool kNamespaced = true;
+  ObjectMeta meta;
+  int32_t replicas = 1;
+  LabelSelector selector;
+  PodTemplateSpec template_;
+  // status
+  int32_t status_replicas = 0;
+  int32_t status_ready = 0;
+  int64_t observed_generation = 0;
+  bool operator==(const Deployment&) const = default;
+};
+
+}  // namespace vc::api

@@ -1,0 +1,88 @@
+#include "apiserver/apiserver.h"
+
+#include "common/hash.h"
+
+namespace vc::apiserver {
+
+APIServer::APIServer(Options opts) : opts_(std::move(opts)) {
+  store_ = std::make_unique<kv::KvStore>();
+  if (opts_.create_default_namespaces) {
+    for (const char* ns : {"default", "kube-system"}) {
+      api::NamespaceObj n;
+      n.meta.name = ns;
+      Result<api::NamespaceObj> r = Create(std::move(n));
+      if (!r.ok()) {
+        LOG(ERROR) << name() << ": failed to create namespace " << ns << ": " << r.status();
+      }
+    }
+  }
+}
+
+void APIServer::Restart() {
+  LOG(INFO) << name() << ": simulated restart (breaking all watches)";
+  store_->BreakWatches();
+}
+
+APIServer::InflightSlot::InflightSlot(const APIServer* server) : server_(server) {
+  if (server_->opts_.max_inflight <= 0) return;
+  std::unique_lock<std::mutex> l(server_->inflight_mu_);
+  server_->inflight_cv_.wait(
+      l, [&] { return server_->inflight_ < server_->opts_.max_inflight; });
+  server_->inflight_++;
+}
+
+APIServer::InflightSlot::~InflightSlot() {
+  if (server_->opts_.max_inflight <= 0) return;
+  {
+    std::lock_guard<std::mutex> l(server_->inflight_mu_);
+    server_->inflight_--;
+  }
+  server_->inflight_cv_.notify_one();
+}
+
+Status APIServer::Before(const char* verb, const char* kind, const std::string& ns,
+                         const RequestContext& ctx) const {
+  if (store_->IsShutdown()) return UnavailableError(name() + " is shut down");
+  if (!authorizer_.Allowed(ctx.identity, verb, kind, ns)) {
+    return ForbiddenError(StrFormat("user %s cannot %s %s in namespace %s",
+                                    ctx.identity.user.c_str(), verb, kind,
+                                    ns.empty() ? "<cluster>" : ns.c_str()));
+  }
+  if (opts_.client_qps > 0 && ctx.identity.user != "system:loopback") {
+    TokenBucket* bucket = nullptr;
+    {
+      std::lock_guard<std::mutex> l(rl_mu_);
+      auto& slot = rate_limiters_[ctx.identity.user];
+      if (!slot) {
+        slot = std::make_unique<TokenBucket>(opts_.client_qps, opts_.client_burst,
+                                             opts_.clock);
+      }
+      bucket = slot.get();
+    }
+    if (!bucket->TryTake()) {
+      stats_.rate_limited++;
+      return TooManyRequestsError(StrFormat("client %s rate limited (qps=%.0f)",
+                                            ctx.identity.user.c_str(), opts_.client_qps));
+    }
+  }
+  if (opts_.request_latency > Duration::zero()) {
+    // Holding an inflight slot while the handler "executes" is what lets one
+    // flooding client crowd out others on a shared apiserver (Fig. 1).
+    InflightSlot slot(this);
+    opts_.clock->SleepFor(opts_.request_latency);
+  }
+  return OkStatus();
+}
+
+Status APIServer::CheckNamespaceActive(const std::string& ns) const {
+  Result<kv::Entry> e = store_->Get(Key<api::NamespaceObj>("", ns));
+  if (!e.ok()) return NotFoundError("namespace " + ns + " not found");
+  Result<api::NamespaceObj> n = api::Decode<api::NamespaceObj>(e->value);
+  if (!n.ok()) return n.status();
+  if (n->meta.deleting() || n->phase == "Terminating") {
+    return ForbiddenError("namespace " + ns + " is terminating");
+  }
+  return OkStatus();
+}
+
+}  // namespace vc::apiserver

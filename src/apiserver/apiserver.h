@@ -1,0 +1,371 @@
+// The apiserver: a typed, watchable object registry over a kv::KvStore —
+// the front end of a Kubernetes control plane. Every control plane in the
+// system (the super cluster and each tenant control plane) is one APIServer
+// instance with its own dedicated store, matching the paper's deployment
+// ("each tenant control plane used a dedicated etcd").
+//
+// Faithfully reproduced apiserver behaviours the rest of the stack depends on:
+//   * Optimistic concurrency: updates/deletes CAS on metadata.resourceVersion
+//     and fail with Conflict (409) on mismatch.
+//   * Uniqueness of namespace/name per resource kind (AlreadyExists, 409).
+//   * List returns a snapshot revision; Watch(from) resumes exactly there;
+//     watching from a compacted revision fails Gone (410) → client relists.
+//   * Finalizers: Delete on an object with finalizers only sets
+//     deletionTimestamp; actual removal happens when the last finalizer is
+//     stripped by its controller.
+//   * Admission: namespaced creates require an existing, non-terminating
+//     namespace; metadata defaults (uid, creationTimestamp) are filled in.
+//   * RBAC authorization and per-identity token-bucket rate limits (429).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/codec.h"
+#include "api/types.h"
+#include "apiserver/rbac.h"
+#include "common/clock.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/token_bucket.h"
+#include "kv/kvstore.h"
+
+namespace vc::apiserver {
+
+struct RequestContext {
+  Identity identity = Identity::Loopback();
+};
+
+template <typename T>
+struct WatchEvent {
+  enum class Type { kPut, kDelete };
+  Type type = Type::kPut;
+  T object;           // new state for kPut; last known state for kDelete
+  int64_t revision = 0;
+};
+
+// Typed view over a kv watch channel; decodes values lazily per event.
+template <typename T>
+class TypedWatch {
+ public:
+  TypedWatch() = default;
+  explicit TypedWatch(std::shared_ptr<kv::WatchChannel> ch) : ch_(std::move(ch)) {}
+
+  // Same status contract as kv::WatchChannel::Next (Timeout/Aborted/Gone).
+  Result<WatchEvent<T>> Next(Duration timeout) {
+    if (!ch_) return InternalError("watch not started");
+    Result<kv::Event> e = ch_->Next(timeout);
+    if (!e.ok()) return e.status();
+    WatchEvent<T> out;
+    out.revision = e->revision;
+    if (e->type == kv::EventType::kPut) {
+      out.type = WatchEvent<T>::Type::kPut;
+      Result<T> obj = api::Decode<T>(e->value);
+      if (!obj.ok()) return obj.status();
+      out.object = std::move(*obj);
+    } else {
+      out.type = WatchEvent<T>::Type::kDelete;
+      if (!e->prev_value.empty()) {
+        Result<T> obj = api::Decode<T>(e->prev_value);
+        if (!obj.ok()) return obj.status();
+        out.object = std::move(*obj);
+      }
+    }
+    // resourceVersion is never stored inside the blob; stamp it from the
+    // event revision so caches stay strictly ordered.
+    out.object.meta.resource_version = e->revision;
+    return out;
+  }
+
+  void Cancel() {
+    if (ch_) ch_->Cancel();
+  }
+  bool ok() const { return ch_ && ch_->ok(); }
+
+ private:
+  std::shared_ptr<kv::WatchChannel> ch_;
+};
+
+template <typename T>
+struct TypedList {
+  std::vector<T> items;
+  int64_t revision = 0;
+};
+
+// Per-verb request counters, exposed for interference/observability tests.
+struct ServerStats {
+  std::atomic<uint64_t> creates{0};
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> lists{0};
+  std::atomic<uint64_t> updates{0};
+  std::atomic<uint64_t> deletes{0};
+  std::atomic<uint64_t> watches{0};
+  std::atomic<uint64_t> rate_limited{0};
+  std::atomic<uint64_t> conflicts{0};
+
+  uint64_t TotalMutations() const { return creates + updates + deletes; }
+};
+
+class APIServer {
+ public:
+  struct Options {
+    std::string name = "apiserver";
+    Clock* clock = RealClock::Get();
+    // Per-identity rate limit; 0 = unlimited. The paper notes tenant control
+    // planes run with built-in rate limits enabled (§III-C).
+    double client_qps = 0;
+    double client_burst = 100;
+    bool create_default_namespaces = true;
+    // Injected per-request service latency simulating handler + network cost.
+    Duration request_latency = Duration::zero();
+    size_t watch_buffer = 16384;
+    // Maximum concurrently-executing requests (kube-apiserver's
+    // --max-requests-inflight). 0 = unlimited. With a limit, a tenant
+    // flooding a SHARED apiserver visibly delays everyone else — the Fig. 1
+    // interference problem that motivates per-tenant control planes.
+    int max_inflight = 0;
+  };
+
+  explicit APIServer(Options opts);
+
+  const std::string& name() const { return opts_.name; }
+  Clock* clock() const { return opts_.clock; }
+  Authorizer& authorizer() { return authorizer_; }
+  ServerStats& stats() { return stats_; }
+  kv::KvStore& store() { return *store_; }
+
+  // Simulates an apiserver/etcd crash-restart: all watches break with Gone
+  // and a fresh store epoch begins with the same data. Reflectors must relist.
+  void Restart();
+
+  // --------------------------------------------------------------- verbs
+
+  template <typename T>
+  Result<T> Create(T obj, const RequestContext& ctx = {}) {
+    VC_RETURN_IF_ERROR(Before("create", T::kKind, obj.meta.ns, ctx));
+    stats_.creates++;
+    if (obj.meta.name.empty()) return InvalidArgumentError("metadata.name is required");
+    if constexpr (T::kNamespaced) {
+      if (obj.meta.ns.empty()) return InvalidArgumentError("metadata.namespace is required");
+      VC_RETURN_IF_ERROR(CheckNamespaceActive(obj.meta.ns));
+    } else {
+      if (!obj.meta.ns.empty()) {
+        return InvalidArgumentError(std::string(T::kKind) + " is cluster scoped");
+      }
+    }
+    if (obj.meta.uid.empty()) obj.meta.uid = NewUid();
+    if constexpr (std::is_same_v<T, api::NamespaceObj>) {
+      // Namespaces always carry the kubernetes finalizer so deletion goes
+      // through the namespace controller's cascading cleanup.
+      bool has = false;
+      for (const auto& f : obj.meta.finalizers) has = has || f == "kubernetes";
+      if (!has) obj.meta.finalizers.push_back("kubernetes");
+    }
+    obj.meta.creation_timestamp_ms = opts_.clock->WallUnixMillis();
+    obj.meta.deletion_timestamp_ms.reset();
+    // resourceVersion is never stored inside the blob; readers take it from
+    // the kv entry's mod_revision (one write == one watch event).
+    obj.meta.resource_version = 0;
+    if (obj.meta.generation == 0) obj.meta.generation = 1;
+    Result<int64_t> rev = store_->Put(Key<T>(obj.meta.ns, obj.meta.name), api::Encode(obj),
+                                      /*expected=*/0);
+    if (!rev.ok()) return rev.status();
+    obj.meta.resource_version = *rev;
+    return obj;
+  }
+
+  template <typename T>
+  Result<T> Get(const std::string& ns, const std::string& name,
+                const RequestContext& ctx = {}) const {
+    VC_RETURN_IF_ERROR(Before("get", T::kKind, ns, ctx));
+    stats_.gets++;
+    Result<kv::Entry> e = store_->Get(Key<T>(ns, name));
+    if (!e.ok()) return NotFoundError(std::string(T::kKind) + " " + ns + "/" + name +
+                                      " not found");
+    Result<T> obj = api::Decode<T>(e->value);
+    if (!obj.ok()) return obj.status();
+    obj->meta.resource_version = e->mod_revision;
+    return obj;
+  }
+
+  // ns == "" lists across all namespaces (or all cluster-scoped objects).
+  template <typename T>
+  Result<TypedList<T>> List(const std::string& ns = "", const RequestContext& ctx = {}) const {
+    VC_RETURN_IF_ERROR(Before("list", T::kKind, ns, ctx));
+    stats_.lists++;
+    std::string prefix = ns.empty() ? KindPrefix<T>() : Key<T>(ns, "");
+    kv::ListResult raw = store_->List(prefix);
+    TypedList<T> out;
+    out.revision = raw.revision;
+    out.items.reserve(raw.entries.size());
+    for (const kv::Entry& e : raw.entries) {
+      Result<T> obj = api::Decode<T>(e.value);
+      if (!obj.ok()) return obj.status();
+      obj->meta.resource_version = e.mod_revision;
+      out.items.push_back(std::move(*obj));
+    }
+    return out;
+  }
+
+  // Full-object update with optimistic concurrency on resourceVersion.
+  template <typename T>
+  Result<T> Update(T obj, const RequestContext& ctx = {}) {
+    return DoUpdate(std::move(obj), "update", ctx);
+  }
+
+  // Status subresource update — identical storage path, separate RBAC verb,
+  // mirroring Kubernetes' /status endpoint used by kubelet and the syncer's
+  // upward synchronization.
+  template <typename T>
+  Result<T> UpdateStatus(T obj, const RequestContext& ctx = {}) {
+    return DoUpdate(std::move(obj), "update", ctx);
+  }
+
+  // Delete honoring finalizers. Returns OK when deletion is complete OR has
+  // been initiated (deletionTimestamp set, finalizers pending).
+  template <typename T>
+  Status Delete(const std::string& ns, const std::string& name,
+                const RequestContext& ctx = {}) {
+    VC_RETURN_IF_ERROR(Before("delete", T::kKind, ns, ctx));
+    stats_.deletes++;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      Result<kv::Entry> e = store_->Get(Key<T>(ns, name));
+      if (!e.ok()) return NotFoundError(std::string(T::kKind) + " " + ns + "/" + name +
+                                        " not found");
+      Result<T> obj = api::Decode<T>(e->value);
+      if (!obj.ok()) return obj.status();
+      if (!obj->meta.finalizers.empty()) {
+        if (obj->meta.deleting()) return OkStatus();  // already terminating
+        obj->meta.deletion_timestamp_ms = opts_.clock->WallUnixMillis();
+        obj->meta.resource_version = 0;  // not stored in the blob
+        Result<int64_t> rev = store_->Put(Key<T>(ns, name), api::Encode(*obj),
+                                          e->mod_revision);
+        if (rev.ok()) return OkStatus();
+        if (rev.status().IsConflict()) continue;  // racing writer; retry
+        return rev.status();
+      }
+      Result<int64_t> rev = store_->Delete(Key<T>(ns, name), e->mod_revision);
+      if (rev.ok()) return OkStatus();
+      if (rev.status().IsConflict() || rev.status().IsNotFound()) continue;
+      return rev.status();
+    }
+    return AbortedError("delete retry budget exhausted for " + ns + "/" + name);
+  }
+
+  // Watch objects of kind T (optionally restricted to one namespace) for
+  // changes after `from_revision` (normally TypedList::revision).
+  template <typename T>
+  Result<TypedWatch<T>> Watch(const std::string& ns, int64_t from_revision,
+                              const RequestContext& ctx = {}) const {
+    VC_RETURN_IF_ERROR(Before("watch", T::kKind, ns, ctx));
+    stats_.watches++;
+    std::string prefix = ns.empty() ? KindPrefix<T>() : Key<T>(ns, "");
+    Result<std::shared_ptr<kv::WatchChannel>> ch =
+        store_->Watch(prefix, from_revision, opts_.watch_buffer);
+    if (!ch.ok()) return ch.status();
+    return TypedWatch<T>(std::move(*ch));
+  }
+
+  // ------------------------------------------------------------- helpers
+
+  // Key layout: /registry/<Kind>/<namespace|_>/<name>. Uniform for cluster-
+  // and namespace-scoped kinds so prefix watches work for both.
+  template <typename T>
+  static std::string Key(const std::string& ns, const std::string& name) {
+    std::string out = KindPrefix<T>();
+    out += ns.empty() ? "_" : ns;
+    out += '/';
+    out += name;
+    return out;
+  }
+
+  template <typename T>
+  static std::string KindPrefix() {
+    return std::string("/registry/") + T::kKind + "/";
+  }
+
+  // Approximate stored bytes (Fig. 10 accounting helper).
+  size_t StoreBytes() const { return store_->ApproxBytes(); }
+
+ private:
+  template <typename T>
+  Result<T> DoUpdate(T obj, const char* verb, const RequestContext& ctx) {
+    VC_RETURN_IF_ERROR(Before(verb, T::kKind, obj.meta.ns, ctx));
+    stats_.updates++;
+    if (obj.meta.resource_version == 0) {
+      return InvalidArgumentError("update requires metadata.resourceVersion");
+    }
+    const std::string key = Key<T>(obj.meta.ns, obj.meta.name);
+    const int64_t expected = obj.meta.resource_version;
+    obj.meta.resource_version = 0;  // not stored in the blob; see Create()
+    if (obj.meta.deleting() && obj.meta.finalizers.empty()) {
+      // Kubernetes semantics: stripping the last finalizer from a terminating
+      // object completes its deletion.
+      Result<int64_t> del = store_->Delete(key, expected);
+      if (!del.ok()) {
+        if (del.status().IsConflict()) stats_.conflicts++;
+        return del.status();
+      }
+      obj.meta.resource_version = *del;
+      return obj;
+    }
+    Result<int64_t> rev = store_->Put(key, api::Encode(obj), expected);
+    if (!rev.ok()) {
+      if (rev.status().IsConflict()) stats_.conflicts++;
+      return rev.status();
+    }
+    obj.meta.resource_version = *rev;
+    return obj;
+  }
+
+  Status Before(const char* verb, const char* kind, const std::string& ns,
+                const RequestContext& ctx) const;
+  Status CheckNamespaceActive(const std::string& ns) const;
+
+  // RAII slot in the max-inflight gate (no-op when unlimited).
+  class InflightSlot {
+   public:
+    explicit InflightSlot(const APIServer* server);
+    ~InflightSlot();
+    InflightSlot(const InflightSlot&) = delete;
+    InflightSlot& operator=(const InflightSlot&) = delete;
+
+   private:
+    const APIServer* server_;
+  };
+  friend class InflightSlot;
+
+  Options opts_;
+  std::unique_ptr<kv::KvStore> store_;
+  Authorizer authorizer_;
+  mutable ServerStats stats_;
+  mutable std::mutex rl_mu_;
+  mutable std::map<std::string, std::unique_ptr<TokenBucket>> rate_limiters_;
+  mutable std::mutex inflight_mu_;
+  mutable std::condition_variable inflight_cv_;
+  mutable int inflight_ = 0;
+};
+
+// Read-modify-write loop: fetch ns/name, apply fn, Update; retry on Conflict.
+// fn returns false to abort (object already in desired state).
+template <typename T, typename Fn>
+Status RetryUpdate(APIServer& server, const std::string& ns, const std::string& name, Fn fn,
+                   const RequestContext& ctx = {}, int max_attempts = 10) {
+  for (int i = 0; i < max_attempts; ++i) {
+    Result<T> obj = server.Get<T>(ns, name, ctx);
+    if (!obj.ok()) return obj.status();
+    if (!fn(*obj)) return OkStatus();
+    Result<T> updated = server.Update<T>(std::move(*obj), ctx);
+    if (updated.ok()) return OkStatus();
+    if (!updated.status().IsConflict()) return updated.status();
+  }
+  return AbortedError("RetryUpdate: conflict budget exhausted for " + ns + "/" + name);
+}
+
+}  // namespace vc::apiserver

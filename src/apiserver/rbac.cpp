@@ -1,0 +1,52 @@
+#include "apiserver/rbac.h"
+
+#include <algorithm>
+
+namespace vc::apiserver {
+
+namespace {
+
+bool MatchList(const std::vector<std::string>& list, const std::string& value) {
+  for (const auto& v : list) {
+    if (v == "*" || v == value) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void Authorizer::Grant(const std::string& user, PolicyRule rule) {
+  std::lock_guard<std::mutex> l(mu_);
+  bindings_[user].push_back(std::move(rule));
+  default_deny_ = true;
+}
+
+void Authorizer::GrantClusterAdmin(const std::string& user) {
+  Grant(user, PolicyRule{{"*"}, {"*"}, {"*"}});
+}
+
+void Authorizer::EnableDefaultDeny() {
+  std::lock_guard<std::mutex> l(mu_);
+  default_deny_ = true;
+}
+
+bool Authorizer::Allowed(const Identity& id, const std::string& verb,
+                         const std::string& resource, const std::string& ns) const {
+  // system:masters group (loopback clients and cluster components) bypasses.
+  if (std::find(id.groups.begin(), id.groups.end(), "system:masters") != id.groups.end()) {
+    return true;
+  }
+  std::lock_guard<std::mutex> l(mu_);
+  if (!default_deny_) return true;
+  auto it = bindings_.find(id.user);
+  if (it == bindings_.end()) return false;
+  for (const PolicyRule& rule : it->second) {
+    if (MatchList(rule.verbs, verb) && MatchList(rule.resources, resource) &&
+        (ns.empty() || MatchList(rule.namespaces, ns))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace vc::apiserver

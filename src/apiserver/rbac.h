@@ -1,0 +1,48 @@
+// Role-based access control for the apiserver, modeled on Kubernetes RBAC
+// rules (verbs x resources x namespaces, with "*" wildcards). The super
+// cluster uses this to keep tenants out (paper §III-B: "Tenants are
+// disallowed to access the super cluster"), and tests use it to demonstrate
+// the namespace-List leak that motivates per-tenant control planes (§I).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vc::apiserver {
+
+struct Identity {
+  std::string user;                  // "" = anonymous
+  std::vector<std::string> groups;
+  std::string cert_fingerprint;      // hash of the client credential (vn-agent uses this)
+
+  static Identity Loopback() { return Identity{"system:loopback", {"system:masters"}, ""}; }
+};
+
+struct PolicyRule {
+  std::vector<std::string> verbs;       // get/list/watch/create/update/delete or "*"
+  std::vector<std::string> resources;   // kinds ("Pod") or "*"
+  std::vector<std::string> namespaces;  // namespace names or "*" (cluster scope: "*")
+};
+
+// Thread-safe authorizer. With no bindings at all it is *open* (allow
+// everything) — tenant control planes run open because the tenant owns them;
+// the super cluster installs bindings and flips to default-deny.
+class Authorizer {
+ public:
+  void Grant(const std::string& user, PolicyRule rule);
+  void GrantClusterAdmin(const std::string& user);
+  // Once called, unknown users are denied everything.
+  void EnableDefaultDeny();
+
+  bool Allowed(const Identity& id, const std::string& verb, const std::string& resource,
+               const std::string& ns) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<PolicyRule>> bindings_;
+  bool default_deny_ = false;
+};
+
+}  // namespace vc::apiserver

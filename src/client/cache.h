@@ -1,0 +1,117 @@
+// Thread-safe read-only object cache backing informers — the client-go
+// "Store/Indexer". Reconcilers read object state from here instead of
+// querying the apiserver (paper §III-C: "state comparisons are made against
+// the ... informer caches to avoid intensive direct apiserver queries").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/codec.h"
+
+namespace vc::client {
+
+template <typename T>
+class ObjectCache {
+ public:
+  using Ptr = std::shared_ptr<const T>;
+
+  static std::string KeyOf(const T& obj) { return obj.meta.FullName(); }
+
+  // Replace the full contents (relist path). Returns the previous contents
+  // so the informer can synthesize add/update/delete deltas.
+  std::map<std::string, Ptr> Replace(const std::vector<T>& items) {
+    std::map<std::string, Ptr> next;
+    for (const T& item : items) {
+      next.emplace(KeyOf(item), std::make_shared<const T>(item));
+    }
+    std::lock_guard<std::mutex> l(mu_);
+    objects_.swap(next);
+    return next;  // old contents
+  }
+
+  // Returns the previous object (nullptr if absent).
+  Ptr Upsert(const T& obj) {
+    auto p = std::make_shared<const T>(obj);
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = objects_.find(KeyOf(obj));
+    if (it == objects_.end()) {
+      objects_.emplace(KeyOf(obj), std::move(p));
+      return nullptr;
+    }
+    Ptr old = it->second;
+    it->second = std::move(p);
+    return old;
+  }
+
+  // Returns the removed object (nullptr if absent).
+  Ptr Delete(const std::string& key) {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = objects_.find(key);
+    if (it == objects_.end()) return nullptr;
+    Ptr old = it->second;
+    objects_.erase(it);
+    return old;
+  }
+
+  Ptr GetByKey(const std::string& key) const {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = objects_.find(key);
+    return it == objects_.end() ? nullptr : it->second;
+  }
+
+  Ptr Get(const std::string& ns, const std::string& name) const {
+    return GetByKey(ns.empty() ? name : ns + "/" + name);
+  }
+
+  std::vector<Ptr> List() const {
+    std::lock_guard<std::mutex> l(mu_);
+    std::vector<Ptr> out;
+    out.reserve(objects_.size());
+    for (const auto& [k, v] : objects_) out.push_back(v);
+    return out;
+  }
+
+  // Namespaced listing; relies on key format "<ns>/<name>".
+  std::vector<Ptr> ListNamespace(const std::string& ns) const {
+    std::lock_guard<std::mutex> l(mu_);
+    std::vector<Ptr> out;
+    std::string prefix = ns + "/";
+    for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      out.push_back(it->second);
+    }
+    return out;
+  }
+
+  std::vector<std::string> Keys() const {
+    std::lock_guard<std::mutex> l(mu_);
+    std::vector<std::string> out;
+    out.reserve(objects_.size());
+    for (const auto& [k, v] : objects_) out.push_back(k);
+    return out;
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return objects_.size();
+  }
+
+  // Approximate bytes held by cached objects (encodes on demand; used by the
+  // Fig. 10 memory-accounting harness, not on hot paths).
+  size_t ApproxBytes() const {
+    std::vector<Ptr> snapshot = List();
+    size_t total = 0;
+    for (const Ptr& p : snapshot) total += api::ApproxObjectBytes(*p);
+    return total;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Ptr> objects_;
+};
+
+}  // namespace vc::client

@@ -1,0 +1,185 @@
+#include "client/fairqueue.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vc::client {
+
+FairQueue::FairQueue() : FairQueue(Options{}) {}
+
+FairQueue::FairQueue(Options opts) : opts_(opts) {}
+
+void FairQueue::RegisterTenant(const std::string& tenant, int weight) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto [it, inserted] = subqueues_.try_emplace(tenant);
+  it->second.weight = std::max(1, weight);
+  if (inserted) rr_order_.push_back(tenant);
+}
+
+void FairQueue::UnregisterTenant(const std::string& tenant) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = subqueues_.find(tenant);
+  if (it == subqueues_.end()) return;
+  queued_ -= it->second.keys.size();
+  for (const std::string& key : it->second.keys) {
+    dirty_.erase(FullKey(tenant, key));
+    enqueue_times_.erase(FullKey(tenant, key));
+  }
+  subqueues_.erase(it);
+  auto pos = std::find(rr_order_.begin(), rr_order_.end(), tenant);
+  if (pos != rr_order_.end()) {
+    size_t idx = static_cast<size_t>(pos - rr_order_.begin());
+    rr_order_.erase(pos);
+    if (rr_pos_ > idx) --rr_pos_;
+    if (!rr_order_.empty()) rr_pos_ %= rr_order_.size();
+  }
+}
+
+void FairQueue::Add(const std::string& tenant, const std::string& key) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (shutting_down_) return;
+    const std::string fk = FullKey(tenant, key);
+    if (dirty_.count(fk)) {
+      dedups_++;
+      return;
+    }
+    dirty_.insert(fk);
+    adds_++;
+    enqueue_times_.try_emplace(fk, opts_.clock->Now());
+    if (processing_.count(fk)) {
+      // Re-queued by Done().
+      return;
+    }
+    if (opts_.fair) {
+      auto [it, inserted] = subqueues_.try_emplace(tenant);
+      if (inserted) {
+        it->second.weight = std::max(1, opts_.default_weight);
+        rr_order_.push_back(tenant);
+      }
+      it->second.keys.push_back(key);
+    } else {
+      fifo_.push_back(Item{tenant, key, opts_.clock->Now()});
+    }
+    queued_++;
+  }
+  cv_.notify_one();
+}
+
+std::optional<FairQueue::Item> FairQueue::PopLocked() {
+  if (!opts_.fair) {
+    if (fifo_.empty()) return std::nullopt;
+    Item item = std::move(fifo_.front());
+    fifo_.pop_front();
+    return item;
+  }
+  if (rr_order_.empty()) return std::nullopt;
+  // Weighted round-robin: visit tenants cyclically; a tenant may dequeue up
+  // to `weight` items before the position advances. Empty sub-queues forfeit
+  // their turn (O(n) scan in the worst case — see paper §IV-A).
+  for (size_t scanned = 0; scanned < rr_order_.size(); ++scanned) {
+    const std::string& tenant = rr_order_[rr_pos_];
+    SubQueue& sq = subqueues_[tenant];
+    if (sq.keys.empty()) {
+      sq.credit = 0;
+      rr_pos_ = (rr_pos_ + 1) % rr_order_.size();
+      continue;
+    }
+    if (sq.credit <= 0) sq.credit = sq.weight;
+    Item item;
+    item.tenant = tenant;
+    item.key = std::move(sq.keys.front());
+    sq.keys.pop_front();
+    if (--sq.credit <= 0) {
+      rr_pos_ = (rr_pos_ + 1) % rr_order_.size();
+    }
+    return item;
+  }
+  return std::nullopt;
+}
+
+std::optional<FairQueue::Item> FairQueue::Get() {
+  std::unique_lock<std::mutex> l(mu_);
+  cv_.wait(l, [this] { return queued_ > 0 || shutting_down_; });
+  std::optional<Item> item = PopLocked();
+  if (!item) return std::nullopt;  // shutdown with empty queue
+  queued_--;
+  const std::string fk = FullKey(item->tenant, item->key);
+  processing_.insert(fk);
+  dirty_.erase(fk);
+  auto it = enqueue_times_.find(fk);
+  if (it != enqueue_times_.end()) {
+    item->enqueue_time = it->second;
+    enqueue_times_.erase(it);
+  } else {
+    item->enqueue_time = opts_.clock->Now();
+  }
+  return item;
+}
+
+void FairQueue::Done(const Item& item) {
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    const std::string fk = FullKey(item.tenant, item.key);
+    processing_.erase(fk);
+    if (dirty_.count(fk)) {
+      // Went dirty during processing: re-queue into the tenant sub-queue.
+      if (opts_.fair) {
+        auto [it, inserted] = subqueues_.try_emplace(item.tenant);
+        if (inserted) {
+          it->second.weight = std::max(1, opts_.default_weight);
+          rr_order_.push_back(item.tenant);
+        }
+        it->second.keys.push_back(item.key);
+      } else {
+        fifo_.push_back(Item{item.tenant, item.key, opts_.clock->Now()});
+      }
+      queued_++;
+      notify = true;
+    }
+  }
+  if (notify) cv_.notify_one();
+}
+
+void FairQueue::ShutDown() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool FairQueue::ShuttingDown() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return shutting_down_;
+}
+
+size_t FairQueue::Len() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return queued_;
+}
+
+size_t FairQueue::TenantLen(const std::string& t) const {
+  std::lock_guard<std::mutex> l(mu_);
+  if (!opts_.fair) {
+    return static_cast<size_t>(
+        std::count_if(fifo_.begin(), fifo_.end(),
+                      [&](const Item& i) { return i.tenant == t; }));
+  }
+  auto it = subqueues_.find(t);
+  return it == subqueues_.end() ? 0 : it->second.keys.size();
+}
+
+uint64_t FairQueue::adds() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return adds_;
+}
+
+uint64_t FairQueue::dedups() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return dedups_;
+}
+
+}  // namespace vc::client

@@ -1,0 +1,159 @@
+#include "client/workqueue.h"
+
+#include <algorithm>
+
+namespace vc::client {
+
+// ------------------------------------------------------------------ WorkQueue
+
+void WorkQueue::Add(const std::string& key) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (shutting_down_) return;
+    if (dirty_.count(key)) {
+      dedups_++;
+      return;
+    }
+    dirty_.insert(key);
+    adds_++;
+    if (processing_.count(key)) {
+      // Re-queued on Done().
+      return;
+    }
+    queue_.push_back(key);
+  }
+  cv_.notify_one();
+}
+
+std::optional<std::string> WorkQueue::Get() {
+  std::unique_lock<std::mutex> l(mu_);
+  cv_.wait(l, [this] { return !queue_.empty() || shutting_down_; });
+  if (queue_.empty()) return std::nullopt;
+  std::string key = std::move(queue_.front());
+  queue_.pop_front();
+  processing_.insert(key);
+  dirty_.erase(key);
+  return key;
+}
+
+void WorkQueue::Done(const std::string& key) {
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    processing_.erase(key);
+    if (dirty_.count(key)) {
+      // Went dirty while processing: re-queue.
+      queue_.push_back(key);
+      notify = true;
+    }
+  }
+  if (notify) cv_.notify_one();
+}
+
+void WorkQueue::ShutDown() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool WorkQueue::ShuttingDown() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return shutting_down_;
+}
+
+size_t WorkQueue::Len() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return queue_.size();
+}
+
+uint64_t WorkQueue::adds() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return adds_;
+}
+
+uint64_t WorkQueue::dedups() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return dedups_;
+}
+
+// -------------------------------------------------------------- DelayingQueue
+
+DelayingQueue::DelayingQueue(Clock* clock) : clock_(clock) {
+  timer_thread_ = std::thread([this] { TimerLoop(); });
+}
+
+DelayingQueue::~DelayingQueue() {
+  ShutDown();
+  if (timer_thread_.joinable()) timer_thread_.join();
+}
+
+void DelayingQueue::AddAfter(const std::string& key, Duration delay) {
+  if (delay <= Duration::zero()) {
+    Add(key);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> l(timer_mu_);
+    if (timer_stop_) return;
+    pending_.emplace(clock_->Now() + delay, key);
+  }
+  timer_cv_.notify_one();
+}
+
+void DelayingQueue::ShutDown() {
+  {
+    std::lock_guard<std::mutex> l(timer_mu_);
+    timer_stop_ = true;
+  }
+  timer_cv_.notify_all();
+  WorkQueue::ShutDown();
+}
+
+void DelayingQueue::TimerLoop() {
+  std::unique_lock<std::mutex> l(timer_mu_);
+  while (!timer_stop_) {
+    if (pending_.empty()) {
+      timer_cv_.wait(l, [this] { return timer_stop_ || !pending_.empty(); });
+      continue;
+    }
+    TimePoint next = pending_.begin()->first;
+    TimePoint now = clock_->Now();
+    if (now < next) {
+      timer_cv_.wait_for(l, std::min<Duration>(next - now, Millis(50)));
+      continue;
+    }
+    std::vector<std::string> due;
+    while (!pending_.empty() && pending_.begin()->first <= now) {
+      due.push_back(pending_.begin()->second);
+      pending_.erase(pending_.begin());
+    }
+    l.unlock();
+    for (const std::string& key : due) Add(key);
+    l.lock();
+  }
+}
+
+// ---------------------------------------------------------------- ItemBackoff
+
+Duration ItemBackoff::Next(const std::string& key) {
+  std::lock_guard<std::mutex> l(mu_);
+  int failures = ++failures_[key];
+  Duration d = base_;
+  for (int i = 1; i < failures && d < max_; ++i) d *= 2;
+  return std::min(d, max_);
+}
+
+void ItemBackoff::Forget(const std::string& key) {
+  std::lock_guard<std::mutex> l(mu_);
+  failures_.erase(key);
+}
+
+int ItemBackoff::Failures(const std::string& key) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = failures_.find(key);
+  return it == failures_.end() ? 0 : it->second;
+}
+
+}  // namespace vc::client

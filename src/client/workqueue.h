@@ -1,0 +1,122 @@
+// client-go style work queues.
+//
+// WorkQueue reproduces k8s.io/client-go/util/workqueue semantics exactly,
+// because the syncer's memory and fairness arguments depend on them
+// (paper §III-C: "the client-go worker queue has the capability of
+// deduplicating the incoming requests [so] the memory consumptions of the
+// worker queues are unlikely to grow infinitely"):
+//   * An item present in the queue is not added again (dedup).
+//   * An item currently being processed can be re-added; it is marked dirty
+//     and re-queued when Done() is called.
+//   * Get() blocks until an item is available or the queue shuts down.
+//
+// DelayingQueue adds AddAfter; RateLimitingQueue adds per-item exponential
+// backoff (used for reconcile retries).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace vc::client {
+
+class WorkQueue {
+ public:
+  WorkQueue() = default;
+  virtual ~WorkQueue() = default;
+
+  WorkQueue(const WorkQueue&) = delete;
+  WorkQueue& operator=(const WorkQueue&) = delete;
+
+  // Enqueue a key. No-op if already queued; if currently processing, the key
+  // is re-queued once its processor calls Done().
+  virtual void Add(const std::string& key);
+
+  // Blocks for the next key. Returns nullopt when the queue is shut down and
+  // drained. The caller MUST call Done(key) when finished.
+  virtual std::optional<std::string> Get();
+
+  // Marks processing finished; re-queues the key if it went dirty meanwhile.
+  virtual void Done(const std::string& key);
+
+  virtual void ShutDown();
+  bool ShuttingDown() const;
+
+  size_t Len() const;
+  // Total Adds that were accepted (not deduplicated) — metrics for tests.
+  uint64_t adds() const;
+  uint64_t dedups() const;
+
+ protected:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::string> queue_;
+  std::set<std::string> dirty_;       // queued or needs re-queue
+  std::set<std::string> processing_;  // currently held by a worker
+  bool shutting_down_ = false;
+  uint64_t adds_ = 0;
+  uint64_t dedups_ = 0;
+};
+
+// WorkQueue with AddAfter(key, delay). A single timer thread moves due items
+// into the main queue.
+class DelayingQueue : public WorkQueue {
+ public:
+  explicit DelayingQueue(Clock* clock);
+  ~DelayingQueue() override;
+
+  void AddAfter(const std::string& key, Duration delay);
+  void ShutDown() override;
+
+ private:
+  void TimerLoop();
+
+  Clock* const clock_;
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  // deadline -> keys (multimap preserves ordering)
+  std::multimap<TimePoint, std::string> pending_;
+  bool timer_stop_ = false;
+  std::thread timer_thread_;
+};
+
+// Per-item exponential backoff: base * 2^(failures-1), capped.
+class ItemBackoff {
+ public:
+  ItemBackoff(Duration base, Duration max) : base_(base), max_(max) {}
+
+  Duration Next(const std::string& key);
+  void Forget(const std::string& key);
+  int Failures(const std::string& key) const;
+
+ private:
+  const Duration base_;
+  const Duration max_;
+  mutable std::mutex mu_;
+  std::map<std::string, int> failures_;
+};
+
+// DelayingQueue + ItemBackoff, mirroring client-go's RateLimitingInterface.
+class RateLimitingQueue : public DelayingQueue {
+ public:
+  explicit RateLimitingQueue(Clock* clock, Duration base = Millis(5),
+                             Duration max = Seconds(30))
+      : DelayingQueue(clock), backoff_(base, max) {}
+
+  void AddRateLimited(const std::string& key) { AddAfter(key, backoff_.Next(key)); }
+  void Forget(const std::string& key) { backoff_.Forget(key); }
+  int NumRequeues(const std::string& key) const { return backoff_.Failures(key); }
+
+ private:
+  ItemBackoff backoff_;
+};
+
+}  // namespace vc::client

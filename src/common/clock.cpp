@@ -1,0 +1,36 @@
+#include "common/clock.h"
+
+#include <thread>
+
+namespace vc {
+
+RealClock* RealClock::Get() {
+  static RealClock clock;
+  return &clock;
+}
+
+void RealClock::SleepFor(Duration d) {
+  if (d > Duration::zero()) std::this_thread::sleep_for(d);
+}
+
+int64_t RealClock::WallUnixMillis() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void ManualClock::SleepFor(Duration d) {
+  std::unique_lock<std::mutex> l(mu_);
+  const TimePoint deadline = now_ + d;
+  cv_.wait(l, [&] { return now_ >= deadline; });
+}
+
+void ManualClock::Advance(Duration d) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    now_ += d;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace vc

@@ -1,0 +1,92 @@
+// Time vocabulary for the project.
+//
+// All latency-sensitive code takes time from a Clock* so tests can inject a
+// ManualClock and advance it deterministically; production/bench code uses the
+// process-wide RealClock. Durations and time points are steady-clock based;
+// wall time is only used for object creationTimestamps (cosmetic).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace vc {
+
+using Duration = std::chrono::nanoseconds;
+using TimePoint = std::chrono::steady_clock::time_point;
+
+inline constexpr Duration Millis(int64_t ms) { return std::chrono::milliseconds(ms); }
+inline constexpr Duration Micros(int64_t us) { return std::chrono::microseconds(us); }
+inline constexpr Duration Seconds(int64_t s) { return std::chrono::seconds(s); }
+
+inline double ToSeconds(Duration d) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(d).count();
+}
+inline double ToMillis(Duration d) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(d).count();
+}
+
+// Abstract time source. SleepFor must be interruptible only by time passing;
+// components that need cancellable waits combine Now() with their own CVs.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint Now() const = 0;
+  virtual void SleepFor(Duration d) = 0;
+
+  // Wall-clock seconds since epoch, for creationTimestamp fields.
+  virtual int64_t WallUnixMillis() const = 0;
+};
+
+// The process-wide real clock.
+class RealClock final : public Clock {
+ public:
+  static RealClock* Get();
+  TimePoint Now() const override { return std::chrono::steady_clock::now(); }
+  void SleepFor(Duration d) override;
+  int64_t WallUnixMillis() const override;
+};
+
+// Deterministic clock for unit tests. Advance() wakes sleepers whose deadline
+// has been reached.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimePoint start = TimePoint{}) : now_(start) {}
+
+  TimePoint Now() const override {
+    std::lock_guard<std::mutex> l(mu_);
+    return now_;
+  }
+
+  void SleepFor(Duration d) override;
+
+  // Wall time tracks the manual steady time from a fixed epoch.
+  int64_t WallUnixMillis() const override {
+    std::lock_guard<std::mutex> l(mu_);
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               now_.time_since_epoch())
+        .count();
+  }
+
+  void Advance(Duration d);
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  TimePoint now_;
+};
+
+// RAII stopwatch for phase timing.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock* clock) : clock_(clock), start_(clock->Now()) {}
+  Duration Elapsed() const { return clock_->Now() - start_; }
+  void Reset() { start_ = clock_->Now(); }
+
+ private:
+  const Clock* clock_;
+  TimePoint start_;
+};
+
+}  // namespace vc

@@ -1,0 +1,49 @@
+#include "common/cpu_time.h"
+
+#include <pthread.h>
+#include <time.h>
+
+namespace vc {
+
+namespace {
+
+Duration ClockNow(clockid_t clock) {
+  timespec ts{};
+  if (clock_gettime(clock, &ts) != 0) return Duration::zero();
+  return std::chrono::seconds(ts.tv_sec) + std::chrono::nanoseconds(ts.tv_nsec);
+}
+
+}  // namespace
+
+Duration ThreadCpuTime() { return ClockNow(CLOCK_THREAD_CPUTIME_ID); }
+
+CpuTimeGroup::Member::Member(CpuTimeGroup* group) : group_(group), slot_(0) {
+  clockid_t clock;
+  if (pthread_getcpuclockid(pthread_self(), &clock) != 0) {
+    clock = CLOCK_THREAD_CPUTIME_ID;
+  }
+  std::lock_guard<std::mutex> l(group_->mu_);
+  Slot s;
+  s.live = true;
+  s.clock = clock;
+  group_->slots_.push_back(s);
+  slot_ = group_->slots_.size() - 1;
+}
+
+CpuTimeGroup::Member::~Member() {
+  Duration final = ThreadCpuTime();
+  std::lock_guard<std::mutex> l(group_->mu_);
+  group_->slots_[slot_].live = false;
+  group_->banked_total_ += final;
+}
+
+Duration CpuTimeGroup::Total() const {
+  std::lock_guard<std::mutex> l(mu_);
+  Duration total = banked_total_;
+  for (const Slot& s : slots_) {
+    if (s.live) total += ClockNow(s.clock);
+  }
+  return total;
+}
+
+}  // namespace vc

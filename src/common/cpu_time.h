@@ -1,0 +1,51 @@
+// Per-thread CPU-time measurement, used to reproduce Fig. 10's syncer CPU
+// accounting ("accumulated process CPU time"). Worker threads register
+// themselves with a CpuTimeGroup; the group sums live thread CPU clocks plus
+// the totals banked by exited threads.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace vc {
+
+// CPU time consumed so far by the calling thread.
+Duration ThreadCpuTime();
+
+class CpuTimeGroup {
+ public:
+  // RAII membership: construct on the worker thread at loop start; on
+  // destruction the thread's final CPU time is banked into the group.
+  class Member {
+   public:
+    explicit Member(CpuTimeGroup* group);
+    ~Member();
+    Member(const Member&) = delete;
+    Member& operator=(const Member&) = delete;
+
+   private:
+    CpuTimeGroup* group_;
+    size_t slot_;
+  };
+
+  // Total CPU time consumed by all member threads (live + exited).
+  Duration Total() const;
+
+ private:
+  friend class Member;
+
+  struct Slot {
+    // pthread_t of the live thread, stored as an opaque handle via clockid.
+    bool live = false;
+    clockid_t clock = 0;
+    Duration banked{0};
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+  Duration banked_total_{0};
+};
+
+}  // namespace vc

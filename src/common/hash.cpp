@@ -1,0 +1,62 @@
+#include "common/hash.h"
+
+#include <atomic>
+#include <chrono>
+#include <random>
+
+namespace vc {
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string Hex64(uint64_t v) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = kHex[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::string ShortHash(std::string_view data, int chars) {
+  std::string full = Hex64(Fnv1a64(data));
+  if (chars < 1) chars = 1;
+  if (chars > 16) chars = 16;
+  return full.substr(0, static_cast<size_t>(chars));
+}
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::string NewUid() {
+  static std::atomic<uint64_t> counter{0};
+  thread_local uint64_t seed = [] {
+    std::random_device rd;
+    return (static_cast<uint64_t>(rd()) << 32) ^ rd() ^
+           static_cast<uint64_t>(
+               std::chrono::steady_clock::now().time_since_epoch().count());
+  }();
+  uint64_t a = SplitMix64(seed);
+  uint64_t b = SplitMix64(seed) ^ counter.fetch_add(1, std::memory_order_relaxed);
+  std::string ha = Hex64(a), hb = Hex64(b);
+  // Shape: 8-4-4-4-12 like a UUID.
+  return ha.substr(0, 8) + "-" + ha.substr(8, 4) + "-" + ha.substr(12, 4) + "-" +
+         hb.substr(0, 4) + "-" + hb.substr(4, 12);
+}
+
+}  // namespace vc

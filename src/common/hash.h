@@ -1,0 +1,26 @@
+// Hashing helpers: FNV-1a, hex encoding, UID generation, and the short hash
+// used by the syncer when prefixing tenant namespaces (paper §III-B (2): the
+// prefix is "the concatenation of the owner VC's object name and a short hash
+// of the object's UID").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vc {
+
+// 64-bit FNV-1a over bytes.
+uint64_t Fnv1a64(std::string_view data);
+
+// Lower-case hex string of a 64-bit value (16 chars).
+std::string Hex64(uint64_t v);
+
+// First `chars` hex chars of Fnv1a64(data); the syncer uses chars=6.
+std::string ShortHash(std::string_view data, int chars = 6);
+
+// Random RFC-4122-looking UID string (not cryptographically strong; this is a
+// simulation). Thread-safe.
+std::string NewUid();
+
+}  // namespace vc

@@ -1,0 +1,112 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace vc {
+
+void Histogram::Record(Duration d) { RecordSeconds(ToSeconds(d)); }
+
+void Histogram::RecordSeconds(double s) {
+  std::lock_guard<std::mutex> l(mu_);
+  samples_.push_back(s);
+}
+
+size_t Histogram::Count() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return samples_.size();
+}
+
+double Histogram::MeanSeconds() const {
+  std::lock_guard<std::mutex> l(mu_);
+  if (samples_.empty()) return 0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) / samples_.size();
+}
+
+double Histogram::MinSeconds() const {
+  std::lock_guard<std::mutex> l(mu_);
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::MaxSeconds() const {
+  std::lock_guard<std::mutex> l(mu_);
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::PercentileSeconds(double p) const {
+  std::lock_guard<std::mutex> l(mu_);
+  if (samples_.empty()) return 0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  double rank = (p / 100.0) * (sorted.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = static_cast<size_t>(std::ceil(rank));
+  if (hi >= sorted.size()) hi = sorted.size() - 1;
+  double frac = rank - lo;
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+std::vector<uint64_t> Histogram::Buckets(double width_s, int num_buckets) const {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<uint64_t> out(static_cast<size_t>(num_buckets), 0);
+  if (width_s <= 0 || num_buckets <= 0) return out;
+  for (double s : samples_) {
+    int idx = static_cast<int>(s / width_s);
+    if (idx < 0) idx = 0;
+    if (idx >= num_buckets) idx = num_buckets - 1;
+    out[static_cast<size_t>(idx)]++;
+  }
+  return out;
+}
+
+std::vector<double> Histogram::Samples() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return samples_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  std::vector<double> theirs = other.Samples();
+  std::lock_guard<std::mutex> l(mu_);
+  samples_.insert(samples_.end(), theirs.begin(), theirs.end());
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> l(mu_);
+  samples_.clear();
+}
+
+std::string Histogram::Render(const std::string& label, double bucket_width_s,
+                              int num_buckets) const {
+  std::vector<uint64_t> b = Buckets(bucket_width_s, num_buckets);
+  uint64_t maxc = 1;
+  for (uint64_t c : b) maxc = std::max(maxc, c);
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line), "%s  (n=%zu mean=%.3fs p50=%.3fs p99=%.3fs max=%.3fs)\n",
+                label.c_str(), Count(), MeanSeconds(), PercentileSeconds(50),
+                PercentileSeconds(99), MaxSeconds());
+  out += line;
+  for (int i = 0; i < num_buckets; ++i) {
+    double lo = i * bucket_width_s;
+    double hi = (i + 1) * bucket_width_s;
+    int bar = static_cast<int>(48.0 * static_cast<double>(b[static_cast<size_t>(i)]) /
+                               static_cast<double>(maxc));
+    if (i + 1 == num_buckets) {
+      std::snprintf(line, sizeof(line), "  [%5.1f,  inf) %7llu |", lo,
+                    static_cast<unsigned long long>(b[static_cast<size_t>(i)]));
+    } else {
+      std::snprintf(line, sizeof(line), "  [%5.1f,%5.1f) %7llu |", lo, hi,
+                    static_cast<unsigned long long>(b[static_cast<size_t>(i)]));
+    }
+    out += line;
+    out.append(static_cast<size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace vc

@@ -1,0 +1,60 @@
+// Latency histogram used by the benchmark harnesses to reproduce the paper's
+// figures: Fig. 7 plots Pod-creation-time histograms and quotes p99 values;
+// Table I reports per-phase bucket counts with 2-second buckets.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace vc {
+
+// Thread-safe recorder of duration samples. Keeps raw samples (the workloads
+// here are <= tens of thousands of samples) so arbitrary bucketings and exact
+// percentiles are available afterwards.
+class Histogram {
+ public:
+  Histogram() = default;
+  // Copyable (snapshot semantics) so result structs can carry histograms.
+  Histogram(const Histogram& other) : samples_(other.Samples()) {}
+  Histogram& operator=(const Histogram& other) {
+    if (this != &other) {
+      std::vector<double> theirs = other.Samples();
+      std::lock_guard<std::mutex> l(mu_);
+      samples_ = std::move(theirs);
+    }
+    return *this;
+  }
+
+  void Record(Duration d);
+  void RecordSeconds(double s);
+
+  size_t Count() const;
+  double MeanSeconds() const;
+  double MinSeconds() const;
+  double MaxSeconds() const;
+  // Exact percentile over recorded samples, p in [0, 100].
+  double PercentileSeconds(double p) const;
+
+  // Bucket counts with fixed-width buckets of `width_s` seconds starting at 0;
+  // the last bucket absorbs overflow. Matches Table I's presentation.
+  std::vector<uint64_t> Buckets(double width_s, int num_buckets) const;
+
+  // Multi-line human-readable rendering: one row per bucket with an ASCII bar,
+  // plus count/mean/p50/p99 summary. `label` heads the block.
+  std::string Render(const std::string& label, double bucket_width_s, int num_buckets) const;
+
+  std::vector<double> Samples() const;
+
+  void Merge(const Histogram& other);
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;  // seconds
+};
+
+}  // namespace vc

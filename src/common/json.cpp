@@ -1,0 +1,354 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace vc {
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ != Type::kObject) {
+    *this = Json::Object();
+  }
+  return obj_[key];
+}
+
+const Json& Json::Get(const std::string& key) const {
+  static const Json kNull;
+  if (type_ != Type::kObject) return kNull;
+  auto it = obj_.find(key);
+  return it == obj_.end() ? kNull : it->second;
+}
+
+bool Json::Has(const std::string& key) const {
+  return type_ == Type::kObject && obj_.count(key) > 0;
+}
+
+void Json::Append(Json v) {
+  if (type_ != Type::kArray) {
+    *this = Json::Array();
+  }
+  arr_.push_back(std::move(v));
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) {
+    // int/double cross-compare by value.
+    if (is_number() && other.is_number()) return as_double() == other.as_double();
+    return false;
+  }
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kInt: return int_ == other.int_;
+    case Type::kDouble: return dbl_ == other.dbl_;
+    case Type::kString: return str_ == other.str_;
+    case Type::kArray: return arr_ == other.arr_;
+    case Type::kObject: return obj_ == other.obj_;
+  }
+  return false;
+}
+
+namespace {
+
+void EscapeTo(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string& out) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; return;
+    case Type::kBool: out += bool_ ? "true" : "false"; return;
+    case Type::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(int_));
+      out += buf;
+      return;
+    }
+    case Type::kDouble: {
+      char buf[40];
+      if (std::isfinite(dbl_)) {
+        std::snprintf(buf, sizeof(buf), "%.17g", dbl_);
+        out += buf;
+      } else {
+        out += "null";
+      }
+      return;
+    }
+    case Type::kString: EscapeTo(str_, out); return;
+    case Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& v : arr_) {
+        if (!first) out += ',';
+        first = false;
+        v.DumpTo(out);
+      }
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        EscapeTo(k, out);
+        out += ':';
+        v.DumpTo(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  out.reserve(64);
+  DumpTo(out);
+  return out;
+}
+
+size_t Json::ApproxBytes() const {
+  size_t b = sizeof(Json);
+  switch (type_) {
+    case Type::kString: b += str_.capacity(); break;
+    case Type::kArray:
+      for (const Json& v : arr_) b += v.ApproxBytes();
+      break;
+    case Type::kObject:
+      for (const auto& [k, v] : obj_) b += k.capacity() + v.ApproxBytes() + 32;
+      break;
+    default: break;
+  }
+  return b;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : p_(text.data()), end_(text.data() + text.size()) {}
+
+  Result<Json> Parse() {
+    SkipWs();
+    Json v;
+    Status st = ParseValue(v);
+    if (!st.ok()) return st;
+    SkipWs();
+    if (p_ != end_) return InvalidArgumentError("trailing characters in JSON");
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) ++p_;
+  }
+
+  bool Eof() const { return p_ == end_; }
+
+  Status ParseValue(Json& out) {
+    SkipWs();
+    if (Eof()) return InvalidArgumentError("unexpected end of JSON");
+    char c = *p_;
+    switch (c) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"': {
+        std::string s;
+        VC_RETURN_IF_ERROR(ParseString(s));
+        out = Json(std::move(s));
+        return OkStatus();
+      }
+      case 't':
+        if (Consume("true")) {
+          out = Json(true);
+          return OkStatus();
+        }
+        return InvalidArgumentError("bad literal");
+      case 'f':
+        if (Consume("false")) {
+          out = Json(false);
+          return OkStatus();
+        }
+        return InvalidArgumentError("bad literal");
+      case 'n':
+        if (Consume("null")) {
+          out = Json();
+          return OkStatus();
+        }
+        return InvalidArgumentError("bad literal");
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool Consume(const char* lit) {
+    size_t n = std::strlen(lit);
+    if (static_cast<size_t>(end_ - p_) < n) return false;
+    if (std::memcmp(p_, lit, n) != 0) return false;
+    p_ += n;
+    return true;
+  }
+
+  Status ParseString(std::string& out) {
+    ++p_;  // opening quote
+    out.clear();
+    while (!Eof() && *p_ != '"') {
+      char c = *p_++;
+      if (c == '\\') {
+        if (Eof()) return InvalidArgumentError("bad escape");
+        char e = *p_++;
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (end_ - p_ < 4) return InvalidArgumentError("bad \\u escape");
+            unsigned v = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = *p_++;
+              v <<= 4;
+              if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+              else return InvalidArgumentError("bad \\u escape");
+            }
+            // Encode as UTF-8 (no surrogate-pair support; the simulation never
+            // emits non-BMP characters).
+            if (v < 0x80) {
+              out += static_cast<char>(v);
+            } else if (v < 0x800) {
+              out += static_cast<char>(0xC0 | (v >> 6));
+              out += static_cast<char>(0x80 | (v & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (v >> 12));
+              out += static_cast<char>(0x80 | ((v >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (v & 0x3F));
+            }
+            break;
+          }
+          default: return InvalidArgumentError("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (Eof()) return InvalidArgumentError("unterminated string");
+    ++p_;  // closing quote
+    return OkStatus();
+  }
+
+  Status ParseNumber(Json& out) {
+    const char* start = p_;
+    bool is_double = false;
+    if (!Eof() && (*p_ == '-' || *p_ == '+')) ++p_;
+    while (!Eof() && (std::isdigit(static_cast<unsigned char>(*p_)) || *p_ == '.' ||
+                      *p_ == 'e' || *p_ == 'E' || *p_ == '-' || *p_ == '+')) {
+      if (*p_ == '.' || *p_ == 'e' || *p_ == 'E') is_double = true;
+      ++p_;
+    }
+    if (p_ == start) return InvalidArgumentError("bad number");
+    std::string tok(start, static_cast<size_t>(p_ - start));
+    if (is_double) {
+      out = Json(std::strtod(tok.c_str(), nullptr));
+    } else {
+      out = Json(static_cast<int64_t>(std::strtoll(tok.c_str(), nullptr, 10)));
+    }
+    return OkStatus();
+  }
+
+  Status ParseObject(Json& out) {
+    ++p_;  // '{'
+    out = Json::Object();
+    SkipWs();
+    if (!Eof() && *p_ == '}') {
+      ++p_;
+      return OkStatus();
+    }
+    for (;;) {
+      SkipWs();
+      if (Eof() || *p_ != '"') return InvalidArgumentError("expected object key");
+      std::string key;
+      VC_RETURN_IF_ERROR(ParseString(key));
+      SkipWs();
+      if (Eof() || *p_ != ':') return InvalidArgumentError("expected ':'");
+      ++p_;
+      Json value;
+      VC_RETURN_IF_ERROR(ParseValue(value));
+      out.object().emplace(std::move(key), std::move(value));
+      SkipWs();
+      if (Eof()) return InvalidArgumentError("unterminated object");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        return OkStatus();
+      }
+      return InvalidArgumentError("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(Json& out) {
+    ++p_;  // '['
+    out = Json::Array();
+    SkipWs();
+    if (!Eof() && *p_ == ']') {
+      ++p_;
+      return OkStatus();
+    }
+    for (;;) {
+      Json value;
+      VC_RETURN_IF_ERROR(ParseValue(value));
+      out.array().push_back(std::move(value));
+      SkipWs();
+      if (Eof()) return InvalidArgumentError("unterminated array");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        return OkStatus();
+      }
+      return InvalidArgumentError("expected ',' or ']'");
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(std::string_view text) { return Parser(text).Parse(); }
+
+}  // namespace vc

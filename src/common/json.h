@@ -1,0 +1,108 @@
+// Minimal JSON document model + parser + writer.
+//
+// The apiserver stores every object as its JSON encoding (like real etcd
+// stores protobuf/JSON blobs), which gives the simulation realistic
+// serialization costs and byte-accurate memory accounting for the Fig. 10
+// reproduction. The codec for each API type lives in src/api/codec.*.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vc {
+
+class Json;
+using JsonArray = std::vector<Json>;
+// std::map keeps keys ordered -> deterministic encodings -> stable diffs.
+using JsonObject = std::map<std::string, Json>;
+
+// A JSON value: null | bool | int64 | double | string | array | object.
+// Integers are kept distinct from doubles so resourceVersions survive
+// round-trips exactly.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}                       // NOLINT
+  Json(bool b) : type_(Type::kBool), bool_(b) {}                     // NOLINT
+  Json(int v) : type_(Type::kInt), int_(v) {}                        // NOLINT
+  Json(int64_t v) : type_(Type::kInt), int_(v) {}                    // NOLINT
+  Json(uint64_t v) : type_(Type::kInt), int_(static_cast<int64_t>(v)) {}  // NOLINT
+  Json(double v) : type_(Type::kDouble), dbl_(v) {}                  // NOLINT
+  Json(const char* s) : type_(Type::kString), str_(s) {}             // NOLINT
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+  Json(std::string_view s) : type_(Type::kString), str_(s) {}        // NOLINT
+  Json(JsonArray a) : type_(Type::kArray), arr_(std::move(a)) {}     // NOLINT
+  Json(JsonObject o) : type_(Type::kObject), obj_(std::move(o)) {}   // NOLINT
+
+  static Json Object() { return Json(JsonObject{}); }
+  static Json Array() { return Json(JsonArray{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_number() const { return type_ == Type::kInt || type_ == Type::kDouble; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool(bool def = false) const { return is_bool() ? bool_ : def; }
+  int64_t as_int(int64_t def = 0) const {
+    if (type_ == Type::kInt) return int_;
+    if (type_ == Type::kDouble) return static_cast<int64_t>(dbl_);
+    return def;
+  }
+  double as_double(double def = 0) const {
+    if (type_ == Type::kDouble) return dbl_;
+    if (type_ == Type::kInt) return static_cast<double>(int_);
+    return def;
+  }
+  const std::string& as_string() const {
+    static const std::string kEmpty;
+    return is_string() ? str_ : kEmpty;
+  }
+
+  // Object access. operator[] on a non-object resets to an empty object
+  // (write path); Get returns null for missing keys (read path).
+  Json& operator[](const std::string& key);
+  const Json& Get(const std::string& key) const;
+  bool Has(const std::string& key) const;
+  const JsonObject& object() const { return obj_; }
+  JsonObject& object() { return obj_; }
+
+  // Array access.
+  void Append(Json v);
+  const JsonArray& array() const { return arr_; }
+  JsonArray& array() { return arr_; }
+  size_t size() const { return is_array() ? arr_.size() : (is_object() ? obj_.size() : 0); }
+
+  // Compact encoding (no whitespace). Deterministic: object keys sorted.
+  std::string Dump() const;
+  // Approximate in-memory footprint; used for cache byte accounting.
+  size_t ApproxBytes() const;
+
+  bool operator==(const Json& other) const;
+
+  static Result<Json> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string& out) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double dbl_ = 0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+}  // namespace vc

@@ -1,0 +1,47 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace vc {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_out_mu;
+
+const char* LevelTag(LogLevel l) {
+  switch (l) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+bool LogEnabled(LogLevel level) { return static_cast<int>(level) <= g_level.load(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::lock_guard<std::mutex> l(g_out_mu);
+  std::fputs(stream_.str().c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace internal
+}  // namespace vc

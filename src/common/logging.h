@@ -1,0 +1,63 @@
+// Minimal leveled logger with a stream-style macro interface:
+//
+//   VLOG(1) << "syncer: resynced " << n << " pods";
+//   LOG(WARN) << "watch channel overflow for " << key;
+//
+// Verbosity is process-global and settable from tests/benches. The default is
+// WARN so test output stays clean; examples crank it up to INFO.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace vc {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+bool LogEnabled(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct LogVoidify {
+  // Lowest-precedence operator that still binds after <<.
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace vc
+
+#define VC_LOG_LEVEL_ERROR ::vc::LogLevel::kError
+#define VC_LOG_LEVEL_WARN ::vc::LogLevel::kWarn
+#define VC_LOG_LEVEL_INFO ::vc::LogLevel::kInfo
+#define VC_LOG_LEVEL_DEBUG ::vc::LogLevel::kDebug
+
+#define LOG(severity)                                        \
+  !::vc::LogEnabled(VC_LOG_LEVEL_##severity)                 \
+      ? (void)0                                              \
+      : ::vc::internal::LogVoidify() &                       \
+            ::vc::internal::LogMessage(VC_LOG_LEVEL_##severity, __FILE__, __LINE__).stream()
+
+// VLOG(n): n=1 maps to INFO, n>=2 maps to DEBUG.
+#define VLOG(n)                                                                      \
+  !::vc::LogEnabled((n) <= 1 ? ::vc::LogLevel::kInfo : ::vc::LogLevel::kDebug)       \
+      ? (void)0                                                                      \
+      : ::vc::internal::LogVoidify() &                                               \
+            ::vc::internal::LogMessage((n) <= 1 ? ::vc::LogLevel::kInfo              \
+                                                : ::vc::LogLevel::kDebug,            \
+                                       __FILE__, __LINE__)                           \
+                .stream()

@@ -1,0 +1,37 @@
+// Small deterministic PRNG for workload generators and jitter. Header-only.
+#pragma once
+
+#include <cstdint>
+
+namespace vc {
+
+// SplitMix64-seeded xorshift-style generator; fast, reproducible, and good
+// enough for load generation (never used for security).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed) : state_(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace vc

@@ -1,0 +1,81 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace vc {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, ap2);
+    out.resize(static_cast<size_t>(n));
+  }
+  va_end(ap2);
+  return out;
+}
+
+std::string HumanDuration(double seconds) {
+  if (seconds >= 1.0) return StrFormat("%.2fs", seconds);
+  if (seconds >= 1e-3) return StrFormat("%.0fms", seconds * 1e3);
+  return StrFormat("%.0fus", seconds * 1e6);
+}
+
+std::string HumanBytes(size_t bytes) {
+  double b = static_cast<double>(bytes);
+  if (b >= 1024.0 * 1024 * 1024) return StrFormat("%.2fGB", b / (1024.0 * 1024 * 1024));
+  if (b >= 1024.0 * 1024) return StrFormat("%.2fMB", b / (1024.0 * 1024));
+  if (b >= 1024.0) return StrFormat("%.1fKB", b / 1024.0);
+  return StrFormat("%zuB", bytes);
+}
+
+bool IsDns1123Label(std::string_view s) {
+  if (s.empty() || s.size() > 63) return false;
+  auto alnum = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9');
+  };
+  if (!alnum(s.front()) || !alnum(s.back())) return false;
+  for (char c : s) {
+    if (!alnum(c) && c != '-') return false;
+  }
+  return true;
+}
+
+}  // namespace vc

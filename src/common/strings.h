@@ -1,0 +1,27 @@
+// String helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vc {
+
+std::vector<std::string> Split(std::string_view s, char sep);
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// "1.25s", "310ms", "42us" style human duration.
+std::string HumanDuration(double seconds);
+// "1.2GB", "40KB" style byte counts.
+std::string HumanBytes(size_t bytes);
+
+// Validates a Kubernetes-style DNS-1123 label (lowercase alnum and '-', must
+// start/end alphanumeric, <= 63 chars).
+bool IsDns1123Label(std::string_view s);
+
+}  // namespace vc

@@ -1,0 +1,72 @@
+#include "common/thread_pool.h"
+
+namespace vc {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) threads_.emplace_back([this] { WorkerLoop(); });
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (shutdown_) return;
+    queue_.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> l(mu_);
+  idle_cv_.wait(l, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (shutdown_) {
+      // Already shut down; joining below is a no-op because threads_ emptied.
+    }
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> l(mu_);
+      work_cv_.wait(l, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    fn();
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(int n, const std::function<void(int)>& fn) {
+  std::vector<std::thread> ts;
+  ts.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) ts.emplace_back([&fn, i] { fn(i); });
+  for (auto& t : ts) t.join();
+}
+
+}  // namespace vc

@@ -1,0 +1,50 @@
+// Fixed-size worker pool used by load generators and the periodic-scan
+// machinery. Controllers own their threads directly (their loops are
+// long-lived); the pool is for fan-out/fan-in bursts.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vc {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueue work; rejected (silently dropped) after Shutdown.
+  void Submit(std::function<void()> fn);
+
+  // Blocks until all submitted work has finished executing.
+  void Wait();
+
+  // Stops accepting work, drains the queue, joins workers. Idempotent.
+  void Shutdown();
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  int in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// Launch `n` copies of fn(i) on fresh threads and join them all. Convenience
+// for benchmark load generation where per-thread identity matters.
+void ParallelFor(int n, const std::function<void(int)>& fn);
+
+}  // namespace vc

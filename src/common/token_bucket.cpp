@@ -1,0 +1,48 @@
+#include "common/token_bucket.h"
+
+#include <algorithm>
+
+namespace vc {
+
+TokenBucket::TokenBucket(double rate, double burst, Clock* clock)
+    : rate_(rate), burst_(std::max(burst, 1.0)), clock_(clock), tokens_(burst_),
+      last_(clock->Now()) {}
+
+void TokenBucket::Refill(TimePoint now) {
+  double dt = ToSeconds(now - last_);
+  if (dt <= 0) return;
+  tokens_ = std::min(burst_, tokens_ + dt * rate_);
+  last_ = now;
+}
+
+bool TokenBucket::TryTakeN(double n) {
+  if (rate_ <= 0) return true;
+  std::lock_guard<std::mutex> l(mu_);
+  Refill(clock_->Now());
+  if (tokens_ >= n) {
+    tokens_ -= n;
+    return true;
+  }
+  return false;
+}
+
+void TokenBucket::TakeBlocking() {
+  if (rate_ <= 0) return;
+  for (;;) {
+    Duration wait;
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      Refill(clock_->Now());
+      if (tokens_ >= 1) {
+        tokens_ -= 1;
+        return;
+      }
+      double deficit = 1 - tokens_;
+      wait = std::chrono::duration_cast<Duration>(
+          std::chrono::duration<double>(deficit / rate_));
+    }
+    clock_->SleepFor(std::max(wait, Micros(50)));
+  }
+}
+
+}  // namespace vc

@@ -1,0 +1,39 @@
+// Token-bucket rate limiter. Used for the apiserver's per-client request rate
+// limits (the paper notes "each tenant control plane has Kubernetes built-in
+// rate limit control enabled", §III-C) and for client-side QPS limiting.
+#pragma once
+
+#include <mutex>
+
+#include "common/clock.h"
+
+namespace vc {
+
+class TokenBucket {
+ public:
+  // rate: tokens added per second. burst: bucket capacity. The bucket starts
+  // full. rate <= 0 means unlimited (TryTake always succeeds).
+  TokenBucket(double rate, double burst, Clock* clock);
+
+  // Take one token if available; returns false when rate-limited.
+  bool TryTake() { return TryTakeN(1); }
+  bool TryTakeN(double n);
+
+  // Blocks (by sleeping on the clock) until a token is available, then takes
+  // it. Intended for client-side QPS pacing, not for server threads.
+  void TakeBlocking();
+
+  double rate() const { return rate_; }
+
+ private:
+  void Refill(TimePoint now);
+
+  const double rate_;
+  const double burst_;
+  Clock* const clock_;
+  std::mutex mu_;
+  double tokens_;
+  TimePoint last_;
+};
+
+}  // namespace vc

@@ -1,0 +1,46 @@
+#include "controllers/base.h"
+
+namespace vc::controllers {
+
+QueueWorker::QueueWorker(std::string name, Clock* clock, int workers)
+    : name_(std::move(name)), clock_(clock), num_workers_(workers > 0 ? workers : 1),
+      queue_(clock, Millis(5), Seconds(5)) {}
+
+QueueWorker::~QueueWorker() { StopWorkers(); }
+
+void QueueWorker::StartWorkers() {
+  stopping_.store(false);
+  for (int i = 0; i < num_workers_; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void QueueWorker::StopWorkers() {
+  stopping_.store(true);
+  queue_.ShutDown();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void QueueWorker::WorkerLoop() {
+  while (auto key = queue_.Get()) {
+    if (stopping_.load()) {
+      queue_.Done(*key);
+      break;
+    }
+    bool done = true;
+    done = Reconcile(*key);
+    reconciles_.fetch_add(1);
+    if (done) {
+      queue_.Forget(*key);
+    } else {
+      retries_.fetch_add(1);
+      queue_.AddRateLimited(*key);
+    }
+    queue_.Done(*key);
+  }
+}
+
+}  // namespace vc::controllers

@@ -1,0 +1,53 @@
+// Common scaffolding for controllers: the standard client-go controller shape
+// from Figure 3 of the paper — informer event handlers enqueue keys into a
+// rate-limited work queue; worker threads drain it and run Reconcile; failed
+// reconciles are retried with per-item backoff.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/workqueue.h"
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace vc::controllers {
+
+class QueueWorker {
+ public:
+  QueueWorker(std::string name, Clock* clock, int workers);
+  virtual ~QueueWorker();
+
+  QueueWorker(const QueueWorker&) = delete;
+  QueueWorker& operator=(const QueueWorker&) = delete;
+
+  void StartWorkers();
+  void StopWorkers();
+
+  void Enqueue(const std::string& key) { queue_.Add(key); }
+  void EnqueueAfter(const std::string& key, Duration d) { queue_.AddAfter(key, d); }
+
+  uint64_t reconciles() const { return reconciles_.load(); }
+  uint64_t retries() const { return retries_.load(); }
+
+ protected:
+  // true = done (Forget); false = retry with backoff.
+  virtual bool Reconcile(const std::string& key) = 0;
+
+  const std::string name_;
+  Clock* const clock_;
+
+ private:
+  void WorkerLoop();
+
+  const int num_workers_;
+  client::RateLimitingQueue queue_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> reconciles_{0};
+  std::atomic<uint64_t> retries_{0};
+};
+
+}  // namespace vc::controllers

@@ -1,0 +1,113 @@
+#include "controllers/deployment.h"
+
+#include "api/codec.h"
+#include "common/hash.h"
+
+namespace vc::controllers {
+
+DeploymentController::DeploymentController(
+    apiserver::APIServer* server, client::SharedInformer<api::Deployment>* deployments,
+    client::SharedInformer<api::ReplicaSet>* replicasets, Clock* clock, int workers)
+    : QueueWorker("deployment-controller", clock, workers),
+      server_(server), deployments_(deployments), replicasets_(replicasets) {
+  client::EventHandlers<api::Deployment> dh;
+  dh.on_add = [this](const api::Deployment& d) { Enqueue(d.meta.FullName()); };
+  dh.on_update = [this](const api::Deployment&, const api::Deployment& d) {
+    Enqueue(d.meta.FullName());
+  };
+  deployments_->AddHandlers(std::move(dh));
+
+  client::EventHandlers<api::ReplicaSet> rh;
+  auto enqueue_owner = [this](const api::ReplicaSet& rs) {
+    for (const auto& ref : rs.meta.owner_references) {
+      if (ref.kind == api::Deployment::kKind && ref.controller) {
+        Enqueue(rs.meta.ns + "/" + ref.name);
+      }
+    }
+  };
+  rh.on_add = enqueue_owner;
+  rh.on_update = [enqueue_owner](const api::ReplicaSet&, const api::ReplicaSet& rs) {
+    enqueue_owner(rs);
+  };
+  rh.on_delete = enqueue_owner;
+  replicasets_->AddHandlers(std::move(rh));
+}
+
+bool DeploymentController::Reconcile(const std::string& key) {
+  auto dep = deployments_->cache().GetByKey(key);
+  if (!dep || dep->meta.deleting()) return true;
+
+  // The desired ReplicaSet name embeds a hash of the pod template, like the
+  // real controller's pod-template-hash.
+  Json tmpl = Json::Object();
+  tmpl["labels"] = api::LabelMapToJson(dep->template_.labels);
+  tmpl["spec"] = api::Codec<api::Pod>::Encode([&] {
+    api::Pod p;
+    p.spec = dep->template_.spec;
+    return p;
+  }()).Get("spec");
+  const std::string hash = ShortHash(tmpl.Dump(), 8);
+  const std::string rs_name = dep->meta.name + "-" + hash;
+
+  // Scale/create the active ReplicaSet.
+  auto active = replicasets_->cache().Get(dep->meta.ns, rs_name);
+  if (!active) {
+    Result<api::ReplicaSet> live = server_->Get<api::ReplicaSet>(dep->meta.ns, rs_name);
+    if (!live.ok()) {
+      api::ReplicaSet rs;
+      rs.meta.ns = dep->meta.ns;
+      rs.meta.name = rs_name;
+      rs.meta.labels = dep->template_.labels;
+      rs.meta.labels["pod-template-hash"] = hash;
+      rs.meta.owner_references.push_back(
+          {api::Deployment::kKind, dep->meta.name, dep->meta.uid, true});
+      rs.replicas = dep->replicas;
+      rs.selector = dep->selector;
+      rs.template_ = dep->template_;
+      Result<api::ReplicaSet> created = server_->Create(std::move(rs));
+      if (!created.ok() && !created.status().IsAlreadyExists()) return false;
+    }
+    return false;  // converge on a later pass once the cache sees it
+  }
+  if (active->replicas != dep->replicas) {
+    Status st = apiserver::RetryUpdate<api::ReplicaSet>(
+        *server_, dep->meta.ns, rs_name, [&](api::ReplicaSet& live) {
+          if (live.replicas == dep->replicas) return false;
+          live.replicas = dep->replicas;
+          return true;
+        });
+    if (!st.ok() && !st.IsNotFound()) return false;
+  }
+
+  // Recreate strategy: delete superseded ReplicaSets we own.
+  for (const auto& rs : replicasets_->cache().ListNamespace(dep->meta.ns)) {
+    if (rs->meta.name == rs_name || rs->meta.deleting()) continue;
+    for (const auto& ref : rs->meta.owner_references) {
+      if (ref.uid == dep->meta.uid && ref.controller) {
+        (void)server_->Delete<api::ReplicaSet>(rs->meta.ns, rs->meta.name);
+      }
+    }
+  }
+
+  // Aggregate status.
+  if (dep->status_replicas != active->status_replicas ||
+      dep->status_ready != active->status_ready ||
+      dep->observed_generation != dep->meta.generation) {
+    Status st = apiserver::RetryUpdate<api::Deployment>(
+        *server_, dep->meta.ns, dep->meta.name, [&](api::Deployment& live) {
+          if (live.status_replicas == active->status_replicas &&
+              live.status_ready == active->status_ready &&
+              live.observed_generation == live.meta.generation) {
+            return false;
+          }
+          live.status_replicas = active->status_replicas;
+          live.status_ready = active->status_ready;
+          live.observed_generation = live.meta.generation;
+          return true;
+        });
+    if (!st.ok() && !st.IsNotFound()) return false;
+  }
+  return true;
+}
+
+}  // namespace vc::controllers

@@ -1,0 +1,29 @@
+// Deployment controller: materializes each Deployment as a generation-
+// stamped ReplicaSet (recreate strategy: a template change produces a new
+// ReplicaSet and deletes the old ones, whose pods the garbage collector then
+// reaps) and aggregates status from the active ReplicaSet.
+#pragma once
+
+#include "apiserver/apiserver.h"
+#include "client/informer.h"
+#include "controllers/base.h"
+
+namespace vc::controllers {
+
+class DeploymentController : public QueueWorker {
+ public:
+  DeploymentController(apiserver::APIServer* server,
+                       client::SharedInformer<api::Deployment>* deployments,
+                       client::SharedInformer<api::ReplicaSet>* replicasets, Clock* clock,
+                       int workers = 1);
+
+ protected:
+  bool Reconcile(const std::string& key) override;
+
+ private:
+  apiserver::APIServer* const server_;
+  client::SharedInformer<api::Deployment>* const deployments_;
+  client::SharedInformer<api::ReplicaSet>* const replicasets_;
+};
+
+}  // namespace vc::controllers

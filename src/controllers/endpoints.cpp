@@ -1,0 +1,115 @@
+#include "controllers/endpoints.h"
+
+#include <algorithm>
+
+namespace vc::controllers {
+
+EndpointsController::EndpointsController(apiserver::APIServer* server,
+                                         client::SharedInformer<api::Pod>* pods,
+                                         client::SharedInformer<api::Service>* services,
+                                         client::SharedInformer<api::Endpoints>* endpoints,
+                                         Clock* clock, int workers)
+    : QueueWorker("endpoints-controller", clock, workers),
+      server_(server), pods_(pods), services_(services), endpoints_(endpoints) {
+  client::EventHandlers<api::Service> sh;
+  sh.on_add = [this](const api::Service& s) { Enqueue(s.meta.FullName()); };
+  sh.on_update = [this](const api::Service&, const api::Service& s) {
+    Enqueue(s.meta.FullName());
+  };
+  sh.on_delete = [this](const api::Service& s) { Enqueue(s.meta.FullName()); };
+  services_->AddHandlers(std::move(sh));
+
+  client::EventHandlers<api::Pod> ph;
+  ph.on_add = [this](const api::Pod& p) { OnPodChanged(p.meta.labels, p.meta.ns); };
+  ph.on_update = [this](const api::Pod& old_pod, const api::Pod& new_pod) {
+    // Only readiness/IP/label changes can alter endpoints membership.
+    if (old_pod.meta.labels != new_pod.meta.labels ||
+        old_pod.status.Ready() != new_pod.status.Ready() ||
+        old_pod.status.pod_ip != new_pod.status.pod_ip ||
+        old_pod.meta.deleting() != new_pod.meta.deleting()) {
+      OnPodChanged(old_pod.meta.labels, old_pod.meta.ns);
+      if (new_pod.meta.labels != old_pod.meta.labels) {
+        OnPodChanged(new_pod.meta.labels, new_pod.meta.ns);
+      }
+    }
+  };
+  ph.on_delete = [this](const api::Pod& p) { OnPodChanged(p.meta.labels, p.meta.ns); };
+  pods_->AddHandlers(std::move(ph));
+}
+
+void EndpointsController::OnPodChanged(const api::LabelMap& labels, const std::string& ns) {
+  if (labels.empty()) return;
+  for (const auto& svc : services_->cache().ListNamespace(ns)) {
+    if (svc->spec.selector.empty()) continue;
+    bool matches = true;
+    for (const auto& [k, v] : svc->spec.selector) {
+      auto it = labels.find(k);
+      if (it == labels.end() || it->second != v) {
+        matches = false;
+        break;
+      }
+    }
+    if (matches) Enqueue(svc->meta.FullName());
+  }
+}
+
+bool EndpointsController::Reconcile(const std::string& key) {
+  auto svc = endpoints_ ? services_->cache().GetByKey(key) : nullptr;
+  size_t slash = key.find('/');
+  if (slash == std::string::npos) return true;
+  const std::string ns = key.substr(0, slash);
+  const std::string name = key.substr(slash + 1);
+
+  if (!svc || svc->meta.deleting()) {
+    Status st = server_->Delete<api::Endpoints>(ns, name);
+    return st.ok() || st.IsNotFound();
+  }
+  if (svc->spec.selector.empty()) return true;  // manually-managed endpoints
+
+  // Collect ready pod addresses matching the selector.
+  api::EndpointSubset subset;
+  for (const auto& pod : pods_->cache().ListNamespace(ns)) {
+    if (pod->meta.deleting() || pod->status.pod_ip.empty() || !pod->status.Ready()) continue;
+    bool matches = true;
+    for (const auto& [k, v] : svc->spec.selector) {
+      auto it = pod->meta.labels.find(k);
+      if (it == pod->meta.labels.end() || it->second != v) {
+        matches = false;
+        break;
+      }
+    }
+    if (!matches) continue;
+    subset.addresses.push_back(
+        api::EndpointAddress{pod->status.pod_ip, pod->spec.node_name, pod->meta.name});
+  }
+  std::sort(subset.addresses.begin(), subset.addresses.end(),
+            [](const api::EndpointAddress& a, const api::EndpointAddress& b) {
+              return a.ip < b.ip;
+            });
+  for (const api::ServicePort& p : svc->spec.ports) {
+    subset.ports.push_back(
+        api::ServicePort{p.name, p.port, p.EffectiveTargetPort(), p.protocol});
+  }
+
+  std::vector<api::EndpointSubset> desired;
+  if (!subset.addresses.empty()) desired.push_back(std::move(subset));
+
+  Result<api::Endpoints> existing = server_->Get<api::Endpoints>(ns, name);
+  if (!existing.ok()) {
+    if (!existing.status().IsNotFound()) return false;
+    api::Endpoints ep;
+    ep.meta.ns = ns;
+    ep.meta.name = name;
+    ep.meta.owner_references.push_back({api::Service::kKind, name, svc->meta.uid, true});
+    ep.subsets = std::move(desired);
+    Result<api::Endpoints> created = server_->Create(std::move(ep));
+    return created.ok() || created.status().IsAlreadyExists();
+  }
+  if (existing->subsets == desired) return true;  // converged
+  existing->subsets = std::move(desired);
+  Result<api::Endpoints> updated = server_->Update(std::move(*existing));
+  if (!updated.ok()) return updated.status().IsNotFound();
+  return true;
+}
+
+}  // namespace vc::controllers

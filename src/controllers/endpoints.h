@@ -1,0 +1,32 @@
+// Endpoints controller: maintains one Endpoints object per Service, listing
+// the IPs of ready pods matched by the service selector — the control-plane
+// half of cluster-IP routing (kubeproxy consumes what this writes).
+#pragma once
+
+#include "apiserver/apiserver.h"
+#include "client/informer.h"
+#include "controllers/base.h"
+
+namespace vc::controllers {
+
+class EndpointsController : public QueueWorker {
+ public:
+  EndpointsController(apiserver::APIServer* server,
+                      client::SharedInformer<api::Pod>* pods,
+                      client::SharedInformer<api::Service>* services,
+                      client::SharedInformer<api::Endpoints>* endpoints, Clock* clock,
+                      int workers = 2);
+
+ protected:
+  bool Reconcile(const std::string& key) override;
+
+ private:
+  void OnPodChanged(const api::LabelMap& labels, const std::string& ns);
+
+  apiserver::APIServer* const server_;
+  client::SharedInformer<api::Pod>* const pods_;
+  client::SharedInformer<api::Service>* const services_;
+  client::SharedInformer<api::Endpoints>* const endpoints_;
+};
+
+}  // namespace vc::controllers

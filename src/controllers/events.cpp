@@ -1,0 +1,43 @@
+#include "controllers/events.h"
+
+#include "common/hash.h"
+
+namespace vc::controllers {
+
+EventRecorder::EventRecorder(apiserver::APIServer* server, Clock* clock,
+                             std::string component)
+    : server_(server), clock_(clock), component_(std::move(component)) {}
+
+void EventRecorder::Record(const std::string& ns, const std::string& involved_kind,
+                           const std::string& involved_name,
+                           const std::string& involved_uid, const std::string& type,
+                           const std::string& reason, const std::string& message) {
+  // Deterministic name per (object, reason) so repeats merge into counts.
+  const std::string name =
+      involved_name + "." + ShortHash(involved_kind + involved_uid + reason, 8);
+  const int64_t now = clock_->WallUnixMillis();
+
+  Result<api::EventObj> existing = server_->Get<api::EventObj>(ns, name);
+  if (existing.ok()) {
+    existing->count++;
+    existing->last_timestamp_ms = now;
+    existing->message = message;
+    (void)server_->Update(*existing);  // best effort; conflicts are fine
+    return;
+  }
+  api::EventObj ev;
+  ev.meta.ns = ns;
+  ev.meta.name = name;
+  ev.meta.annotations["source"] = component_;
+  ev.involved_kind = involved_kind;
+  ev.involved_name = involved_name;
+  ev.involved_uid = involved_uid;
+  ev.reason = reason;
+  ev.message = message;
+  ev.type = type;
+  ev.count = 1;
+  ev.last_timestamp_ms = now;
+  (void)server_->Create(std::move(ev));  // best effort
+}
+
+}  // namespace vc::controllers

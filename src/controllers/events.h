@@ -1,0 +1,28 @@
+// Event recorder: controllers report notable occurrences as Event objects
+// (merged by (object, reason) with counts, like the Kubernetes event
+// correlator).
+#pragma once
+
+#include <mutex>
+#include <string>
+
+#include "apiserver/apiserver.h"
+
+namespace vc::controllers {
+
+class EventRecorder {
+ public:
+  EventRecorder(apiserver::APIServer* server, Clock* clock, std::string component);
+
+  void Record(const std::string& ns, const std::string& involved_kind,
+              const std::string& involved_name, const std::string& involved_uid,
+              const std::string& type, const std::string& reason,
+              const std::string& message);
+
+ private:
+  apiserver::APIServer* const server_;
+  Clock* const clock_;
+  const std::string component_;
+};
+
+}  // namespace vc::controllers

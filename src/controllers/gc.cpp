@@ -1,0 +1,129 @@
+#include "controllers/gc.h"
+
+#include "common/strings.h"
+
+namespace vc::controllers {
+
+// GC queue keys are "<Kind>|<ns>/<name>".
+GarbageCollector::GarbageCollector(apiserver::APIServer* server,
+                                   client::SharedInformer<api::Pod>* pods,
+                                   client::SharedInformer<api::ReplicaSet>* replicasets,
+                                   client::SharedInformer<api::Deployment>* deployments,
+                                   Clock* clock, Duration sweep_interval)
+    : QueueWorker("garbage-collector", clock, 1),
+      server_(server), pods_(pods), replicasets_(replicasets), deployments_(deployments),
+      sweep_interval_(sweep_interval) {
+  client::EventHandlers<api::Pod> ph;
+  ph.on_add = [this](const api::Pod& p) {
+    if (!p.meta.owner_references.empty()) Enqueue("Pod|" + p.meta.FullName());
+  };
+  pods_->AddHandlers(std::move(ph));
+  client::EventHandlers<api::ReplicaSet> rh;
+  rh.on_add = [this](const api::ReplicaSet& r) {
+    if (!r.meta.owner_references.empty()) Enqueue("ReplicaSet|" + r.meta.FullName());
+  };
+  replicasets_->AddHandlers(std::move(rh));
+  // Owner deletions trigger dependent sweeps.
+  client::EventHandlers<api::ReplicaSet> rs_del;
+  rs_del.on_delete = [this](const api::ReplicaSet& rs) {
+    for (const auto& pod : pods_->cache().ListNamespace(rs.meta.ns)) {
+      for (const auto& ref : pod->meta.owner_references) {
+        if (ref.uid == rs.meta.uid) Enqueue("Pod|" + pod->meta.FullName());
+      }
+    }
+  };
+  replicasets_->AddHandlers(std::move(rs_del));
+  client::EventHandlers<api::Deployment> dep_del;
+  dep_del.on_delete = [this](const api::Deployment& d) {
+    for (const auto& rs : replicasets_->cache().ListNamespace(d.meta.ns)) {
+      for (const auto& ref : rs->meta.owner_references) {
+        if (ref.uid == d.meta.uid) Enqueue("ReplicaSet|" + rs->meta.FullName());
+      }
+    }
+  };
+  deployments_->AddHandlers(std::move(dep_del));
+}
+
+GarbageCollector::~GarbageCollector() { StopSweeper(); }
+
+void GarbageCollector::StartSweeper() {
+  stop_.store(false);
+  sweeper_ = std::thread([this] { SweepLoop(); });
+}
+
+void GarbageCollector::StopSweeper() {
+  stop_.store(true);
+  if (sweeper_.joinable()) sweeper_.join();
+}
+
+void GarbageCollector::SweepLoop() {
+  TimePoint last = clock_->Now();
+  while (!stop_.load()) {
+    clock_->SleepFor(Millis(100));
+    if (clock_->Now() - last < sweep_interval_) continue;
+    last = clock_->Now();
+    for (const auto& pod : pods_->cache().List()) {
+      if (!pod->meta.owner_references.empty()) Enqueue("Pod|" + pod->meta.FullName());
+    }
+    for (const auto& rs : replicasets_->cache().List()) {
+      if (!rs->meta.owner_references.empty()) Enqueue("ReplicaSet|" + rs->meta.FullName());
+    }
+  }
+}
+
+bool GarbageCollector::Reconcile(const std::string& key) {
+  size_t bar = key.find('|');
+  if (bar == std::string::npos) return true;
+  const std::string kind = key.substr(0, bar);
+  const std::string full = key.substr(bar + 1);
+  size_t slash = full.find('/');
+  if (slash == std::string::npos) return true;
+  const std::string ns = full.substr(0, slash);
+  const std::string name = full.substr(slash + 1);
+
+  auto owner_alive = [&](const api::OwnerReference& ref, const std::string& obj_ns) {
+    if (ref.kind == api::ReplicaSet::kKind) {
+      auto rs = replicasets_->cache().Get(obj_ns, ref.name);
+      if (rs && rs->meta.uid == ref.uid) return true;
+      // The cache may lag; confirm against the apiserver before deleting.
+      Result<api::ReplicaSet> live = server_->Get<api::ReplicaSet>(obj_ns, ref.name);
+      return live.ok() && live->meta.uid == ref.uid;
+    }
+    if (ref.kind == api::Deployment::kKind) {
+      auto d = deployments_->cache().Get(obj_ns, ref.name);
+      if (d && d->meta.uid == ref.uid) return true;
+      Result<api::Deployment> live = server_->Get<api::Deployment>(obj_ns, ref.name);
+      return live.ok() && live->meta.uid == ref.uid;
+    }
+    if (ref.kind == api::Service::kKind) {
+      Result<api::Service> live = server_->Get<api::Service>(obj_ns, ref.name);
+      return live.ok() && live->meta.uid == ref.uid;
+    }
+    return true;  // unknown owner kinds are never collected
+  };
+
+  if (kind == "Pod") {
+    auto pod = pods_->cache().GetByKey(full);
+    if (!pod || pod->meta.deleting()) return true;
+    for (const auto& ref : pod->meta.owner_references) {
+      if (ref.controller && !owner_alive(ref, ns)) {
+        (void)server_->Delete<api::Pod>(ns, name);
+        collected_.fetch_add(1);
+        return true;
+      }
+    }
+  } else if (kind == "ReplicaSet") {
+    auto rs = replicasets_->cache().GetByKey(full);
+    if (!rs || rs->meta.deleting()) return true;
+    for (const auto& ref : rs->meta.owner_references) {
+      if (ref.controller && !owner_alive(ref, ns)) {
+        (void)server_->Delete<api::ReplicaSet>(ns, name);
+        collected_.fetch_add(1);
+        return true;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace vc::controllers

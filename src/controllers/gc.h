@@ -1,0 +1,45 @@
+// Garbage collector: deletes dependents whose controller owner (by
+// ownerReference) no longer exists — Pods orphaned by a vanished ReplicaSet,
+// ReplicaSets orphaned by a vanished Deployment, Endpoints orphaned by their
+// Service. Event-driven plus a periodic full sweep to catch races.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "apiserver/apiserver.h"
+#include "client/informer.h"
+#include "controllers/base.h"
+
+namespace vc::controllers {
+
+class GarbageCollector : public QueueWorker {
+ public:
+  GarbageCollector(apiserver::APIServer* server, client::SharedInformer<api::Pod>* pods,
+                   client::SharedInformer<api::ReplicaSet>* replicasets,
+                   client::SharedInformer<api::Deployment>* deployments, Clock* clock,
+                   Duration sweep_interval = Seconds(2));
+  ~GarbageCollector() override;
+
+  void StartSweeper();
+  void StopSweeper();
+
+  uint64_t collected() const { return collected_.load(); }
+
+ protected:
+  bool Reconcile(const std::string& key) override;
+
+ private:
+  void SweepLoop();
+
+  apiserver::APIServer* const server_;
+  client::SharedInformer<api::Pod>* const pods_;
+  client::SharedInformer<api::ReplicaSet>* const replicasets_;
+  client::SharedInformer<api::Deployment>* const deployments_;
+  const Duration sweep_interval_;
+  std::thread sweeper_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> collected_{0};
+};
+
+}  // namespace vc::controllers

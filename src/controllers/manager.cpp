@@ -1,0 +1,130 @@
+#include "controllers/manager.h"
+
+namespace vc::controllers {
+
+namespace {
+
+template <typename T>
+typename client::SharedInformer<T>::Options InformerOpts(Clock* clock) {
+  typename client::SharedInformer<T>::Options opts;
+  opts.clock = clock;
+  return opts;
+}
+
+}  // namespace
+
+InformerSet::InformerSet(apiserver::APIServer* server, Clock* clock)
+    : pods(client::ListerWatcher<api::Pod>(server), InformerOpts<api::Pod>(clock)),
+      services(client::ListerWatcher<api::Service>(server),
+               InformerOpts<api::Service>(clock)),
+      endpoints(client::ListerWatcher<api::Endpoints>(server),
+                InformerOpts<api::Endpoints>(clock)),
+      namespaces(client::ListerWatcher<api::NamespaceObj>(server),
+                 InformerOpts<api::NamespaceObj>(clock)),
+      nodes(client::ListerWatcher<api::Node>(server), InformerOpts<api::Node>(clock)),
+      replicasets(client::ListerWatcher<api::ReplicaSet>(server),
+                  InformerOpts<api::ReplicaSet>(clock)),
+      deployments(client::ListerWatcher<api::Deployment>(server),
+                  InformerOpts<api::Deployment>(clock)) {}
+
+void InformerSet::StartAll() {
+  pods.Start();
+  services.Start();
+  endpoints.Start();
+  namespaces.Start();
+  nodes.Start();
+  replicasets.Start();
+  deployments.Start();
+}
+
+void InformerSet::StopAll() {
+  pods.Stop();
+  services.Stop();
+  endpoints.Stop();
+  namespaces.Stop();
+  nodes.Stop();
+  replicasets.Stop();
+  deployments.Stop();
+}
+
+bool InformerSet::WaitForSync(Duration timeout) {
+  return pods.WaitForSync(timeout) && services.WaitForSync(timeout) &&
+         endpoints.WaitForSync(timeout) && namespaces.WaitForSync(timeout) &&
+         nodes.WaitForSync(timeout) && replicasets.WaitForSync(timeout) &&
+         deployments.WaitForSync(timeout);
+}
+
+ControllerManager::ControllerManager(Options opts)
+    : opts_(opts), informers_(opts.server, opts.clock) {
+  // Controllers register informer handlers in their constructors; all of this
+  // must happen before informers start.
+  if (opts_.endpoints_controller) {
+    endpoints_ = std::make_unique<EndpointsController>(
+        opts_.server, &informers_.pods, &informers_.services, &informers_.endpoints,
+        opts_.clock);
+  }
+  if (opts_.service_controller) {
+    service_ = std::make_unique<ServiceController>(
+        opts_.server, &informers_.services, opts_.service_vip_pool, opts_.clock);
+  }
+  if (opts_.namespace_controller) {
+    namespace_ = std::make_unique<NamespaceController>(opts_.server, &informers_.namespaces,
+                                                       opts_.clock);
+  }
+  if (opts_.garbage_collector) {
+    gc_ = std::make_unique<GarbageCollector>(opts_.server, &informers_.pods,
+                                             &informers_.replicasets,
+                                             &informers_.deployments, opts_.clock);
+  }
+  if (opts_.node_lifecycle_controller) {
+    node_lifecycle_ = std::make_unique<NodeLifecycleController>(
+        opts_.server, &informers_.nodes, &informers_.pods, opts_.clock, opts_.node_tuning);
+  }
+  if (opts_.replicaset_controller) {
+    replicaset_ = std::make_unique<ReplicaSetController>(
+        opts_.server, &informers_.replicasets, &informers_.pods, opts_.clock);
+  }
+  if (opts_.deployment_controller) {
+    deployment_ = std::make_unique<DeploymentController>(
+        opts_.server, &informers_.deployments, &informers_.replicasets, opts_.clock);
+  }
+}
+
+ControllerManager::~ControllerManager() { Stop(); }
+
+void ControllerManager::Start() {
+  informers_.StartAll();
+  if (endpoints_) endpoints_->StartWorkers();
+  if (service_) service_->StartWorkers();
+  if (namespace_) namespace_->StartWorkers();
+  if (gc_) {
+    gc_->StartWorkers();
+    gc_->StartSweeper();
+  }
+  if (node_lifecycle_) node_lifecycle_->Start();
+  if (replicaset_) replicaset_->StartWorkers();
+  if (deployment_) deployment_->StartWorkers();
+  started_ = true;
+}
+
+void ControllerManager::Stop() {
+  if (!started_) return;
+  started_ = false;
+  if (node_lifecycle_) node_lifecycle_->Stop();
+  if (gc_) {
+    gc_->StopSweeper();
+    gc_->StopWorkers();
+  }
+  if (endpoints_) endpoints_->StopWorkers();
+  if (service_) service_->StopWorkers();
+  if (namespace_) namespace_->StopWorkers();
+  if (replicaset_) replicaset_->StopWorkers();
+  if (deployment_) deployment_->StopWorkers();
+  informers_.StopAll();
+}
+
+bool ControllerManager::WaitForSync(Duration timeout) {
+  return informers_.WaitForSync(timeout);
+}
+
+}  // namespace vc::controllers

@@ -1,0 +1,82 @@
+// ControllerManager: hosts the built-in controllers of one control plane over
+// a shared informer set — the "controller manager" box of the paper's Fig. 2.
+//
+// Which controllers run is configurable because the two control-plane roles
+// differ (paper §III-B): tenant control planes run everything except the
+// scheduler and node-lifecycle management (virtual nodes are owned by the
+// syncer), while the super cluster runs the full set.
+#pragma once
+
+#include <memory>
+
+#include "client/informer.h"
+#include "controllers/deployment.h"
+#include "controllers/endpoints.h"
+#include "controllers/gc.h"
+#include "controllers/namespace.h"
+#include "controllers/node_lifecycle.h"
+#include "controllers/replicaset.h"
+#include "controllers/service.h"
+#include "net/fabric.h"
+
+namespace vc::controllers {
+
+// One shared informer per resource type, like a client-go SharedInformerFactory.
+struct InformerSet {
+  InformerSet(apiserver::APIServer* server, Clock* clock);
+
+  client::SharedInformer<api::Pod> pods;
+  client::SharedInformer<api::Service> services;
+  client::SharedInformer<api::Endpoints> endpoints;
+  client::SharedInformer<api::NamespaceObj> namespaces;
+  client::SharedInformer<api::Node> nodes;
+  client::SharedInformer<api::ReplicaSet> replicasets;
+  client::SharedInformer<api::Deployment> deployments;
+
+  void StartAll();
+  void StopAll();
+  bool WaitForSync(Duration timeout);
+};
+
+class ControllerManager {
+ public:
+  struct Options {
+    apiserver::APIServer* server = nullptr;
+    Clock* clock = RealClock::Get();
+    net::Ipam* service_vip_pool = nullptr;  // required when service_controller on
+    bool endpoints_controller = true;
+    bool service_controller = true;
+    bool namespace_controller = true;
+    bool garbage_collector = true;
+    bool node_lifecycle_controller = true;
+    bool replicaset_controller = true;
+    bool deployment_controller = true;
+    NodeLifecycleController::Tuning node_tuning;
+  };
+
+  explicit ControllerManager(Options opts);
+  ~ControllerManager();
+
+  void Start();
+  void Stop();
+  bool WaitForSync(Duration timeout);
+
+  InformerSet& informers() { return informers_; }
+  EndpointsController* endpoints_controller() { return endpoints_.get(); }
+  NamespaceController* namespace_controller() { return namespace_.get(); }
+  ReplicaSetController* replicaset_controller() { return replicaset_.get(); }
+
+ private:
+  Options opts_;
+  InformerSet informers_;
+  std::unique_ptr<EndpointsController> endpoints_;
+  std::unique_ptr<ServiceController> service_;
+  std::unique_ptr<NamespaceController> namespace_;
+  std::unique_ptr<GarbageCollector> gc_;
+  std::unique_ptr<NodeLifecycleController> node_lifecycle_;
+  std::unique_ptr<ReplicaSetController> replicaset_;
+  std::unique_ptr<DeploymentController> deployment_;
+  bool started_ = false;
+};
+
+}  // namespace vc::controllers

@@ -1,0 +1,70 @@
+#include "controllers/namespace.h"
+
+namespace vc::controllers {
+
+NamespaceController::NamespaceController(
+    apiserver::APIServer* server, client::SharedInformer<api::NamespaceObj>* namespaces,
+    Clock* clock, int workers)
+    : QueueWorker("namespace-controller", clock, workers),
+      server_(server), namespaces_(namespaces) {
+  client::EventHandlers<api::NamespaceObj> h;
+  h.on_add = [this](const api::NamespaceObj& n) {
+    if (n.meta.deleting()) Enqueue(n.meta.name);
+  };
+  h.on_update = [this](const api::NamespaceObj&, const api::NamespaceObj& n) {
+    if (n.meta.deleting()) Enqueue(n.meta.name);
+  };
+  namespaces_->AddHandlers(std::move(h));
+}
+
+template <typename T>
+size_t NamespaceController::PurgeKind(const std::string& ns) {
+  Result<apiserver::TypedList<T>> list = server_->List<T>(ns);
+  if (!list.ok()) return 1;  // conservative: report work remaining
+  for (T& obj : list->items) {
+    if (obj.meta.deleting()) continue;  // already terminating (has finalizers)
+    (void)server_->Delete<T>(ns, obj.meta.name);
+  }
+  return list->items.size();
+}
+
+bool NamespaceController::Reconcile(const std::string& key) {
+  Result<api::NamespaceObj> ns = server_->Get<api::NamespaceObj>("", key);
+  if (!ns.ok()) return true;  // gone
+  if (!ns->meta.deleting()) return true;
+
+  if (ns->phase != "Terminating") {
+    ns->phase = "Terminating";
+    Result<api::NamespaceObj> updated = server_->UpdateStatus(*ns);
+    if (!updated.ok()) return false;
+    *ns = std::move(*updated);
+  }
+
+  size_t remaining = 0;
+  remaining += PurgeKind<api::Pod>(key);
+  remaining += PurgeKind<api::Service>(key);
+  remaining += PurgeKind<api::Endpoints>(key);
+  remaining += PurgeKind<api::Secret>(key);
+  remaining += PurgeKind<api::ConfigMap>(key);
+  remaining += PurgeKind<api::ServiceAccount>(key);
+  remaining += PurgeKind<api::PersistentVolumeClaim>(key);
+  remaining += PurgeKind<api::ReplicaSet>(key);
+  remaining += PurgeKind<api::Deployment>(key);
+  remaining += PurgeKind<api::EventObj>(key);
+  if (remaining > 0) return false;  // check again after deletions settle
+
+  // All content drained: strip our finalizer and finish the delete.
+  Status st = apiserver::RetryUpdate<api::NamespaceObj>(
+      *server_, "", key, [&](api::NamespaceObj& live) {
+        auto& fs = live.meta.finalizers;
+        auto it = std::find(fs.begin(), fs.end(), "kubernetes");
+        if (it == fs.end()) return false;
+        fs.erase(it);
+        return true;
+      });
+  if (!st.ok() && !st.IsNotFound()) return false;
+  (void)server_->Delete<api::NamespaceObj>("", key);
+  return true;
+}
+
+}  // namespace vc::controllers

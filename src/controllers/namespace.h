@@ -1,0 +1,32 @@
+// Namespace lifecycle controller: when a namespace is deleted it transitions
+// to Terminating, every namespaced object inside it is deleted (cascading
+// cleanup), and finally the "kubernetes" finalizer is stripped so the
+// namespace object itself disappears. In VirtualCluster this is what makes a
+// tenant's self-service namespace deletion behave exactly like upstream.
+#pragma once
+
+#include "apiserver/apiserver.h"
+#include "client/informer.h"
+#include "controllers/base.h"
+
+namespace vc::controllers {
+
+class NamespaceController : public QueueWorker {
+ public:
+  NamespaceController(apiserver::APIServer* server,
+                      client::SharedInformer<api::NamespaceObj>* namespaces, Clock* clock,
+                      int workers = 1);
+
+ protected:
+  bool Reconcile(const std::string& key) override;
+
+ private:
+  // Deletes all objects of type T in ns; returns how many were present.
+  template <typename T>
+  size_t PurgeKind(const std::string& ns);
+
+  apiserver::APIServer* const server_;
+  client::SharedInformer<api::NamespaceObj>* const namespaces_;
+};
+
+}  // namespace vc::controllers

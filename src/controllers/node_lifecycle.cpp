@@ -1,0 +1,76 @@
+#include "controllers/node_lifecycle.h"
+
+namespace vc::controllers {
+
+NodeLifecycleController::NodeLifecycleController(
+    apiserver::APIServer* server, client::SharedInformer<api::Node>* nodes,
+    client::SharedInformer<api::Pod>* pods, Clock* clock, Tuning tuning)
+    : server_(server), nodes_(nodes), pods_(pods), clock_(clock), tuning_(tuning) {}
+
+NodeLifecycleController::~NodeLifecycleController() { Stop(); }
+
+void NodeLifecycleController::Start() {
+  stop_.store(false);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void NodeLifecycleController::Stop() {
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+}
+
+void NodeLifecycleController::Loop() {
+  TimePoint last = clock_->Now();
+  while (!stop_.load()) {
+    clock_->SleepFor(Millis(20));
+    if (clock_->Now() - last < tuning_.check_interval) continue;
+    last = clock_->Now();
+    if (nodes_->HasSynced()) CheckOnce();
+  }
+}
+
+void NodeLifecycleController::CheckOnce() {
+  const int64_t now_ms = clock_->WallUnixMillis();
+  const int64_t grace_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(tuning_.heartbeat_grace).count();
+  for (const auto& node : nodes_->cache().List()) {
+    const bool stale = now_ms - node->status.last_heartbeat_ms > grace_ms;
+    if (stale && node->status.Ready()) {
+      Status st = apiserver::RetryUpdate<api::Node>(
+          *server_, "", node->meta.name, [&](api::Node& live) {
+            if (now_ms - live.status.last_heartbeat_ms <= grace_ms) return false;
+            for (auto& c : live.status.conditions) {
+              if (c.type == api::kNodeReady && c.status) {
+                c.status = false;
+                c.last_transition_ms = now_ms;
+                c.reason = "NodeStatusUnknown";
+                return true;
+              }
+            }
+            return false;
+          });
+      if (st.ok()) {
+        marked_not_ready_.fetch_add(1);
+        not_ready_since_.try_emplace(node->meta.name, clock_->Now());
+      }
+    } else if (!stale && !node->status.Ready()) {
+      // Heartbeats resumed: kubelet flips Ready itself; clear eviction timer.
+      not_ready_since_.erase(node->meta.name);
+    } else if (!stale) {
+      not_ready_since_.erase(node->meta.name);
+    }
+
+    // Evict pods from nodes that stayed NotReady past the eviction delay.
+    auto it = not_ready_since_.find(node->meta.name);
+    if (it != not_ready_since_.end() &&
+        clock_->Now() - it->second >= tuning_.eviction_delay) {
+      for (const auto& pod : pods_->cache().List()) {
+        if (pod->spec.node_name != node->meta.name || pod->meta.deleting()) continue;
+        Status st = server_->Delete<api::Pod>(pod->meta.ns, pod->meta.name);
+        if (st.ok()) evicted_.fetch_add(1);
+      }
+    }
+  }
+}
+
+}  // namespace vc::controllers

@@ -1,0 +1,52 @@
+// Node lifecycle controller: watches node heartbeats; marks nodes NotReady
+// when heartbeats go stale and evicts (deletes) their pods after an eviction
+// grace period. Runs in the super cluster only — tenant control planes must
+// NOT run it because their virtual nodes are heartbeated by the syncer.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "apiserver/apiserver.h"
+#include "client/informer.h"
+#include "controllers/base.h"
+
+namespace vc::controllers {
+
+class NodeLifecycleController {
+ public:
+  struct Tuning {
+    Duration check_interval = Millis(500);
+    Duration heartbeat_grace = Seconds(8);
+    Duration eviction_delay = Seconds(10);  // after NotReady
+  };
+
+  NodeLifecycleController(apiserver::APIServer* server,
+                          client::SharedInformer<api::Node>* nodes,
+                          client::SharedInformer<api::Pod>* pods, Clock* clock,
+                          Tuning tuning);
+  ~NodeLifecycleController();
+
+  void Start();
+  void Stop();
+
+  uint64_t marked_not_ready() const { return marked_not_ready_.load(); }
+  uint64_t evicted_pods() const { return evicted_.load(); }
+
+ private:
+  void Loop();
+  void CheckOnce();
+
+  apiserver::APIServer* const server_;
+  client::SharedInformer<api::Node>* const nodes_;
+  client::SharedInformer<api::Pod>* const pods_;
+  Clock* const clock_;
+  const Tuning tuning_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> marked_not_ready_{0};
+  std::atomic<uint64_t> evicted_{0};
+  std::map<std::string, TimePoint> not_ready_since_;
+};
+
+}  // namespace vc::controllers

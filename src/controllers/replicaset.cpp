@@ -1,0 +1,109 @@
+#include "controllers/replicaset.h"
+
+#include <algorithm>
+
+namespace vc::controllers {
+
+namespace {
+
+const char* kSuffixAlphabet = "bcdfghjklmnpqrstvwxz2456789";
+
+}  // namespace
+
+ReplicaSetController::ReplicaSetController(
+    apiserver::APIServer* server, client::SharedInformer<api::ReplicaSet>* replicasets,
+    client::SharedInformer<api::Pod>* pods, Clock* clock, int workers)
+    : QueueWorker("replicaset-controller", clock, workers),
+      server_(server), replicasets_(replicasets), pods_(pods) {
+  client::EventHandlers<api::ReplicaSet> rh;
+  rh.on_add = [this](const api::ReplicaSet& r) { Enqueue(r.meta.FullName()); };
+  rh.on_update = [this](const api::ReplicaSet&, const api::ReplicaSet& r) {
+    Enqueue(r.meta.FullName());
+  };
+  replicasets_->AddHandlers(std::move(rh));
+
+  client::EventHandlers<api::Pod> ph;
+  ph.on_add = [this](const api::Pod& p) { EnqueueOwner(p); };
+  ph.on_update = [this](const api::Pod&, const api::Pod& p) { EnqueueOwner(p); };
+  ph.on_delete = [this](const api::Pod& p) { EnqueueOwner(p); };
+  pods_->AddHandlers(std::move(ph));
+}
+
+void ReplicaSetController::EnqueueOwner(const api::Pod& pod) {
+  for (const auto& ref : pod.meta.owner_references) {
+    if (ref.kind == api::ReplicaSet::kKind && ref.controller) {
+      Enqueue(pod.meta.ns + "/" + ref.name);
+    }
+  }
+}
+
+bool ReplicaSetController::Reconcile(const std::string& key) {
+  auto rs = replicasets_->cache().GetByKey(key);
+  if (!rs || rs->meta.deleting()) return true;  // GC removes orphans
+
+  // Pods owned by this ReplicaSet (uid match) and matching the selector.
+  std::vector<std::shared_ptr<const api::Pod>> owned;
+  int ready = 0;
+  for (const auto& pod : pods_->cache().ListNamespace(rs->meta.ns)) {
+    if (pod->meta.deleting()) continue;
+    bool ours = false;
+    for (const auto& ref : pod->meta.owner_references) {
+      if (ref.uid == rs->meta.uid && ref.controller) ours = true;
+    }
+    if (!ours) continue;
+    owned.push_back(pod);
+    if (pod->status.Ready()) ready++;
+  }
+
+  const int want = rs->replicas;
+  const int have = static_cast<int>(owned.size());
+  if (have < want) {
+    for (int i = 0; i < want - have; ++i) {
+      api::Pod pod;
+      pod.meta.ns = rs->meta.ns;
+      {
+        std::lock_guard<std::mutex> l(rng_mu_);
+        std::string suffix;
+        for (int c = 0; c < 5; ++c) {
+          suffix += kSuffixAlphabet[rng_.Uniform(27)];
+        }
+        pod.meta.name = rs->meta.name + "-" + suffix;
+      }
+      pod.meta.labels = rs->template_.labels;
+      pod.meta.annotations = rs->template_.annotations;
+      pod.meta.owner_references.push_back(
+          {api::ReplicaSet::kKind, rs->meta.name, rs->meta.uid, true});
+      pod.spec = rs->template_.spec;
+      Result<api::Pod> created = server_->Create(std::move(pod));
+      if (!created.ok() && !created.status().IsAlreadyExists()) return false;
+    }
+    return false;  // re-check counts after the informer catches up
+  }
+  if (have > want) {
+    // Prefer deleting not-ready pods, then newest names, mirroring the real
+    // controller's victim ranking loosely.
+    std::sort(owned.begin(), owned.end(), [](const auto& a, const auto& b) {
+      if (a->status.Ready() != b->status.Ready()) return !a->status.Ready();
+      return a->meta.name > b->meta.name;
+    });
+    for (int i = 0; i < have - want; ++i) {
+      (void)server_->Delete<api::Pod>(owned[static_cast<size_t>(i)]->meta.ns,
+                                      owned[static_cast<size_t>(i)]->meta.name);
+    }
+    return false;
+  }
+
+  if (rs->status_replicas != have || rs->status_ready != ready) {
+    Status st = apiserver::RetryUpdate<api::ReplicaSet>(
+        *server_, rs->meta.ns, rs->meta.name, [&](api::ReplicaSet& live) {
+          if (live.status_replicas == have && live.status_ready == ready) return false;
+          live.status_replicas = have;
+          live.status_ready = ready;
+          return true;
+        });
+    if (!st.ok() && !st.IsNotFound()) return false;
+  }
+  return true;
+}
+
+}  // namespace vc::controllers

@@ -1,0 +1,32 @@
+// ReplicaSet controller: keeps the number of pods owned by each ReplicaSet
+// equal to spec.replicas, and maintains replica/ready counts in status.
+#pragma once
+
+#include "apiserver/apiserver.h"
+#include "client/informer.h"
+#include "common/rand.h"
+#include "controllers/base.h"
+
+namespace vc::controllers {
+
+class ReplicaSetController : public QueueWorker {
+ public:
+  ReplicaSetController(apiserver::APIServer* server,
+                       client::SharedInformer<api::ReplicaSet>* replicasets,
+                       client::SharedInformer<api::Pod>* pods, Clock* clock,
+                       int workers = 2);
+
+ protected:
+  bool Reconcile(const std::string& key) override;
+
+ private:
+  void EnqueueOwner(const api::Pod& pod);
+
+  apiserver::APIServer* const server_;
+  client::SharedInformer<api::ReplicaSet>* const replicasets_;
+  client::SharedInformer<api::Pod>* const pods_;
+  std::mutex rng_mu_;
+  Rng rng_{0xC0DE};
+};
+
+}  // namespace vc::controllers

@@ -1,0 +1,49 @@
+#include "controllers/service.h"
+
+namespace vc::controllers {
+
+ServiceController::ServiceController(apiserver::APIServer* server,
+                                     client::SharedInformer<api::Service>* services,
+                                     net::Ipam* vip_pool, Clock* clock, int workers)
+    : QueueWorker("service-controller", clock, workers),
+      server_(server), services_(services), vip_pool_(vip_pool) {
+  client::EventHandlers<api::Service> h;
+  h.on_add = [this](const api::Service& s) { Enqueue(s.meta.FullName()); };
+  h.on_update = [this](const api::Service&, const api::Service& s) {
+    Enqueue(s.meta.FullName());
+  };
+  h.on_delete = [this](const api::Service& s) { Enqueue(s.meta.FullName()); };
+  services_->AddHandlers(std::move(h));
+}
+
+bool ServiceController::Reconcile(const std::string& key) {
+  auto svc = services_->cache().GetByKey(key);
+  if (!svc || svc->meta.deleting()) {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = allocated_.find(key);
+    if (it != allocated_.end()) {
+      vip_pool_->Release(it->second);
+      allocated_.erase(it);
+    }
+    return true;
+  }
+  if (svc->spec.type != "ClusterIP" || !svc->spec.cluster_ip.empty()) return true;
+
+  Result<std::string> vip = vip_pool_->Allocate();
+  if (!vip.ok()) return false;
+  Status st = apiserver::RetryUpdate<api::Service>(
+      *server_, svc->meta.ns, svc->meta.name, [&](api::Service& live) {
+        if (!live.spec.cluster_ip.empty()) return false;  // raced with someone
+        live.spec.cluster_ip = *vip;
+        return true;
+      });
+  if (!st.ok() && !st.IsNotFound()) {
+    vip_pool_->Release(*vip);
+    return false;
+  }
+  std::lock_guard<std::mutex> l(mu_);
+  allocated_[key] = *vip;
+  return true;
+}
+
+}  // namespace vc::controllers

@@ -1,0 +1,35 @@
+// Service controller: allocates cluster IPs (VIPs) for ClusterIP services
+// from the fabric's service range and releases them on deletion. Services
+// that already carry a cluster IP (e.g. ones the VirtualCluster syncer copied
+// down from a tenant control plane, which must keep the tenant-visible VIP)
+// are left untouched.
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "apiserver/apiserver.h"
+#include "client/informer.h"
+#include "controllers/base.h"
+#include "net/ipam.h"
+
+namespace vc::controllers {
+
+class ServiceController : public QueueWorker {
+ public:
+  ServiceController(apiserver::APIServer* server,
+                    client::SharedInformer<api::Service>* services,
+                    net::Ipam* vip_pool, Clock* clock, int workers = 1);
+
+ protected:
+  bool Reconcile(const std::string& key) override;
+
+ private:
+  apiserver::APIServer* const server_;
+  client::SharedInformer<api::Service>* const services_;
+  net::Ipam* const vip_pool_;
+  std::mutex mu_;
+  std::map<std::string, std::string> allocated_;  // service key -> VIP
+};
+
+}  // namespace vc::controllers

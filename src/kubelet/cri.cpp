@@ -1,0 +1,132 @@
+#include "kubelet/cri.h"
+
+#include "common/strings.h"
+
+namespace vc::kubelet {
+
+Result<SandboxHandle> SimRuntimeBase::RunPodSandbox(const api::Pod& pod,
+                                                    const std::string& node,
+                                                    net::PodNetworkMode mode,
+                                                    const std::string& vpc_id) {
+  clock_->SleepFor(costs_.sandbox_start);
+  Result<std::string> ip = fabric_->pod_ipam().Allocate();
+  if (!ip.ok()) return ip.status();
+
+  SandboxHandle sandbox;
+  sandbox.pod_key = pod.meta.FullName();
+  sandbox.ip = *ip;
+  sandbox.guest = MakeGuest(sandbox.pod_key);
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    sandbox.id = StrFormat("sb-%llu", static_cast<unsigned long long>(next_id_++));
+    sandbox_ips_[sandbox.id] = sandbox.ip;
+  }
+
+  net::PodEndpoint ep;
+  ep.pod_key = sandbox.pod_key;
+  ep.ip = sandbox.ip;
+  ep.node = node;
+  ep.mode = mode;
+  ep.vpc_id = vpc_id;
+  ep.guest = sandbox.guest;
+  fabric_->RegisterPod(std::move(ep));
+  return sandbox;
+}
+
+Status SimRuntimeBase::StopPodSandbox(const SandboxHandle& sandbox) {
+  fabric_->UnregisterPod(sandbox.ip);
+  std::lock_guard<std::mutex> l(mu_);
+  sandbox_ips_.erase(sandbox.id);
+  logs_.erase(sandbox.id);
+  return OkStatus();
+}
+
+Result<ContainerHandle> SimRuntimeBase::CreateContainer(const SandboxHandle& sandbox,
+                                                        const api::Container& spec) {
+  ContainerHandle c;
+  c.name = spec.name;
+  c.state = "created";
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    c.id = StrFormat("ctr-%llu", static_cast<unsigned long long>(next_id_++));
+  }
+  AppendLog(sandbox.id, spec.name, "pulled image " + spec.image);
+  return c;
+}
+
+Status SimRuntimeBase::StartContainer(const SandboxHandle& sandbox,
+                                      ContainerHandle& container) {
+  clock_->SleepFor(costs_.container_start);
+  container.state = "running";
+  AppendLog(sandbox.id, container.name, "container " + container.name + " started");
+  return OkStatus();
+}
+
+Status SimRuntimeBase::StopContainer(const SandboxHandle& sandbox,
+                                     ContainerHandle& container) {
+  clock_->SleepFor(costs_.container_stop);
+  container.state = "exited";
+  AppendLog(sandbox.id, container.name, "container " + container.name + " stopped");
+  return OkStatus();
+}
+
+Result<std::string> SimRuntimeBase::ContainerLogs(const SandboxHandle& sandbox,
+                                                  const std::string& container,
+                                                  int tail_lines) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto sit = logs_.find(sandbox.id);
+  if (sit == logs_.end()) return NotFoundError("sandbox " + sandbox.id + " not found");
+  auto cit = sit->second.find(container);
+  if (cit == sit->second.end()) {
+    return NotFoundError("container " + container + " not found in " + sandbox.pod_key);
+  }
+  const std::vector<std::string>& lines = cit->second;
+  size_t start = 0;
+  if (tail_lines > 0 && lines.size() > static_cast<size_t>(tail_lines)) {
+    start = lines.size() - static_cast<size_t>(tail_lines);
+  }
+  std::string out;
+  for (size_t i = start; i < lines.size(); ++i) {
+    out += lines[i];
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::string> SimRuntimeBase::ExecSync(const SandboxHandle& sandbox,
+                                             const std::string& container,
+                                             const std::vector<std::string>& command) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto sit = logs_.find(sandbox.id);
+  if (sit == logs_.end()) return NotFoundError("sandbox " + sandbox.id + " not found");
+  if (!sit->second.count(container)) {
+    return NotFoundError("container " + container + " not found in " + sandbox.pod_key);
+  }
+  return StrFormat("exec(%s/%s): %s: ok", sandbox.pod_key.c_str(), container.c_str(),
+                   Join(command, " ").c_str());
+}
+
+size_t SimRuntimeBase::sandboxes_running() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return sandbox_ips_.size();
+}
+
+void SimRuntimeBase::AppendLog(const std::string& sandbox_id, const std::string& container,
+                               const std::string& line) {
+  std::lock_guard<std::mutex> l(mu_);
+  logs_[sandbox_id][container].push_back(line);
+}
+
+KataRuntime::KataRuntime(Clock* clock, net::NetworkFabric* fabric)
+    : KataRuntime(clock, fabric, KataCosts{}) {}
+
+KataRuntime::KataRuntime(Clock* clock, net::NetworkFabric* fabric, KataCosts costs)
+    : SimRuntimeBase(clock, fabric,
+                     Costs{costs.vm_boot, Millis(5), Millis(2)}),
+      kcosts_(costs) {}
+
+std::shared_ptr<net::KataAgent> KataRuntime::MakeGuest(const std::string& pod_key) {
+  return std::make_shared<net::KataAgent>(pod_key, clock_, kcosts_.agent);
+}
+
+}  // namespace vc::kubelet

@@ -1,0 +1,26 @@
+#include "kubelet/registry.h"
+
+namespace vc::kubelet {
+
+KubeletRegistry& KubeletRegistry::Get() {
+  static KubeletRegistry registry;
+  return registry;
+}
+
+void KubeletRegistry::Register(const std::string& endpoint, Kubelet* kubelet) {
+  std::lock_guard<std::mutex> l(mu_);
+  by_endpoint_[endpoint] = kubelet;
+}
+
+void KubeletRegistry::Unregister(const std::string& endpoint) {
+  std::lock_guard<std::mutex> l(mu_);
+  by_endpoint_.erase(endpoint);
+}
+
+Kubelet* KubeletRegistry::Lookup(const std::string& endpoint) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = by_endpoint_.find(endpoint);
+  return it == by_endpoint_.end() ? nullptr : it->second;
+}
+
+}  // namespace vc::kubelet

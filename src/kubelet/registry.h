@@ -1,0 +1,28 @@
+// Process-wide registry mapping kubelet endpoints ("ip:10250") to live
+// Kubelet instances — the simulation's stand-in for network addressability
+// of the kubelet API. The vn-agent resolves a virtual node's endpoint here
+// when proxying tenant log/exec requests.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace vc::kubelet {
+
+class Kubelet;
+
+class KubeletRegistry {
+ public:
+  static KubeletRegistry& Get();
+
+  void Register(const std::string& endpoint, Kubelet* kubelet);
+  void Unregister(const std::string& endpoint);
+  Kubelet* Lookup(const std::string& endpoint) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Kubelet*> by_endpoint_;
+};
+
+}  // namespace vc::kubelet

@@ -1,0 +1,280 @@
+#include "kv/kvstore.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace vc::kv {
+
+// ---------------------------------------------------------------- WatchChannel
+
+Result<Event> WatchChannel::Next(Duration timeout) {
+  std::unique_lock<std::mutex> l(mu_);
+  cv_.wait_for(l, timeout, [this] { return !queue_.empty() || cancelled_ || gone_; });
+  if (!queue_.empty()) {
+    Event e = std::move(queue_.front());
+    queue_.pop_front();
+    return e;
+  }
+  if (cancelled_) return AbortedError("watch cancelled");
+  if (gone_) return GoneError("watch channel closed (overflow or shutdown)");
+  return TimeoutError("no watch event");
+}
+
+std::optional<Event> WatchChannel::TryNext() {
+  std::lock_guard<std::mutex> l(mu_);
+  if (queue_.empty()) return std::nullopt;
+  Event e = std::move(queue_.front());
+  queue_.pop_front();
+  return e;
+}
+
+void WatchChannel::Cancel() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    cancelled_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool WatchChannel::ok() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return !cancelled_ && !gone_;
+}
+
+bool WatchChannel::Offer(const Event& e) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (cancelled_ || gone_) return false;
+    if (queue_.size() >= capacity_) {
+      // Slow watcher: poison instead of blocking the writer. The client will
+      // observe Gone and relist, exactly like a real etcd watch falling
+      // behind the compaction window.
+      gone_ = true;
+      queue_.clear();
+      LOG(WARN) << "kv watch channel overflow (capacity=" << capacity_ << ")";
+      cv_.notify_all();
+      return false;
+    }
+    queue_.push_back(e);
+  }
+  cv_.notify_all();
+  return true;
+}
+
+void WatchChannel::CloseGone() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    gone_ = true;
+  }
+  cv_.notify_all();
+}
+
+// -------------------------------------------------------------------- KvStore
+
+KvStore::KvStore(size_t max_log_events, int64_t start_revision)
+    : revision_(start_revision), compacted_(start_revision),
+      max_log_events_(max_log_events) {}
+
+KvStore::~KvStore() { Shutdown(); }
+
+void KvStore::AppendAndDispatchLocked(Event e) {
+  log_.push_back(e);
+  while (log_.size() > max_log_events_) {
+    compacted_ = log_.front().revision;
+    log_.pop_front();
+  }
+  // Dispatch to live watchers; drop the dead ones.
+  auto it = watchers_.begin();
+  while (it != watchers_.end()) {
+    if (!it->channel->ok()) {
+      it = watchers_.erase(it);
+      continue;
+    }
+    if (StartsWith(e.key, it->prefix)) {
+      it->channel->Offer(e);
+    }
+    ++it;
+  }
+}
+
+Result<int64_t> KvStore::Put(const std::string& key, const std::string& value,
+                             std::optional<int64_t> expected_mod_revision) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (shutdown_) return UnavailableError("store is shut down");
+  auto it = data_.find(key);
+  if (expected_mod_revision.has_value()) {
+    int64_t want = *expected_mod_revision;
+    if (want == 0) {
+      if (it != data_.end()) return AlreadyExistsError("key exists: " + key);
+    } else {
+      if (it == data_.end()) return NotFoundError("key not found: " + key);
+      if (it->second.mod_revision != want) {
+        return ConflictError(StrFormat("mod revision mismatch for %s: have %lld want %lld",
+                                       key.c_str(),
+                                       static_cast<long long>(it->second.mod_revision),
+                                       static_cast<long long>(want)));
+      }
+    }
+  }
+  ++revision_;
+  Event e;
+  e.type = EventType::kPut;
+  e.key = key;
+  e.value = value;
+  e.revision = revision_;
+  if (it == data_.end()) {
+    Entry entry;
+    entry.key = key;
+    entry.value = value;
+    entry.create_revision = revision_;
+    entry.mod_revision = revision_;
+    entry.version = 1;
+    live_bytes_ += key.size() + value.size();
+    data_.emplace(key, std::move(entry));
+  } else {
+    e.prev_value = it->second.value;
+    live_bytes_ += value.size();
+    live_bytes_ -= it->second.value.size();
+    it->second.value = value;
+    it->second.mod_revision = revision_;
+    it->second.version++;
+  }
+  AppendAndDispatchLocked(std::move(e));
+  return revision_;
+}
+
+Result<int64_t> KvStore::Delete(const std::string& key,
+                                std::optional<int64_t> expected_mod_revision) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (shutdown_) return UnavailableError("store is shut down");
+  auto it = data_.find(key);
+  if (it == data_.end()) return NotFoundError("key not found: " + key);
+  if (expected_mod_revision.has_value() && it->second.mod_revision != *expected_mod_revision) {
+    return ConflictError(StrFormat("mod revision mismatch for %s: have %lld want %lld",
+                                   key.c_str(),
+                                   static_cast<long long>(it->second.mod_revision),
+                                   static_cast<long long>(*expected_mod_revision)));
+  }
+  ++revision_;
+  Event e;
+  e.type = EventType::kDelete;
+  e.key = key;
+  e.prev_value = it->second.value;
+  e.revision = revision_;
+  live_bytes_ -= key.size() + it->second.value.size();
+  data_.erase(it);
+  AppendAndDispatchLocked(std::move(e));
+  return revision_;
+}
+
+Result<Entry> KvStore::Get(const std::string& key) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = data_.find(key);
+  if (it == data_.end()) return NotFoundError("key not found: " + key);
+  return it->second;
+}
+
+ListResult KvStore::List(const std::string& prefix) const {
+  std::lock_guard<std::mutex> l(mu_);
+  ListResult out;
+  out.revision = revision_;
+  for (auto it = data_.lower_bound(prefix); it != data_.end(); ++it) {
+    if (!StartsWith(it->first, prefix)) break;
+    out.entries.push_back(it->second);
+  }
+  return out;
+}
+
+int64_t KvStore::CurrentRevision() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return revision_;
+}
+
+int64_t KvStore::CompactedRevision() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return compacted_;
+}
+
+Result<std::shared_ptr<WatchChannel>> KvStore::Watch(const std::string& prefix,
+                                                     int64_t from_revision,
+                                                     size_t buffer_capacity) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (shutdown_) return UnavailableError("store is shut down");
+  if (from_revision < compacted_) {
+    return GoneError(StrFormat("revision %lld compacted (compacted=%lld)",
+                               static_cast<long long>(from_revision),
+                               static_cast<long long>(compacted_)));
+  }
+  auto ch = std::shared_ptr<WatchChannel>(new WatchChannel(buffer_capacity));
+  // Replay history after from_revision, then register for live events —
+  // atomically under the store lock so nothing is missed or duplicated.
+  for (const Event& e : log_) {
+    if (e.revision <= from_revision) continue;
+    if (!StartsWith(e.key, prefix)) continue;
+    if (!ch->Offer(e)) break;
+  }
+  watchers_.push_back(Watcher{prefix, ch});
+  return ch;
+}
+
+void KvStore::Compact(int64_t up_to) {
+  std::lock_guard<std::mutex> l(mu_);
+  while (!log_.empty() && log_.front().revision <= up_to) {
+    compacted_ = log_.front().revision;
+    log_.pop_front();
+  }
+  if (up_to > compacted_ && up_to <= revision_) compacted_ = up_to;
+}
+
+void KvStore::Shutdown() {
+  std::vector<Watcher> watchers;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    watchers.swap(watchers_);
+  }
+  for (Watcher& w : watchers) w.channel->CloseGone();
+}
+
+void KvStore::BreakWatches() {
+  std::vector<Watcher> watchers;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    watchers.swap(watchers_);
+  }
+  for (Watcher& w : watchers) w.channel->CloseGone();
+}
+
+bool KvStore::IsShutdown() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return shutdown_;
+}
+
+size_t KvStore::ApproxBytes() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return live_bytes_;
+}
+
+size_t KvStore::EntryCount() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return data_.size();
+}
+
+size_t KvStore::LogBytes() const {
+  std::lock_guard<std::mutex> l(mu_);
+  size_t total = 0;
+  for (const Event& e : log_) {
+    total += sizeof(Event) + e.key.size() + e.value.size() + e.prev_value.size();
+  }
+  return total;
+}
+
+size_t KvStore::LogEvents() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return log_.size();
+}
+
+}  // namespace vc::kv

@@ -1,0 +1,173 @@
+// An etcd-like versioned, watchable key-value store — the persistence layer
+// under every apiserver (super cluster and each tenant control plane gets its
+// own instance, mirroring the paper's "a dedicated etcd can be assigned to
+// each tenant control plane").
+//
+// Semantics reproduced from etcd/Kubernetes that the rest of the stack relies
+// on:
+//   * A single store-wide revision, monotonically increasing by 1 per
+//     successful mutation. An entry carries create_revision / mod_revision.
+//   * Conditional writes (compare-and-swap on mod_revision) — the apiserver
+//     maps resourceVersion conflicts (HTTP 409) onto these.
+//   * List(prefix) returns a consistent snapshot plus the revision it was
+//     taken at, so a client can start a watch from that exact point.
+//   * Watch(prefix, from_revision) replays historical events after
+//     from_revision from the event log, then streams live events, with no gap
+//     and no duplication. If from_revision has been compacted the watch fails
+//     with Gone (etcd's ErrCompacted / HTTP 410), forcing the client to
+//     relist — the reflector handles this.
+//   * Per-watcher bounded buffers: a slow watcher overflows and is closed
+//     with Gone rather than blocking writers.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace vc::kv {
+
+enum class EventType { kPut, kDelete };
+
+struct Event {
+  EventType type = EventType::kPut;
+  std::string key;
+  std::string value;       // new value (empty for kDelete)
+  std::string prev_value;  // value before this event (empty for first Put)
+  int64_t revision = 0;    // store revision of this event
+};
+
+struct Entry {
+  std::string key;
+  std::string value;
+  int64_t create_revision = 0;
+  int64_t mod_revision = 0;
+  int64_t version = 0;  // number of writes to this key since creation
+};
+
+// A stream of events delivered to one watcher. Thread-safe.
+class WatchChannel {
+ public:
+  // Blocks up to `timeout` for the next event.
+  //   kTimeout  — no event arrived in time (channel still healthy)
+  //   kAborted  — Cancel() was called
+  //   kGone     — the watcher was too slow and its buffer overflowed, or the
+  //               store was shut down; caller must relist and re-watch.
+  Result<Event> Next(Duration timeout);
+
+  // Non-blocking variant used by tests.
+  std::optional<Event> TryNext();
+
+  void Cancel();
+  bool ok() const;
+
+ private:
+  friend class KvStore;
+  explicit WatchChannel(size_t capacity) : capacity_(capacity) {}
+
+  // Store-side: enqueue; returns false (and poisons the channel) on overflow.
+  bool Offer(const Event& e);
+  void CloseGone();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Event> queue_;
+  const size_t capacity_;
+  bool cancelled_ = false;
+  bool gone_ = false;
+};
+
+struct ListResult {
+  std::vector<Entry> entries;
+  int64_t revision = 0;  // snapshot revision; start watches from here
+};
+
+class KvStore {
+ public:
+  // max_log_events bounds the watch-replay event log; older events are
+  // auto-compacted (watchers needing them get Gone). start_revision seeds the
+  // revision counter, used when rebuilding a store across a simulated restart
+  // so revisions stay monotone for clients.
+  explicit KvStore(size_t max_log_events = 200000, int64_t start_revision = 0);
+  ~KvStore();
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  // Conditional put.
+  //   expected_mod_revision == nullopt : unconditional upsert
+  //   expected_mod_revision == 0       : create; fails AlreadyExists if present
+  //   expected_mod_revision == r > 0   : update iff current mod_revision == r,
+  //                                      else Conflict (or NotFound if absent)
+  // Returns the new store revision.
+  Result<int64_t> Put(const std::string& key, const std::string& value,
+                      std::optional<int64_t> expected_mod_revision = std::nullopt);
+
+  // Conditional delete, same precondition semantics as Put (0 is invalid).
+  Result<int64_t> Delete(const std::string& key,
+                         std::optional<int64_t> expected_mod_revision = std::nullopt);
+
+  Result<Entry> Get(const std::string& key) const;
+
+  // Snapshot of all live entries whose key starts with `prefix`, sorted by
+  // key, plus the revision of the snapshot.
+  ListResult List(const std::string& prefix) const;
+
+  int64_t CurrentRevision() const;
+  int64_t CompactedRevision() const;
+
+  // Begin watching keys under `prefix` for events with revision >
+  // from_revision. from_revision is normally ListResult::revision. Fails with
+  // Gone when from_revision < compacted revision.
+  Result<std::shared_ptr<WatchChannel>> Watch(const std::string& prefix,
+                                              int64_t from_revision,
+                                              size_t buffer_capacity = 8192);
+
+  // Drop replay-log events with revision <= up_to (watchers already created
+  // are unaffected; new watches from before `up_to` get Gone).
+  void Compact(int64_t up_to);
+
+  // Closes all watch channels with Gone; further mutations fail Unavailable.
+  void Shutdown();
+  bool IsShutdown() const;
+
+  // Simulates an apiserver restart: every active watch breaks with Gone
+  // (clients must relist) but data and revisions are preserved, like etcd
+  // state surviving a process restart.
+  void BreakWatches();
+
+  // Approximate bytes held by live entries (keys + values).
+  size_t ApproxBytes() const;
+  size_t EntryCount() const;
+  // Approximate bytes held by the watch-replay event log (reclaimable via
+  // Compact — the "swappable" state of an idle control plane).
+  size_t LogBytes() const;
+  size_t LogEvents() const;
+
+ private:
+  struct Watcher {
+    std::string prefix;
+    std::shared_ptr<WatchChannel> channel;
+  };
+
+  void AppendAndDispatchLocked(Event e);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> data_;
+  std::deque<Event> log_;  // events with revision in (compacted_, revision_]
+  int64_t revision_ = 0;
+  int64_t compacted_ = 0;
+  size_t max_log_events_;
+  size_t live_bytes_ = 0;
+  bool shutdown_ = false;
+  std::vector<Watcher> watchers_;
+};
+
+}  // namespace vc::kv

@@ -1,0 +1,114 @@
+#include "net/fabric.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace vc::net {
+
+NetworkFabric::NetworkFabric()
+    : pod_ipam_("10.32"), service_ipam_("10.96"), node_ipam_("192.168") {}
+
+IpTables& NetworkFabric::HostTables(const std::string& node) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto& slot = host_tables_[node];
+  if (!slot) slot = std::make_unique<IpTables>();
+  return *slot;
+}
+
+void NetworkFabric::RegisterPod(PodEndpoint ep) {
+  std::lock_guard<std::mutex> l(mu_);
+  pods_by_ip_[ep.ip] = std::move(ep);
+}
+
+void NetworkFabric::UnregisterPod(const std::string& ip) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    pods_by_ip_.erase(ip);
+  }
+  pod_ipam_.Release(ip);
+}
+
+std::optional<PodEndpoint> NetworkFabric::FindPodByIp(const std::string& ip) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = pods_by_ip_.find(ip);
+  if (it == pods_by_ip_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<PodEndpoint> NetworkFabric::FindPodByKey(const std::string& pod_key) const {
+  std::lock_guard<std::mutex> l(mu_);
+  for (const auto& [ip, ep] : pods_by_ip_) {
+    if (ep.pod_key == pod_key) return ep;
+  }
+  return std::nullopt;
+}
+
+std::vector<PodEndpoint> NetworkFabric::PodsOnNode(const std::string& node) const {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<PodEndpoint> out;
+  for (const auto& [ip, ep] : pods_by_ip_) {
+    if (ep.node == node) out.push_back(ep);
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<KataAgent>> NetworkFabric::GuestsOnNode(
+    const std::string& node) const {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<std::shared_ptr<KataAgent>> out;
+  for (const auto& [ip, ep] : pods_by_ip_) {
+    if (ep.node == node && ep.guest) out.push_back(ep.guest);
+  }
+  return out;
+}
+
+size_t NetworkFabric::PodCount() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return pods_by_ip_.size();
+}
+
+Result<Backend> NetworkFabric::Connect(const std::string& src_pod_ip,
+                                       const std::string& dst_ip, int32_t port) {
+  std::optional<PodEndpoint> src = FindPodByIp(src_pod_ip);
+  if (!src) return NotFoundError("source pod " + src_pod_ip + " not on the network");
+
+  // Step 1: find the DNAT table this traffic traverses.
+  IpTables* tables = nullptr;
+  if (src->mode == PodNetworkMode::kHostStack) {
+    tables = &HostTables(src->node);
+  } else if (src->guest) {
+    tables = &src->guest->guest_iptables();
+  }
+  // else: VPC pod without a guest agent — traffic bypasses all DNAT.
+
+  Backend target{dst_ip, port};
+  bool translated = false;
+  if (tables != nullptr) {
+    if (std::optional<Backend> b = tables->Translate(dst_ip, port)) {
+      target = *b;
+      translated = true;
+    }
+  }
+
+  // Step 2: unresolved service VIPs are dead ends.
+  if (!translated && service_ipam_.Contains(dst_ip)) {
+    return UnavailableError(StrFormat(
+        "cluster IP %s:%d not routable from pod %s (%s): no DNAT rule on the path",
+        dst_ip.c_str(), port, src->pod_key.c_str(),
+        src->mode == PodNetworkMode::kVpc ? "VPC bypasses host stack" : "no kubeproxy rule"));
+  }
+
+  // Step 3: the backend must exist and share a VPC with the source.
+  std::optional<PodEndpoint> dst = FindPodByIp(target.ip);
+  if (!dst) {
+    return NotFoundError("no pod at " + target.ToString() + " (connection refused)");
+  }
+  if (!src->vpc_id.empty() && !dst->vpc_id.empty() && src->vpc_id != dst->vpc_id) {
+    return ForbiddenError(StrFormat("cross-VPC traffic dropped: %s (%s) -> %s (%s)",
+                                    src->pod_key.c_str(), src->vpc_id.c_str(),
+                                    dst->pod_key.c_str(), dst->vpc_id.c_str()));
+  }
+  return target;
+}
+
+}  // namespace vc::net

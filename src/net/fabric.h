@@ -1,0 +1,81 @@
+// NetworkFabric: the simulated data plane. It tracks every pod endpoint, the
+// per-node host iptables, and the Kata guests, and answers the question the
+// paper's data-plane work is about: "from this source pod, does a connection
+// to this (cluster IP, port) reach a backend?"
+//
+// Two network modes are modeled (paper §III-A assumptions):
+//   * kHostStack — classic Kubernetes: pod traffic traverses the host network
+//     stack, so host iptables DNAT (standard kubeproxy) applies.
+//   * kVpc — the container attaches to a tenant VPC through a vendor NIC
+//     (AWS-ENI-style); traffic BYPASSES the host stack, so host iptables
+//     never sees it and cluster-IP services break unless rules are injected
+//     into the guest OS (the enhanced kubeproxy + Kata agent path).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/ipam.h"
+#include "net/iptables.h"
+#include "net/kata_agent.h"
+
+namespace vc::net {
+
+enum class PodNetworkMode { kHostStack, kVpc };
+
+struct PodEndpoint {
+  std::string pod_key;  // "namespace/name" within its hosting cluster
+  std::string ip;
+  std::string node;
+  PodNetworkMode mode = PodNetworkMode::kHostStack;
+  std::string vpc_id;  // tenant VPC; cross-VPC direct traffic is dropped
+  std::shared_ptr<KataAgent> guest;  // set for kata sandboxes
+};
+
+class NetworkFabric {
+ public:
+  NetworkFabric();
+
+  Ipam& pod_ipam() { return pod_ipam_; }
+  Ipam& service_ipam() { return service_ipam_; }
+  Ipam& node_ipam() { return node_ipam_; }
+
+  // Host network stack of a node (created on demand).
+  IpTables& HostTables(const std::string& node);
+
+  void RegisterPod(PodEndpoint ep);
+  void UnregisterPod(const std::string& ip);
+  std::optional<PodEndpoint> FindPodByIp(const std::string& ip) const;
+  std::optional<PodEndpoint> FindPodByKey(const std::string& pod_key) const;
+  std::vector<PodEndpoint> PodsOnNode(const std::string& node) const;
+  std::vector<std::shared_ptr<KataAgent>> GuestsOnNode(const std::string& node) const;
+  size_t PodCount() const;
+
+  // Simulate a connection attempt from the pod owning src_pod_ip to
+  // dst_ip:port. Resolution rules:
+  //   1. Pick the DNAT table the source's traffic actually traverses:
+  //      host-stack pods → their node's host iptables; VPC pods → their guest
+  //      iptables if they are Kata sandboxes, otherwise none at all.
+  //   2. If dst is a service VIP and no DNAT rule translates it, the
+  //      connection fails (this is exactly how cluster IPs break in VPCs).
+  //   3. The translated (or direct) backend must be a registered pod in the
+  //      same VPC (or both sides host-stack).
+  // Returns the backend actually reached.
+  Result<Backend> Connect(const std::string& src_pod_ip, const std::string& dst_ip,
+                          int32_t port);
+
+ private:
+  Ipam pod_ipam_;
+  Ipam service_ipam_;
+  Ipam node_ipam_;
+  mutable std::mutex mu_;
+  std::map<std::string, PodEndpoint> pods_by_ip_;
+  std::map<std::string, std::unique_ptr<IpTables>> host_tables_;
+};
+
+}  // namespace vc::net

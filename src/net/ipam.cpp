@@ -1,0 +1,42 @@
+#include "net/ipam.h"
+
+#include "common/strings.h"
+
+namespace vc::net {
+
+Ipam::Ipam(std::string prefix) : prefix_(std::move(prefix)) {}
+
+Result<std::string> Ipam::Allocate() {
+  std::lock_guard<std::mutex> l(mu_);
+  uint32_t n;
+  if (!free_.empty()) {
+    n = *free_.begin();
+    free_.erase(free_.begin());
+  } else {
+    if (next_ > 0xFFFF) return UnavailableError("IPAM pool " + prefix_ + " exhausted");
+    n = next_++;
+  }
+  in_use_.insert(n);
+  return StrFormat("%s.%u.%u", prefix_.c_str(), (n >> 8) & 0xFF, n & 0xFF);
+}
+
+void Ipam::Release(const std::string& ip) {
+  if (!Contains(ip)) return;
+  std::vector<std::string> parts = Split(ip, '.');
+  if (parts.size() != 4) return;
+  uint32_t n = (static_cast<uint32_t>(std::stoul(parts[2])) << 8) |
+               static_cast<uint32_t>(std::stoul(parts[3]));
+  std::lock_guard<std::mutex> l(mu_);
+  if (in_use_.erase(n) > 0) free_.insert(n);
+}
+
+bool Ipam::Contains(const std::string& ip) const {
+  return StartsWith(ip, prefix_ + ".");
+}
+
+size_t Ipam::InUse() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return in_use_.size();
+}
+
+}  // namespace vc::net

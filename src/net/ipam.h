@@ -1,0 +1,33 @@
+// Tiny IP address manager handing out addresses from a /16-style pool.
+// One instance per address space: the pod VPC, the service VIP range, the
+// node underlay.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+
+namespace vc::net {
+
+class Ipam {
+ public:
+  // prefix like "10.32" → allocates "10.32.x.y" (x,y in 0..255, skipping .0.0).
+  explicit Ipam(std::string prefix);
+
+  Result<std::string> Allocate();
+  void Release(const std::string& ip);
+  bool Contains(const std::string& ip) const;
+  size_t InUse() const;
+
+ private:
+  const std::string prefix_;
+  mutable std::mutex mu_;
+  uint32_t next_ = 1;  // skip .0.0
+  std::set<uint32_t> free_;   // released addresses, reused first
+  std::set<uint32_t> in_use_;
+};
+
+}  // namespace vc::net

@@ -1,0 +1,76 @@
+#include "net/iptables.h"
+
+namespace vc::net {
+
+size_t IpTables::ReplaceServiceRules(const std::string& service_key,
+                                     std::vector<DnatRule> rules) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = by_service_.find(service_key);
+  if (it != by_service_.end() && it->second == rules) return 0;  // no change
+  size_t changed = rules.size();
+  if (it != by_service_.end()) changed = std::max(changed, it->second.size());
+  by_service_[service_key] = std::move(rules);
+  version_.fetch_add(1);
+  return changed;
+}
+
+size_t IpTables::RemoveServiceRules(const std::string& service_key) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = by_service_.find(service_key);
+  if (it == by_service_.end()) return 0;
+  size_t n = it->second.size();
+  by_service_.erase(it);
+  version_.fetch_add(1);
+  return n;
+}
+
+std::optional<Backend> IpTables::Translate(const std::string& dst_ip, int32_t port) const {
+  std::lock_guard<std::mutex> l(mu_);
+  for (const auto& [key, rules] : by_service_) {
+    for (const DnatRule& rule : rules) {
+      if (rule.cluster_ip != dst_ip || rule.port != port) continue;
+      if (rule.backends.empty()) return std::nullopt;  // rule with no endpoints
+      std::string rr_key = dst_ip + ":" + std::to_string(port);
+      size_t& next = rr_state_[rr_key];
+      const Backend& b = rule.backends[next % rule.backends.size()];
+      next++;
+      return b;
+    }
+  }
+  return std::nullopt;
+}
+
+bool IpTables::HasRuleFor(const std::string& dst_ip, int32_t port) const {
+  std::lock_guard<std::mutex> l(mu_);
+  for (const auto& [key, rules] : by_service_) {
+    for (const DnatRule& rule : rules) {
+      if (rule.cluster_ip == dst_ip && rule.port == port) return true;
+    }
+  }
+  return false;
+}
+
+size_t IpTables::RuleCount() const {
+  std::lock_guard<std::mutex> l(mu_);
+  size_t n = 0;
+  for (const auto& [key, rules] : by_service_) n += rules.size();
+  return n;
+}
+
+size_t IpTables::ServiceCount() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return by_service_.size();
+}
+
+std::vector<DnatRule> IpTables::ServiceRules(const std::string& service_key) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = by_service_.find(service_key);
+  return it == by_service_.end() ? std::vector<DnatRule>{} : it->second;
+}
+
+std::map<std::string, std::vector<DnatRule>> IpTables::AllRules() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return by_service_;
+}
+
+}  // namespace vc::net

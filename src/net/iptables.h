@@ -1,0 +1,65 @@
+// A model of the iptables rule set kubeproxy programs for cluster-IP
+// services: DNAT rules mapping (VIP, port) → round-robin backend endpoints.
+// One instance lives in each node's host network stack, and one inside each
+// Kata guest OS (programmed by the enhanced kubeproxy through the Kata
+// agent, paper §III-B (4)-(5)).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vc::net {
+
+struct Backend {
+  std::string ip;
+  int32_t port = 0;
+
+  bool operator==(const Backend&) const = default;
+  std::string ToString() const { return ip + ":" + std::to_string(port); }
+};
+
+// All forwarding state for one service port: VIP:port → backends.
+struct DnatRule {
+  std::string cluster_ip;
+  int32_t port = 0;
+  std::string protocol = "TCP";
+  std::vector<Backend> backends;
+
+  bool operator==(const DnatRule&) const = default;
+};
+
+class IpTables {
+ public:
+  // Installs/overwrites all rules belonging to one service (keyed by the
+  // service's namespace/name). Returns number of rules changed.
+  size_t ReplaceServiceRules(const std::string& service_key, std::vector<DnatRule> rules);
+  size_t RemoveServiceRules(const std::string& service_key);
+
+  // DNAT lookup: resolves (dst_ip, port) to a backend, round-robin across
+  // endpoints. nullopt if no rule matches (connection would bypass DNAT).
+  std::optional<Backend> Translate(const std::string& dst_ip, int32_t port) const;
+
+  bool HasRuleFor(const std::string& dst_ip, int32_t port) const;
+
+  size_t RuleCount() const;
+  size_t ServiceCount() const;
+  std::vector<DnatRule> ServiceRules(const std::string& service_key) const;
+  std::map<std::string, std::vector<DnatRule>> AllRules() const;
+
+  // Monotone counter bumped on every mutation; the enhanced kubeproxy's
+  // init-container gate and drift scans compare versions.
+  int64_t version() const { return version_.load(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<DnatRule>> by_service_;
+  mutable std::map<std::string, size_t> rr_state_;  // "ip:port" -> next backend
+  std::atomic<int64_t> version_{0};
+};
+
+}  // namespace vc::net

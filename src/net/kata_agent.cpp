@@ -1,0 +1,111 @@
+#include "net/kata_agent.h"
+
+#include "common/hash.h"
+
+namespace vc::net {
+
+KataAgent::KataAgent(std::string pod_key, Clock* clock)
+    : KataAgent(std::move(pod_key), clock, Costs{}) {}
+
+KataAgent::KataAgent(std::string pod_key, Clock* clock, Costs costs)
+    : pod_key_(std::move(pod_key)), clock_(clock), costs_(costs) {}
+
+uint64_t KataAgent::Fingerprint(
+    const std::map<std::string, std::vector<DnatRule>>& desired) const {
+  std::string blob;
+  for (const auto& [svc, rules] : desired) {
+    blob += svc;
+    blob += '{';
+    for (const DnatRule& r : rules) {
+      blob += r.cluster_ip + ":" + std::to_string(r.port) + "/" + r.protocol + "[";
+      for (const Backend& b : r.backends) blob += b.ToString() + ",";
+      blob += "]";
+    }
+    blob += '}';
+  }
+  return Fnv1a64(blob);
+}
+
+Status KataAgent::ApplyServiceRules(
+    const std::map<std::string, std::vector<DnatRule>>& desired) {
+  const uint64_t fp = Fingerprint(desired);
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (fp == applied_fingerprint_) return OkStatus();  // no-op sync
+  }
+  // Simulated secure gRPC round trip into the guest.
+  clock_->SleepFor(costs_.grpc_rtt);
+  size_t changed = 0;
+  std::map<std::string, std::vector<DnatRule>> current = tables_.AllRules();
+  for (const auto& [svc, rules] : desired) {
+    changed += tables_.ReplaceServiceRules(svc, rules);
+  }
+  for (const auto& [svc, rules] : current) {
+    if (!desired.count(svc)) changed += tables_.RemoveServiceRules(svc);
+  }
+  clock_->SleepFor(costs_.per_rule_inject * static_cast<int64_t>(changed));
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    applied_fingerprint_ = fp;
+    if (changed > 0) syncs_applied_++;
+  }
+  return OkStatus();
+}
+
+KataAgent::ScanResult KataAgent::ScanAndRepair(
+    const std::map<std::string, std::vector<DnatRule>>& desired) {
+  Stopwatch sw(clock_);
+  ScanResult out;
+  clock_->SleepFor(costs_.grpc_rtt);
+  std::map<std::string, std::vector<DnatRule>> current = tables_.AllRules();
+  size_t scanned = 0;
+  for (const auto& [svc, rules] : desired) scanned += rules.size();
+  for (const auto& [svc, rules] : current) scanned += rules.size();
+  clock_->SleepFor(costs_.per_rule_scan * static_cast<int64_t>(scanned));
+  out.rules_scanned = scanned;
+  // Repair drift.
+  for (const auto& [svc, rules] : desired) {
+    auto it = current.find(svc);
+    if (it == current.end() || it->second != rules) {
+      size_t changed = tables_.ReplaceServiceRules(svc, rules);
+      out.rules_repaired += changed;
+      clock_->SleepFor(costs_.per_rule_inject * static_cast<int64_t>(changed));
+    }
+  }
+  for (const auto& [svc, rules] : current) {
+    if (!desired.count(svc)) {
+      out.rules_repaired += tables_.RemoveServiceRules(svc);
+    }
+  }
+  if (out.rules_repaired > 0) {
+    std::lock_guard<std::mutex> l(mu_);
+    applied_fingerprint_ = Fingerprint(desired);
+  }
+  out.took = sw.Elapsed();
+  return out;
+}
+
+bool KataAgent::NetworkReady() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return network_ready_;
+}
+
+void KataAgent::MarkNetworkReady() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    network_ready_ = true;
+  }
+  ready_cv_.notify_all();
+}
+
+bool KataAgent::WaitNetworkReady(Duration timeout) {
+  std::unique_lock<std::mutex> l(mu_);
+  return ready_cv_.wait_for(l, timeout, [this] { return network_ready_; });
+}
+
+int64_t KataAgent::syncs_applied() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return syncs_applied_;
+}
+
+}  // namespace vc::net

@@ -1,0 +1,73 @@
+// The Kata agent running inside each sandbox VM's guest OS (paper §III-B (5)).
+// The enhanced kubeproxy opens a (simulated) secure gRPC connection to it and
+// pushes cluster-IP DNAT rules into the guest's own iptables — necessary
+// because VPC-attached containers bypass the host network stack entirely.
+//
+// Also owns the init-container gate: the paper's Pod init container polls for
+// rule-injection progress so workload containers only start after routing is
+// in place; WaitNetworkReady() is that barrier.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "net/iptables.h"
+
+namespace vc::net {
+
+class KataAgent {
+ public:
+  struct Costs {
+    Duration grpc_rtt = Millis(1);          // per ApplyServiceRules call
+    Duration per_rule_inject = Millis(10);  // guest iptables update per rule
+    Duration per_rule_scan = Micros(100);   // drift-scan cost per rule
+  };
+
+  KataAgent(std::string pod_key, Clock* clock);
+  KataAgent(std::string pod_key, Clock* clock, Costs costs);
+
+  const std::string& pod_key() const { return pod_key_; }
+  IpTables& guest_iptables() { return tables_; }
+
+  // Full-sync the desired service rules into the guest OS. Injection cost is
+  // charged per rule actually changed plus one gRPC round trip; a no-op sync
+  // (fingerprint match) costs nothing, so the enhanced kubeproxy can call
+  // this from a tight reconcile loop.
+  Status ApplyServiceRules(const std::map<std::string, std::vector<DnatRule>>& desired);
+
+  struct ScanResult {
+    size_t rules_scanned = 0;
+    size_t rules_repaired = 0;
+    Duration took{};
+  };
+  // Compare guest rules against `desired`, repairing drift (paper §IV-E: "The
+  // time to scan all thirty Pods rules was around three hundred milliseconds").
+  ScanResult ScanAndRepair(const std::map<std::string, std::vector<DnatRule>>& desired);
+
+  // Init-container barrier.
+  bool NetworkReady() const;
+  void MarkNetworkReady();
+  bool WaitNetworkReady(Duration timeout);
+
+  // Number of successful ApplyServiceRules syncs that changed something.
+  int64_t syncs_applied() const;
+
+ private:
+  uint64_t Fingerprint(const std::map<std::string, std::vector<DnatRule>>& desired) const;
+
+  const std::string pod_key_;
+  Clock* const clock_;
+  const Costs costs_;
+  IpTables tables_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  bool network_ready_ = false;
+  uint64_t applied_fingerprint_ = 0;
+  int64_t syncs_applied_ = 0;
+};
+
+}  // namespace vc::net

@@ -1,0 +1,123 @@
+#include "scheduler/predicates.h"
+
+#include <algorithm>
+
+namespace vc::scheduler {
+
+std::map<std::string, NodeInfo> BuildNodeInfos(
+    const std::vector<std::shared_ptr<const api::Node>>& nodes,
+    const std::vector<std::shared_ptr<const api::Pod>>& pods) {
+  std::map<std::string, NodeInfo> out;
+  for (const auto& n : nodes) {
+    NodeInfo info;
+    info.node = n;
+    out.emplace(n->meta.name, std::move(info));
+  }
+  for (const auto& p : pods) {
+    if (p->spec.node_name.empty()) continue;
+    if (p->status.phase == api::PodPhase::kSucceeded ||
+        p->status.phase == api::PodPhase::kFailed) {
+      continue;  // terminal pods release their resources
+    }
+    auto it = out.find(p->spec.node_name);
+    if (it == out.end()) continue;
+    it->second.pods.push_back(p);
+    it->second.requested += p->spec.TotalRequests();
+  }
+  return out;
+}
+
+bool PodFitsResources(const api::Pod& pod, const NodeInfo& info) {
+  return pod.spec.TotalRequests().Fits(info.Free());
+}
+
+bool PodMatchesNodeSelector(const api::Pod& pod, const api::Node& node) {
+  for (const auto& [k, v] : pod.spec.node_selector) {
+    auto it = node.meta.labels.find(k);
+    if (it == node.meta.labels.end() || it->second != v) return false;
+  }
+  return true;
+}
+
+bool PodToleratesTaints(const api::Pod& pod, const api::Node& node) {
+  for (const api::Taint& taint : node.spec.taints) {
+    if (taint.effect == "PreferNoSchedule") continue;  // soft; ignored in filter
+    bool tolerated = false;
+    for (const api::Toleration& tol : pod.spec.tolerations) {
+      if (!tol.effect.empty() && tol.effect != taint.effect) continue;
+      if (tol.op == api::Toleration::Op::kExists) {
+        if (tol.key.empty() || tol.key == taint.key) {
+          tolerated = true;
+          break;
+        }
+      } else if (tol.key == taint.key && tol.value == taint.value) {
+        tolerated = true;
+        break;
+      }
+    }
+    if (!tolerated) return false;
+  }
+  return true;
+}
+
+bool NodeIsSchedulable(const api::Node& node) {
+  return !node.spec.unschedulable && node.status.Ready();
+}
+
+bool PassesAntiAffinity(const api::Pod& pod, const NodeInfo& info) {
+  // Incoming pod's required anti-affinity terms vs resident pods. We only
+  // support the hostname topology (each node is its own topology domain),
+  // which is what the paper's Fig. 6 scenario uses.
+  for (const api::PodAffinityTerm& term : pod.spec.required_anti_affinity) {
+    for (const auto& resident : info.pods) {
+      if (term.selector.Matches(resident->meta.labels)) return false;
+    }
+  }
+  // Symmetry: resident pods' anti-affinity vs the incoming pod.
+  for (const auto& resident : info.pods) {
+    for (const api::PodAffinityTerm& term : resident->spec.required_anti_affinity) {
+      if (term.selector.Matches(pod.meta.labels)) return false;
+    }
+  }
+  return true;
+}
+
+bool PassesAffinity(const api::Pod& pod, const NodeInfo& info) {
+  for (const api::PodAffinityTerm& term : pod.spec.required_affinity) {
+    bool found = false;
+    for (const auto& resident : info.pods) {
+      if (term.selector.Matches(resident->meta.labels)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::string FilterNode(const api::Pod& pod, const NodeInfo& info) {
+  const api::Node& node = *info.node;
+  if (!NodeIsSchedulable(node)) return "node unschedulable or not ready";
+  if (!PodMatchesNodeSelector(pod, node)) return "node selector mismatch";
+  if (!PodToleratesTaints(pod, node)) return "untolerated taint";
+  if (!PodFitsResources(pod, info)) return "insufficient resources";
+  if (!PassesAntiAffinity(pod, info)) return "anti-affinity violation";
+  if (!PassesAffinity(pod, info)) return "affinity not satisfied";
+  return "";
+}
+
+double ScoreNode(const api::Pod& pod, const NodeInfo& info) {
+  api::ResourceList free = info.Free();
+  free -= pod.spec.TotalRequests();
+  const api::ResourceList& cap = info.node->status.allocatable;
+  double cpu = cap.cpu_milli > 0
+                   ? static_cast<double>(free.cpu_milli) / static_cast<double>(cap.cpu_milli)
+                   : 0;
+  double mem = cap.memory_bytes > 0 ? static_cast<double>(free.memory_bytes) /
+                                          static_cast<double>(cap.memory_bytes)
+                                    : 0;
+  return 50.0 * (std::max(cpu, 0.0) + std::max(mem, 0.0));
+}
+
+}  // namespace vc::scheduler

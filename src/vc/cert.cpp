@@ -1,0 +1,19 @@
+#include "vc/cert.h"
+
+#include "common/hash.h"
+
+namespace vc::core {
+
+Kubeconfig MintKubeconfig(const std::string& tenant_id) {
+  Kubeconfig kc;
+  kc.tenant_id = tenant_id;
+  kc.cert_data = "cert:" + tenant_id + ":" + NewUid();
+  kc.fingerprint = FingerprintOf(kc.cert_data);
+  return kc;
+}
+
+std::string FingerprintOf(const std::string& cert_data) {
+  return Hex64(Fnv1a64(cert_data));
+}
+
+}  // namespace vc::core

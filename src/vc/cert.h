@@ -1,0 +1,26 @@
+// Tenant credentials. A Kubeconfig bundles the tenant id with a client
+// credential whose fingerprint is stored in the VC object; the vn-agent
+// authenticates proxied kubelet requests by fingerprint comparison
+// (paper §III-B (3)). The crypto is simulated — the mechanism (hash-compare
+// identification and namespace-prefix derivation) is what is reproduced.
+#pragma once
+
+#include <string>
+
+namespace vc::core {
+
+struct Kubeconfig {
+  std::string tenant_id;     // VC object name
+  std::string cert_data;     // opaque credential blob
+  std::string fingerprint;   // hash of cert_data
+
+  bool valid() const { return !tenant_id.empty() && !fingerprint.empty(); }
+};
+
+// Mints a fresh credential for a tenant. Fingerprint = hash(cert).
+Kubeconfig MintKubeconfig(const std::string& tenant_id);
+
+// Recomputes the fingerprint of a presented credential.
+std::string FingerprintOf(const std::string& cert_data);
+
+}  // namespace vc::core

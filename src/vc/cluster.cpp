@@ -1,0 +1,92 @@
+#include "vc/cluster.h"
+
+#include "common/strings.h"
+
+namespace vc::core {
+
+SuperCluster::SuperCluster(Options opts) : opts_(std::move(opts)) {
+  apiserver::APIServer::Options so;
+  so.name = "super-apiserver";
+  so.clock = opts_.clock;
+  so.request_latency = opts_.apiserver_latency;
+  server_ = std::make_unique<apiserver::APIServer>(std::move(so));
+
+  if (opts_.run_scheduler) {
+    scheduler::Scheduler::Options sched;
+    sched.server = server_.get();
+    sched.clock = opts_.clock;
+    sched.cost = opts_.sched_cost;
+    scheduler_ = std::make_unique<scheduler::Scheduler>(std::move(sched));
+  }
+
+  if (opts_.run_controllers) {
+    controllers::ControllerManager::Options co;
+    co.server = server_.get();
+    co.clock = opts_.clock;
+    co.service_vip_pool = &fabric_.service_ipam();
+    co.node_tuning = opts_.node_tuning;
+    controllers_ = std::make_unique<controllers::ControllerManager>(std::move(co));
+  }
+
+  fleet_ = std::make_unique<kubelet::KubeletFleet>(server_.get(), opts_.clock);
+  for (int i = 0; i < opts_.num_nodes; ++i) {
+    kubelet::Kubelet::Options ko;
+    ko.server = server_.get();
+    ko.node_name = opts_.node_prefix + std::to_string(i);
+    ko.clock = opts_.clock;
+    ko.fabric = &fabric_;
+    ko.capacity = opts_.node_capacity;
+    ko.heartbeat_period = opts_.kubelet_heartbeat;
+    ko.workers = opts_.kubelet_workers;
+    ko.network_mode = opts_.network_mode;
+    ko.vpc_id = opts_.vpc_id;
+    ko.enforce_network_gate = opts_.enforce_network_gate;
+    if (opts_.mock_runtime) {
+      ko.runtimes[""] = std::make_shared<kubelet::MockRuntime>(opts_.clock, &fabric_);
+    } else {
+      ko.runtimes[""] = std::make_shared<kubelet::RuncRuntime>(opts_.clock, &fabric_);
+      ko.runtimes["runc"] = ko.runtimes[""];
+      ko.runtimes["kata"] = std::make_shared<kubelet::KataRuntime>(opts_.clock, &fabric_);
+      ko.runtimes["mock"] = std::make_shared<kubelet::MockRuntime>(opts_.clock, &fabric_);
+    }
+    fleet_->Add(std::move(ko));
+  }
+}
+
+SuperCluster::~SuperCluster() { Stop(); }
+
+Status SuperCluster::Start() {
+  if (started_) return OkStatus();
+  started_ = true;
+  VC_RETURN_IF_ERROR(fleet_->Start());
+  if (opts_.vn_agents) {
+    for (const auto& kl : fleet_->kubelets()) {
+      VnAgent::Options vo;
+      vo.super_server = server_.get();
+      vo.node_name = kl->node_name();
+      vo.kubelet_endpoint = kl->endpoint();
+      vn_agents_.push_back(std::make_unique<VnAgent>(std::move(vo)));
+    }
+  }
+  if (scheduler_) scheduler_->Start();
+  if (controllers_) controllers_->Start();
+  return OkStatus();
+}
+
+void SuperCluster::Stop() {
+  if (!started_) return;
+  started_ = false;
+  if (scheduler_) scheduler_->Stop();
+  if (controllers_) controllers_->Stop();
+  vn_agents_.clear();
+  fleet_->Stop();
+  server_->store().Shutdown();
+}
+
+bool SuperCluster::WaitForSync(Duration timeout) {
+  if (scheduler_ && !scheduler_->WaitForSync(timeout)) return false;
+  if (controllers_ && !controllers_->WaitForSync(timeout)) return false;
+  return true;
+}
+
+}  // namespace vc::core

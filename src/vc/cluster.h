@@ -1,0 +1,72 @@
+// SuperCluster: convenience assembly of a complete cluster — apiserver,
+// scheduler, controller manager, a fleet of kubelets over a shared pod
+// informer, the network fabric, and one vn-agent per node. This is the
+// "super cluster" of the paper's architecture (Fig. 4) and also serves as
+// the baseline cluster in the evaluation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apiserver/apiserver.h"
+#include "controllers/manager.h"
+#include "kubelet/kubelet.h"
+#include "net/fabric.h"
+#include "scheduler/scheduler.h"
+#include "vc/vnagent.h"
+
+namespace vc::core {
+
+class SuperCluster {
+ public:
+  struct Options {
+    int num_nodes = 4;
+    Clock* clock = RealClock::Get();
+    scheduler::CostModel sched_cost;
+    // Mock runtime == the paper's virtual-kubelet mock provider (instant
+    // ready). Set false to install runc+kata runtimes instead.
+    bool mock_runtime = true;
+    net::PodNetworkMode network_mode = net::PodNetworkMode::kHostStack;
+    std::string vpc_id;
+    bool run_controllers = true;
+    bool run_scheduler = true;
+    bool vn_agents = true;
+    Duration apiserver_latency = Duration::zero();
+    api::ResourceList node_capacity{96000, 328ll << 30};  // paper's machines
+    std::string node_prefix = "node-";
+    int kubelet_workers = 2;
+    Duration kubelet_heartbeat = Seconds(2);
+    bool enforce_network_gate = false;  // kata pods wait for EKP injection
+    controllers::NodeLifecycleController::Tuning node_tuning;
+  };
+
+  explicit SuperCluster(Options opts);
+  ~SuperCluster();
+
+  SuperCluster(const SuperCluster&) = delete;
+  SuperCluster& operator=(const SuperCluster&) = delete;
+
+  Status Start();
+  void Stop();
+  bool WaitForSync(Duration timeout);
+
+  apiserver::APIServer& server() { return *server_; }
+  net::NetworkFabric& fabric() { return fabric_; }
+  scheduler::Scheduler* sched() { return scheduler_.get(); }
+  controllers::ControllerManager* controller_manager() { return controllers_.get(); }
+  kubelet::KubeletFleet& fleet() { return *fleet_; }
+  const std::vector<std::unique_ptr<VnAgent>>& vn_agents() const { return vn_agents_; }
+  const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+  std::unique_ptr<apiserver::APIServer> server_;
+  net::NetworkFabric fabric_;
+  std::unique_ptr<scheduler::Scheduler> scheduler_;
+  std::unique_ptr<controllers::ControllerManager> controllers_;
+  std::unique_ptr<kubelet::KubeletFleet> fleet_;
+  std::vector<std::unique_ptr<VnAgent>> vn_agents_;
+  bool started_ = false;
+};
+
+}  // namespace vc::core

@@ -1,0 +1,301 @@
+#include "vc/conformance.h"
+
+#include "common/strings.h"
+
+namespace vc::core {
+
+namespace {
+
+api::Pod BasicPod(const std::string& ns, const std::string& name) {
+  api::Pod p;
+  p.meta.ns = ns;
+  p.meta.name = name;
+  api::Container c;
+  c.name = "app";
+  c.image = "conformance:latest";
+  p.spec.containers.push_back(c);
+  return p;
+}
+
+Result<api::Pod> WaitReady(ConformanceEnv& env, const std::string& ns,
+                           const std::string& name) {
+  Stopwatch sw(env.clock);
+  for (;;) {
+    Result<api::Pod> pod = env.server->Get<api::Pod>(ns, name, env.ctx);
+    if (pod.ok() && pod->status.Ready()) return pod;
+    if (sw.Elapsed() > env.pod_ready_timeout) {
+      if (!pod.ok()) return pod.status();
+      return TimeoutError("pod " + ns + "/" + name + " never became ready");
+    }
+    env.clock->SleepFor(Millis(5));
+  }
+}
+
+Status EnsureNamespace(ConformanceEnv& env, const std::string& ns) {
+  api::NamespaceObj n;
+  n.meta.name = ns;
+  Result<api::NamespaceObj> r = env.server->Create(std::move(n), env.ctx);
+  if (r.ok() || r.status().IsAlreadyExists()) return OkStatus();
+  return r.status();
+}
+
+CheckResult Fail(std::string name, std::string detail) {
+  return CheckResult{std::move(name), false, false, std::move(detail)};
+}
+
+CheckResult Pass(std::string name) { return CheckResult{std::move(name), true, false, ""}; }
+
+}  // namespace
+
+std::vector<CheckResult> ConformanceSuite::Run(ConformanceEnv& env) {
+  std::vector<CheckResult> out;
+  out.push_back(NamespaceLifecycle(env));
+  out.push_back(PodLifecycle(env));
+  out.push_back(ConfigVolumes(env));
+  out.push_back(ServiceEndpoints(env));
+  out.push_back(LogsAndExec(env));
+  out.push_back(AntiAffinitySpreads(env));
+  out.push_back(NamespaceIsolationOfListing(env));
+  out.push_back(PodSubdomain(env));
+  return out;
+}
+
+int ConformanceSuite::PassedCount(const std::vector<CheckResult>& results) {
+  int n = 0;
+  for (const CheckResult& r : results) n += r.passed ? 1 : 0;
+  return n;
+}
+
+std::string ConformanceSuite::Render(const std::vector<CheckResult>& results,
+                                     const std::string& env_description) {
+  std::string out = "Conformance against " + env_description + ":\n";
+  for (const CheckResult& r : results) {
+    out += StrFormat("  [%s] %-32s %s\n", r.passed ? "PASS" : "FAIL", r.name.c_str(),
+                     r.detail.c_str());
+  }
+  out += StrFormat("  %d/%zu passed\n", PassedCount(results), results.size());
+  return out;
+}
+
+CheckResult ConformanceSuite::NamespaceLifecycle(ConformanceEnv& env) {
+  const std::string name = "NamespaceLifecycle";
+  const std::string ns = "conf-nslc";
+  if (Status st = EnsureNamespace(env, ns); !st.ok()) return Fail(name, st.ToString());
+  Result<apiserver::TypedList<api::NamespaceObj>> all =
+      env.server->List<api::NamespaceObj>("", env.ctx);
+  if (!all.ok()) return Fail(name, all.status().ToString());
+  bool found = false;
+  for (const auto& n : all->items) found |= (n.meta.name == ns);
+  if (!found) return Fail(name, "created namespace missing from List");
+  if (Status st = env.server->Delete<api::NamespaceObj>("", ns, env.ctx); !st.ok()) {
+    return Fail(name, "delete: " + st.ToString());
+  }
+  // Cascading deletion must eventually remove the namespace object.
+  Stopwatch sw(env.clock);
+  for (;;) {
+    Result<api::NamespaceObj> n = env.server->Get<api::NamespaceObj>("", ns, env.ctx);
+    if (!n.ok() && n.status().IsNotFound()) return Pass(name);
+    if (sw.Elapsed() > Seconds(10)) return Fail(name, "namespace never finished deleting");
+    env.clock->SleepFor(Millis(10));
+  }
+}
+
+CheckResult ConformanceSuite::PodLifecycle(ConformanceEnv& env) {
+  const std::string name = "PodLifecycle";
+  const std::string ns = "conf-podlc";
+  if (Status st = EnsureNamespace(env, ns); !st.ok()) return Fail(name, st.ToString());
+  Result<api::Pod> created = env.server->Create(BasicPod(ns, "web-0"), env.ctx);
+  if (!created.ok()) return Fail(name, created.status().ToString());
+  Result<api::Pod> ready = WaitReady(env, ns, "web-0");
+  if (!ready.ok()) return Fail(name, ready.status().ToString());
+  if (ready->spec.node_name.empty()) return Fail(name, "ready pod has no nodeName");
+  if (ready->status.pod_ip.empty()) return Fail(name, "ready pod has no podIP");
+  if (ready->status.phase != api::PodPhase::kRunning) {
+    return Fail(name, "ready pod not Running");
+  }
+  // Node semantics: the pod's node must exist and expose a kubelet endpoint.
+  Result<api::Node> node = env.server->Get<api::Node>("", ready->spec.node_name, env.ctx);
+  if (!node.ok()) return Fail(name, "pod's node missing: " + node.status().ToString());
+  if (node->status.kubelet_endpoint.empty()) {
+    return Fail(name, "node has no kubelet endpoint");
+  }
+  if (Status st = env.server->Delete<api::Pod>(ns, "web-0", env.ctx); !st.ok()) {
+    return Fail(name, "delete: " + st.ToString());
+  }
+  Stopwatch sw(env.clock);
+  while (env.server->Get<api::Pod>(ns, "web-0", env.ctx).ok()) {
+    if (sw.Elapsed() > Seconds(10)) return Fail(name, "pod never deleted");
+    env.clock->SleepFor(Millis(10));
+  }
+  return Pass(name);
+}
+
+CheckResult ConformanceSuite::ConfigVolumes(ConformanceEnv& env) {
+  const std::string name = "ConfigVolumes";
+  const std::string ns = "conf-vols";
+  if (Status st = EnsureNamespace(env, ns); !st.ok()) return Fail(name, st.ToString());
+  api::Secret sec;
+  sec.meta.ns = ns;
+  sec.meta.name = "creds";
+  sec.data["token"] = "s3cr3t";
+  if (Result<api::Secret> r = env.server->Create(sec, env.ctx); !r.ok()) {
+    return Fail(name, r.status().ToString());
+  }
+  api::ConfigMap cm;
+  cm.meta.ns = ns;
+  cm.meta.name = "conf";
+  cm.data["mode"] = "fast";
+  if (Result<api::ConfigMap> r = env.server->Create(cm, env.ctx); !r.ok()) {
+    return Fail(name, r.status().ToString());
+  }
+  api::Pod pod = BasicPod(ns, "consumer");
+  pod.spec.volumes.push_back({"v-sec", "creds", "", ""});
+  pod.spec.volumes.push_back({"v-cm", "", "conf", ""});
+  if (Result<api::Pod> r = env.server->Create(pod, env.ctx); !r.ok()) {
+    return Fail(name, r.status().ToString());
+  }
+  Result<api::Pod> ready = WaitReady(env, ns, "consumer");
+  if (!ready.ok()) return Fail(name, "pod with volumes: " + ready.status().ToString());
+  return Pass(name);
+}
+
+CheckResult ConformanceSuite::ServiceEndpoints(ConformanceEnv& env) {
+  const std::string name = "ServiceEndpoints";
+  const std::string ns = "conf-svc";
+  if (Status st = EnsureNamespace(env, ns); !st.ok()) return Fail(name, st.ToString());
+  api::Service svc;
+  svc.meta.ns = ns;
+  svc.meta.name = "web";
+  svc.spec.selector = {{"app", "web"}};
+  svc.spec.ports = {{"http", 80, 8080, "TCP"}};
+  if (Result<api::Service> r = env.server->Create(svc, env.ctx); !r.ok()) {
+    return Fail(name, r.status().ToString());
+  }
+  for (int i = 0; i < 2; ++i) {
+    api::Pod pod = BasicPod(ns, "web-" + std::to_string(i));
+    pod.meta.labels["app"] = "web";
+    if (Result<api::Pod> r = env.server->Create(pod, env.ctx); !r.ok()) {
+      return Fail(name, r.status().ToString());
+    }
+  }
+  // The service must get a cluster IP and endpoints must converge to the two
+  // ready pod IPs.
+  Stopwatch sw(env.clock);
+  for (;;) {
+    Result<api::Service> s = env.server->Get<api::Service>(ns, "web", env.ctx);
+    Result<api::Endpoints> ep = env.server->Get<api::Endpoints>(ns, "web", env.ctx);
+    if (s.ok() && !s->spec.cluster_ip.empty() && ep.ok() && !ep->subsets.empty() &&
+        ep->subsets[0].addresses.size() == 2) {
+      return Pass(name);
+    }
+    if (sw.Elapsed() > env.pod_ready_timeout + Seconds(10)) {
+      std::string detail = "service/endpoints never converged";
+      if (s.ok() && s->spec.cluster_ip.empty()) detail += " (no clusterIP)";
+      if (ep.ok() && !ep->subsets.empty()) {
+        detail += StrFormat(" (endpoints=%zu)", ep->subsets[0].addresses.size());
+      }
+      return Fail(name, detail);
+    }
+    env.clock->SleepFor(Millis(10));
+  }
+}
+
+CheckResult ConformanceSuite::LogsAndExec(ConformanceEnv& env) {
+  const std::string name = "LogsAndExec";
+  if (!env.logs || !env.exec) return Fail(name, "environment provides no streaming API");
+  const std::string ns = "conf-stream";
+  if (Status st = EnsureNamespace(env, ns); !st.ok()) return Fail(name, st.ToString());
+  if (Result<api::Pod> r = env.server->Create(BasicPod(ns, "streamer"), env.ctx); !r.ok()) {
+    return Fail(name, r.status().ToString());
+  }
+  if (Result<api::Pod> ready = WaitReady(env, ns, "streamer"); !ready.ok()) {
+    return Fail(name, ready.status().ToString());
+  }
+  Result<std::string> logs = env.logs(ns, "streamer", "app");
+  if (!logs.ok()) return Fail(name, "logs: " + logs.status().ToString());
+  if (logs->find("started") == std::string::npos) {
+    return Fail(name, "logs missing container start line: " + *logs);
+  }
+  Result<std::string> exec = env.exec(ns, "streamer", "app", {"echo", "hello"});
+  if (!exec.ok()) return Fail(name, "exec: " + exec.status().ToString());
+  if (exec->find("echo hello") == std::string::npos) {
+    return Fail(name, "exec output unexpected: " + *exec);
+  }
+  return Pass(name);
+}
+
+CheckResult ConformanceSuite::AntiAffinitySpreads(ConformanceEnv& env) {
+  const std::string name = "AntiAffinitySpreads";
+  const std::string ns = "conf-aa";
+  if (Status st = EnsureNamespace(env, ns); !st.ok()) return Fail(name, st.ToString());
+  for (int i = 0; i < 2; ++i) {
+    api::Pod pod = BasicPod(ns, "aa-" + std::to_string(i));
+    pod.meta.labels["group"] = "aa";
+    api::PodAffinityTerm term;
+    term.selector = api::LabelSelector::FromMap({{"group", "aa"}});
+    pod.spec.required_anti_affinity.push_back(term);
+    if (Result<api::Pod> r = env.server->Create(pod, env.ctx); !r.ok()) {
+      return Fail(name, r.status().ToString());
+    }
+  }
+  Result<api::Pod> a = WaitReady(env, ns, "aa-0");
+  if (!a.ok()) return Fail(name, a.status().ToString());
+  Result<api::Pod> b = WaitReady(env, ns, "aa-1");
+  if (!b.ok()) return Fail(name, b.status().ToString());
+  if (a->spec.node_name == b->spec.node_name) {
+    return Fail(name, "anti-affine pods share node " + a->spec.node_name);
+  }
+  // The Fig. 6 property: BOTH nodes are visible in this cluster's view, so
+  // the user can verify the constraint was honoured.
+  for (const std::string& node : {a->spec.node_name, b->spec.node_name}) {
+    if (!env.server->Get<api::Node>("", node, env.ctx).ok()) {
+      return Fail(name, "node " + node + " invisible in cluster view");
+    }
+  }
+  return Pass(name);
+}
+
+CheckResult ConformanceSuite::NamespaceIsolationOfListing(ConformanceEnv& env) {
+  const std::string name = "NamespaceListIsOwnClusterOnly";
+  // Every namespace visible through this cluster view must be one this
+  // cluster's user created (plus the built-ins) — no foreign tenants' names.
+  Result<apiserver::TypedList<api::NamespaceObj>> all =
+      env.server->List<api::NamespaceObj>("", env.ctx);
+  if (!all.ok()) return Fail(name, all.status().ToString());
+  for (const auto& n : all->items) {
+    if (StartsWith(n.meta.name, "foreign-tenant-")) {
+      return Fail(name, "leaked foreign namespace: " + n.meta.name);
+    }
+  }
+  return Pass(name);
+}
+
+CheckResult ConformanceSuite::PodSubdomain(ConformanceEnv& env) {
+  const std::string name = "PodSubdomain";
+  if (!env.runtime_domain) return Fail(name, "environment provides no runtime domain");
+  const std::string ns = "conf-subdomain";
+  if (Status st = EnsureNamespace(env, ns); !st.ok()) return Fail(name, st.ToString());
+  api::Pod pod = BasicPod(ns, "sub-0");
+  pod.spec.hostname = "sub-0";
+  pod.spec.subdomain = "headless";
+  if (Result<api::Pod> r = env.server->Create(pod, env.ctx); !r.ok()) {
+    return Fail(name, r.status().ToString());
+  }
+  if (Result<api::Pod> ready = WaitReady(env, ns, "sub-0"); !ready.ok()) {
+    return Fail(name, ready.status().ToString());
+  }
+  Result<std::string> domain = env.runtime_domain(ns, "sub-0");
+  if (!domain.ok()) return Fail(name, domain.status().ToString());
+  const std::string want = "sub-0.headless." + ns + ".svc.cluster.local";
+  if (*domain != want) {
+    CheckResult r = Fail(name, "runtime domain is '" + *domain + "', want '" + want + "'");
+    // This is the paper's single documented conformance gap: the super
+    // cluster runs the pod under the prefixed namespace, so the DNS domain
+    // cannot match the tenant-specified subdomain.
+    r.expected_to_fail_in_vc = true;
+    return r;
+  }
+  return Pass(name);
+}
+
+}  // namespace vc::core

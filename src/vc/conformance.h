@@ -1,0 +1,73 @@
+// Behavioural-equivalence ("conformance") harness. The paper claims:
+//   "We have verified that VirtualCluster can pass all Kubernetes
+//    conformance tests except one. The failed test requires the super
+//    cluster to use the subdomain name specified in the tenant control
+//    plane. This cannot be supported in the current design."
+//
+// This suite runs the same API scenarios against any cluster-shaped
+// environment — a plain cluster or a tenant view — and reports pass/fail per
+// check. The subdomain check is expected to fail only in the tenant view,
+// reproducing the paper's single documented gap.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apiserver/apiserver.h"
+
+namespace vc::core {
+
+// How the suite talks to "a cluster". For a plain cluster these map straight
+// to the super apiserver + kubelet registry; for a tenant they go through the
+// TenantClient (vNode → vn-agent proxy path).
+struct ConformanceEnv {
+  std::string description;
+  apiserver::APIServer* server = nullptr;
+  apiserver::RequestContext ctx;
+  Clock* clock = RealClock::Get();
+  Duration pod_ready_timeout = Seconds(15);
+
+  std::function<Result<std::string>(const std::string& ns, const std::string& pod,
+                                    const std::string& container)>
+      logs;
+  std::function<Result<std::string>(const std::string& ns, const std::string& pod,
+                                    const std::string& container,
+                                    const std::vector<std::string>& command)>
+      exec;
+  // The DNS domain the runtime actually configures for a pod:
+  // "<ns>.svc.cluster.local" of the cluster the pod RUNS in. In
+  // VirtualCluster the super cluster uses the prefixed namespace, which is
+  // what breaks the subdomain conformance test.
+  std::function<Result<std::string>(const std::string& ns, const std::string& pod)>
+      runtime_domain;
+};
+
+struct CheckResult {
+  std::string name;
+  bool passed = false;
+  bool expected_to_fail_in_vc = false;  // the documented subdomain gap
+  std::string detail;
+};
+
+class ConformanceSuite {
+ public:
+  // Runs every check; checks are independent (each uses its own namespace).
+  std::vector<CheckResult> Run(ConformanceEnv& env);
+
+  static int PassedCount(const std::vector<CheckResult>& results);
+  static std::string Render(const std::vector<CheckResult>& results,
+                            const std::string& env_description);
+
+ private:
+  CheckResult NamespaceLifecycle(ConformanceEnv& env);
+  CheckResult PodLifecycle(ConformanceEnv& env);
+  CheckResult ConfigVolumes(ConformanceEnv& env);
+  CheckResult ServiceEndpoints(ConformanceEnv& env);
+  CheckResult LogsAndExec(ConformanceEnv& env);
+  CheckResult AntiAffinitySpreads(ConformanceEnv& env);
+  CheckResult NamespaceIsolationOfListing(ConformanceEnv& env);
+  CheckResult PodSubdomain(ConformanceEnv& env);
+};
+
+}  // namespace vc::core

@@ -1,0 +1,82 @@
+#include "vc/deployment.h"
+
+namespace vc::core {
+
+VcDeployment::VcDeployment(Options opts) : opts_(std::move(opts)) {
+  super_ = std::make_unique<SuperCluster>(opts_.super);
+
+  Syncer::Options so;
+  so.super_server = &super_->server();
+  so.clock = opts_.super.clock;
+  so.downward_workers = opts_.downward_workers;
+  so.upward_workers = opts_.upward_workers;
+  so.fair_queuing = opts_.fair_queuing;
+  so.periodic_scan = opts_.periodic_scan;
+  so.scan_interval = opts_.scan_interval;
+  so.downward_op_cost = opts_.downward_op_cost;
+  so.upward_op_cost = opts_.upward_op_cost;
+  so.heartbeat_broadcast_period = opts_.heartbeat_broadcast_period;
+  syncer_ = std::make_unique<Syncer>(std::move(so));
+
+  TenantOperator::Options to;
+  to.super_server = &super_->server();
+  to.clock = opts_.super.clock;
+  to.syncer = syncer_.get();
+  to.cloud_provision_delay = opts_.cloud_provision_delay;
+  to.local_provision_delay = opts_.local_provision_delay;
+  to.tenant_controllers = opts_.tenant_controllers;
+  operator_ = std::make_unique<TenantOperator>(std::move(to));
+}
+
+VcDeployment::~VcDeployment() { Stop(); }
+
+Status VcDeployment::Start() {
+  if (started_) return OkStatus();
+  started_ = true;
+  VC_RETURN_IF_ERROR(super_->Start());
+  syncer_->Start();
+  operator_->Start();
+  return OkStatus();
+}
+
+void VcDeployment::Stop() {
+  if (!started_) return;
+  started_ = false;
+  operator_->Stop();
+  // Tear down tenant control planes before the syncer so informers see
+  // clean shutdowns.
+  syncer_->Stop();
+  for (const std::string& id : operator_->tenants().Ids()) {
+    if (auto tcp = operator_->tenants().Remove(id)) tcp->Stop();
+  }
+  super_->Stop();
+}
+
+bool VcDeployment::WaitForSync(Duration timeout) {
+  return super_->WaitForSync(timeout) && operator_->WaitForSync(timeout) &&
+         syncer_->WaitForSync(timeout);
+}
+
+Result<std::shared_ptr<TenantControlPlane>> VcDeployment::CreateTenant(
+    const std::string& name, int weight, const std::string& mode, Duration timeout) {
+  VirtualClusterObj vc;
+  vc.meta.ns = "default";
+  vc.meta.name = name;
+  vc.provision_mode = mode;
+  vc.weight = weight;
+  vc.client_qps = 0;  // unlimited unless a bench opts in
+  Result<VirtualClusterObj> created = super_->server().Create(std::move(vc));
+  if (!created.ok() && !created.status().IsAlreadyExists()) return created.status();
+  if (!operator_->WaitForRunning("default", name, timeout)) {
+    return TimeoutError("tenant " + name + " did not reach Running");
+  }
+  std::shared_ptr<TenantControlPlane> tcp = operator_->tenants().Get(name);
+  if (!tcp) return InternalError("tenant " + name + " running but not registered");
+  return tcp;
+}
+
+Status VcDeployment::DeleteTenant(const std::string& name) {
+  return super_->server().Delete<VirtualClusterObj>("default", name);
+}
+
+}  // namespace vc::core

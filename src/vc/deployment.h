@@ -1,0 +1,65 @@
+// VcDeployment: the full VirtualCluster system of the paper's Fig. 4 in one
+// object — a SuperCluster plus the syncer and the tenant operator — with a
+// small API for creating/deleting tenants. Examples, tests and the benchmark
+// harnesses all build on this.
+#pragma once
+
+#include "vc/cluster.h"
+#include "vc/syncer/syncer.h"
+#include "vc/tenant_client.h"
+#include "vc/tenant_operator.h"
+
+namespace vc::core {
+
+class VcDeployment {
+ public:
+  struct Options {
+    SuperCluster::Options super;
+    // Syncer knobs (super_server/clock are wired automatically).
+    int downward_workers = 20;
+    int upward_workers = 100;
+    bool fair_queuing = true;
+    bool periodic_scan = true;
+    Duration scan_interval = Seconds(60);
+    Duration downward_op_cost = Millis(12);
+    Duration upward_op_cost = Millis(120);
+    Duration heartbeat_broadcast_period = Seconds(5);
+    // Operator knobs.
+    Duration cloud_provision_delay = Millis(500);
+    Duration local_provision_delay = Millis(20);
+    bool tenant_controllers = true;
+  };
+
+  explicit VcDeployment(Options opts);
+  ~VcDeployment();
+
+  Status Start();
+  void Stop();
+  bool WaitForSync(Duration timeout);
+
+  SuperCluster& super() { return *super_; }
+  Syncer& syncer() { return *syncer_; }
+  TenantOperator& tenant_operator() { return *operator_; }
+
+  // Creates a VirtualCluster object and waits for the operator to provision
+  // the tenant control plane and register it with the syncer.
+  Result<std::shared_ptr<TenantControlPlane>> CreateTenant(
+      const std::string& name, int weight = 1, const std::string& mode = "Local",
+      Duration timeout = Seconds(30));
+
+  // Initiates tenant deletion (control plane teardown + shadow cleanup).
+  Status DeleteTenant(const std::string& name);
+
+  std::shared_ptr<TenantControlPlane> Tenant(const std::string& name) {
+    return operator_->tenants().Get(name);
+  }
+
+ private:
+  Options opts_;
+  std::unique_ptr<SuperCluster> super_;
+  std::unique_ptr<Syncer> syncer_;
+  std::unique_ptr<TenantOperator> operator_;
+  bool started_ = false;
+};
+
+}  // namespace vc::core

@@ -1,0 +1,100 @@
+#include "vc/multi_super.h"
+
+namespace vc::core {
+
+MultiSuperDeployment::MultiSuperDeployment(Options opts) : opts_(std::move(opts)) {
+  for (int i = 0; i < std::max(1, opts_.super_clusters); ++i) {
+    VcDeployment::Options per = opts_.per_super;
+    per.super.node_prefix = StrFormat("sc%d-node-", i);
+    supers_.push_back(std::make_unique<VcDeployment>(std::move(per)));
+  }
+}
+
+MultiSuperDeployment::~MultiSuperDeployment() { Stop(); }
+
+Status MultiSuperDeployment::Start() {
+  for (auto& s : supers_) {
+    VC_RETURN_IF_ERROR(s->Start());
+  }
+  return OkStatus();
+}
+
+void MultiSuperDeployment::Stop() {
+  for (auto& s : supers_) s->Stop();
+}
+
+bool MultiSuperDeployment::WaitForSync(Duration timeout) {
+  for (auto& s : supers_) {
+    if (!s->WaitForSync(timeout)) return false;
+  }
+  return true;
+}
+
+int MultiSuperDeployment::PickSuper() const {
+  // Capacity signal: pods per node (the autoscaling headroom the paper's
+  // discussion is about). Fewest wins; tenant count breaks ties.
+  int best = 0;
+  double best_load = 1e18;
+  for (size_t i = 0; i < supers_.size(); ++i) {
+    Result<apiserver::TypedList<api::Pod>> pods =
+        supers_[i]->super().server().List<api::Pod>();
+    size_t pod_count = pods.ok() ? pods->items.size() : 0;
+    int nodes = supers_[i]->super().options().num_nodes;
+    size_t tenant_count = 0;
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      for (const auto& [t, idx] : placement_) tenant_count += idx == static_cast<int>(i);
+    }
+    double load = static_cast<double>(pod_count) / std::max(1, nodes) +
+                  0.01 * static_cast<double>(tenant_count);
+    if (load < best_load) {
+      best_load = load;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+Result<std::shared_ptr<TenantControlPlane>> MultiSuperDeployment::CreateTenant(
+    const std::string& name, Duration timeout) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (placement_.count(name)) {
+      return AlreadyExistsError("tenant " + name + " already placed");
+    }
+  }
+  int target = PickSuper();
+  Result<std::shared_ptr<TenantControlPlane>> tcp =
+      supers_[static_cast<size_t>(target)]->CreateTenant(name, 1, "Local", timeout);
+  if (!tcp.ok()) return tcp.status();
+  std::lock_guard<std::mutex> l(mu_);
+  placement_[name] = target;
+  return tcp;
+}
+
+Status MultiSuperDeployment::DeleteTenant(const std::string& name) {
+  int idx;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = placement_.find(name);
+    if (it == placement_.end()) return NotFoundError("tenant " + name + " unknown");
+    idx = it->second;
+    placement_.erase(it);
+  }
+  return supers_[static_cast<size_t>(idx)]->DeleteTenant(name);
+}
+
+int MultiSuperDeployment::SuperOf(const std::string& tenant) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = placement_.find(tenant);
+  return it == placement_.end() ? -1 : it->second;
+}
+
+std::vector<size_t> MultiSuperDeployment::TenantsPerSuper() const {
+  std::vector<size_t> out(supers_.size(), 0);
+  std::lock_guard<std::mutex> l(mu_);
+  for (const auto& [t, idx] : placement_) out[static_cast<size_t>(idx)]++;
+  return out;
+}
+
+}  // namespace vc::core

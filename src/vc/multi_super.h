@@ -1,0 +1,59 @@
+// MultiSuperDeployment: the paper's third future-work item (§V "Supporting
+// multiple super clusters"), implemented.
+//
+//   "In cases where worker nodes cannot be automatically added to or removed
+//    from a super cluster, supporting multiple super clusters is an option to
+//    break through the capacity limitation of a single super cluster. ... In
+//    VirtualCluster, the users would not be aware of multiple super clusters."
+//
+// Each super cluster runs its own scheduler/kubelets/syncer/operator; a
+// capacity-aware placer assigns every new tenant to the super cluster with
+// the most remaining headroom. Tenants receive a TenantControlPlane exactly
+// as in the single-super case — which super cluster hosts their pods is
+// invisible to them (unlike kubefed, where users see all member clusters).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "vc/deployment.h"
+
+namespace vc::core {
+
+class MultiSuperDeployment {
+ public:
+  struct Options {
+    int super_clusters = 2;
+    VcDeployment::Options per_super;  // template for each super cluster
+  };
+
+  explicit MultiSuperDeployment(Options opts);
+  ~MultiSuperDeployment();
+
+  Status Start();
+  void Stop();
+  bool WaitForSync(Duration timeout);
+
+  // Places the tenant on the super cluster with the most free capacity
+  // (fewest tenant pods per node). The caller cannot tell — and does not
+  // need to know — which one was picked.
+  Result<std::shared_ptr<TenantControlPlane>> CreateTenant(const std::string& name,
+                                                           Duration timeout = Seconds(30));
+  Status DeleteTenant(const std::string& name);
+
+  // Introspection for tests/operators (NOT part of the tenant surface).
+  int SuperOf(const std::string& tenant) const;
+  size_t super_count() const { return supers_.size(); }
+  VcDeployment& super(size_t i) { return *supers_[i]; }
+  std::vector<size_t> TenantsPerSuper() const;
+
+ private:
+  int PickSuper() const;
+
+  Options opts_;
+  std::vector<std::unique_ptr<VcDeployment>> supers_;
+  mutable std::mutex mu_;
+  std::map<std::string, int> placement_;
+};
+
+}  // namespace vc::core

@@ -1,0 +1,7 @@
+#include "vc/syncer/conversion.h"
+
+// Conversion is header-only (templates); this translation unit exists to give
+// the build a home for any future out-of-line conversion logic and to force a
+// standalone compile of the header.
+
+namespace vc::core {}  // namespace vc::core

@@ -1,0 +1,897 @@
+#include "vc/syncer/syncer.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+
+namespace vc::core {
+
+namespace {
+
+constexpr char kFieldSep = '\x1f';
+
+std::pair<std::string, std::string> SplitKind(const std::string& queue_key) {
+  size_t bar = queue_key.find('|');
+  if (bar == std::string::npos) return {queue_key, ""};
+  return {queue_key.substr(0, bar), queue_key.substr(bar + 1)};
+}
+
+std::pair<std::string, std::string> SplitNsName(const std::string& key) {
+  size_t slash = key.find('/');
+  if (slash == std::string::npos) return {"", key};
+  return {key.substr(0, slash), key.substr(slash + 1)};
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- construction
+
+std::shared_ptr<void> Syncer::CpuToken() {
+  return std::make_shared<CpuTimeGroup::Member>(&cpu_);
+}
+
+template <typename T>
+typename client::SharedInformer<T>::Options Syncer::InformerOptions() {
+  typename client::SharedInformer<T>::Options o;
+  o.clock = opts_.clock;
+  o.thread_hook = [this] { return CpuToken(); };
+  return o;
+}
+
+Syncer::Syncer(Options opts)
+    : opts_(std::move(opts)),
+      downward_queue_([&] {
+        client::FairQueue::Options qo;
+        qo.fair = opts_.fair_queuing;
+        qo.clock = opts_.clock;
+        return qo;
+      }()),
+      upward_queue_([&] {
+        client::FairQueue::Options qo;
+        qo.fair = false;  // plain FIFO (paper: fair queuing is downward only)
+        qo.clock = opts_.clock;
+        return qo;
+      }()) {
+  retry_queue_ = std::make_unique<client::DelayingQueue>(opts_.clock);
+  apiserver::APIServer* super = opts_.super_server;
+
+  super_pods_ = std::make_unique<client::SharedInformer<api::Pod>>(
+      client::ListerWatcher<api::Pod>(super), InformerOptions<api::Pod>());
+  super_namespaces_ = std::make_unique<client::SharedInformer<api::NamespaceObj>>(
+      client::ListerWatcher<api::NamespaceObj>(super),
+      InformerOptions<api::NamespaceObj>());
+  super_services_ = std::make_unique<client::SharedInformer<api::Service>>(
+      client::ListerWatcher<api::Service>(super), InformerOptions<api::Service>());
+  super_secrets_ = std::make_unique<client::SharedInformer<api::Secret>>(
+      client::ListerWatcher<api::Secret>(super), InformerOptions<api::Secret>());
+  super_configmaps_ = std::make_unique<client::SharedInformer<api::ConfigMap>>(
+      client::ListerWatcher<api::ConfigMap>(super), InformerOptions<api::ConfigMap>());
+  super_serviceaccounts_ = std::make_unique<client::SharedInformer<api::ServiceAccount>>(
+      client::ListerWatcher<api::ServiceAccount>(super),
+      InformerOptions<api::ServiceAccount>());
+  super_pvcs_ = std::make_unique<client::SharedInformer<api::PersistentVolumeClaim>>(
+      client::ListerWatcher<api::PersistentVolumeClaim>(super),
+      InformerOptions<api::PersistentVolumeClaim>());
+  super_nodes_ = std::make_unique<client::SharedInformer<api::Node>>(
+      client::ListerWatcher<api::Node>(super), InformerOptions<api::Node>());
+
+  // Upward path: super pod events drive status back-population and vNode
+  // lifecycle. Tenant identity rides on the shadow's annotations.
+  client::EventHandlers<api::Pod> up;
+  up.on_add = [this](const api::Pod& pod) {
+    std::optional<Origin> origin = OriginOf(pod);
+    if (!origin) return;
+    upward_queue_.Add(origin->tenant_id, "Pod|" + pod.meta.FullName());
+  };
+  up.on_update = [this](const api::Pod& old_pod, const api::Pod& new_pod) {
+    std::optional<Origin> origin = OriginOf(new_pod);
+    if (!origin) return;
+    const std::string key = new_pod.meta.FullName();
+    if (!old_pod.status.Ready() && new_pod.status.Ready()) {
+      // End of the Super-Sched phase: the shadow pod reached Ready.
+      if (std::optional<TimePoint> t0 = metrics_.TakeDownwardDone(key)) {
+        metrics_.super_sched.Record(opts_.clock->Now() - *t0);
+      }
+    }
+    upward_queue_.Add(origin->tenant_id, "Pod|" + key);
+  };
+  up.on_delete = [this](const api::Pod& pod) {
+    std::optional<Origin> origin = OriginOf(pod);
+    if (!origin) return;
+    const std::string key = pod.meta.FullName();
+    (void)metrics_.TakeDownwardDone(key);  // create raced with delete
+    if (!pod.spec.node_name.empty()) {
+      GoneInfo info;
+      info.tenant = origin->tenant_id;
+      info.tenant_pod_key = origin->tenant_ns + "/" + pod.meta.name;
+      info.node = pod.spec.node_name;
+      {
+        std::lock_guard<std::mutex> l(gone_mu_);
+        pending_gone_[key] = std::move(info);
+      }
+      upward_queue_.Add(origin->tenant_id, "PodGone|" + key);
+    }
+  };
+  super_pods_->AddHandlers(std::move(up));
+}
+
+Syncer::~Syncer() { Stop(); }
+
+// --------------------------------------------------------- informer lookup
+
+template <typename T>
+client::SharedInformer<T>* Syncer::TenantInformer(TenantState& ts) {
+  if constexpr (std::is_same_v<T, api::Pod>) return ts.pods.get();
+  else if constexpr (std::is_same_v<T, api::NamespaceObj>) return ts.namespaces.get();
+  else if constexpr (std::is_same_v<T, api::Service>) return ts.services.get();
+  else if constexpr (std::is_same_v<T, api::Secret>) return ts.secrets.get();
+  else if constexpr (std::is_same_v<T, api::ConfigMap>) return ts.configmaps.get();
+  else if constexpr (std::is_same_v<T, api::ServiceAccount>) return ts.serviceaccounts.get();
+  else if constexpr (std::is_same_v<T, api::PersistentVolumeClaim>) return ts.pvcs.get();
+  else return nullptr;
+}
+
+template <typename T>
+client::SharedInformer<T>* Syncer::SuperInformer() {
+  if constexpr (std::is_same_v<T, api::Pod>) return super_pods_.get();
+  else if constexpr (std::is_same_v<T, api::NamespaceObj>) return super_namespaces_.get();
+  else if constexpr (std::is_same_v<T, api::Service>) return super_services_.get();
+  else if constexpr (std::is_same_v<T, api::Secret>) return super_secrets_.get();
+  else if constexpr (std::is_same_v<T, api::ConfigMap>) return super_configmaps_.get();
+  else if constexpr (std::is_same_v<T, api::ServiceAccount>)
+    return super_serviceaccounts_.get();
+  else if constexpr (std::is_same_v<T, api::PersistentVolumeClaim>)
+    return super_pvcs_.get();
+  else return nullptr;
+}
+
+template <typename T>
+void Syncer::WireTenantHandlers(TenantState& ts, client::SharedInformer<T>* informer) {
+  const std::string tenant = ts.map.tenant_id;
+  client::EventHandlers<T> h;
+  h.on_add = [this, tenant](const T& obj) {
+    downward_queue_.Add(tenant, std::string(T::kKind) + "|" + obj.meta.FullName());
+  };
+  h.on_update = [this, tenant](const T&, const T& obj) {
+    downward_queue_.Add(tenant, std::string(T::kKind) + "|" + obj.meta.FullName());
+  };
+  h.on_delete = [this, tenant](const T& obj) {
+    downward_queue_.Add(tenant, std::string(T::kKind) + "|" + obj.meta.FullName());
+  };
+  informer->AddHandlers(std::move(h));
+}
+
+// ------------------------------------------------------------ tenant attach
+
+void Syncer::AttachTenant(const VirtualClusterObj& vc, TenantControlPlane* tcp) {
+  auto ts = std::make_shared<TenantState>();
+  ts->map = TenantMapping::ForVc(vc.meta.name, vc.meta.uid);
+  ts->tcp = tcp;
+  ts->weight = std::max(1, vc.weight);
+  apiserver::APIServer* server = &tcp->server();
+
+  ts->pods = std::make_unique<client::SharedInformer<api::Pod>>(
+      client::ListerWatcher<api::Pod>(server), InformerOptions<api::Pod>());
+  ts->namespaces = std::make_unique<client::SharedInformer<api::NamespaceObj>>(
+      client::ListerWatcher<api::NamespaceObj>(server),
+      InformerOptions<api::NamespaceObj>());
+  ts->services = std::make_unique<client::SharedInformer<api::Service>>(
+      client::ListerWatcher<api::Service>(server), InformerOptions<api::Service>());
+  ts->secrets = std::make_unique<client::SharedInformer<api::Secret>>(
+      client::ListerWatcher<api::Secret>(server), InformerOptions<api::Secret>());
+  ts->configmaps = std::make_unique<client::SharedInformer<api::ConfigMap>>(
+      client::ListerWatcher<api::ConfigMap>(server), InformerOptions<api::ConfigMap>());
+  ts->serviceaccounts = std::make_unique<client::SharedInformer<api::ServiceAccount>>(
+      client::ListerWatcher<api::ServiceAccount>(server),
+      InformerOptions<api::ServiceAccount>());
+  ts->pvcs = std::make_unique<client::SharedInformer<api::PersistentVolumeClaim>>(
+      client::ListerWatcher<api::PersistentVolumeClaim>(server),
+      InformerOptions<api::PersistentVolumeClaim>());
+
+  WireTenantHandlers(*ts, ts->pods.get());
+  WireTenantHandlers(*ts, ts->namespaces.get());
+  WireTenantHandlers(*ts, ts->services.get());
+  WireTenantHandlers(*ts, ts->secrets.get());
+  WireTenantHandlers(*ts, ts->configmaps.get());
+  WireTenantHandlers(*ts, ts->serviceaccounts.get());
+  WireTenantHandlers(*ts, ts->pvcs.get());
+
+  downward_queue_.RegisterTenant(ts->map.tenant_id, ts->weight);
+  bool start_now;
+  {
+    std::lock_guard<std::mutex> l(tenants_mu_);
+    tenants_[ts->map.tenant_id] = ts;
+    start_now = started_.load();
+  }
+  if (start_now) {
+    ts->pods->Start();
+    ts->namespaces->Start();
+    ts->services->Start();
+    ts->secrets->Start();
+    ts->configmaps->Start();
+    ts->serviceaccounts->Start();
+    ts->pvcs->Start();
+  }
+}
+
+void Syncer::DetachTenant(const std::string& tenant_id) {
+  TenantPtr ts;
+  {
+    std::lock_guard<std::mutex> l(tenants_mu_);
+    auto it = tenants_.find(tenant_id);
+    if (it == tenants_.end()) return;
+    ts = it->second;
+    tenants_.erase(it);
+  }
+  downward_queue_.UnregisterTenant(tenant_id);
+  vnodes_.ForgetTenant(tenant_id);
+  ts->pods->Stop();
+  ts->namespaces->Stop();
+  ts->services->Stop();
+  ts->secrets->Stop();
+  ts->configmaps->Stop();
+  ts->serviceaccounts->Stop();
+  ts->pvcs->Stop();
+}
+
+std::vector<std::string> Syncer::Tenants() const {
+  std::lock_guard<std::mutex> l(tenants_mu_);
+  std::vector<std::string> out;
+  for (const auto& [id, ts] : tenants_) out.push_back(id);
+  return out;
+}
+
+TenantMapping Syncer::MappingOf(const std::string& tenant_id) const {
+  TenantPtr ts = GetTenant(tenant_id);
+  return ts ? ts->map : TenantMapping{};
+}
+
+Syncer::TenantPtr Syncer::GetTenant(const std::string& id) const {
+  std::lock_guard<std::mutex> l(tenants_mu_);
+  auto it = tenants_.find(id);
+  return it == tenants_.end() ? nullptr : it->second;
+}
+
+// --------------------------------------------------------------- lifecycle
+
+void Syncer::Start() {
+  if (started_.exchange(true)) return;
+  stop_.store(false);
+
+  super_pods_->Start();
+  super_namespaces_->Start();
+  super_services_->Start();
+  super_secrets_->Start();
+  super_configmaps_->Start();
+  super_serviceaccounts_->Start();
+  super_pvcs_->Start();
+  super_nodes_->Start();
+
+  std::vector<TenantPtr> snapshot;
+  {
+    std::lock_guard<std::mutex> l(tenants_mu_);
+    for (auto& [id, ts] : tenants_) snapshot.push_back(ts);
+  }
+  for (TenantPtr& ts : snapshot) {
+    ts->pods->Start();
+    ts->namespaces->Start();
+    ts->services->Start();
+    ts->secrets->Start();
+    ts->configmaps->Start();
+    ts->serviceaccounts->Start();
+    ts->pvcs->Start();
+  }
+
+  for (int i = 0; i < opts_.downward_workers; ++i) {
+    downward_threads_.emplace_back([this] { DownwardWorker(); });
+  }
+  for (int i = 0; i < opts_.upward_workers; ++i) {
+    upward_threads_.emplace_back([this] { UpwardWorker(); });
+  }
+  retry_thread_ = std::thread([this] { RetryPump(); });
+  heartbeat_thread_ = std::thread([this] { HeartbeatLoop(); });
+  if (opts_.periodic_scan) {
+    scan_thread_ = std::thread([this] { ScanLoop(); });
+  }
+}
+
+void Syncer::Stop() {
+  if (!started_.exchange(false)) return;
+  stop_.store(true);
+  downward_queue_.ShutDown();
+  upward_queue_.ShutDown();
+  retry_queue_->ShutDown();
+  for (auto& t : downward_threads_) {
+    if (t.joinable()) t.join();
+  }
+  downward_threads_.clear();
+  for (auto& t : upward_threads_) {
+    if (t.joinable()) t.join();
+  }
+  upward_threads_.clear();
+  if (retry_thread_.joinable()) retry_thread_.join();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  if (scan_thread_.joinable()) scan_thread_.join();
+
+  std::vector<TenantPtr> snapshot;
+  {
+    std::lock_guard<std::mutex> l(tenants_mu_);
+    for (auto& [id, ts] : tenants_) snapshot.push_back(ts);
+  }
+  for (TenantPtr& ts : snapshot) {
+    ts->pods->Stop();
+    ts->namespaces->Stop();
+    ts->services->Stop();
+    ts->secrets->Stop();
+    ts->configmaps->Stop();
+    ts->serviceaccounts->Stop();
+    ts->pvcs->Stop();
+  }
+  super_pods_->Stop();
+  super_namespaces_->Stop();
+  super_services_->Stop();
+  super_secrets_->Stop();
+  super_configmaps_->Stop();
+  super_serviceaccounts_->Stop();
+  super_pvcs_->Stop();
+  super_nodes_->Stop();
+}
+
+bool Syncer::WaitForSync(Duration timeout) {
+  Stopwatch sw(opts_.clock);
+  auto remaining = [&] {
+    Duration left = timeout - sw.Elapsed();
+    return left > Duration::zero() ? left : Millis(1);
+  };
+  if (!super_pods_->WaitForSync(remaining()) ||
+      !super_namespaces_->WaitForSync(remaining()) ||
+      !super_services_->WaitForSync(remaining()) ||
+      !super_secrets_->WaitForSync(remaining()) ||
+      !super_configmaps_->WaitForSync(remaining()) ||
+      !super_serviceaccounts_->WaitForSync(remaining()) ||
+      !super_pvcs_->WaitForSync(remaining()) || !super_nodes_->WaitForSync(remaining())) {
+    return false;
+  }
+  std::vector<TenantPtr> snapshot;
+  {
+    std::lock_guard<std::mutex> l(tenants_mu_);
+    for (auto& [id, ts] : tenants_) snapshot.push_back(ts);
+  }
+  for (TenantPtr& ts : snapshot) {
+    if (!ts->pods->WaitForSync(remaining()) || !ts->namespaces->WaitForSync(remaining()) ||
+        !ts->services->WaitForSync(remaining()) ||
+        !ts->secrets->WaitForSync(remaining()) ||
+        !ts->configmaps->WaitForSync(remaining()) ||
+        !ts->serviceaccounts->WaitForSync(remaining()) ||
+        !ts->pvcs->WaitForSync(remaining())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ------------------------------------------------------------ downward path
+
+void Syncer::DownwardWorker() {
+  CpuTimeGroup::Member cpu_member(&cpu_);
+  while (auto item = downward_queue_.Get()) {
+    TimePoint dequeue = opts_.clock->Now();
+    bool done = DispatchDownward(*item, dequeue);
+    if (!done) {
+      retry_queue_->AddAfter(std::string("D") + kFieldSep + item->tenant + kFieldSep +
+                                 item->key,
+                             Millis(25));
+    }
+    downward_queue_.Done(*item);
+  }
+}
+
+bool Syncer::DispatchDownward(const client::FairQueue::Item& item, TimePoint dequeue) {
+  TenantPtr ts = GetTenant(item.tenant);
+  if (!ts) return true;  // tenant detached; drop
+  auto [kind, key] = SplitKind(item.key);
+
+  DownResult r = DownResult::kNoop;
+  Stopwatch process(opts_.clock);
+  if (kind == api::Pod::kKind) {
+    r = SyncDownObj<api::Pod>(*ts, key);
+    if (r == DownResult::kCreated) {
+      // Phase metrics are recorded for the creation path only (Fig. 8).
+      metrics_.dws_queue.Record(dequeue - item.enqueue_time);
+      metrics_.dws_process.Record(process.Elapsed());
+    }
+  } else if (kind == api::NamespaceObj::kKind) {
+    r = SyncDownObj<api::NamespaceObj>(*ts, key);
+  } else if (kind == api::Service::kKind) {
+    r = SyncDownObj<api::Service>(*ts, key);
+  } else if (kind == api::Secret::kKind) {
+    r = SyncDownObj<api::Secret>(*ts, key);
+  } else if (kind == api::ConfigMap::kKind) {
+    r = SyncDownObj<api::ConfigMap>(*ts, key);
+  } else if (kind == api::ServiceAccount::kKind) {
+    r = SyncDownObj<api::ServiceAccount>(*ts, key);
+  } else if (kind == api::PersistentVolumeClaim::kKind) {
+    r = SyncDownObj<api::PersistentVolumeClaim>(*ts, key);
+  }
+
+  switch (r) {
+    case DownResult::kCreated: metrics_.downward_creates.fetch_add(1); break;
+    case DownResult::kUpdated: metrics_.downward_updates.fetch_add(1); break;
+    case DownResult::kDeleted: metrics_.downward_deletes.fetch_add(1); break;
+    case DownResult::kNoop: metrics_.downward_noops.fetch_add(1); break;
+    case DownResult::kRetry: return false;
+  }
+  return true;
+}
+
+template <typename T>
+Syncer::DownResult Syncer::SyncDownObj(TenantState& ts, const std::string& tenant_key) {
+  client::SharedInformer<T>* tinf = TenantInformer<T>(ts);
+  client::SharedInformer<T>* sinf = SuperInformer<T>();
+  auto tenant_obj = tinf->cache().GetByKey(tenant_key);
+
+  std::string tenant_ns, name;
+  std::string super_ns, super_key;
+  if constexpr (std::is_same_v<T, api::NamespaceObj>) {
+    name = tenant_key;
+    super_key = ts.map.SuperNamespace(name);  // cluster-scoped: key == name
+  } else {
+    std::tie(tenant_ns, name) = SplitNsName(tenant_key);
+    super_ns = ts.map.SuperNamespace(tenant_ns);
+    super_key = super_ns + "/" + name;
+  }
+
+  // ----- deletion path: tenant object gone or terminating → remove shadow.
+  if (!tenant_obj || tenant_obj->meta.deleting()) {
+    std::string del_ns, del_name;
+    if constexpr (std::is_same_v<T, api::NamespaceObj>) {
+      del_name = super_key;
+    } else {
+      del_ns = super_ns;
+      del_name = name;
+    }
+    // Do NOT trust the super informer cache for existence here: a create by
+    // this very syncer may not have been observed by the cache yet (the
+    // create-then-delete race of §III-C), and skipping the delete would leak
+    // the shadow. Per-key serialization in the work queue guarantees the
+    // create has already been issued, so an unconditional delete is safe;
+    // NotFound simply means there was nothing to clean up.
+    const bool shadow_cached = sinf->cache().GetByKey(super_key) != nullptr;
+    Status st = opts_.super_server->Delete<T>(del_ns, del_name);
+    if (st.ok()) {
+      opts_.clock->SleepFor(opts_.downward_op_cost);
+      return DownResult::kDeleted;
+    }
+    if (st.IsNotFound()) {
+      if (shadow_cached) metrics_.races_tolerated.fetch_add(1);
+      return DownResult::kNoop;
+    }
+    return DownResult::kRetry;
+  }
+
+  if constexpr (std::is_same_v<T, api::Service>) {
+    // Wait until the tenant control plane assigned the VIP; the shadow must
+    // carry the tenant-visible cluster IP.
+    if (tenant_obj->spec.type == "ClusterIP" && tenant_obj->spec.cluster_ip.empty()) {
+      return DownResult::kRetry;
+    }
+  }
+
+  T desired = ToSuper(ts.map, *tenant_obj);
+  auto existing = sinf->cache().GetByKey(super_key);
+
+  if (!existing) {
+    if constexpr (!std::is_same_v<T, api::NamespaceObj>) {
+      Status ns_st = EnsureSuperNamespace(ts, tenant_ns);
+      if (!ns_st.ok()) return DownResult::kRetry;
+    }
+    opts_.clock->SleepFor(opts_.downward_op_cost);
+    Result<T> created = opts_.super_server->Create(desired);
+    if (!created.ok()) {
+      if (created.status().IsAlreadyExists()) {
+        // Informer lag (our shadow exists but the cache hasn't seen it yet)
+        // or a previous partial sync; re-run shortly and compare then.
+        return DownResult::kRetry;
+      }
+      VLOG(1) << "syncer: downward create " << T::kKind << " " << super_key
+              << " failed: " << created.status();
+      return DownResult::kRetry;
+    }
+    if constexpr (std::is_same_v<T, api::Pod>) {
+      metrics_.MarkDownwardDone(super_key, opts_.clock->Now());
+    }
+    return DownResult::kCreated;
+  }
+
+  if (DownwardFingerprint(*existing) == DownwardFingerprint(desired)) {
+    return DownResult::kNoop;
+  }
+
+  // Drift: update the shadow, preserving super-owned fields.
+  T updated = desired;
+  updated.meta.uid = existing->meta.uid;
+  updated.meta.resource_version = existing->meta.resource_version;
+  updated.meta.creation_timestamp_ms = existing->meta.creation_timestamp_ms;
+  if constexpr (std::is_same_v<T, api::Pod>) {
+    updated.spec.node_name = existing->spec.node_name;
+    updated.status = existing->status;
+  }
+  if constexpr (std::is_same_v<T, api::PersistentVolumeClaim>) {
+    updated.volume_name = existing->volume_name;
+    updated.phase = existing->phase;
+  }
+  if constexpr (std::is_same_v<T, api::NamespaceObj>) {
+    updated.phase = existing->phase;
+  }
+  opts_.clock->SleepFor(opts_.downward_op_cost);
+  Result<T> res = opts_.super_server->Update(std::move(updated));
+  if (!res.ok()) {
+    if (res.status().IsConflict()) metrics_.conflicts_retried.fetch_add(1);
+    if (res.status().IsNotFound()) metrics_.races_tolerated.fetch_add(1);
+    return DownResult::kRetry;
+  }
+  return DownResult::kUpdated;
+}
+
+Status Syncer::EnsureSuperNamespace(TenantState& ts, const std::string& tenant_ns) {
+  const std::string mapped = ts.map.SuperNamespace(tenant_ns);
+  if (super_namespaces_->cache().GetByKey(mapped) != nullptr) return OkStatus();
+  if (opts_.super_server->Get<api::NamespaceObj>("", mapped).ok()) return OkStatus();
+  api::NamespaceObj tenant_view;
+  tenant_view.meta.name = tenant_ns;
+  api::NamespaceObj shadow = ToSuper(ts.map, tenant_view);
+  Result<api::NamespaceObj> created = opts_.super_server->Create(std::move(shadow));
+  if (created.ok() || created.status().IsAlreadyExists()) return OkStatus();
+  return created.status();
+}
+
+// -------------------------------------------------------------- upward path
+
+void Syncer::UpwardWorker() {
+  CpuTimeGroup::Member cpu_member(&cpu_);
+  while (auto item = upward_queue_.Get()) {
+    TimePoint dequeue = opts_.clock->Now();
+    auto [kind, key] = SplitKind(item->key);
+    bool done = true;
+    if (kind == "Pod") {
+      done = SyncUpPod(*item, dequeue);
+    } else if (kind == "PodGone") {
+      ProcessPodGone(key);
+    }
+    if (!done) {
+      retry_queue_->AddAfter(std::string("U") + kFieldSep + item->tenant + kFieldSep +
+                                 item->key,
+                             Millis(25));
+    }
+    upward_queue_.Done(*item);
+  }
+}
+
+bool Syncer::SyncUpPod(const client::FairQueue::Item& item, TimePoint dequeue) {
+  auto [kind, super_key] = SplitKind(item.key);
+  auto super_pod = super_pods_->cache().GetByKey(super_key);
+  if (!super_pod) return true;  // deleted; PodGone path handles bindings
+  std::optional<Origin> origin = OriginOf(*super_pod);
+  if (!origin) return true;
+  TenantPtr ts = GetTenant(origin->tenant_id);
+  if (!ts) return true;
+
+  // Virtual node lifecycle: pod got bound → tenant needs a vNode for that
+  // physical node (1:1 mapping, Fig. 6).
+  const std::string tenant_pod_key = origin->tenant_ns + "/" + super_pod->meta.name;
+  if (!super_pod->spec.node_name.empty()) {
+    VNodeManager::BindResult br =
+        vnodes_.Bind(origin->tenant_id, super_pod->spec.node_name, tenant_pod_key);
+    if (br == VNodeManager::BindResult::kNewVNode) {
+      Status st = EnsureVNode(*ts, super_pod->spec.node_name);
+      if (!st.ok()) {
+        VLOG(1) << "syncer: vNode creation failed: " << st;
+        return false;
+      }
+    }
+  }
+
+  bool wrote = false;
+  bool became_ready = false;
+  Status st = apiserver::RetryUpdate<api::Pod>(
+      ts->tcp->server(), origin->tenant_ns, super_pod->meta.name,
+      [&](api::Pod& tp) {
+        if (!origin->tenant_uid.empty() && tp.meta.uid != origin->tenant_uid) {
+          return false;  // tenant pod was recreated; stale shadow
+        }
+        bool changed = false;
+        if (!super_pod->spec.node_name.empty() &&
+            tp.spec.node_name != super_pod->spec.node_name) {
+          tp.spec.node_name = super_pod->spec.node_name;
+          changed = true;
+        }
+        if (!(tp.status == super_pod->status)) {
+          const bool was_ready = tp.status.Ready();
+          tp.status = super_pod->status;
+          if (!was_ready && tp.status.Ready()) {
+            tp.meta.annotations[kReadyAtAnnotation] =
+                std::to_string(opts_.clock->WallUnixMillis());
+            became_ready = true;
+          }
+          changed = true;
+        }
+        wrote = changed;
+        return changed;
+      });
+  if (!st.ok()) {
+    if (st.IsNotFound()) {
+      // Tenant deleted the pod while its status update was in flight — the
+      // §III-C race; the downward path will delete the shadow.
+      metrics_.races_tolerated.fetch_add(1);
+      return true;
+    }
+    return false;
+  }
+  if (wrote) {
+    opts_.clock->SleepFor(opts_.upward_op_cost);
+    metrics_.upward_updates.fetch_add(1);
+    if (became_ready) {
+      metrics_.uws_queue.Record(dequeue - item.enqueue_time);
+      metrics_.uws_process.Record(opts_.clock->Now() - dequeue);
+    }
+  } else {
+    metrics_.upward_noops.fetch_add(1);
+  }
+  return true;
+}
+
+void Syncer::ProcessPodGone(const std::string& super_key) {
+  GoneInfo info;
+  {
+    std::lock_guard<std::mutex> l(gone_mu_);
+    auto it = pending_gone_.find(super_key);
+    if (it == pending_gone_.end()) return;
+    info = it->second;
+    pending_gone_.erase(it);
+  }
+  VNodeManager::UnbindResult r = vnodes_.Unbind(info.tenant, info.node, info.tenant_pod_key);
+  if (r != VNodeManager::UnbindResult::kVNodeEmpty) return;
+  TenantPtr ts = GetTenant(info.tenant);
+  if (!ts) return;
+  // "Once a virtual node has no binding Pods, it will be removed from the
+  // tenant control plane by the syncer." (§III-C)
+  Status st = ts->tcp->server().Delete<api::Node>("", info.node);
+  if (!st.ok() && !st.IsNotFound()) {
+    VLOG(1) << "syncer: vNode removal failed for " << info.node << ": " << st;
+  }
+}
+
+Status Syncer::EnsureVNode(TenantState& ts, const std::string& node) {
+  auto snode = super_nodes_->cache().GetByKey(node);
+  api::Node vn;
+  vn.meta.name = node;
+  if (snode) {
+    vn.meta.labels = snode->meta.labels;
+    vn.spec = snode->spec;
+    vn.status = snode->status;
+  }
+  vn.meta.labels["virtualcluster.io/vnode"] = "true";
+  // The tenant-visible kubelet endpoint points at the vn-agent, which proxies
+  // log/exec to the real kubelet (§III-B (3)).
+  std::string address = snode ? snode->status.address : node;
+  vn.status.kubelet_endpoint = address + ":" + std::to_string(opts_.vnagent_port);
+  Result<api::Node> created = ts.tcp->server().Create(vn);
+  if (created.ok() || created.status().IsAlreadyExists()) return OkStatus();
+  return created.status();
+}
+
+// -------------------------------------------------------- retries/heartbeat
+
+void Syncer::RetryPump() {
+  CpuTimeGroup::Member cpu_member(&cpu_);
+  while (auto key = retry_queue_->Get()) {
+    std::vector<std::string> parts = Split(*key, kFieldSep);
+    if (parts.size() == 3) {
+      if (parts[0] == "D") {
+        downward_queue_.Add(parts[1], parts[2]);
+      } else {
+        upward_queue_.Add(parts[1], parts[2]);
+      }
+    }
+    retry_queue_->Done(*key);
+  }
+}
+
+void Syncer::HeartbeatLoop() {
+  CpuTimeGroup::Member cpu_member(&cpu_);
+  TimePoint last = opts_.clock->Now();
+  while (!stop_.load()) {
+    opts_.clock->SleepFor(Millis(100));
+    if (opts_.clock->Now() - last < opts_.heartbeat_broadcast_period) continue;
+    last = opts_.clock->Now();
+    BroadcastHeartbeatsOnce();
+  }
+}
+
+void Syncer::BroadcastHeartbeatsOnce() {
+  std::vector<TenantPtr> snapshot;
+  {
+    std::lock_guard<std::mutex> l(tenants_mu_);
+    for (auto& [id, ts] : tenants_) snapshot.push_back(ts);
+  }
+  for (TenantPtr& ts : snapshot) {
+    for (const std::string& node : vnodes_.NodesOf(ts->map.tenant_id)) {
+      auto snode = super_nodes_->cache().GetByKey(node);
+      if (!snode) continue;
+      const std::string endpoint =
+          snode->status.address + ":" + std::to_string(opts_.vnagent_port);
+      (void)apiserver::RetryUpdate<api::Node>(
+          ts->tcp->server(), "", node, [&](api::Node& vn) {
+            if (vn.status.last_heartbeat_ms == snode->status.last_heartbeat_ms &&
+                vn.status.conditions == snode->status.conditions) {
+              return false;
+            }
+            vn.status = snode->status;
+            vn.status.kubelet_endpoint = endpoint;
+            return true;
+          });
+    }
+  }
+}
+
+// ------------------------------------------------------------------ scanning
+
+void Syncer::ScanLoop() {
+  TimePoint last = opts_.clock->Now();
+  while (!stop_.load()) {
+    opts_.clock->SleepFor(Millis(100));
+    if (opts_.clock->Now() - last < opts_.scan_interval) continue;
+    last = opts_.clock->Now();
+    ScanAllTenants();
+  }
+}
+
+template <typename T>
+Syncer::ScanRound Syncer::ScanKind(TenantState& ts) {
+  ScanRound round;
+  client::SharedInformer<T>* tinf = TenantInformer<T>(ts);
+  client::SharedInformer<T>* sinf = SuperInformer<T>();
+
+  // Tenant → super: every tenant object must have a matching shadow.
+  for (const auto& tenant_obj : tinf->cache().List()) {
+    round.objects_scanned++;
+    std::string super_key;
+    if constexpr (std::is_same_v<T, api::NamespaceObj>) {
+      super_key = ts.map.SuperNamespace(tenant_obj->meta.name);
+    } else {
+      super_key =
+          ts.map.SuperNamespace(tenant_obj->meta.ns) + "/" + tenant_obj->meta.name;
+    }
+    auto shadow = sinf->cache().GetByKey(super_key);
+    bool mismatch;
+    if (!shadow) {
+      mismatch = !tenant_obj->meta.deleting();
+    } else {
+      mismatch = DownwardFingerprint(*shadow) !=
+                 DownwardFingerprint(ToSuper(ts.map, *tenant_obj));
+    }
+    if (mismatch) {
+      downward_queue_.Add(ts.map.tenant_id,
+                          std::string(T::kKind) + "|" + tenant_obj->meta.FullName());
+      round.resent++;
+    }
+  }
+
+  // Super → tenant: shadows whose tenant object vanished must be reaped.
+  if constexpr (!std::is_same_v<T, api::NamespaceObj>) {
+    for (const auto& tenant_ns_obj : ts.namespaces->cache().List()) {
+      const std::string mapped = ts.map.SuperNamespace(tenant_ns_obj->meta.name);
+      for (const auto& shadow : sinf->cache().ListNamespace(mapped)) {
+        round.objects_scanned++;
+        const std::string tenant_key =
+            tenant_ns_obj->meta.name + "/" + shadow->meta.name;
+        if (tinf->cache().GetByKey(tenant_key) == nullptr) {
+          downward_queue_.Add(ts.map.tenant_id,
+                              std::string(T::kKind) + "|" + tenant_key);
+          round.resent++;
+        }
+      }
+    }
+  }
+  return round;
+}
+
+Syncer::ScanRound Syncer::ScanTenant(TenantState& ts) {
+  ScanRound total;
+  auto acc = [&](ScanRound r) {
+    total.objects_scanned += r.objects_scanned;
+    total.resent += r.resent;
+  };
+  acc(ScanKind<api::NamespaceObj>(ts));
+  acc(ScanKind<api::Pod>(ts));
+  acc(ScanKind<api::Service>(ts));
+  acc(ScanKind<api::Secret>(ts));
+  acc(ScanKind<api::ConfigMap>(ts));
+  acc(ScanKind<api::ServiceAccount>(ts));
+  acc(ScanKind<api::PersistentVolumeClaim>(ts));
+  return total;
+}
+
+Syncer::ScanRound Syncer::ScanAllTenants() {
+  std::vector<TenantPtr> snapshot;
+  {
+    std::lock_guard<std::mutex> l(tenants_mu_);
+    for (auto& [id, ts] : tenants_) snapshot.push_back(ts);
+  }
+  Stopwatch sw(opts_.clock);
+  std::vector<ScanRound> rounds(snapshot.size());
+  // One scanning thread per tenant, as configured in the paper's §IV-C.
+  ParallelFor(static_cast<int>(snapshot.size()), [&](int i) {
+    CpuTimeGroup::Member cpu_member(&cpu_);
+    rounds[static_cast<size_t>(i)] = ScanTenant(*snapshot[static_cast<size_t>(i)]);
+  });
+  ScanRound total;
+  for (const ScanRound& r : rounds) {
+    total.objects_scanned += r.objects_scanned;
+    total.resent += r.resent;
+  }
+  total.took = sw.Elapsed();
+  metrics_.scan_rounds.fetch_add(1);
+  metrics_.scan_resent.fetch_add(total.resent);
+  {
+    std::lock_guard<std::mutex> l(scan_mu_);
+    last_scan_ = total;
+  }
+  return total;
+}
+
+// ------------------------------------------------------------- accounting
+
+size_t Syncer::InformerCacheBytes() const {
+  size_t total = 0;
+  total += super_pods_->cache().ApproxBytes();
+  total += super_namespaces_->cache().ApproxBytes();
+  total += super_services_->cache().ApproxBytes();
+  total += super_secrets_->cache().ApproxBytes();
+  total += super_configmaps_->cache().ApproxBytes();
+  total += super_serviceaccounts_->cache().ApproxBytes();
+  total += super_pvcs_->cache().ApproxBytes();
+  total += super_nodes_->cache().ApproxBytes();
+  std::vector<TenantPtr> snapshot;
+  {
+    std::lock_guard<std::mutex> l(tenants_mu_);
+    for (auto& [id, ts] : tenants_) snapshot.push_back(ts);
+  }
+  for (const TenantPtr& ts : snapshot) {
+    total += ts->pods->cache().ApproxBytes();
+    total += ts->namespaces->cache().ApproxBytes();
+    total += ts->services->cache().ApproxBytes();
+    total += ts->secrets->cache().ApproxBytes();
+    total += ts->configmaps->cache().ApproxBytes();
+    total += ts->serviceaccounts->cache().ApproxBytes();
+    total += ts->pvcs->cache().ApproxBytes();
+  }
+  return total;
+}
+
+size_t Syncer::InformerCacheObjects() const {
+  size_t total = super_pods_->cache().Size() + super_namespaces_->cache().Size() +
+                 super_services_->cache().Size() + super_secrets_->cache().Size() +
+                 super_configmaps_->cache().Size() +
+                 super_serviceaccounts_->cache().Size() + super_pvcs_->cache().Size() +
+                 super_nodes_->cache().Size();
+  std::vector<TenantPtr> snapshot;
+  {
+    std::lock_guard<std::mutex> l(tenants_mu_);
+    for (auto& [id, ts] : tenants_) snapshot.push_back(ts);
+  }
+  for (const TenantPtr& ts : snapshot) {
+    total += ts->pods->cache().Size() + ts->namespaces->cache().Size() +
+             ts->services->cache().Size() + ts->secrets->cache().Size() +
+             ts->configmaps->cache().Size() + ts->serviceaccounts->cache().Size() +
+             ts->pvcs->cache().Size();
+  }
+  return total;
+}
+
+size_t Syncer::QueuedKeyBytes() const {
+  // Queued requests are just keys — "a few bytes" each (paper §IV-C).
+  return downward_queue_.Len() * 64 + upward_queue_.Len() * 64;
+}
+
+}  // namespace vc::core

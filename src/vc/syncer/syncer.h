@@ -1,0 +1,211 @@
+// The resource syncer (paper §III-B (2), §III-C): a single centralized
+// controller serving ALL tenant control planes.
+//
+//   * DOWNWARD synchronization: tenant objects used in Pod provision
+//     (namespaces, pods, services, secrets, configmaps, service accounts,
+//     PVCs) are populated into the super cluster under prefixed namespaces.
+//     All tenant informers feed per-tenant sub-queues; a weighted round-robin
+//     dispatcher (client::FairQueue) feeds the downward workers — the paper's
+//     fair-queuing extension, ablatable to a shared FIFO (Fig. 11).
+//   * UPWARD synchronization: super-cluster pod status (scheduling binds,
+//     readiness, IPs) is written back to the owning tenant control plane by
+//     a separate FIFO worker pool; virtual node objects are created 1:1 with
+//     the physical nodes hosting tenant pods and removed when their last pod
+//     goes away; physical node heartbeats are broadcast to all vNodes.
+//   * CONSISTENCY: reconcilers compare against informer caches (eventual
+//     consistency, races tolerated); a periodic scan — one thread per tenant,
+//     1-minute interval in the paper — re-enqueues any object whose tenant
+//     and super states have drifted, remediating rare permanent
+//     inconsistencies (§III-C).
+//
+// Why centralized (one syncer for many tenants) instead of per-tenant: the
+// paper's §III-C argument — infrequent tenant mutations make per-tenant
+// syncers wasteful, and a fleet of per-tenant syncers relisting after a super
+// apiserver restart would flood it. bench/ablation_syncer quantifies this.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "client/fairqueue.h"
+#include "client/informer.h"
+#include "client/workqueue.h"
+#include "common/cpu_time.h"
+#include "vc/syncer/conversion.h"
+#include "vc/syncer/metrics.h"
+#include "vc/syncer/vnode_manager.h"
+#include "vc/tenant_control_plane.h"
+#include "vc/types.h"
+
+namespace vc::core {
+
+class Syncer {
+ public:
+  struct Options {
+    apiserver::APIServer* super_server = nullptr;
+    Clock* clock = RealClock::Get();
+    // Worker-pool sizes; paper defaults (§IV-A): "we set a high default
+    // number of one hundred upward worker threads and a low default number
+    // of twenty downward worker threads".
+    int downward_workers = 20;
+    int upward_workers = 100;
+    // Fair queuing across tenant sub-queues; false = shared FIFO (Fig. 11b).
+    bool fair_queuing = true;
+    // Periodic consistency scan (§III-C / §IV-C: 1-minute interval).
+    bool periodic_scan = true;
+    Duration scan_interval = Seconds(60);
+    Duration heartbeat_broadcast_period = Seconds(5);
+    int vnagent_port = 10550;
+    // Modeled service time of one synchronization API operation (object
+    // marshaling + HTTPS round trip + admission in the real system). Applied
+    // to mutating reconciles only; cache-compare no-ops cost their real CPU.
+    // Calibration: see EXPERIMENTS.md.
+    Duration downward_op_cost = Millis(12);
+    Duration upward_op_cost = Millis(120);
+  };
+
+  explicit Syncer(Options opts);
+  ~Syncer();
+
+  Syncer(const Syncer&) = delete;
+  Syncer& operator=(const Syncer&) = delete;
+
+  // Registers a tenant control plane with the syncer. Uses the VC object's
+  // name/uid for the namespace prefix and its weight for fair queuing. May
+  // be called before or after Start().
+  void AttachTenant(const VirtualClusterObj& vc, TenantControlPlane* tcp);
+  void DetachTenant(const std::string& tenant_id);
+  std::vector<std::string> Tenants() const;
+  // Namespace mapping for a tenant (empty mapping if unknown).
+  TenantMapping MappingOf(const std::string& tenant_id) const;
+
+  void Start();
+  void Stop();
+  bool WaitForSync(Duration timeout);
+
+  // ----------------------------------------------------------- telemetry
+  SyncerMetrics& metrics() { return metrics_; }
+  VNodeManager& vnodes() { return vnodes_; }
+
+  // Informer-cache accounting (Fig. 10: "one tenant object has at least two
+  // copies in the syncer, one in the informer cache of the tenant control
+  // plane and another in the super cluster informer cache").
+  size_t InformerCacheBytes() const;
+  size_t InformerCacheObjects() const;
+  size_t QueuedKeyBytes() const;
+  size_t DownwardQueueLen() const { return downward_queue_.Len(); }
+  size_t UpwardQueueLen() const { return upward_queue_.Len(); }
+  // CPU time consumed by all syncer threads (workers, reconcilers, informers,
+  // scanners) — the Fig. 10 "accumulated process CPU time" measure.
+  Duration WorkerCpuTime() const { return cpu_.Total(); }
+
+  struct ScanRound {
+    Duration took{};
+    uint64_t objects_scanned = 0;
+    uint64_t resent = 0;
+  };
+  // One full consistency scan over every tenant, parallelized with one
+  // thread per tenant (paper §IV-C). Also invoked by the periodic loop.
+  ScanRound ScanAllTenants();
+
+ private:
+  struct TenantState {
+    TenantMapping map;
+    TenantControlPlane* tcp = nullptr;
+    int weight = 1;
+    std::unique_ptr<client::SharedInformer<api::Pod>> pods;
+    std::unique_ptr<client::SharedInformer<api::NamespaceObj>> namespaces;
+    std::unique_ptr<client::SharedInformer<api::Service>> services;
+    std::unique_ptr<client::SharedInformer<api::Secret>> secrets;
+    std::unique_ptr<client::SharedInformer<api::ConfigMap>> configmaps;
+    std::unique_ptr<client::SharedInformer<api::ServiceAccount>> serviceaccounts;
+    std::unique_ptr<client::SharedInformer<api::PersistentVolumeClaim>> pvcs;
+  };
+  using TenantPtr = std::shared_ptr<TenantState>;
+
+  enum class DownResult { kCreated, kUpdated, kDeleted, kNoop, kRetry };
+
+  // Pending vNode unbind info captured when a super pod delete event fires
+  // (the object is gone from the cache by reconcile time).
+  struct GoneInfo {
+    std::string tenant;
+    std::string tenant_pod_key;
+    std::string node;
+  };
+
+  TenantPtr GetTenant(const std::string& id) const;
+
+  template <typename T>
+  client::SharedInformer<T>* TenantInformer(TenantState& ts);
+  template <typename T>
+  client::SharedInformer<T>* SuperInformer();
+
+  template <typename T>
+  void WireTenantHandlers(TenantState& ts, client::SharedInformer<T>* informer);
+
+  void DownwardWorker();
+  void UpwardWorker();
+  void RetryPump();
+  void HeartbeatLoop();
+  void ScanLoop();
+
+  bool DispatchDownward(const client::FairQueue::Item& item, TimePoint dequeue_time);
+  template <typename T>
+  DownResult SyncDownObj(TenantState& ts, const std::string& tenant_key);
+
+  bool SyncUpPod(const client::FairQueue::Item& item, TimePoint dequeue_time);
+  void ProcessPodGone(const std::string& super_key);
+  Status EnsureSuperNamespace(TenantState& ts, const std::string& tenant_ns);
+  Status EnsureVNode(TenantState& ts, const std::string& node);
+  void BroadcastHeartbeatsOnce();
+
+  template <typename T>
+  ScanRound ScanKind(TenantState& ts);
+  ScanRound ScanTenant(TenantState& ts);
+
+  std::shared_ptr<void> CpuToken();
+  template <typename T>
+  typename client::SharedInformer<T>::Options InformerOptions();
+
+  Options opts_;
+  client::FairQueue downward_queue_;
+  client::FairQueue upward_queue_;  // fair=false: plain FIFO (paper design)
+  std::unique_ptr<client::DelayingQueue> retry_queue_;  // "<tenant>\x1f<kind|key>"
+
+  // Shared super-cluster informers (one per synchronized kind + nodes).
+  std::unique_ptr<client::SharedInformer<api::Pod>> super_pods_;
+  std::unique_ptr<client::SharedInformer<api::NamespaceObj>> super_namespaces_;
+  std::unique_ptr<client::SharedInformer<api::Service>> super_services_;
+  std::unique_ptr<client::SharedInformer<api::Secret>> super_secrets_;
+  std::unique_ptr<client::SharedInformer<api::ConfigMap>> super_configmaps_;
+  std::unique_ptr<client::SharedInformer<api::ServiceAccount>> super_serviceaccounts_;
+  std::unique_ptr<client::SharedInformer<api::PersistentVolumeClaim>> super_pvcs_;
+  std::unique_ptr<client::SharedInformer<api::Node>> super_nodes_;
+
+  VNodeManager vnodes_;
+  SyncerMetrics metrics_;
+  CpuTimeGroup cpu_;
+
+  mutable std::mutex tenants_mu_;
+  std::map<std::string, TenantPtr> tenants_;
+
+  std::mutex gone_mu_;
+  std::map<std::string, GoneInfo> pending_gone_;
+
+  std::vector<std::thread> downward_threads_;
+  std::vector<std::thread> upward_threads_;
+  std::thread retry_thread_;
+  std::thread heartbeat_thread_;
+  std::thread scan_thread_;
+  std::atomic<bool> stop_{true};
+  std::atomic<bool> started_{false};
+
+  std::mutex scan_mu_;
+  ScanRound last_scan_;
+};
+
+}  // namespace vc::core

@@ -1,0 +1,52 @@
+// Virtual-node bookkeeping (paper §III-C): "The syncer controller manages all
+// virtual node objects in the tenant control planes. ... The binding
+// associations between the tenant Pods and the virtual nodes are tracked in
+// the syncer as well. Once a virtual node has no binding Pods, it will be
+// removed from the tenant control plane by the syncer."
+//
+// vNodes map 1:1 to physical nodes (Fig. 6), so node-level semantics like
+// inter-Pod anti-affinity remain visible in the tenant view.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vc::core {
+
+class VNodeManager {
+ public:
+  enum class BindResult {
+    kAlreadyBound,   // pod already tracked on this node
+    kBound,          // pod added; vNode already existed for this tenant
+    kNewVNode,       // pod added AND this tenant needs a new vNode object
+  };
+
+  BindResult Bind(const std::string& tenant, const std::string& node,
+                  const std::string& tenant_pod_key);
+
+  enum class UnbindResult {
+    kNotBound,
+    kUnbound,        // pod removed; vNode still has other pods
+    kVNodeEmpty,     // pod removed and the vNode has no bindings left
+  };
+
+  UnbindResult Unbind(const std::string& tenant, const std::string& node,
+                      const std::string& tenant_pod_key);
+
+  bool HasVNode(const std::string& tenant, const std::string& node) const;
+  std::vector<std::string> NodesOf(const std::string& tenant) const;
+  size_t PodsOn(const std::string& tenant, const std::string& node) const;
+  size_t VNodeCount() const;
+
+  void ForgetTenant(const std::string& tenant);
+
+ private:
+  mutable std::mutex mu_;
+  // tenant -> node -> bound tenant pod keys
+  std::map<std::string, std::map<std::string, std::set<std::string>>> bindings_;
+};
+
+}  // namespace vc::core

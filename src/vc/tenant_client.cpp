@@ -1,0 +1,50 @@
+#include "vc/tenant_client.h"
+
+namespace vc::core {
+
+Result<api::Pod> TenantClient::WaitPodReady(const std::string& ns, const std::string& name,
+                                            Duration timeout) {
+  Clock* clock = tcp_->server().clock();
+  Stopwatch sw(clock);
+  for (;;) {
+    Result<api::Pod> pod = Get<api::Pod>(ns, name);
+    if (pod.ok() && pod->status.Ready()) return pod;
+    if (sw.Elapsed() > timeout) {
+      if (!pod.ok()) return pod.status();
+      return TimeoutError("pod " + ns + "/" + name + " not ready within timeout");
+    }
+    clock->SleepFor(Millis(5));
+  }
+}
+
+Result<VnAgent*> TenantClient::ResolveAgent(const std::string& ns, const std::string& pod) {
+  Result<api::Pod> p = Get<api::Pod>(ns, pod);
+  if (!p.ok()) return p.status();
+  if (p->spec.node_name.empty()) {
+    return UnavailableError("pod " + ns + "/" + pod + " is not scheduled yet");
+  }
+  Result<api::Node> vnode = Get<api::Node>("", p->spec.node_name);
+  if (!vnode.ok()) return vnode.status();
+  VnAgent* agent = VnAgentRegistry::Get().Lookup(vnode->status.kubelet_endpoint);
+  if (agent == nullptr) {
+    return UnavailableError("no vn-agent at " + vnode->status.kubelet_endpoint);
+  }
+  return agent;
+}
+
+Result<std::string> TenantClient::Logs(const std::string& ns, const std::string& pod,
+                                       const std::string& container, int tail_lines) {
+  Result<VnAgent*> agent = ResolveAgent(ns, pod);
+  if (!agent.ok()) return agent.status();
+  return (*agent)->Logs(tcp_->kubeconfig().cert_data, ns, pod, container, tail_lines);
+}
+
+Result<std::string> TenantClient::Exec(const std::string& ns, const std::string& pod,
+                                       const std::string& container,
+                                       const std::vector<std::string>& command) {
+  Result<VnAgent*> agent = ResolveAgent(ns, pod);
+  if (!agent.ok()) return agent.status();
+  return (*agent)->Exec(tcp_->kubeconfig().cert_data, ns, pod, container, command);
+}
+
+}  // namespace vc::core

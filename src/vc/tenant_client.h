@@ -1,0 +1,56 @@
+// Tenant-side client facade ("kubectl" for a tenant control plane): typed
+// CRUD with the tenant's identity, plus the streaming verbs (logs/exec) that
+// traverse the vNode → vn-agent → kubelet proxy chain exactly the way a real
+// tenant apiserver would resolve them.
+#pragma once
+
+#include "vc/tenant_control_plane.h"
+#include "vc/vnagent.h"
+
+namespace vc::core {
+
+class TenantClient {
+ public:
+  explicit TenantClient(TenantControlPlane* tcp) : tcp_(tcp), ctx_(tcp->TenantContext()) {}
+
+  apiserver::APIServer& server() { return tcp_->server(); }
+  const apiserver::RequestContext& ctx() const { return ctx_; }
+
+  template <typename T>
+  Result<T> Create(T obj) {
+    return tcp_->server().Create(std::move(obj), ctx_);
+  }
+  template <typename T>
+  Result<T> Get(const std::string& ns, const std::string& name) {
+    return tcp_->server().Get<T>(ns, name, ctx_);
+  }
+  template <typename T>
+  Result<apiserver::TypedList<T>> List(const std::string& ns = "") {
+    return tcp_->server().List<T>(ns, ctx_);
+  }
+  template <typename T>
+  Status Delete(const std::string& ns, const std::string& name) {
+    return tcp_->server().Delete<T>(ns, name, ctx_);
+  }
+
+  // Blocks until the pod reports Ready (status synced up from the super
+  // cluster) or the timeout elapses.
+  Result<api::Pod> WaitPodReady(const std::string& ns, const std::string& name,
+                                Duration timeout);
+
+  // kubectl logs / kubectl exec: resolve the pod's vNode, find its kubelet
+  // endpoint (which points at the vn-agent), and proxy with the tenant cert.
+  Result<std::string> Logs(const std::string& ns, const std::string& pod,
+                           const std::string& container, int tail_lines = 0);
+  Result<std::string> Exec(const std::string& ns, const std::string& pod,
+                           const std::string& container,
+                           const std::vector<std::string>& command);
+
+ private:
+  Result<VnAgent*> ResolveAgent(const std::string& ns, const std::string& pod);
+
+  TenantControlPlane* tcp_;
+  apiserver::RequestContext ctx_;
+};
+
+}  // namespace vc::core

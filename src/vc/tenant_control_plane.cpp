@@ -1,0 +1,88 @@
+#include "vc/tenant_control_plane.h"
+
+namespace vc::core {
+
+TenantControlPlane::TenantControlPlane(Options opts)
+    : opts_(std::move(opts)), vip_pool_(opts_.service_cidr_prefix) {
+  apiserver::APIServer::Options so;
+  so.name = "tenant-apiserver-" + opts_.tenant_id;
+  so.clock = opts_.clock;
+  so.client_qps = opts_.client_qps;
+  so.client_burst = opts_.client_burst;
+  server_ = std::make_unique<apiserver::APIServer>(std::move(so));
+  kubeconfig_ = MintKubeconfig(opts_.tenant_id);
+}
+
+TenantControlPlane::~TenantControlPlane() { Stop(); }
+
+void TenantControlPlane::StartControllers() {
+  if (!opts_.run_controllers || controllers_) return;
+  controllers::ControllerManager::Options co;
+  co.server = server_.get();
+  co.clock = opts_.clock;
+  co.service_vip_pool = &vip_pool_;
+  // Virtual nodes are heartbeated and lifecycle-managed by the syncer, not
+  // by a node controller; a tenant-side node controller would evict pods
+  // from perfectly healthy vNodes.
+  co.node_lifecycle_controller = false;
+  controllers_ = std::make_unique<controllers::ControllerManager>(std::move(co));
+  controllers_->Start();
+}
+
+void TenantControlPlane::Start() {
+  if (started_) return;
+  started_ = true;
+  StartControllers();
+}
+
+void TenantControlPlane::Stop() {
+  if (!started_) return;
+  started_ = false;
+  if (controllers_) {
+    controllers_->Stop();
+    controllers_.reset();
+  }
+  server_->store().Shutdown();
+}
+
+void TenantControlPlane::Hibernate() {
+  if (hibernated_ || !started_) return;
+  hibernated_ = true;
+  // Tear the controller manager down entirely — its worker threads AND its
+  // informer caches are the idle control plane's resident cost.
+  if (controllers_) {
+    controllers_->Stop();
+    controllers_.reset();
+  }
+  // Drop the watch-replay log — the other reclaimable state. Live watchers
+  // break with Gone and relist on resume.
+  server_->store().Compact(server_->store().CurrentRevision());
+  server_->store().BreakWatches();
+}
+
+void TenantControlPlane::Resume() {
+  if (!hibernated_) return;
+  hibernated_ = false;
+  StartControllers();
+}
+
+size_t TenantControlPlane::ApproxMemoryBytes() const {
+  size_t total = server_->store().ApproxBytes() + server_->store().LogBytes();
+  // The controller manager's informer caches hold a second copy of most
+  // objects while it runs.
+  if (controllers_) total += server_->store().ApproxBytes();
+  return total;
+}
+
+apiserver::RequestContext TenantControlPlane::TenantContext() const {
+  apiserver::RequestContext ctx;
+  // Start from an EMPTY identity: the RequestContext default is the loopback
+  // identity, whose system:masters group would silently grant the tenant
+  // cluster-admin everywhere.
+  ctx.identity = apiserver::Identity{};
+  ctx.identity.user = "tenant:" + opts_.tenant_id;
+  ctx.identity.cert_fingerprint = kubeconfig_.fingerprint;
+  return ctx;
+}
+
+}  // namespace vc::core

@@ -1,0 +1,219 @@
+#include "vc/tenant_operator.h"
+
+#include "common/logging.h"
+
+namespace vc::core {
+
+namespace {
+
+constexpr const char* kVcFinalizer = "virtualcluster.io/tenant-control-plane";
+
+}  // namespace
+
+// --------------------------------------------------------------- TenantManager
+
+std::shared_ptr<TenantControlPlane> TenantManager::Get(const std::string& tenant_id) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = tenants_.find(tenant_id);
+  return it == tenants_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> TenantManager::Ids() const {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<std::string> out;
+  for (const auto& [id, tcp] : tenants_) out.push_back(id);
+  return out;
+}
+
+size_t TenantManager::Count() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return tenants_.size();
+}
+
+void TenantManager::Put(const std::string& tenant_id,
+                        std::shared_ptr<TenantControlPlane> tcp) {
+  std::lock_guard<std::mutex> l(mu_);
+  tenants_[tenant_id] = std::move(tcp);
+}
+
+std::shared_ptr<TenantControlPlane> TenantManager::Remove(const std::string& tenant_id) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end()) return nullptr;
+  auto tcp = it->second;
+  tenants_.erase(it);
+  return tcp;
+}
+
+// -------------------------------------------------------------- TenantOperator
+
+TenantOperator::TenantOperator(Options opts)
+    : QueueWorker("tenant-operator", opts.clock, 4), opts_(std::move(opts)) {
+  client::SharedInformer<VirtualClusterObj>::Options io;
+  io.clock = opts_.clock;
+  informer_ = std::make_unique<client::SharedInformer<VirtualClusterObj>>(
+      client::ListerWatcher<VirtualClusterObj>(opts_.super_server), io);
+  client::EventHandlers<VirtualClusterObj> h;
+  h.on_add = [this](const VirtualClusterObj& vc) { Enqueue(vc.meta.FullName()); };
+  h.on_update = [this](const VirtualClusterObj&, const VirtualClusterObj& vc) {
+    Enqueue(vc.meta.FullName());
+  };
+  informer_->AddHandlers(std::move(h));
+}
+
+TenantOperator::~TenantOperator() { Stop(); }
+
+void TenantOperator::Start() {
+  informer_->Start();
+  StartWorkers();
+}
+
+void TenantOperator::Stop() {
+  StopWorkers();
+  informer_->Stop();
+}
+
+bool TenantOperator::WaitForSync(Duration timeout) {
+  return informer_->WaitForSync(timeout);
+}
+
+bool TenantOperator::WaitForRunning(const std::string& ns, const std::string& name,
+                                    Duration timeout) {
+  Stopwatch sw(opts_.clock);
+  while (sw.Elapsed() < timeout) {
+    Result<VirtualClusterObj> vc = opts_.super_server->Get<VirtualClusterObj>(ns, name);
+    if (vc.ok() && vc->phase == "Running" && manager_.Get(name) != nullptr) return true;
+    opts_.clock->SleepFor(Millis(5));
+  }
+  return false;
+}
+
+bool TenantOperator::Reconcile(const std::string& key) {
+  size_t slash = key.find('/');
+  const std::string ns = key.substr(0, slash);
+  const std::string name = key.substr(slash + 1);
+  Result<VirtualClusterObj> vc = opts_.super_server->Get<VirtualClusterObj>(ns, name);
+  if (!vc.ok()) return true;  // gone
+
+  if (vc->meta.deleting()) {
+    Status st = Teardown(*vc);
+    return st.ok();
+  }
+
+  // Adopt: ensure our finalizer so deletion funnels through Teardown.
+  bool has_finalizer = false;
+  for (const auto& f : vc->meta.finalizers) has_finalizer |= (f == kVcFinalizer);
+  if (!has_finalizer) {
+    Status st = apiserver::RetryUpdate<VirtualClusterObj>(
+        *opts_.super_server, ns, name, [&](VirtualClusterObj& live) {
+          for (const auto& f : live.meta.finalizers) {
+            if (f == kVcFinalizer) return false;
+          }
+          live.meta.finalizers.push_back(kVcFinalizer);
+          return true;
+        });
+    if (!st.ok()) return false;
+  }
+
+  if (vc->phase == "Running" && manager_.Get(name) != nullptr) return true;
+  Status st = Provision(*vc);
+  if (!st.ok()) {
+    LOG(WARN) << "tenant-operator: provisioning " << key << " failed: " << st;
+    (void)apiserver::RetryUpdate<VirtualClusterObj>(
+        *opts_.super_server, ns, name, [&](VirtualClusterObj& live) {
+          live.phase = "Error";
+          live.message = st.ToString();
+          return true;
+        });
+    return false;
+  }
+  return true;
+}
+
+Status TenantOperator::Provision(VirtualClusterObj& vc) {
+  const std::string& tenant_id = vc.meta.name;
+  (void)apiserver::RetryUpdate<VirtualClusterObj>(
+      *opts_.super_server, vc.meta.ns, tenant_id, [&](VirtualClusterObj& live) {
+        if (live.phase == "Creating") return false;
+        live.phase = "Creating";
+        return true;
+      });
+
+  // Control-plane provisioning: in Cloud mode this goes through a managed
+  // service (paper: ACK/EKS) — modeled as a provisioning delay.
+  opts_.clock->SleepFor(vc.provision_mode == "Cloud" ? opts_.cloud_provision_delay
+                                                     : opts_.local_provision_delay);
+
+  std::shared_ptr<TenantControlPlane> tcp = manager_.Get(tenant_id);
+  if (!tcp) {
+    TenantControlPlane::Options to;
+    to.tenant_id = tenant_id;
+    to.clock = opts_.clock;
+    to.client_qps = opts_.tenant_client_qps_override >= 0
+                        ? opts_.tenant_client_qps_override
+                        : vc.client_qps;
+    to.client_burst = vc.client_burst;
+    to.run_controllers = opts_.tenant_controllers;
+    tcp = std::make_shared<TenantControlPlane>(std::move(to));
+    tcp->Start();
+    manager_.Put(tenant_id, tcp);
+  }
+
+  // Store the tenant kubeconfig in the super cluster so the syncer (and only
+  // cluster components — never tenants) can reach the tenant control plane.
+  const std::string secret_name = "vc-kubeconfig-" + tenant_id;
+  api::Secret secret;
+  secret.meta.ns = vc.meta.ns;
+  secret.meta.name = secret_name;
+  secret.meta.owner_references.push_back(
+      {VirtualClusterObj::kKind, tenant_id, vc.meta.uid, true});
+  secret.type = "virtualcluster.io/kubeconfig";
+  secret.data["tenant-id"] = tenant_id;
+  secret.data["cert"] = tcp->kubeconfig().cert_data;
+  secret.data["fingerprint"] = tcp->kubeconfig().fingerprint;
+  Result<api::Secret> created = opts_.super_server->Create(secret);
+  if (!created.ok() && !created.status().IsAlreadyExists()) return created.status();
+
+  if (opts_.syncer != nullptr) {
+    opts_.syncer->AttachTenant(vc, tcp.get());
+  }
+
+  return apiserver::RetryUpdate<VirtualClusterObj>(
+      *opts_.super_server, vc.meta.ns, tenant_id, [&](VirtualClusterObj& live) {
+        live.phase = "Running";
+        live.kubeconfig_secret = secret_name;
+        live.cert_fingerprint = tcp->kubeconfig().fingerprint;
+        live.message.clear();
+        return true;
+      });
+}
+
+Status TenantOperator::Teardown(VirtualClusterObj& vc) {
+  const std::string& tenant_id = vc.meta.name;
+  (void)apiserver::RetryUpdate<VirtualClusterObj>(
+      *opts_.super_server, vc.meta.ns, tenant_id, [&](VirtualClusterObj& live) {
+        if (live.phase == "Deleting") return false;
+        live.phase = "Deleting";
+        return true;
+      });
+
+  if (opts_.syncer != nullptr) opts_.syncer->DetachTenant(tenant_id);
+  if (std::shared_ptr<TenantControlPlane> tcp = manager_.Remove(tenant_id)) {
+    tcp->Stop();
+  }
+  (void)opts_.super_server->Delete<api::Secret>(vc.meta.ns, "vc-kubeconfig-" + tenant_id);
+
+  Status st = apiserver::RetryUpdate<VirtualClusterObj>(
+      *opts_.super_server, vc.meta.ns, tenant_id, [&](VirtualClusterObj& live) {
+        auto& fs = live.meta.finalizers;
+        auto it = std::find(fs.begin(), fs.end(), kVcFinalizer);
+        if (it == fs.end()) return false;
+        fs.erase(it);
+        return true;
+      });
+  if (!st.ok() && !st.IsNotFound()) return st;
+  (void)opts_.super_server->Delete<VirtualClusterObj>(vc.meta.ns, tenant_id);
+  return OkStatus();
+}
+
+}  // namespace vc::core

@@ -1,0 +1,86 @@
+#include "vc/vnagent.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "vc/cert.h"
+#include "vc/syncer/conversion.h"
+
+namespace vc::core {
+
+VnAgent::VnAgent(Options opts) : opts_(std::move(opts)) {
+  // Derive "ip:port" from the kubelet endpoint's host part.
+  std::vector<std::string> parts = Split(opts_.kubelet_endpoint, ':');
+  endpoint_ = (parts.empty() ? opts_.node_name : parts[0]) + ":" +
+              std::to_string(opts_.port);
+  VnAgentRegistry::Get().Register(endpoint_, this);
+}
+
+VnAgent::~VnAgent() { VnAgentRegistry::Get().Unregister(endpoint_); }
+
+Result<std::string> VnAgent::MapNamespace(const std::string& cert_data,
+                                          const std::string& tenant_ns) {
+  const std::string fingerprint = FingerprintOf(cert_data);
+  // Identify the tenant by comparing the credential hash against the
+  // fingerprint saved in each VC object (paper §III-B (3)).
+  Result<apiserver::TypedList<VirtualClusterObj>> vcs =
+      opts_.super_server->List<VirtualClusterObj>();
+  if (!vcs.ok()) return vcs.status();
+  for (const VirtualClusterObj& vc : vcs->items) {
+    if (!vc.cert_fingerprint.empty() && vc.cert_fingerprint == fingerprint) {
+      TenantMapping map = TenantMapping::ForVc(vc.meta.name, vc.meta.uid);
+      return map.SuperNamespace(tenant_ns);
+    }
+  }
+  rejected_.fetch_add(1);
+  return UnauthorizedError("vn-agent: unknown client certificate");
+}
+
+Result<std::string> VnAgent::Logs(const std::string& cert_data,
+                                  const std::string& tenant_ns, const std::string& pod,
+                                  const std::string& container, int tail_lines) {
+  Result<std::string> super_ns = MapNamespace(cert_data, tenant_ns);
+  if (!super_ns.ok()) return super_ns.status();
+  kubelet::Kubelet* kl = kubelet::KubeletRegistry::Get().Lookup(opts_.kubelet_endpoint);
+  if (kl == nullptr) {
+    return UnavailableError("vn-agent: kubelet unreachable at " + opts_.kubelet_endpoint);
+  }
+  proxied_.fetch_add(1);
+  return kl->Logs(*super_ns, pod, container, tail_lines);
+}
+
+Result<std::string> VnAgent::Exec(const std::string& cert_data,
+                                  const std::string& tenant_ns, const std::string& pod,
+                                  const std::string& container,
+                                  const std::vector<std::string>& command) {
+  Result<std::string> super_ns = MapNamespace(cert_data, tenant_ns);
+  if (!super_ns.ok()) return super_ns.status();
+  kubelet::Kubelet* kl = kubelet::KubeletRegistry::Get().Lookup(opts_.kubelet_endpoint);
+  if (kl == nullptr) {
+    return UnavailableError("vn-agent: kubelet unreachable at " + opts_.kubelet_endpoint);
+  }
+  proxied_.fetch_add(1);
+  return kl->Exec(*super_ns, pod, container, command);
+}
+
+VnAgentRegistry& VnAgentRegistry::Get() {
+  static VnAgentRegistry registry;
+  return registry;
+}
+
+void VnAgentRegistry::Register(const std::string& endpoint, VnAgent* agent) {
+  std::lock_guard<std::mutex> l(mu_);
+  agents_[endpoint] = agent;
+}
+
+void VnAgentRegistry::Unregister(const std::string& endpoint) {
+  std::lock_guard<std::mutex> l(mu_);
+  agents_.erase(endpoint);
+}
+
+VnAgent* VnAgentRegistry::Lookup(const std::string& endpoint) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = agents_.find(endpoint);
+  return it == agents_.end() ? nullptr : it->second;
+}
+
+}  // namespace vc::core

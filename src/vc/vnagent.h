@@ -1,0 +1,76 @@
+// Virtual node agent (paper §III-B (3)): runs on every physical node and
+// proxies tenants' kubelet API requests (logs, exec) to the local kubelet.
+//
+//   "When proxying the requests, vn-agent needs to identify the tenant from
+//    the HTTPS request because the tenant Pod has a different namespace in
+//    the super cluster. The tenant who sends the request can be found by
+//    comparing the hash of its TLS certificate with the one saved in each VC
+//    object. The namespace prefix used in the super cluster can be figured
+//    out after that."
+//
+// VnAgentRegistry simulates network addressability: tenant vNodes carry a
+// kubelet endpoint "nodeIP:10550" that resolves here.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "apiserver/apiserver.h"
+#include "kubelet/kubelet.h"
+#include "vc/types.h"
+
+namespace vc::core {
+
+class VnAgent {
+ public:
+  struct Options {
+    apiserver::APIServer* super_server = nullptr;  // to look up VC objects
+    std::string node_name;
+    std::string kubelet_endpoint;  // the real kubelet on this node
+    int port = 10550;
+  };
+
+  explicit VnAgent(Options opts);
+  ~VnAgent();
+
+  const std::string& endpoint() const { return endpoint_; }
+
+  // Tenant-facing kubelet API. `cert_data` is the credential presented by
+  // the caller; `tenant_ns`/`pod` are tenant-view coordinates.
+  Result<std::string> Logs(const std::string& cert_data, const std::string& tenant_ns,
+                           const std::string& pod, const std::string& container,
+                           int tail_lines = 0);
+  Result<std::string> Exec(const std::string& cert_data, const std::string& tenant_ns,
+                           const std::string& pod, const std::string& container,
+                           const std::vector<std::string>& command);
+
+  uint64_t proxied_requests() const { return proxied_.load(); }
+  uint64_t rejected_requests() const { return rejected_.load(); }
+
+ private:
+  // Fingerprint → (tenant id, namespace prefix); resolved against VC objects.
+  Result<std::string> MapNamespace(const std::string& cert_data,
+                                   const std::string& tenant_ns);
+
+  Options opts_;
+  std::string endpoint_;
+  std::atomic<uint64_t> proxied_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+// Endpoint → VnAgent resolution (the simulated network).
+class VnAgentRegistry {
+ public:
+  static VnAgentRegistry& Get();
+
+  void Register(const std::string& endpoint, VnAgent* agent);
+  void Unregister(const std::string& endpoint);
+  VnAgent* Lookup(const std::string& endpoint) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, VnAgent*> agents_;
+};
+
+}  // namespace vc::core

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include "api/codec.h"
+#include "api/labels.h"
+#include "api/types.h"
+
+namespace vc::api {
+namespace {
+
+Pod MakePod() {
+  Pod p;
+  p.meta.name = "web-0";
+  p.meta.ns = "default";
+  p.meta.uid = "uid-123";
+  p.meta.labels = {{"app", "web"}, {"tier", "frontend"}};
+  p.meta.annotations = {{"owner", "team-a"}};
+  p.meta.finalizers = {"example.com/protect"};
+  p.meta.owner_references = {{"ReplicaSet", "web", "rs-uid", true}};
+  p.meta.creation_timestamp_ms = 1234;
+  Container c;
+  c.name = "app";
+  c.image = "nginx:1.19";
+  c.command = {"/bin/nginx", "-g", "daemon off;"};
+  c.env = {{"PORT", "8080"}};
+  c.requests = {500, 1 << 20};
+  c.limits = {1000, 2 << 20};
+  p.spec.containers.push_back(c);
+  Container init;
+  init.name = "init-routes";
+  init.image = "routes:v1";
+  p.spec.init_containers.push_back(init);
+  p.spec.node_selector = {{"disk", "ssd"}};
+  p.spec.tolerations = {{"dedicated", Toleration::Op::kEqual, "tenant", "NoSchedule"}};
+  PodAffinityTerm anti;
+  anti.selector = LabelSelector::FromMap({{"app", "web"}});
+  p.spec.required_anti_affinity.push_back(anti);
+  p.spec.runtime_class = "kata";
+  p.spec.service_account = "web-sa";
+  p.spec.subdomain = "web-svc";
+  p.spec.volumes = {{"cfg", "", "web-config", ""}};
+  p.status.phase = PodPhase::kRunning;
+  p.status.SetCondition(kPodReady, true, 5678, "ContainersReady");
+  p.status.pod_ip = "10.1.2.3";
+  p.status.host_ip = "192.168.0.10";
+  p.status.container_statuses = {{"app", true, 0, "running"}};
+  return p;
+}
+
+TEST(LabelsTest, SelectorMatchLabels) {
+  LabelSelector s = LabelSelector::FromMap({{"app", "web"}});
+  EXPECT_TRUE(s.Matches({{"app", "web"}, {"x", "y"}}));
+  EXPECT_FALSE(s.Matches({{"app", "db"}}));
+  EXPECT_FALSE(s.Matches({}));
+}
+
+TEST(LabelsTest, SelectorExpressions) {
+  LabelSelector s;
+  s.match_expressions = {
+      {"tier", LabelSelectorRequirement::Op::kIn, {"fe", "be"}},
+      {"canary", LabelSelectorRequirement::Op::kDoesNotExist, {}},
+      {"app", LabelSelectorRequirement::Op::kExists, {}},
+  };
+  EXPECT_TRUE(s.Matches({{"tier", "fe"}, {"app", "x"}}));
+  EXPECT_FALSE(s.Matches({{"tier", "mid"}, {"app", "x"}}));
+  EXPECT_FALSE(s.Matches({{"tier", "fe"}, {"app", "x"}, {"canary", "1"}}));
+  EXPECT_FALSE(s.Matches({{"tier", "fe"}}));
+  LabelSelector notin;
+  notin.match_expressions = {{"env", LabelSelectorRequirement::Op::kNotIn, {"prod"}}};
+  EXPECT_TRUE(notin.Matches({{"env", "dev"}}));
+  EXPECT_TRUE(notin.Matches({}));
+  EXPECT_FALSE(notin.Matches({{"env", "prod"}}));
+}
+
+TEST(LabelsTest, EmptySelectorMatchesEverything) {
+  LabelSelector s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_TRUE(s.Matches({{"a", "b"}}));
+}
+
+TEST(LabelsTest, SelectorJsonRoundTrip) {
+  LabelSelector s;
+  s.match_labels = {{"app", "web"}};
+  s.match_expressions = {{"tier", LabelSelectorRequirement::Op::kNotIn, {"x", "y"}}};
+  LabelSelector back = LabelSelectorFromJson(LabelSelectorToJson(s));
+  EXPECT_EQ(back, s);
+}
+
+TEST(MetaTest, FullNameFormat) {
+  ObjectMeta m;
+  m.name = "pod-1";
+  EXPECT_EQ(m.FullName(), "pod-1");
+  m.ns = "tenant-a";
+  EXPECT_EQ(m.FullName(), "tenant-a/pod-1");
+}
+
+TEST(MetaTest, ResourceListArithmetic) {
+  ResourceList a{1000, 4096};
+  ResourceList b{250, 1024};
+  a += b;
+  EXPECT_EQ(a.cpu_milli, 1250);
+  a -= b;
+  EXPECT_EQ(a.memory_bytes, 4096);
+  EXPECT_TRUE(b.Fits(a));
+  EXPECT_FALSE((ResourceList{2000, 0}).Fits(a));
+}
+
+TEST(CodecTest, PodRoundTripPreservesEverything) {
+  Pod p = MakePod();
+  std::string data = Encode(p);
+  Result<Pod> back = Decode<Pod>(data);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, p);
+}
+
+TEST(CodecTest, PodConditionsHelpers) {
+  PodStatus s;
+  EXPECT_FALSE(s.Ready());
+  EXPECT_TRUE(s.SetCondition(kPodReady, true, 100));
+  EXPECT_TRUE(s.Ready());
+  EXPECT_FALSE(s.SetCondition(kPodReady, true, 200));  // no change
+  EXPECT_EQ(s.FindCondition(kPodReady)->last_transition_ms, 100);
+  EXPECT_TRUE(s.SetCondition(kPodReady, false, 300));
+  EXPECT_FALSE(s.Ready());
+}
+
+TEST(CodecTest, ServiceRoundTrip) {
+  Service s;
+  s.meta.name = "web";
+  s.meta.ns = "default";
+  s.spec.selector = {{"app", "web"}};
+  s.spec.ports = {{"http", 80, 8080, "TCP"}};
+  s.spec.cluster_ip = "10.96.0.10";
+  Result<Service> back = Decode<Service>(Encode(s));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, s);
+  EXPECT_EQ(back->spec.ports[0].EffectiveTargetPort(), 8080);
+  ServicePort defaulted{"", 443, 0, "TCP"};
+  EXPECT_EQ(defaulted.EffectiveTargetPort(), 443);
+}
+
+TEST(CodecTest, EndpointsRoundTrip) {
+  Endpoints e;
+  e.meta.name = "web";
+  e.meta.ns = "default";
+  EndpointSubset ss;
+  ss.addresses = {{"10.1.0.5", "node-1", "web-0"}, {"10.1.0.6", "node-2", "web-1"}};
+  ss.ports = {{"http", 80, 8080, "TCP"}};
+  e.subsets.push_back(ss);
+  Result<Endpoints> back = Decode<Endpoints>(Encode(e));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, e);
+}
+
+TEST(CodecTest, NodeRoundTrip) {
+  Node n;
+  n.meta.name = "node-1";
+  n.spec.taints = {{"dedicated", "tenant", "NoSchedule"}};
+  n.spec.unschedulable = true;
+  n.status.capacity = {96000, 328ll << 30};
+  n.status.allocatable = {95000, 320ll << 30};
+  n.status.conditions = {{kNodeReady, true, 42, "KubeletReady"}};
+  n.status.address = "192.168.0.10";
+  n.status.kubelet_endpoint = "192.168.0.10:10250";
+  n.status.last_heartbeat_ms = 777;
+  Result<Node> back = Decode<Node>(Encode(n));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, n);
+  EXPECT_TRUE(back->status.Ready());
+}
+
+TEST(CodecTest, NamespaceSecretConfigMapServiceAccount) {
+  NamespaceObj ns;
+  ns.meta.name = "tenant-a";
+  ns.phase = "Terminating";
+  EXPECT_EQ(Decode<NamespaceObj>(Encode(ns))->phase, "Terminating");
+
+  Secret sec;
+  sec.meta.name = "creds";
+  sec.meta.ns = "default";
+  sec.type = "kubernetes.io/service-account-token";
+  sec.data = {{"token", "abc123"}};
+  EXPECT_EQ(*Decode<Secret>(Encode(sec)), sec);
+
+  ConfigMap cm;
+  cm.meta.name = "conf";
+  cm.meta.ns = "default";
+  cm.data = {{"config.yaml", "a: 1\nb: 2\n"}};
+  EXPECT_EQ(*Decode<ConfigMap>(Encode(cm)), cm);
+
+  ServiceAccount sa;
+  sa.meta.name = "web-sa";
+  sa.meta.ns = "default";
+  sa.secrets = {"creds"};
+  EXPECT_EQ(*Decode<ServiceAccount>(Encode(sa)), sa);
+}
+
+TEST(CodecTest, VolumesRoundTrip) {
+  PersistentVolume pv;
+  pv.meta.name = "pv-1";
+  pv.capacity_bytes = 10ll << 30;
+  pv.storage_class = "ssd";
+  pv.claim_ref = "default/data-0";
+  pv.phase = "Bound";
+  EXPECT_EQ(*Decode<PersistentVolume>(Encode(pv)), pv);
+
+  PersistentVolumeClaim pvc;
+  pvc.meta.name = "data-0";
+  pvc.meta.ns = "default";
+  pvc.request_bytes = 5ll << 30;
+  pvc.storage_class = "ssd";
+  pvc.volume_name = "pv-1";
+  pvc.phase = "Bound";
+  EXPECT_EQ(*Decode<PersistentVolumeClaim>(Encode(pvc)), pvc);
+}
+
+TEST(CodecTest, EventRoundTrip) {
+  EventObj e;
+  e.meta.name = "web-0.123";
+  e.meta.ns = "default";
+  e.involved_kind = "Pod";
+  e.involved_name = "web-0";
+  e.involved_uid = "uid-1";
+  e.reason = "Scheduled";
+  e.message = "Successfully assigned default/web-0 to node-1";
+  e.type = "Normal";
+  e.count = 3;
+  e.last_timestamp_ms = 999;
+  EXPECT_EQ(*Decode<EventObj>(Encode(e)), e);
+}
+
+TEST(CodecTest, WorkloadRoundTrip) {
+  ReplicaSet rs;
+  rs.meta.name = "web-abc";
+  rs.meta.ns = "default";
+  rs.replicas = 3;
+  rs.selector = LabelSelector::FromMap({{"app", "web"}});
+  rs.template_.labels = {{"app", "web"}};
+  Container c;
+  c.name = "app";
+  c.image = "nginx";
+  rs.template_.spec.containers.push_back(c);
+  rs.status_replicas = 2;
+  rs.status_ready = 1;
+  EXPECT_EQ(*Decode<ReplicaSet>(Encode(rs)), rs);
+
+  Deployment d;
+  d.meta.name = "web";
+  d.meta.ns = "default";
+  d.replicas = 3;
+  d.selector = rs.selector;
+  d.template_ = rs.template_;
+  d.observed_generation = 7;
+  EXPECT_EQ(*Decode<Deployment>(Encode(d)), d);
+}
+
+TEST(CodecTest, DecodeRejectsMalformedJson) {
+  EXPECT_FALSE(Decode<Pod>("{not json").ok());
+}
+
+TEST(CodecTest, DecodeToleratesMissingFields) {
+  Result<Pod> p = Decode<Pod>("{\"kind\":\"Pod\",\"metadata\":{\"name\":\"x\"}}");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->meta.name, "x");
+  EXPECT_EQ(p->status.phase, PodPhase::kPending);
+  EXPECT_TRUE(p->spec.containers.empty());
+}
+
+TEST(CodecTest, PodPhaseNames) {
+  EXPECT_EQ(PodPhaseName(PodPhase::kRunning), "Running");
+  EXPECT_EQ(PodPhaseFromName("Failed"), PodPhase::kFailed);
+  EXPECT_EQ(PodPhaseFromName("garbage"), PodPhase::kPending);
+}
+
+TEST(CodecTest, TotalRequestsSumsContainers) {
+  Pod p = MakePod();
+  Container extra;
+  extra.name = "sidecar";
+  extra.requests = {100, 50};
+  p.spec.containers.push_back(extra);
+  ResourceList total = p.spec.TotalRequests();
+  EXPECT_EQ(total.cpu_milli, 600);
+  EXPECT_EQ(total.memory_bytes, (1 << 20) + 50);
+}
+
+TEST(CodecTest, ApproxObjectBytesScalesWithPodSize) {
+  Pod small;
+  small.meta.name = "s";
+  small.meta.ns = "d";
+  Pod big = MakePod();
+  for (int i = 0; i < 20; ++i) {
+    big.meta.annotations["key-" + std::to_string(i)] = std::string(200, 'v');
+  }
+  EXPECT_GT(ApproxObjectBytes(big), ApproxObjectBytes(small) + 2000);
+}
+
+}  // namespace
+}  // namespace vc::api

@@ -1,0 +1,139 @@
+// Runs the behavioural conformance suite against (a) a plain cluster and
+// (b) a VirtualCluster tenant, reproducing the paper's claim: the tenant view
+// passes everything except the one documented subdomain test.
+#include <gtest/gtest.h>
+
+#include "vc/conformance.h"
+#include "vc/deployment.h"
+
+namespace vc::core {
+namespace {
+
+VcDeployment::Options FastOptions() {
+  VcDeployment::Options o;
+  o.super.num_nodes = 3;
+  o.super.sched_cost.per_pod_base = Micros(100);
+  o.super.sched_cost.per_node_filter = Micros(1);
+  o.super.sched_cost.per_resident_pod = std::chrono::nanoseconds(0);
+  o.downward_op_cost = Micros(100);
+  o.upward_op_cost = Micros(100);
+  o.periodic_scan = false;
+  o.local_provision_delay = Millis(1);
+  return o;
+}
+
+// The DNS domain the runtime would configure: derived from the namespace the
+// pod actually runs under in the hosting cluster.
+std::string DomainFor(const api::Pod& pod) {
+  std::string host = pod.spec.hostname.empty() ? pod.meta.name : pod.spec.hostname;
+  return host + "." + pod.spec.subdomain + "." + pod.meta.ns + ".svc.cluster.local";
+}
+
+TEST(ConformanceTest, PlainClusterPassesEverything) {
+  SuperCluster::Options so;
+  so.num_nodes = 3;
+  so.sched_cost.per_pod_base = Micros(100);
+  so.sched_cost.per_node_filter = Micros(1);
+  so.sched_cost.per_resident_pod = std::chrono::nanoseconds(0);
+  SuperCluster cluster(so);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(cluster.WaitForSync(Seconds(10)));
+
+  ConformanceEnv env;
+  env.description = "plain cluster";
+  env.server = &cluster.server();
+  env.logs = [&](const std::string& ns, const std::string& pod,
+                 const std::string& container) -> Result<std::string> {
+    Result<api::Pod> p = cluster.server().Get<api::Pod>(ns, pod);
+    if (!p.ok()) return p.status();
+    Result<api::Node> node = cluster.server().Get<api::Node>("", p->spec.node_name);
+    if (!node.ok()) return node.status();
+    kubelet::Kubelet* kl =
+        kubelet::KubeletRegistry::Get().Lookup(node->status.kubelet_endpoint);
+    if (!kl) return UnavailableError("kubelet unreachable");
+    return kl->Logs(ns, pod, container);
+  };
+  env.exec = [&](const std::string& ns, const std::string& pod,
+                 const std::string& container,
+                 const std::vector<std::string>& cmd) -> Result<std::string> {
+    Result<api::Pod> p = cluster.server().Get<api::Pod>(ns, pod);
+    if (!p.ok()) return p.status();
+    Result<api::Node> node = cluster.server().Get<api::Node>("", p->spec.node_name);
+    if (!node.ok()) return node.status();
+    kubelet::Kubelet* kl =
+        kubelet::KubeletRegistry::Get().Lookup(node->status.kubelet_endpoint);
+    if (!kl) return UnavailableError("kubelet unreachable");
+    return kl->Exec(ns, pod, container, cmd);
+  };
+  env.runtime_domain = [&](const std::string& ns,
+                           const std::string& pod) -> Result<std::string> {
+    Result<api::Pod> p = cluster.server().Get<api::Pod>(ns, pod);
+    if (!p.ok()) return p.status();
+    return DomainFor(*p);
+  };
+
+  ConformanceSuite suite;
+  std::vector<CheckResult> results = suite.Run(env);
+  SCOPED_TRACE(ConformanceSuite::Render(results, env.description));
+  EXPECT_EQ(ConformanceSuite::PassedCount(results), static_cast<int>(results.size()));
+  cluster.Stop();
+}
+
+TEST(ConformanceTest, TenantViewPassesAllButSubdomain) {
+  VcDeployment deploy(FastOptions());
+  ASSERT_TRUE(deploy.Start().ok());
+  ASSERT_TRUE(deploy.WaitForSync(Seconds(10)));
+  auto tcp = deploy.CreateTenant("conf");
+  ASSERT_TRUE(tcp.ok()) << tcp.status();
+  // Another tenant with recognizably-named namespaces, to prove the tenant
+  // view never leaks them (the §I namespace-List problem).
+  auto other = deploy.CreateTenant("spy-target");
+  ASSERT_TRUE(other.ok());
+  TenantClient other_client(other->get());
+  api::NamespaceObj foreign;
+  foreign.meta.name = "foreign-tenant-secret";
+  ASSERT_TRUE(other_client.Create(foreign).ok());
+
+  auto client = std::make_shared<TenantClient>(tcp->get());
+  ConformanceEnv env;
+  env.description = "VirtualCluster tenant view";
+  env.server = &(*tcp)->server();
+  env.ctx = (*tcp)->TenantContext();
+  env.pod_ready_timeout = Seconds(30);
+  env.logs = [client](const std::string& ns, const std::string& pod,
+                      const std::string& container) {
+    return client->Logs(ns, pod, container);
+  };
+  env.exec = [client](const std::string& ns, const std::string& pod,
+                      const std::string& container, const std::vector<std::string>& cmd) {
+    return client->Exec(ns, pod, container, cmd);
+  };
+  // The runtime domain comes from the SUPER cluster pod — the pod actually
+  // runs under the prefixed namespace there.
+  TenantMapping map = deploy.syncer().MappingOf("conf");
+  apiserver::APIServer* super_server = &deploy.super().server();
+  env.runtime_domain = [map, super_server](const std::string& ns,
+                                           const std::string& pod) -> Result<std::string> {
+    Result<api::Pod> p = super_server->Get<api::Pod>(map.SuperNamespace(ns), pod);
+    if (!p.ok()) return p.status();
+    return DomainFor(*p);
+  };
+
+  ConformanceSuite suite;
+  std::vector<CheckResult> results = suite.Run(env);
+  SCOPED_TRACE(ConformanceSuite::Render(results, env.description));
+  int failures = 0;
+  for (const CheckResult& r : results) {
+    if (!r.passed) {
+      failures++;
+      // The only acceptable failure is the documented subdomain gap.
+      EXPECT_TRUE(r.expected_to_fail_in_vc) << r.name << ": " << r.detail;
+      EXPECT_EQ(r.name, "PodSubdomain");
+    }
+  }
+  EXPECT_EQ(failures, 1) << "exactly one (documented) conformance gap expected";
+  deploy.Stop();
+}
+
+}  // namespace
+}  // namespace vc::core

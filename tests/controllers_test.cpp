@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include "controllers/events.h"
+#include "controllers/manager.h"
+#include "kubelet/kubelet.h"
+
+namespace vc::controllers {
+namespace {
+
+using api::Pod;
+using apiserver::APIServer;
+
+// A controller-manager harness with a single mock kubelet so pods actually
+// become Ready (endpoints need ready pods).
+struct Harness {
+  explicit Harness(ControllerManager::Options extra = {}) {
+    server = std::make_unique<APIServer>(apiserver::APIServer::Options{});
+    extra.server = server.get();
+    extra.service_vip_pool = &fabric.service_ipam();
+    extra.node_tuning.heartbeat_grace = Millis(400);
+    extra.node_tuning.eviction_delay = Millis(300);
+    extra.node_tuning.check_interval = Millis(50);
+    cm = std::make_unique<ControllerManager>(std::move(extra));
+    fleet = std::make_unique<kubelet::KubeletFleet>(server.get(), RealClock::Get());
+    kubelet::Kubelet::Options ko;
+    ko.server = server.get();
+    ko.node_name = "node-0";
+    ko.fabric = &fabric;
+    ko.heartbeat_period = Millis(100);
+    fleet->Add(std::move(ko));
+    EXPECT_TRUE(fleet->Start().ok());
+    cm->Start();
+    EXPECT_TRUE(cm->WaitForSync(Seconds(5)));
+  }
+  ~Harness() {
+    cm->Stop();
+    fleet->Stop();
+  }
+
+  Pod ReadyPod(const std::string& ns, const std::string& name, api::LabelMap labels) {
+    Pod p;
+    p.meta.ns = ns;
+    p.meta.name = name;
+    p.meta.labels = std::move(labels);
+    api::Container c;
+    c.name = "app";
+    c.image = "img";
+    p.spec.containers.push_back(c);
+    p.spec.node_name = "node-0";  // pre-bound; kubelet marks it ready
+    return p;
+  }
+
+  template <typename Pred>
+  bool Eventually(Pred pred, int timeout_ms = 5000) {
+    for (int i = 0; i < timeout_ms / 2; ++i) {
+      if (pred()) return true;
+      RealClock::Get()->SleepFor(Millis(2));
+    }
+    return false;
+  }
+
+  std::unique_ptr<APIServer> server;
+  net::NetworkFabric fabric;
+  std::unique_ptr<ControllerManager> cm;
+  std::unique_ptr<kubelet::KubeletFleet> fleet;
+};
+
+TEST(ServiceControllerTest, AllocatesClusterIp) {
+  Harness h;
+  api::Service svc;
+  svc.meta.ns = "default";
+  svc.meta.name = "web";
+  svc.spec.ports = {{"http", 80, 8080, "TCP"}};
+  ASSERT_TRUE(h.server->Create(svc).ok());
+  ASSERT_TRUE(h.Eventually([&] {
+    Result<api::Service> s = h.server->Get<api::Service>("default", "web");
+    return s.ok() && !s->spec.cluster_ip.empty();
+  }));
+  EXPECT_TRUE(h.fabric.service_ipam().Contains(
+      h.server->Get<api::Service>("default", "web")->spec.cluster_ip));
+}
+
+TEST(ServiceControllerTest, LeavesPreAssignedIpAlone) {
+  Harness h;
+  api::Service svc;
+  svc.meta.ns = "default";
+  svc.meta.name = "synced";
+  svc.spec.cluster_ip = "10.96.7.7";  // e.g. copied down by the VC syncer
+  svc.spec.ports = {{"http", 80, 0, "TCP"}};
+  ASSERT_TRUE(h.server->Create(svc).ok());
+  RealClock::Get()->SleepFor(Millis(150));
+  EXPECT_EQ(h.server->Get<api::Service>("default", "synced")->spec.cluster_ip, "10.96.7.7");
+}
+
+TEST(EndpointsControllerTest, TracksReadyPods) {
+  Harness h;
+  api::Service svc;
+  svc.meta.ns = "default";
+  svc.meta.name = "web";
+  svc.spec.selector = {{"app", "web"}};
+  svc.spec.ports = {{"http", 80, 8080, "TCP"}};
+  ASSERT_TRUE(h.server->Create(svc).ok());
+  ASSERT_TRUE(h.server->Create(h.ReadyPod("default", "web-0", {{"app", "web"}})).ok());
+  ASSERT_TRUE(h.server->Create(h.ReadyPod("default", "web-1", {{"app", "web"}})).ok());
+  ASSERT_TRUE(h.server->Create(h.ReadyPod("default", "other", {{"app", "db"}})).ok());
+
+  ASSERT_TRUE(h.Eventually([&] {
+    Result<api::Endpoints> ep = h.server->Get<api::Endpoints>("default", "web");
+    return ep.ok() && !ep->subsets.empty() && ep->subsets[0].addresses.size() == 2;
+  }));
+  Result<api::Endpoints> ep = h.server->Get<api::Endpoints>("default", "web");
+  EXPECT_EQ(ep->subsets[0].ports[0].target_port, 8080);
+  for (const auto& addr : ep->subsets[0].addresses) {
+    EXPECT_NE(addr.target_pod, "other");
+  }
+
+  // Pod deletion shrinks the endpoints.
+  ASSERT_TRUE(h.server->Delete<Pod>("default", "web-1").ok());
+  ASSERT_TRUE(h.Eventually([&] {
+    Result<api::Endpoints> e = h.server->Get<api::Endpoints>("default", "web");
+    return e.ok() && (e->subsets.empty() || e->subsets[0].addresses.size() == 1);
+  }));
+}
+
+TEST(EndpointsControllerTest, ServiceDeletionRemovesEndpoints) {
+  Harness h;
+  api::Service svc;
+  svc.meta.ns = "default";
+  svc.meta.name = "web";
+  svc.spec.selector = {{"app", "web"}};
+  svc.spec.ports = {{"http", 80, 0, "TCP"}};
+  ASSERT_TRUE(h.server->Create(svc).ok());
+  ASSERT_TRUE(h.server->Create(h.ReadyPod("default", "web-0", {{"app", "web"}})).ok());
+  ASSERT_TRUE(h.Eventually([&] {
+    return h.server->Get<api::Endpoints>("default", "web").ok();
+  }));
+  ASSERT_TRUE(h.server->Delete<api::Service>("default", "web").ok());
+  ASSERT_TRUE(h.Eventually([&] {
+    return h.server->Get<api::Endpoints>("default", "web").status().IsNotFound();
+  }));
+}
+
+TEST(NamespaceControllerTest, CascadingDeletion) {
+  Harness h;
+  api::NamespaceObj ns;
+  ns.meta.name = "scratch";
+  ASSERT_TRUE(h.server->Create(ns).ok());
+  ASSERT_TRUE(h.server->Create(h.ReadyPod("scratch", "p0", {})).ok());
+  api::Secret sec;
+  sec.meta.ns = "scratch";
+  sec.meta.name = "s0";
+  ASSERT_TRUE(h.server->Create(sec).ok());
+
+  ASSERT_TRUE(h.server->Delete<api::NamespaceObj>("", "scratch").ok());
+  ASSERT_TRUE(h.Eventually([&] {
+    return h.server->Get<api::NamespaceObj>("", "scratch").status().IsNotFound();
+  }));
+  EXPECT_TRUE(h.server->Get<Pod>("scratch", "p0").status().IsNotFound());
+  EXPECT_TRUE(h.server->Get<api::Secret>("scratch", "s0").status().IsNotFound());
+}
+
+TEST(ReplicaSetControllerTest, ScalesUpAndDown) {
+  Harness h;
+  api::ReplicaSet rs;
+  rs.meta.ns = "default";
+  rs.meta.name = "web";
+  rs.replicas = 3;
+  rs.selector = api::LabelSelector::FromMap({{"app", "web"}});
+  rs.template_.labels = {{"app", "web"}};
+  api::Container c;
+  c.name = "app";
+  c.image = "img";
+  rs.template_.spec.containers.push_back(c);
+  rs.template_.spec.node_name = "node-0";  // skip scheduling in this harness
+  ASSERT_TRUE(h.server->Create(rs).ok());
+
+  ASSERT_TRUE(h.Eventually([&] {
+    Result<api::ReplicaSet> live = h.server->Get<api::ReplicaSet>("default", "web");
+    return live.ok() && live->status_replicas == 3 && live->status_ready == 3;
+  }));
+  EXPECT_EQ(h.server->List<Pod>("default")->items.size(), 3u);
+
+  // Scale down to 1.
+  ASSERT_TRUE(apiserver::RetryUpdate<api::ReplicaSet>(
+                  *h.server, "default", "web",
+                  [](api::ReplicaSet& live) {
+                    live.replicas = 1;
+                    return true;
+                  })
+                  .ok());
+  ASSERT_TRUE(h.Eventually([&] {
+    return h.server->List<Pod>("default")->items.size() == 1;
+  }));
+}
+
+TEST(ReplicaSetControllerTest, ReplacesDeletedPods) {
+  Harness h;
+  api::ReplicaSet rs;
+  rs.meta.ns = "default";
+  rs.meta.name = "web";
+  rs.replicas = 2;
+  rs.selector = api::LabelSelector::FromMap({{"app", "web"}});
+  rs.template_.labels = {{"app", "web"}};
+  api::Container c;
+  c.name = "app";
+  c.image = "img";
+  rs.template_.spec.containers.push_back(c);
+  rs.template_.spec.node_name = "node-0";
+  ASSERT_TRUE(h.server->Create(rs).ok());
+  ASSERT_TRUE(h.Eventually([&] {
+    return h.server->List<Pod>("default")->items.size() == 2;
+  }));
+  std::string victim = h.server->List<Pod>("default")->items[0].meta.name;
+  ASSERT_TRUE(h.server->Delete<Pod>("default", victim).ok());
+  ASSERT_TRUE(h.Eventually([&] {
+    auto pods = h.server->List<Pod>("default")->items;
+    if (pods.size() != 2) return false;
+    for (const auto& p : pods) {
+      if (p.meta.name == victim) return false;
+    }
+    return true;
+  }));
+}
+
+TEST(GarbageCollectorTest, ReapsOrphanedPods) {
+  Harness h;
+  api::ReplicaSet rs;
+  rs.meta.ns = "default";
+  rs.meta.name = "owner";
+  rs.replicas = 1;
+  rs.selector = api::LabelSelector::FromMap({{"app", "x"}});
+  rs.template_.labels = {{"app", "x"}};
+  api::Container c;
+  c.name = "app";
+  c.image = "img";
+  rs.template_.spec.containers.push_back(c);
+  rs.template_.spec.node_name = "node-0";
+  Result<api::ReplicaSet> created = h.server->Create(rs);
+  ASSERT_TRUE(created.ok());
+  ASSERT_TRUE(h.Eventually([&] {
+    return h.server->List<Pod>("default")->items.size() == 1;
+  }));
+  // Delete the owner; its pod must be garbage collected.
+  ASSERT_TRUE(h.server->Delete<api::ReplicaSet>("default", "owner").ok());
+  ASSERT_TRUE(h.Eventually([&] {
+    return h.server->List<Pod>("default")->items.empty();
+  }));
+}
+
+TEST(DeploymentControllerTest, CreatesReplicaSetAndAggregatesStatus) {
+  Harness h;
+  api::Deployment dep;
+  dep.meta.ns = "default";
+  dep.meta.name = "web";
+  dep.replicas = 2;
+  dep.selector = api::LabelSelector::FromMap({{"app", "web"}});
+  dep.template_.labels = {{"app", "web"}};
+  api::Container c;
+  c.name = "app";
+  c.image = "img:v1";
+  dep.template_.spec.containers.push_back(c);
+  dep.template_.spec.node_name = "node-0";
+  ASSERT_TRUE(h.server->Create(dep).ok());
+
+  ASSERT_TRUE(h.Eventually([&] {
+    Result<api::Deployment> live = h.server->Get<api::Deployment>("default", "web");
+    return live.ok() && live->status_ready == 2;
+  }));
+  Result<apiserver::TypedList<api::ReplicaSet>> rss =
+      h.server->List<api::ReplicaSet>("default");
+  ASSERT_EQ(rss->items.size(), 1u);
+  EXPECT_EQ(rss->items[0].meta.owner_references[0].name, "web");
+
+  // Template change: new ReplicaSet replaces the old (recreate strategy),
+  // pods of the old one are GC'd.
+  ASSERT_TRUE(apiserver::RetryUpdate<api::Deployment>(
+                  *h.server, "default", "web",
+                  [](api::Deployment& live) {
+                    live.template_.spec.containers[0].image = "img:v2";
+                    return true;
+                  })
+                  .ok());
+  ASSERT_TRUE(h.Eventually([&] {
+    auto list = h.server->List<api::ReplicaSet>("default")->items;
+    return list.size() == 1 && list[0].template_.spec.containers[0].image == "img:v2";
+  }));
+}
+
+TEST(NodeLifecycleTest, MarksStaleNodeNotReadyAndEvicts) {
+  Harness h;
+  // A phantom node that never heartbeats, with a pod "running" on it.
+  api::Node ghost;
+  ghost.meta.name = "ghost-0";
+  ghost.status.capacity = {1000, 1 << 30};
+  ghost.status.allocatable = ghost.status.capacity;
+  ghost.status.last_heartbeat_ms = 1;  // long ago
+  ghost.status.conditions = {{api::kNodeReady, true, 1, ""}};
+  ASSERT_TRUE(h.server->Create(ghost).ok());
+  Pod stranded = h.ReadyPod("default", "stranded", {});
+  stranded.spec.node_name = "ghost-0";
+  ASSERT_TRUE(h.server->Create(stranded).ok());
+
+  ASSERT_TRUE(h.Eventually([&] {
+    Result<api::Node> n = h.server->Get<api::Node>("", "ghost-0");
+    return n.ok() && !n->status.Ready();
+  }));
+  ASSERT_TRUE(h.Eventually([&] {
+    return h.server->Get<Pod>("default", "stranded").status().IsNotFound();
+  }));
+  // The live node stays Ready the whole time.
+  EXPECT_TRUE(h.server->Get<api::Node>("", "node-0")->status.Ready());
+}
+
+TEST(EventRecorderTest, MergesRepeatsByCount) {
+  APIServer server({});
+  EventRecorder rec(&server, RealClock::Get(), "test");
+  rec.Record("default", "Pod", "web-0", "uid-1", "Warning", "FailedScheduling",
+             "no nodes");
+  rec.Record("default", "Pod", "web-0", "uid-1", "Warning", "FailedScheduling",
+             "still no nodes");
+  Result<apiserver::TypedList<api::EventObj>> events = server.List<api::EventObj>("default");
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->items.size(), 1u);
+  EXPECT_EQ(events->items[0].count, 2);
+  EXPECT_EQ(events->items[0].message, "still no nodes");
+  // A different reason creates a separate event.
+  rec.Record("default", "Pod", "web-0", "uid-1", "Normal", "Scheduled", "ok");
+  EXPECT_EQ(server.List<api::EventObj>("default")->items.size(), 2u);
+}
+
+}  // namespace
+}  // namespace vc::controllers

@@ -1,0 +1,195 @@
+// Isolation-focused tests: the security boundaries the paper's design rests
+// on — tenants cannot reach the super cluster, cannot see or affect each
+// other through any surface (API, vn-agent, data plane), and a compromised
+// or buggy tenant's blast radius stays inside its own control plane.
+#include <gtest/gtest.h>
+
+#include "vc/deployment.h"
+
+namespace vc::core {
+namespace {
+
+api::Pod BasicPod(const std::string& ns, const std::string& name) {
+  api::Pod p;
+  p.meta.ns = ns;
+  p.meta.name = name;
+  api::Container c;
+  c.name = "app";
+  c.image = "nginx";
+  p.spec.containers.push_back(c);
+  return p;
+}
+
+VcDeployment::Options FastOptions() {
+  VcDeployment::Options o;
+  o.super.num_nodes = 2;
+  o.super.sched_cost.per_pod_base = Micros(100);
+  o.super.sched_cost.per_node_filter = Micros(1);
+  o.super.sched_cost.per_resident_pod = std::chrono::nanoseconds(0);
+  o.downward_op_cost = Micros(100);
+  o.upward_op_cost = Micros(100);
+  o.periodic_scan = false;
+  o.local_provision_delay = Millis(1);
+  return o;
+}
+
+class IsolationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    deploy_ = std::make_unique<VcDeployment>(FastOptions());
+    ASSERT_TRUE(deploy_->Start().ok());
+    // Lock the super cluster down: only cluster components (loopback /
+    // system:masters) may use it — "Tenants are disallowed to access the
+    // super cluster" (§III-B (1)).
+    deploy_->super().server().authorizer().EnableDefaultDeny();
+    auto a = deploy_->CreateTenant("acme");
+    auto g = deploy_->CreateTenant("globex");
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(g.ok());
+    acme_ = *a;
+    globex_ = *g;
+  }
+  void TearDown() override { deploy_->Stop(); }
+
+  std::unique_ptr<VcDeployment> deploy_;
+  std::shared_ptr<TenantControlPlane> acme_;
+  std::shared_ptr<TenantControlPlane> globex_;
+};
+
+TEST_F(IsolationTest, TenantIdentityDeniedOnSuperCluster) {
+  // A tenant re-using its credentials against the super apiserver is denied
+  // every verb.
+  apiserver::RequestContext tenant_ctx = acme_->TenantContext();
+  EXPECT_EQ(deploy_->super().server().List<api::Pod>("", tenant_ctx).status().code(),
+            Code::kForbidden);
+  EXPECT_EQ(deploy_->super()
+                .server()
+                .Create(BasicPod("default", "intruder"), tenant_ctx)
+                .status()
+                .code(),
+            Code::kForbidden);
+  EXPECT_EQ(deploy_->super()
+                .server()
+                .List<api::Secret>("default", tenant_ctx)
+                .status()
+                .code(),
+            Code::kForbidden)
+      << "tenant could read super-cluster secrets (kubeconfigs live there!)";
+  // Cluster components still work.
+  EXPECT_TRUE(deploy_->super().server().List<api::Pod>().ok());
+}
+
+TEST_F(IsolationTest, VnAgentWillNotCrossTenants) {
+  TenantClient acme(acme_.get());
+  TenantClient globex(globex_.get());
+  ASSERT_TRUE(acme.Create(BasicPod("default", "web-0")).ok());
+  ASSERT_TRUE(globex.Create(BasicPod("default", "web-0")).ok());
+  ASSERT_TRUE(acme.WaitPodReady("default", "web-0", Seconds(15)).ok());
+  ASSERT_TRUE(globex.WaitPodReady("default", "web-0", Seconds(15)).ok());
+
+  // Globex presents ITS cert but names acme's pod coordinates. The vn-agent
+  // maps the namespace through GLOBEX's prefix, so it can only ever reach
+  // globex's own pods — acme's are unaddressable by construction.
+  Result<api::Pod> gp = globex.Get<api::Pod>("default", "web-0");
+  Result<api::Node> vn = globex.Get<api::Node>("", gp->spec.node_name);
+  VnAgent* agent = VnAgentRegistry::Get().Lookup(vn->status.kubelet_endpoint);
+  ASSERT_NE(agent, nullptr);
+  Result<std::string> logs =
+      agent->Logs(globex_->kubeconfig().cert_data, "default", "web-0", "app");
+  ASSERT_TRUE(logs.ok());
+  // It got GLOBEX's pod (same names, different super namespaces): verify by
+  // asking the pod to identify itself via exec.
+  Result<std::string> whoami =
+      agent->Exec(globex_->kubeconfig().cert_data, "default", "web-0", "app", {"whoami"});
+  ASSERT_TRUE(whoami.ok());
+  TenantMapping gmap = deploy_->syncer().MappingOf("globex");
+  EXPECT_NE(whoami->find(gmap.SuperNamespace("default")), std::string::npos)
+      << "vn-agent resolved into the wrong tenant's namespace: " << *whoami;
+}
+
+TEST_F(IsolationTest, ForgedAnnotationsCannotHijackUpwardSync) {
+  // A malicious super-side actor (or a confused controller) plants a pod
+  // claiming to originate from tenant acme with a bogus uid. The upward
+  // reconciler's uid guard must refuse to clobber acme's real pod.
+  TenantClient acme(acme_.get());
+  ASSERT_TRUE(acme.Create(BasicPod("default", "victim")).ok());
+  Result<api::Pod> real = acme.WaitPodReady("default", "victim", Seconds(15));
+  ASSERT_TRUE(real.ok());
+
+  TenantMapping map = deploy_->syncer().MappingOf("acme");
+  api::Pod forged = BasicPod(map.SuperNamespace("default"), "victim");
+  forged.meta.name = "victim";
+  forged.meta.annotations[kTenantAnnotation] = "acme";
+  forged.meta.annotations[kOriginNamespaceAnnotation] = "default";
+  forged.meta.annotations[kOriginUidAnnotation] = "spoofed-uid";
+  forged.status.phase = api::PodPhase::kFailed;
+  forged.status.message = "pwned";
+  // The real shadow already exists, so plant under a different name that
+  // claims to be the same tenant object.
+  forged.meta.name = "victim-evil";
+  ASSERT_TRUE(deploy_->super().server().Create(forged).ok());
+
+  RealClock::Get()->SleepFor(Millis(300));
+  // acme's real pod is untouched, and no "victim-evil" appeared in the
+  // tenant (upward sync only updates EXISTING tenant objects with matching
+  // uid — it never creates).
+  Result<api::Pod> after = acme.Get<api::Pod>("default", "victim");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->status.phase, api::PodPhase::kRunning);
+  EXPECT_TRUE(acme.Get<api::Pod>("default", "victim-evil").status().IsNotFound());
+}
+
+TEST_F(IsolationTest, DataPlaneVpcSeparation) {
+  // Two tenants' pods on the same physical nodes, different VPCs: direct
+  // cross-tenant traffic is dropped by the fabric.
+  net::NetworkFabric& fabric = deploy_->super().fabric();
+  auto guest = std::shared_ptr<net::KataAgent>();
+  net::PodEndpoint a;
+  a.pod_key = "acme-pod";
+  a.ip = "10.32.99.1";
+  a.node = "node-0";
+  a.mode = net::PodNetworkMode::kVpc;
+  a.vpc_id = "vpc-acme";
+  fabric.RegisterPod(a);
+  net::PodEndpoint g;
+  g.pod_key = "globex-pod";
+  g.ip = "10.32.99.2";
+  g.node = "node-0";
+  g.mode = net::PodNetworkMode::kVpc;
+  g.vpc_id = "vpc-globex";
+  fabric.RegisterPod(g);
+  EXPECT_EQ(fabric.Connect("10.32.99.1", "10.32.99.2", 80).status().code(),
+            Code::kForbidden);
+  fabric.UnregisterPod("10.32.99.1");
+  fabric.UnregisterPod("10.32.99.2");
+}
+
+TEST_F(IsolationTest, ClusterScopedFreedomWithoutBlastRadius) {
+  // Each tenant can freely create cluster-scoped objects — namespaces, PVs —
+  // including ones with names that would collide on a shared control plane.
+  TenantClient acme(acme_.get());
+  TenantClient globex(globex_.get());
+  for (TenantClient* c : {&acme, &globex}) {
+    api::NamespaceObj ns;
+    ns.meta.name = "kube-public";  // a "system-ish" name, no negotiation needed
+    EXPECT_TRUE(c->Create(ns).ok());
+    api::PersistentVolume pv;
+    pv.meta.name = "shared-name-pv";
+    pv.capacity_bytes = 1 << 30;
+    EXPECT_TRUE(c->Create(pv).ok());
+  }
+  // Neither leaked into the super cluster's cluster scope.
+  EXPECT_TRUE(deploy_->super()
+                  .server()
+                  .Get<api::PersistentVolume>("", "shared-name-pv")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(deploy_->super()
+                  .server()
+                  .Get<api::NamespaceObj>("", "kube-public")
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace vc::core

@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include "net/fabric.h"
+#include "net/kubeproxy.h"
+
+namespace vc::net {
+namespace {
+
+// ----------------------------------------------------------------- Ipam
+
+TEST(IpamTest, AllocatesUniqueAddressesInPrefix) {
+  Ipam ipam("10.32");
+  std::set<std::string> seen;
+  for (int i = 0; i < 300; ++i) {
+    Result<std::string> ip = ipam.Allocate();
+    ASSERT_TRUE(ip.ok());
+    EXPECT_TRUE(ipam.Contains(*ip));
+    EXPECT_TRUE(seen.insert(*ip).second) << "duplicate " << *ip;
+  }
+  EXPECT_EQ(ipam.InUse(), 300u);
+}
+
+TEST(IpamTest, ReleaseEnablesReuse) {
+  Ipam ipam("10.32");
+  std::string first = *ipam.Allocate();
+  ipam.Release(first);
+  EXPECT_EQ(ipam.InUse(), 0u);
+  EXPECT_EQ(*ipam.Allocate(), first);
+  // Releasing foreign or junk addresses is a no-op.
+  ipam.Release("9.9.9.9");
+  ipam.Release("not-an-ip");
+}
+
+TEST(IpamTest, ContainsChecksPrefixExactly) {
+  Ipam ipam("10.3");
+  EXPECT_TRUE(ipam.Contains("10.3.1.2"));
+  EXPECT_FALSE(ipam.Contains("10.32.1.2"));
+}
+
+// ----------------------------------------------------------------- IpTables
+
+TEST(IpTablesTest, TranslateRoundRobins) {
+  IpTables t;
+  DnatRule rule;
+  rule.cluster_ip = "10.96.0.1";
+  rule.port = 80;
+  rule.backends = {{"10.32.0.1", 8080}, {"10.32.0.2", 8080}};
+  t.ReplaceServiceRules("default/web", {rule});
+  std::optional<Backend> b1 = t.Translate("10.96.0.1", 80);
+  std::optional<Backend> b2 = t.Translate("10.96.0.1", 80);
+  std::optional<Backend> b3 = t.Translate("10.96.0.1", 80);
+  ASSERT_TRUE(b1 && b2 && b3);
+  EXPECT_NE(b1->ip, b2->ip);
+  EXPECT_EQ(b1->ip, b3->ip);  // wrapped around
+}
+
+TEST(IpTablesTest, NoMatchReturnsNullopt) {
+  IpTables t;
+  EXPECT_FALSE(t.Translate("10.96.0.9", 80).has_value());
+  DnatRule empty;
+  empty.cluster_ip = "10.96.0.1";
+  empty.port = 80;  // no backends
+  t.ReplaceServiceRules("default/web", {empty});
+  EXPECT_FALSE(t.Translate("10.96.0.1", 80).has_value());
+  EXPECT_TRUE(t.HasRuleFor("10.96.0.1", 80));
+  EXPECT_FALSE(t.Translate("10.96.0.1", 443).has_value());
+}
+
+TEST(IpTablesTest, ReplaceIsIdempotentAndVersioned) {
+  IpTables t;
+  DnatRule rule;
+  rule.cluster_ip = "10.96.0.1";
+  rule.port = 80;
+  rule.backends = {{"10.32.0.1", 80}};
+  EXPECT_EQ(t.ReplaceServiceRules("s", {rule}), 1u);
+  int64_t v = t.version();
+  EXPECT_EQ(t.ReplaceServiceRules("s", {rule}), 0u);  // no change
+  EXPECT_EQ(t.version(), v);
+  rule.backends.push_back({"10.32.0.2", 80});
+  EXPECT_GT(t.ReplaceServiceRules("s", {rule}), 0u);
+  EXPECT_GT(t.version(), v);
+  EXPECT_EQ(t.RemoveServiceRules("s"), 1u);
+  EXPECT_EQ(t.RuleCount(), 0u);
+  EXPECT_EQ(t.RemoveServiceRules("s"), 0u);
+}
+
+// ----------------------------------------------------------------- Fabric
+
+PodEndpoint Ep(const std::string& key, const std::string& ip, const std::string& node,
+               PodNetworkMode mode, const std::string& vpc = "",
+               std::shared_ptr<KataAgent> guest = nullptr) {
+  PodEndpoint ep;
+  ep.pod_key = key;
+  ep.ip = ip;
+  ep.node = node;
+  ep.mode = mode;
+  ep.vpc_id = vpc;
+  ep.guest = std::move(guest);
+  return ep;
+}
+
+TEST(FabricTest, DirectPodToPodWorks) {
+  NetworkFabric f;
+  f.RegisterPod(Ep("default/a", "10.32.0.1", "n1", PodNetworkMode::kHostStack));
+  f.RegisterPod(Ep("default/b", "10.32.0.2", "n2", PodNetworkMode::kHostStack));
+  Result<Backend> r = f.Connect("10.32.0.1", "10.32.0.2", 8080);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->ToString(), "10.32.0.2:8080");
+}
+
+TEST(FabricTest, ClusterIpViaHostIptables) {
+  NetworkFabric f;
+  f.RegisterPod(Ep("default/a", "10.32.0.1", "n1", PodNetworkMode::kHostStack));
+  f.RegisterPod(Ep("default/b", "10.32.0.2", "n2", PodNetworkMode::kHostStack));
+  DnatRule rule;
+  rule.cluster_ip = "10.96.0.5";
+  rule.port = 80;
+  rule.backends = {{"10.32.0.2", 8080}};
+  f.HostTables("n1").ReplaceServiceRules("default/web", {rule});
+  Result<Backend> r = f.Connect("10.32.0.1", "10.96.0.5", 80);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->ip, "10.32.0.2");
+}
+
+// The paper's central data-plane claim: "This mechanism is broken when
+// containers are connected to a VPC because the network traffic might
+// completely bypass the host network stack."
+TEST(FabricTest, ClusterIpBrokenForVpcPodWithoutGuestRules) {
+  NetworkFabric f;
+  f.RegisterPod(Ep("t1/a", "10.32.0.1", "n1", PodNetworkMode::kVpc, "vpc-1"));
+  f.RegisterPod(Ep("t1/b", "10.32.0.2", "n1", PodNetworkMode::kVpc, "vpc-1"));
+  DnatRule rule;
+  rule.cluster_ip = "10.96.0.5";
+  rule.port = 80;
+  rule.backends = {{"10.32.0.2", 8080}};
+  // Host rules exist but the VPC pod bypasses them entirely.
+  f.HostTables("n1").ReplaceServiceRules("t1/web", {rule});
+  Result<Backend> r = f.Connect("10.32.0.1", "10.96.0.5", 80);
+  EXPECT_EQ(r.status().code(), Code::kUnavailable);
+  // Direct pod-to-pod inside the VPC still works.
+  EXPECT_TRUE(f.Connect("10.32.0.1", "10.32.0.2", 8080).ok());
+}
+
+TEST(FabricTest, ClusterIpRestoredByGuestRules) {
+  NetworkFabric f;
+  auto guest = std::make_shared<KataAgent>("t1/a", RealClock::Get(),
+                                           KataAgent::Costs{Micros(1), Micros(1), Micros(1)});
+  f.RegisterPod(Ep("t1/a", "10.32.0.1", "n1", PodNetworkMode::kVpc, "vpc-1", guest));
+  f.RegisterPod(Ep("t1/b", "10.32.0.2", "n1", PodNetworkMode::kVpc, "vpc-1"));
+  DnatRule rule;
+  rule.cluster_ip = "10.96.0.5";
+  rule.port = 80;
+  rule.backends = {{"10.32.0.2", 8080}};
+  ASSERT_TRUE(guest->ApplyServiceRules({{"t1/web", {rule}}}).ok());
+  Result<Backend> r = f.Connect("10.32.0.1", "10.96.0.5", 80);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->ip, "10.32.0.2");
+}
+
+TEST(FabricTest, CrossVpcTrafficDropped) {
+  NetworkFabric f;
+  f.RegisterPod(Ep("t1/a", "10.32.0.1", "n1", PodNetworkMode::kVpc, "vpc-1"));
+  f.RegisterPod(Ep("t2/b", "10.32.0.2", "n1", PodNetworkMode::kVpc, "vpc-2"));
+  Result<Backend> r = f.Connect("10.32.0.1", "10.32.0.2", 8080);
+  EXPECT_EQ(r.status().code(), Code::kForbidden);
+}
+
+TEST(FabricTest, ConnectErrors) {
+  NetworkFabric f;
+  EXPECT_TRUE(f.Connect("10.32.9.9", "10.32.0.1", 80).status().IsNotFound());
+  f.RegisterPod(Ep("a", "10.32.0.1", "n1", PodNetworkMode::kHostStack));
+  EXPECT_TRUE(f.Connect("10.32.0.1", "10.32.0.9", 80).status().IsNotFound());
+  f.UnregisterPod("10.32.0.1");
+  EXPECT_TRUE(f.Connect("10.32.0.1", "10.32.0.1", 80).status().IsNotFound());
+}
+
+// ----------------------------------------------------------------- KataAgent
+
+TEST(KataAgentTest, ApplyIsFingerprintGuarded) {
+  KataAgent agent("t1/a", RealClock::Get(),
+                  KataAgent::Costs{Micros(1), Micros(1), Micros(1)});
+  DnatRule rule;
+  rule.cluster_ip = "10.96.0.5";
+  rule.port = 80;
+  rule.backends = {{"10.32.0.2", 8080}};
+  std::map<std::string, std::vector<DnatRule>> desired{{"t1/web", {rule}}};
+  ASSERT_TRUE(agent.ApplyServiceRules(desired).ok());
+  EXPECT_EQ(agent.syncs_applied(), 1);
+  // Identical desired state: no-op.
+  ASSERT_TRUE(agent.ApplyServiceRules(desired).ok());
+  EXPECT_EQ(agent.syncs_applied(), 1);
+  // Changed state: re-applied; removed services are cleaned up.
+  std::map<std::string, std::vector<DnatRule>> other{{"t1/api", {rule}}};
+  ASSERT_TRUE(agent.ApplyServiceRules(other).ok());
+  EXPECT_EQ(agent.guest_iptables().ServiceCount(), 1u);
+  EXPECT_TRUE(agent.guest_iptables().ServiceRules("t1/web").empty());
+}
+
+TEST(KataAgentTest, InjectionCostScalesWithRules) {
+  KataAgent agent("t1/a", RealClock::Get(),
+                  KataAgent::Costs{Millis(1), Millis(2), Micros(10)});
+  std::map<std::string, std::vector<DnatRule>> desired;
+  for (int i = 0; i < 10; ++i) {
+    DnatRule rule;
+    rule.cluster_ip = "10.96.0." + std::to_string(i);
+    rule.port = 80;
+    rule.backends = {{"10.32.0.2", 8080}};
+    desired["svc-" + std::to_string(i)] = {rule};
+  }
+  Stopwatch sw(RealClock::Get());
+  ASSERT_TRUE(agent.ApplyServiceRules(desired).ok());
+  // 1ms gRPC + 10 rules x 2ms = >= 21ms.
+  EXPECT_GE(sw.Elapsed(), Millis(20));
+}
+
+TEST(KataAgentTest, ScanRepairsDrift) {
+  KataAgent agent("t1/a", RealClock::Get(),
+                  KataAgent::Costs{Micros(1), Micros(1), Micros(1)});
+  DnatRule rule;
+  rule.cluster_ip = "10.96.0.5";
+  rule.port = 80;
+  rule.backends = {{"10.32.0.2", 8080}};
+  std::map<std::string, std::vector<DnatRule>> desired{{"t1/web", {rule}}};
+  ASSERT_TRUE(agent.ApplyServiceRules(desired).ok());
+  // Drift: something clobbers the guest table.
+  agent.guest_iptables().RemoveServiceRules("t1/web");
+  KataAgent::ScanResult r = agent.ScanAndRepair(desired);
+  EXPECT_GE(r.rules_repaired, 1u);
+  EXPECT_TRUE(agent.guest_iptables().HasRuleFor("10.96.0.5", 80));
+  // Clean scan: nothing repaired.
+  KataAgent::ScanResult clean = agent.ScanAndRepair(desired);
+  EXPECT_EQ(clean.rules_repaired, 0u);
+  EXPECT_GT(clean.rules_scanned, 0u);
+}
+
+TEST(KataAgentTest, NetworkReadyBarrier) {
+  KataAgent agent("t1/a", RealClock::Get());
+  EXPECT_FALSE(agent.NetworkReady());
+  EXPECT_FALSE(agent.WaitNetworkReady(Millis(20)));
+  std::thread signaller([&] {
+    RealClock::Get()->SleepFor(Millis(30));
+    agent.MarkNetworkReady();
+  });
+  EXPECT_TRUE(agent.WaitNetworkReady(Seconds(2)));
+  signaller.join();
+  EXPECT_TRUE(agent.NetworkReady());
+}
+
+// ----------------------------------------------------------------- KubeProxy
+
+struct ProxyHarness {
+  explicit ProxyHarness(bool enhanced) {
+    server = std::make_unique<apiserver::APIServer>(apiserver::APIServer::Options{});
+    KubeProxy::Options opts;
+    opts.server = server.get();
+    opts.fabric = &fabric;
+    opts.node = "n1";
+    opts.sync_period = Millis(5);
+    if (enhanced) {
+      EnhancedKubeProxy::EnhancedOptions eo;
+      eo.base = opts;
+      eo.guest_scan_interval = Millis(100);
+      proxy = std::make_unique<EnhancedKubeProxy>(std::move(eo));
+    } else {
+      proxy = std::make_unique<KubeProxy>(std::move(opts));
+    }
+    proxy->Start();
+    EXPECT_TRUE(proxy->WaitForSync(Seconds(5)));
+  }
+  ~ProxyHarness() { proxy->Stop(); }
+
+  void CreateServiceWithEndpoints() {
+    api::Service svc;
+    svc.meta.ns = "default";
+    svc.meta.name = "web";
+    svc.spec.cluster_ip = "10.96.0.5";
+    svc.spec.ports = {{"http", 80, 8080, "TCP"}};
+    ASSERT_TRUE(server->Create(svc).ok());
+    api::Endpoints ep;
+    ep.meta.ns = "default";
+    ep.meta.name = "web";
+    api::EndpointSubset ss;
+    ss.addresses = {{"10.32.0.2", "n1", "web-0"}};
+    ss.ports = {{"http", 80, 8080, "TCP"}};
+    ep.subsets.push_back(ss);
+    ASSERT_TRUE(server->Create(ep).ok());
+  }
+
+  std::unique_ptr<apiserver::APIServer> server;
+  NetworkFabric fabric;
+  std::unique_ptr<KubeProxy> proxy;
+};
+
+TEST(KubeProxyTest, ProgramsHostTablesFromServiceAndEndpoints) {
+  ProxyHarness h(/*enhanced=*/false);
+  h.CreateServiceWithEndpoints();
+  for (int i = 0; i < 1000; ++i) {
+    if (h.fabric.HostTables("n1").HasRuleFor("10.96.0.5", 80)) break;
+    RealClock::Get()->SleepFor(Millis(2));
+  }
+  ASSERT_TRUE(h.fabric.HostTables("n1").HasRuleFor("10.96.0.5", 80));
+  std::optional<Backend> b = h.fabric.HostTables("n1").Translate("10.96.0.5", 80);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->ToString(), "10.32.0.2:8080");
+  // Deleting the service removes the rules.
+  ASSERT_TRUE(h.server->Delete<api::Service>("default", "web").ok());
+  for (int i = 0; i < 1000; ++i) {
+    if (!h.fabric.HostTables("n1").HasRuleFor("10.96.0.5", 80)) return;
+    RealClock::Get()->SleepFor(Millis(2));
+  }
+  FAIL() << "stale host rules after service deletion";
+}
+
+TEST(KubeProxyTest, EnhancedInjectsIntoGuestsAndOpensGate) {
+  ProxyHarness h(/*enhanced=*/true);
+  h.CreateServiceWithEndpoints();
+  // A Kata guest appears on the node (as the kubelet would register it).
+  auto guest = std::make_shared<KataAgent>(
+      "t1/kata-0", RealClock::Get(), KataAgent::Costs{Micros(10), Micros(10), Micros(1)});
+  PodEndpoint ep;
+  ep.pod_key = "t1/kata-0";
+  ep.ip = "10.32.0.9";
+  ep.node = "n1";
+  ep.mode = PodNetworkMode::kVpc;
+  ep.guest = guest;
+  h.fabric.RegisterPod(ep);
+
+  ASSERT_TRUE(guest->WaitNetworkReady(Seconds(5)));
+  EXPECT_TRUE(guest->guest_iptables().HasRuleFor("10.96.0.5", 80));
+  auto* enhanced = static_cast<EnhancedKubeProxy*>(h.proxy.get());
+  EXPECT_GE(enhanced->guests_synced(), 1u);
+  EXPECT_EQ(enhanced->initial_injection_latency().Count(), 1u);
+}
+
+TEST(KubeProxyTest, EnhancedPropagatesServiceChangesToGuests) {
+  ProxyHarness h(/*enhanced=*/true);
+  h.CreateServiceWithEndpoints();
+  auto guest = std::make_shared<KataAgent>(
+      "t1/kata-0", RealClock::Get(), KataAgent::Costs{Micros(10), Micros(10), Micros(1)});
+  PodEndpoint ep;
+  ep.pod_key = "t1/kata-0";
+  ep.ip = "10.32.0.9";
+  ep.node = "n1";
+  ep.mode = PodNetworkMode::kVpc;
+  ep.guest = guest;
+  h.fabric.RegisterPod(ep);
+  ASSERT_TRUE(guest->WaitNetworkReady(Seconds(5)));
+
+  // Endpoint change must reach the guest.
+  Result<api::Endpoints> eps = h.server->Get<api::Endpoints>("default", "web");
+  ASSERT_TRUE(eps.ok());
+  eps->subsets[0].addresses.push_back({"10.32.0.3", "n2", "web-1"});
+  ASSERT_TRUE(h.server->Update(*eps).ok());
+  for (int i = 0; i < 1000; ++i) {
+    auto rules = guest->guest_iptables().ServiceRules("default/web");
+    if (!rules.empty() && rules[0].backends.size() == 2) return;
+    RealClock::Get()->SleepFor(Millis(2));
+  }
+  FAIL() << "guest rules never picked up the new endpoint";
+}
+
+TEST(BuildDesiredRulesTest, SkipsHeadlessAndUnassignedServices) {
+  client::ObjectCache<api::Service> services;
+  client::ObjectCache<api::Endpoints> endpoints;
+  api::Service headless;
+  headless.meta.ns = "d";
+  headless.meta.name = "hl";
+  headless.spec.cluster_ip = "None";
+  services.Upsert(headless);
+  api::Service pending;
+  pending.meta.ns = "d";
+  pending.meta.name = "pending";  // no IP yet
+  services.Upsert(pending);
+  api::Service ready;
+  ready.meta.ns = "d";
+  ready.meta.name = "ok";
+  ready.spec.cluster_ip = "10.96.0.7";
+  ready.spec.ports = {{"http", 80, 0, "TCP"}};
+  services.Upsert(ready);
+  auto rules = BuildDesiredRules(services, endpoints);
+  EXPECT_EQ(rules.size(), 1u);
+  ASSERT_TRUE(rules.count("d/ok"));
+  EXPECT_TRUE(rules["d/ok"][0].backends.empty());  // no endpoints yet
+}
+
+}  // namespace
+}  // namespace vc::net

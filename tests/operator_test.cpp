@@ -1,0 +1,148 @@
+// Tenant-operator-focused tests: lifecycle phases, local vs cloud
+// provisioning, finalizer protection, and tenant re-creation.
+#include <gtest/gtest.h>
+
+#include "vc/deployment.h"
+
+namespace vc::core {
+namespace {
+
+VcDeployment::Options FastOptions() {
+  VcDeployment::Options o;
+  o.super.num_nodes = 1;
+  o.super.sched_cost.per_pod_base = Micros(100);
+  o.downward_op_cost = Micros(100);
+  o.upward_op_cost = Micros(100);
+  o.periodic_scan = false;
+  o.local_provision_delay = Millis(1);
+  o.cloud_provision_delay = Millis(250);
+  return o;
+}
+
+TEST(TenantOperatorTest, LocalAndCloudProvisioning) {
+  VcDeployment deploy(FastOptions());
+  ASSERT_TRUE(deploy.Start().ok());
+
+  Stopwatch sw(RealClock::Get());
+  ASSERT_TRUE(deploy.CreateTenant("fast-local", 1, "Local").ok());
+  Duration local_time = sw.Elapsed();
+
+  sw.Reset();
+  ASSERT_TRUE(deploy.CreateTenant("managed-cloud", 1, "Cloud").ok());
+  Duration cloud_time = sw.Elapsed();
+
+  // Cloud mode goes through the managed service's provisioning latency.
+  EXPECT_GE(cloud_time, Millis(250));
+  EXPECT_LT(local_time, cloud_time);
+
+  Result<VirtualClusterObj> vc =
+      deploy.super().server().Get<VirtualClusterObj>("default", "managed-cloud");
+  ASSERT_TRUE(vc.ok());
+  EXPECT_EQ(vc->provision_mode, "Cloud");
+  EXPECT_EQ(vc->phase, "Running");
+  deploy.Stop();
+}
+
+TEST(TenantOperatorTest, FinalizerGuardsTeardown) {
+  VcDeployment deploy(FastOptions());
+  ASSERT_TRUE(deploy.Start().ok());
+  ASSERT_TRUE(deploy.CreateTenant("guarded").ok());
+  Result<VirtualClusterObj> vc =
+      deploy.super().server().Get<VirtualClusterObj>("default", "guarded");
+  ASSERT_TRUE(vc.ok());
+  // The operator adopted the object with its finalizer, so deletion cannot
+  // bypass Teardown.
+  bool has = false;
+  for (const auto& f : vc->meta.finalizers) {
+    has |= f == "virtualcluster.io/tenant-control-plane";
+  }
+  EXPECT_TRUE(has);
+  deploy.Stop();
+}
+
+TEST(TenantOperatorTest, TenantNameIsReusableAfterDeletion) {
+  VcDeployment deploy(FastOptions());
+  ASSERT_TRUE(deploy.Start().ok());
+  auto first = deploy.CreateTenant("phoenix");
+  ASSERT_TRUE(first.ok());
+  TenantMapping first_map = deploy.syncer().MappingOf("phoenix");
+
+  ASSERT_TRUE(deploy.DeleteTenant("phoenix").ok());
+  for (int i = 0; i < 5000; ++i) {
+    if (deploy.Tenant("phoenix") == nullptr &&
+        deploy.super()
+            .server()
+            .Get<VirtualClusterObj>("default", "phoenix")
+            .status()
+            .IsNotFound()) {
+      break;
+    }
+    RealClock::Get()->SleepFor(Millis(2));
+  }
+
+  auto second = deploy.CreateTenant("phoenix");
+  ASSERT_TRUE(second.ok()) << second.status();
+  // A fresh VC object means a fresh UID, hence a DIFFERENT namespace prefix:
+  // no collision with any leftover shadows of the first incarnation.
+  TenantMapping second_map = deploy.syncer().MappingOf("phoenix");
+  EXPECT_NE(first_map.ns_prefix, second_map.ns_prefix);
+  // And the new control plane works.
+  TenantClient client(second->get());
+  api::Pod p;
+  p.meta.ns = "default";
+  p.meta.name = "reborn";
+  api::Container c;
+  c.name = "app";
+  c.image = "img";
+  p.spec.containers.push_back(c);
+  ASSERT_TRUE(client.Create(p).ok());
+  EXPECT_TRUE(client.WaitPodReady("default", "reborn", Seconds(20)).ok());
+  deploy.Stop();
+}
+
+TEST(TenantOperatorTest, KubeconfigSecretOwnedByVcObject) {
+  VcDeployment deploy(FastOptions());
+  ASSERT_TRUE(deploy.Start().ok());
+  ASSERT_TRUE(deploy.CreateTenant("owned").ok());
+  Result<api::Secret> secret =
+      deploy.super().server().Get<api::Secret>("default", "vc-kubeconfig-owned");
+  ASSERT_TRUE(secret.ok());
+  ASSERT_EQ(secret->meta.owner_references.size(), 1u);
+  EXPECT_EQ(secret->meta.owner_references[0].kind, "VirtualCluster");
+  EXPECT_EQ(secret->meta.owner_references[0].name, "owned");
+  // Teardown removes the credential.
+  ASSERT_TRUE(deploy.DeleteTenant("owned").ok());
+  for (int i = 0; i < 5000; ++i) {
+    if (deploy.super()
+            .server()
+            .Get<api::Secret>("default", "vc-kubeconfig-owned")
+            .status()
+            .IsNotFound()) {
+      deploy.Stop();
+      return;
+    }
+    RealClock::Get()->SleepFor(Millis(2));
+  }
+  deploy.Stop();
+  FAIL() << "kubeconfig secret survived tenant deletion";
+}
+
+TEST(TenantOperatorTest, ManagerTracksTenants) {
+  TenantManager mgr;
+  EXPECT_EQ(mgr.Count(), 0u);
+  EXPECT_EQ(mgr.Get("x"), nullptr);
+  TenantControlPlane::Options to;
+  to.tenant_id = "x";
+  to.run_controllers = false;
+  auto tcp = std::make_shared<TenantControlPlane>(to);
+  mgr.Put("x", tcp);
+  EXPECT_EQ(mgr.Count(), 1u);
+  EXPECT_EQ(mgr.Get("x"), tcp);
+  EXPECT_EQ(mgr.Ids(), std::vector<std::string>{"x"});
+  EXPECT_EQ(mgr.Remove("x"), tcp);
+  EXPECT_EQ(mgr.Remove("x"), nullptr);
+  EXPECT_EQ(mgr.Count(), 0u);
+}
+
+}  // namespace
+}  // namespace vc::core

@@ -1,0 +1,383 @@
+// End-to-end VirtualCluster tests: tenant provisioning, the full downward →
+// schedule → kubelet → upward pod flow, vNode semantics, vn-agent proxying,
+// isolation, and tenant deletion.
+#include <gtest/gtest.h>
+
+#include "vc/deployment.h"
+
+namespace vc::core {
+namespace {
+
+VcDeployment::Options FastOptions(int nodes = 3) {
+  VcDeployment::Options o;
+  o.super.num_nodes = nodes;
+  o.super.sched_cost.per_pod_base = Micros(100);
+  o.super.sched_cost.per_node_filter = Micros(1);
+  o.super.sched_cost.per_resident_pod = std::chrono::nanoseconds(10);
+  o.super.kubelet_heartbeat = Millis(200);
+  o.downward_op_cost = Micros(200);
+  o.upward_op_cost = Micros(200);
+  o.heartbeat_broadcast_period = Millis(300);
+  o.periodic_scan = false;  // tests trigger scans explicitly
+  o.local_provision_delay = Millis(1);
+  return o;
+}
+
+api::Pod BasicPod(const std::string& ns, const std::string& name) {
+  api::Pod p;
+  p.meta.ns = ns;
+  p.meta.name = name;
+  api::Container c;
+  c.name = "app";
+  c.image = "nginx";
+  p.spec.containers.push_back(c);
+  return p;
+}
+
+class VcE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    deploy_ = std::make_unique<VcDeployment>(FastOptions());
+    ASSERT_TRUE(deploy_->Start().ok());
+    ASSERT_TRUE(deploy_->WaitForSync(Seconds(10)));
+  }
+
+  void TearDown() override { deploy_->Stop(); }
+
+  std::unique_ptr<VcDeployment> deploy_;
+};
+
+TEST_F(VcE2eTest, TenantProvisioningLifecycle) {
+  Result<std::shared_ptr<TenantControlPlane>> tcp = deploy_->CreateTenant("acme");
+  ASSERT_TRUE(tcp.ok()) << tcp.status();
+
+  // VC object reached Running with a credential fingerprint.
+  Result<VirtualClusterObj> vc =
+      deploy_->super().server().Get<VirtualClusterObj>("default", "acme");
+  ASSERT_TRUE(vc.ok());
+  EXPECT_EQ(vc->phase, "Running");
+  EXPECT_FALSE(vc->cert_fingerprint.empty());
+  EXPECT_EQ(vc->cert_fingerprint, (*tcp)->kubeconfig().fingerprint);
+
+  // Kubeconfig secret stored in the super cluster.
+  Result<api::Secret> secret =
+      deploy_->super().server().Get<api::Secret>("default", vc->kubeconfig_secret);
+  ASSERT_TRUE(secret.ok());
+  EXPECT_EQ(secret->data.at("fingerprint"), vc->cert_fingerprint);
+
+  // The tenant control plane is an intact Kubernetes: default namespaces.
+  EXPECT_TRUE((*tcp)->server().Get<api::NamespaceObj>("", "default").ok());
+
+  // Tenant deletion tears everything down.
+  ASSERT_TRUE(deploy_->DeleteTenant("acme").ok());
+  bool vc_gone = false;
+  for (int i = 0; i < 3000; ++i) {
+    vc_gone = deploy_->super()
+                  .server()
+                  .Get<VirtualClusterObj>("default", "acme")
+                  .status()
+                  .IsNotFound();
+    if (vc_gone && deploy_->Tenant("acme") == nullptr) break;
+    RealClock::Get()->SleepFor(Millis(2));
+  }
+  EXPECT_EQ(deploy_->Tenant("acme"), nullptr);
+  EXPECT_TRUE(vc_gone);
+}
+
+TEST_F(VcE2eTest, PodFlowsDownGetsScheduledAndReportsBackUp) {
+  auto tcp = deploy_->CreateTenant("acme");
+  ASSERT_TRUE(tcp.ok()) << tcp.status();
+  TenantClient client(tcp->get());
+
+  ASSERT_TRUE(client.Create(BasicPod("default", "web-0")).ok());
+  Result<api::Pod> ready = client.WaitPodReady("default", "web-0", Seconds(15));
+  ASSERT_TRUE(ready.ok()) << ready.status();
+
+  // Tenant view: pod Running/Ready with IP, bound to a vNode.
+  EXPECT_EQ(ready->status.phase, api::PodPhase::kRunning);
+  EXPECT_FALSE(ready->status.pod_ip.empty());
+  ASSERT_FALSE(ready->spec.node_name.empty());
+  EXPECT_TRUE(ready->meta.annotations.count(kReadyAtAnnotation));
+
+  // Super view: the shadow pod lives in the prefixed namespace.
+  TenantMapping map = deploy_->syncer().MappingOf("acme");
+  const std::string super_ns = map.SuperNamespace("default");
+  Result<api::Pod> shadow = deploy_->super().server().Get<api::Pod>(super_ns, "web-0");
+  ASSERT_TRUE(shadow.ok()) << shadow.status();
+  EXPECT_EQ(shadow->spec.node_name, ready->spec.node_name);
+  EXPECT_EQ(shadow->status.pod_ip, ready->status.pod_ip);
+  EXPECT_EQ(shadow->meta.annotations.at(kTenantAnnotation), "acme");
+
+  // vNode exists in the tenant control plane, 1:1 with the physical node,
+  // pointing at the vn-agent rather than the kubelet.
+  Result<api::Node> vnode = client.Get<api::Node>("", ready->spec.node_name);
+  ASSERT_TRUE(vnode.ok()) << vnode.status();
+  EXPECT_TRUE(EndsWith(vnode->status.kubelet_endpoint, ":10550"));
+  EXPECT_EQ(vnode->meta.labels.at("virtualcluster.io/vnode"), "true");
+}
+
+TEST_F(VcE2eTest, PodDeletionCleansShadowAndVNode) {
+  auto tcp = deploy_->CreateTenant("acme");
+  ASSERT_TRUE(tcp.ok());
+  TenantClient client(tcp->get());
+  ASSERT_TRUE(client.Create(BasicPod("default", "web-0")).ok());
+  Result<api::Pod> ready = client.WaitPodReady("default", "web-0", Seconds(15));
+  ASSERT_TRUE(ready.ok());
+  const std::string node = ready->spec.node_name;
+
+  ASSERT_TRUE(client.Delete<api::Pod>("default", "web-0").ok());
+  TenantMapping map = deploy_->syncer().MappingOf("acme");
+  const std::string super_ns = map.SuperNamespace("default");
+  for (int i = 0; i < 3000; ++i) {
+    bool shadow_gone =
+        deploy_->super().server().Get<api::Pod>(super_ns, "web-0").status().IsNotFound();
+    bool vnode_gone = client.Get<api::Node>("", node).status().IsNotFound();
+    if (shadow_gone && vnode_gone) return;
+    RealClock::Get()->SleepFor(Millis(2));
+  }
+  FAIL() << "shadow pod or vNode not cleaned up";
+}
+
+TEST_F(VcE2eTest, VNodeHeartbeatsAreBroadcast) {
+  auto tcp = deploy_->CreateTenant("acme");
+  ASSERT_TRUE(tcp.ok());
+  TenantClient client(tcp->get());
+  ASSERT_TRUE(client.Create(BasicPod("default", "web-0")).ok());
+  Result<api::Pod> ready = client.WaitPodReady("default", "web-0", Seconds(15));
+  ASSERT_TRUE(ready.ok());
+
+  Result<api::Node> first = client.Get<api::Node>("", ready->spec.node_name);
+  ASSERT_TRUE(first.ok());
+  int64_t hb = first->status.last_heartbeat_ms;
+  for (int i = 0; i < 4000; ++i) {
+    Result<api::Node> again = client.Get<api::Node>("", ready->spec.node_name);
+    if (again.ok() && again->status.last_heartbeat_ms > hb) {
+      EXPECT_TRUE(again->status.Ready());
+      return;
+    }
+    RealClock::Get()->SleepFor(Millis(2));
+  }
+  FAIL() << "vNode heartbeat never advanced";
+}
+
+TEST_F(VcE2eTest, LogsAndExecProxyThroughVnAgent) {
+  auto tcp = deploy_->CreateTenant("acme");
+  ASSERT_TRUE(tcp.ok());
+  TenantClient client(tcp->get());
+  ASSERT_TRUE(client.Create(BasicPod("default", "web-0")).ok());
+  ASSERT_TRUE(client.WaitPodReady("default", "web-0", Seconds(15)).ok());
+
+  Result<std::string> logs = client.Logs("default", "web-0", "app");
+  ASSERT_TRUE(logs.ok()) << logs.status();
+  EXPECT_NE(logs->find("container app started"), std::string::npos);
+
+  Result<std::string> exec = client.Exec("default", "web-0", "app", {"uname", "-a"});
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  EXPECT_NE(exec->find("uname -a"), std::string::npos);
+
+  // A forged credential is rejected by the vn-agent.
+  Result<api::Pod> pod = client.Get<api::Pod>("default", "web-0");
+  Result<api::Node> vnode = client.Get<api::Node>("", pod->spec.node_name);
+  VnAgent* agent = VnAgentRegistry::Get().Lookup(vnode->status.kubelet_endpoint);
+  ASSERT_NE(agent, nullptr);
+  Result<std::string> forged = agent->Logs("cert:evil:0000", "default", "web-0", "app");
+  EXPECT_EQ(forged.status().code(), Code::kUnauthorized);
+  EXPECT_GE(agent->rejected_requests(), 1u);
+}
+
+TEST_F(VcE2eTest, TenantsAreIsolated) {
+  auto acme = deploy_->CreateTenant("acme");
+  auto globex = deploy_->CreateTenant("globex");
+  ASSERT_TRUE(acme.ok());
+  ASSERT_TRUE(globex.ok());
+  TenantClient a(acme->get()), g(globex->get());
+
+  // Same namespace + pod names in both tenants: no conflict anywhere.
+  api::NamespaceObj ns;
+  ns.meta.name = "prod";
+  ASSERT_TRUE(a.Create(ns).ok());
+  ASSERT_TRUE(g.Create(ns).ok());
+  ASSERT_TRUE(a.Create(BasicPod("prod", "web-0")).ok());
+  ASSERT_TRUE(g.Create(BasicPod("prod", "web-0")).ok());
+  ASSERT_TRUE(a.WaitPodReady("prod", "web-0", Seconds(15)).ok());
+  ASSERT_TRUE(g.WaitPodReady("prod", "web-0", Seconds(15)).ok());
+
+  // Each tenant sees exactly its own namespaces — no foreign names leak
+  // (the §I namespace-List problem solved by construction).
+  Result<apiserver::TypedList<api::NamespaceObj>> a_ns = a.List<api::NamespaceObj>();
+  ASSERT_TRUE(a_ns.ok());
+  for (const auto& n : a_ns->items) {
+    EXPECT_EQ(n.meta.name.find("globex"), std::string::npos)
+        << "tenant acme sees globex namespace " << n.meta.name;
+  }
+
+  // Both shadows exist in the super cluster under distinct prefixes.
+  TenantMapping am = deploy_->syncer().MappingOf("acme");
+  TenantMapping gm = deploy_->syncer().MappingOf("globex");
+  EXPECT_NE(am.SuperNamespace("prod"), gm.SuperNamespace("prod"));
+  EXPECT_TRUE(
+      deploy_->super().server().Get<api::Pod>(am.SuperNamespace("prod"), "web-0").ok());
+  EXPECT_TRUE(
+      deploy_->super().server().Get<api::Pod>(gm.SuperNamespace("prod"), "web-0").ok());
+
+  // Cluster-scoped freedom: a tenant installing a CRD-ish object (here: a
+  // cluster-scoped PV) does not affect the other tenant or the super cluster.
+  api::PersistentVolume pv;
+  pv.meta.name = "fast-disk";
+  pv.capacity_bytes = 1 << 30;
+  ASSERT_TRUE(a.Create(pv).ok());
+  EXPECT_TRUE(g.Get<api::PersistentVolume>("", "fast-disk").status().IsNotFound());
+  EXPECT_TRUE(deploy_->super()
+                  .server()
+                  .Get<api::PersistentVolume>("", "fast-disk")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(VcE2eTest, AntiAffinityVisibleOnVNodes) {
+  auto tcp = deploy_->CreateTenant("acme");
+  ASSERT_TRUE(tcp.ok());
+  TenantClient client(tcp->get());
+  for (int i = 0; i < 2; ++i) {
+    api::Pod p = BasicPod("default", "aa-" + std::to_string(i));
+    p.meta.labels["group"] = "aa";
+    api::PodAffinityTerm term;
+    term.selector = api::LabelSelector::FromMap({{"group", "aa"}});
+    p.spec.required_anti_affinity.push_back(term);
+    ASSERT_TRUE(client.Create(p).ok());
+  }
+  Result<api::Pod> a = client.WaitPodReady("default", "aa-0", Seconds(15));
+  Result<api::Pod> b = client.WaitPodReady("default", "aa-1", Seconds(15));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // The Fig. 6 property: two different vNodes, each visible to the tenant.
+  EXPECT_NE(a->spec.node_name, b->spec.node_name);
+  EXPECT_TRUE(client.Get<api::Node>("", a->spec.node_name).ok());
+  EXPECT_TRUE(client.Get<api::Node>("", b->spec.node_name).ok());
+}
+
+TEST_F(VcE2eTest, ServicesSyncDownWithTenantVip) {
+  auto tcp = deploy_->CreateTenant("acme");
+  ASSERT_TRUE(tcp.ok());
+  TenantClient client(tcp->get());
+  api::Service svc;
+  svc.meta.ns = "default";
+  svc.meta.name = "web";
+  svc.spec.selector = {{"app", "web"}};
+  svc.spec.ports = {{"http", 80, 8080, "TCP"}};
+  ASSERT_TRUE(client.Create(svc).ok());
+
+  // Tenant service controller assigns the VIP; the shadow must carry it.
+  TenantMapping map = deploy_->syncer().MappingOf("acme");
+  for (int i = 0; i < 3000; ++i) {
+    Result<api::Service> tenant_svc = client.Get<api::Service>("default", "web");
+    Result<api::Service> shadow =
+        deploy_->super().server().Get<api::Service>(map.SuperNamespace("default"), "web");
+    if (tenant_svc.ok() && !tenant_svc->spec.cluster_ip.empty() && shadow.ok()) {
+      EXPECT_EQ(shadow->spec.cluster_ip, tenant_svc->spec.cluster_ip);
+      return;
+    }
+    RealClock::Get()->SleepFor(Millis(2));
+  }
+  FAIL() << "service shadow with tenant VIP never appeared";
+}
+
+TEST_F(VcE2eTest, SecretsConfigMapsSyncAndPodsMountThem) {
+  auto tcp = deploy_->CreateTenant("acme");
+  ASSERT_TRUE(tcp.ok());
+  TenantClient client(tcp->get());
+  api::Secret sec;
+  sec.meta.ns = "default";
+  sec.meta.name = "creds";
+  sec.data["token"] = "abc";
+  ASSERT_TRUE(client.Create(sec).ok());
+  api::ConfigMap cm;
+  cm.meta.ns = "default";
+  cm.meta.name = "conf";
+  cm.data["k"] = "v";
+  ASSERT_TRUE(client.Create(cm).ok());
+
+  api::Pod pod = BasicPod("default", "consumer");
+  pod.spec.volumes.push_back({"v1", "creds", "", ""});
+  pod.spec.volumes.push_back({"v2", "", "conf", ""});
+  ASSERT_TRUE(client.Create(pod).ok());
+  // The kubelet refuses to start the pod until the (synced) secret/configmap
+  // exist in the super namespace — so readiness proves the downward sync.
+  Result<api::Pod> ready = client.WaitPodReady("default", "consumer", Seconds(15));
+  ASSERT_TRUE(ready.ok()) << ready.status();
+
+  TenantMapping map = deploy_->syncer().MappingOf("acme");
+  EXPECT_TRUE(deploy_->super()
+                  .server()
+                  .Get<api::Secret>(map.SuperNamespace("default"), "creds")
+                  .ok());
+  EXPECT_TRUE(deploy_->super()
+                  .server()
+                  .Get<api::ConfigMap>(map.SuperNamespace("default"), "conf")
+                  .ok());
+}
+
+TEST_F(VcE2eTest, TenantNamespaceDeletionCascades) {
+  auto tcp = deploy_->CreateTenant("acme");
+  ASSERT_TRUE(tcp.ok());
+  TenantClient client(tcp->get());
+  api::NamespaceObj ns;
+  ns.meta.name = "scratch";
+  ASSERT_TRUE(client.Create(ns).ok());
+  ASSERT_TRUE(client.Create(BasicPod("scratch", "web-0")).ok());
+  ASSERT_TRUE(client.WaitPodReady("scratch", "web-0", Seconds(15)).ok());
+
+  ASSERT_TRUE(client.Delete<api::NamespaceObj>("", "scratch").ok());
+  TenantMapping map = deploy_->syncer().MappingOf("acme");
+  const std::string super_ns = map.SuperNamespace("scratch");
+  for (int i = 0; i < 5000; ++i) {
+    bool tenant_gone = client.Get<api::NamespaceObj>("", "scratch").status().IsNotFound();
+    bool shadow_pod_gone =
+        deploy_->super().server().Get<api::Pod>(super_ns, "web-0").status().IsNotFound();
+    if (tenant_gone && shadow_pod_gone) return;
+    RealClock::Get()->SleepFor(Millis(2));
+  }
+  FAIL() << "tenant namespace deletion did not cascade to the super cluster";
+}
+
+TEST_F(VcE2eTest, PeriodicScanRemediatesManualDrift) {
+  auto tcp = deploy_->CreateTenant("acme");
+  ASSERT_TRUE(tcp.ok());
+  TenantClient client(tcp->get());
+  ASSERT_TRUE(client.Create(BasicPod("default", "web-0")).ok());
+  ASSERT_TRUE(client.WaitPodReady("default", "web-0", Seconds(15)).ok());
+
+  // Inject a permanent inconsistency: delete the shadow pod behind the
+  // syncer's back (simulating a lost event / partial failure).
+  TenantMapping map = deploy_->syncer().MappingOf("acme");
+  const std::string super_ns = map.SuperNamespace("default");
+  ASSERT_TRUE(deploy_->super().server().Delete<api::Pod>(super_ns, "web-0").ok());
+  // Let the informer observe the deletion so the scan sees the mismatch.
+  RealClock::Get()->SleepFor(Millis(100));
+
+  Syncer::ScanRound round = deploy_->syncer().ScanAllTenants();
+  EXPECT_GE(round.resent, 1u);
+
+  for (int i = 0; i < 5000; ++i) {
+    if (deploy_->super().server().Get<api::Pod>(super_ns, "web-0").ok()) return;
+    RealClock::Get()->SleepFor(Millis(2));
+  }
+  FAIL() << "scan did not remediate the missing shadow pod";
+}
+
+TEST_F(VcE2eTest, SyncerSurvivesSuperApiserverRestart) {
+  auto tcp = deploy_->CreateTenant("acme");
+  ASSERT_TRUE(tcp.ok());
+  TenantClient client(tcp->get());
+  ASSERT_TRUE(client.Create(BasicPod("default", "before")).ok());
+  ASSERT_TRUE(client.WaitPodReady("default", "before", Seconds(15)).ok());
+
+  deploy_->super().server().Restart();  // all watches break with Gone
+
+  ASSERT_TRUE(client.Create(BasicPod("default", "after")).ok());
+  Result<api::Pod> ready = client.WaitPodReady("default", "after", Seconds(20));
+  EXPECT_TRUE(ready.ok()) << ready.status();
+}
+
+}  // namespace
+}  // namespace vc::core

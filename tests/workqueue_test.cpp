@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "client/workqueue.h"
+#include "common/thread_pool.h"
+
+namespace vc::client {
+namespace {
+
+TEST(WorkQueueTest, FifoOrder) {
+  WorkQueue q;
+  q.Add("a");
+  q.Add("b");
+  q.Add("c");
+  EXPECT_EQ(q.Len(), 3u);
+  EXPECT_EQ(*q.Get(), "a");
+  EXPECT_EQ(*q.Get(), "b");
+  EXPECT_EQ(*q.Get(), "c");
+}
+
+TEST(WorkQueueTest, DeduplicatesQueuedItems) {
+  WorkQueue q;
+  q.Add("a");
+  q.Add("a");
+  q.Add("a");
+  EXPECT_EQ(q.Len(), 1u);
+  EXPECT_EQ(q.adds(), 1u);
+  EXPECT_EQ(q.dedups(), 2u);
+}
+
+// The client-go contract: re-adding an item while it is being processed does
+// not create a second concurrent processor; the item is re-queued on Done.
+TEST(WorkQueueTest, ReAddDuringProcessingRequeuesOnDone) {
+  WorkQueue q;
+  q.Add("a");
+  std::string key = *q.Get();
+  q.Add("a");              // processing → goes dirty
+  EXPECT_EQ(q.Len(), 0u);  // not yet re-queued
+  q.Done(key);
+  EXPECT_EQ(q.Len(), 1u);
+  EXPECT_EQ(*q.Get(), "a");
+  q.Done("a");
+  EXPECT_EQ(q.Len(), 0u);
+}
+
+TEST(WorkQueueTest, DirtyWhileProcessingCollapsesManyAdds) {
+  WorkQueue q;
+  q.Add("a");
+  std::string key = *q.Get();
+  for (int i = 0; i < 10; ++i) q.Add("a");
+  q.Done(key);
+  EXPECT_EQ(q.Len(), 1u);  // one re-queue, not ten
+}
+
+TEST(WorkQueueTest, GetBlocksUntilAdd) {
+  WorkQueue q;
+  std::atomic<bool> got{false};
+  std::thread t([&] {
+    auto k = q.Get();
+    EXPECT_TRUE(k.has_value());
+    got.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());
+  q.Add("x");
+  t.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(WorkQueueTest, ShutdownUnblocksGetters) {
+  WorkQueue q;
+  std::thread t([&] { EXPECT_FALSE(q.Get().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.ShutDown();
+  t.join();
+  EXPECT_TRUE(q.ShuttingDown());
+  q.Add("late");  // dropped
+  EXPECT_EQ(q.Len(), 0u);
+}
+
+TEST(WorkQueueTest, ShutdownDrainsRemainingItems) {
+  WorkQueue q;
+  q.Add("a");
+  q.Add("b");
+  q.ShutDown();
+  EXPECT_TRUE(q.Get().has_value());
+  EXPECT_TRUE(q.Get().has_value());
+  EXPECT_FALSE(q.Get().has_value());
+}
+
+TEST(WorkQueueTest, ConcurrentProducersConsumersProcessEverything) {
+  WorkQueue q;
+  constexpr int kKeys = 500;
+  std::atomic<int> processed{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&] {
+      while (auto k = q.Get()) {
+        processed++;
+        q.Done(*k);
+      }
+    });
+  }
+  ParallelFor(4, [&](int t) {
+    for (int i = 0; i < kKeys; ++i) {
+      q.Add("key-" + std::to_string(t) + "-" + std::to_string(i));
+    }
+  });
+  while (q.Len() > 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  q.ShutDown();
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(processed.load(), 4 * kKeys);
+}
+
+TEST(DelayingQueueTest, AddAfterDelaysDelivery) {
+  DelayingQueue q(RealClock::Get());
+  q.AddAfter("later", Millis(50));
+  q.Add("now");
+  EXPECT_EQ(*q.Get(), "now");
+  q.Done("now");
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(*q.Get(), "later");
+  auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(waited, std::chrono::milliseconds(30));
+  q.Done("later");
+  q.ShutDown();
+}
+
+TEST(DelayingQueueTest, ZeroDelayIsImmediate) {
+  DelayingQueue q(RealClock::Get());
+  q.AddAfter("x", Duration::zero());
+  EXPECT_EQ(*q.Get(), "x");
+  q.Done("x");
+  q.ShutDown();
+}
+
+TEST(ItemBackoffTest, ExponentialGrowthAndCap) {
+  ItemBackoff b(Millis(10), Millis(80));
+  EXPECT_EQ(b.Next("k"), Millis(10));
+  EXPECT_EQ(b.Next("k"), Millis(20));
+  EXPECT_EQ(b.Next("k"), Millis(40));
+  EXPECT_EQ(b.Next("k"), Millis(80));
+  EXPECT_EQ(b.Next("k"), Millis(80));  // capped
+  EXPECT_EQ(b.Failures("k"), 5);
+  b.Forget("k");
+  EXPECT_EQ(b.Failures("k"), 0);
+  EXPECT_EQ(b.Next("k"), Millis(10));
+}
+
+TEST(ItemBackoffTest, IndependentPerKey) {
+  ItemBackoff b(Millis(10), Seconds(1));
+  b.Next("a");
+  b.Next("a");
+  EXPECT_EQ(b.Next("b"), Millis(10));
+}
+
+TEST(RateLimitingQueueTest, RetriesComeBackWithBackoff) {
+  RateLimitingQueue q(RealClock::Get(), Millis(5), Millis(100));
+  q.AddRateLimited("k");
+  EXPECT_EQ(q.NumRequeues("k"), 1);
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(*q.Get(), "k");
+  EXPECT_GE(std::chrono::steady_clock::now() - start, std::chrono::milliseconds(2));
+  q.Done("k");
+  q.Forget("k");
+  EXPECT_EQ(q.NumRequeues("k"), 0);
+  q.ShutDown();
+}
+
+}  // namespace
+}  // namespace vc::client
