@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_syncer.dir/ablation_syncer.cpp.o"
+  "CMakeFiles/ablation_syncer.dir/ablation_syncer.cpp.o.d"
+  "ablation_syncer"
+  "ablation_syncer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_syncer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_syncer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_resources.dir/fig10_resources.cpp.o"
+  "CMakeFiles/fig10_resources.dir/fig10_resources.cpp.o.d"
+  "fig10_resources"
+  "fig10_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kubeproxy_latency.dir/kubeproxy_latency.cpp.o"
+  "CMakeFiles/kubeproxy_latency.dir/kubeproxy_latency.cpp.o.d"
+  "kubeproxy_latency"
+  "kubeproxy_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kubeproxy_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_substrate.cpp" "bench/CMakeFiles/micro_substrate.dir/micro_substrate.cpp.o" "gcc" "bench/CMakeFiles/micro_substrate.dir/micro_substrate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vc/CMakeFiles/vc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/controllers/CMakeFiles/vc_controllers.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/vc_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/kubelet/CMakeFiles/vc_kubelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/vc_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/apiserver/CMakeFiles/vc_apiserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/vc_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/vc_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

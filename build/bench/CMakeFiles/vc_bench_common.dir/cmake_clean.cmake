@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/vc_bench_common.dir/bench_common.cpp.o.d"
+  "libvc_bench_common.a"
+  "libvc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antiaffinity_vnode.dir/antiaffinity_vnode.cpp.o"
+  "CMakeFiles/antiaffinity_vnode.dir/antiaffinity_vnode.cpp.o.d"
+  "antiaffinity_vnode"
+  "antiaffinity_vnode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antiaffinity_vnode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

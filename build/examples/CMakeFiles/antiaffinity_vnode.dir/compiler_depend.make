@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for antiaffinity_vnode.
+# This may be replaced when dependencies are built.

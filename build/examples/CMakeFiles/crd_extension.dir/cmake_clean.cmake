@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crd_extension.dir/crd_extension.cpp.o"
+  "CMakeFiles/crd_extension.dir/crd_extension.cpp.o.d"
+  "crd_extension"
+  "crd_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crd_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

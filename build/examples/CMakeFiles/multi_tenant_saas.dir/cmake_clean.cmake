@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_saas.dir/multi_tenant_saas.cpp.o"
+  "CMakeFiles/multi_tenant_saas.dir/multi_tenant_saas.cpp.o.d"
+  "multi_tenant_saas"
+  "multi_tenant_saas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_saas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpc_service_mesh.dir/vpc_service_mesh.cpp.o"
+  "CMakeFiles/vpc_service_mesh.dir/vpc_service_mesh.cpp.o.d"
+  "vpc_service_mesh"
+  "vpc_service_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpc_service_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_api.dir/codec.cpp.o"
+  "CMakeFiles/vc_api.dir/codec.cpp.o.d"
+  "CMakeFiles/vc_api.dir/labels.cpp.o"
+  "CMakeFiles/vc_api.dir/labels.cpp.o.d"
+  "CMakeFiles/vc_api.dir/meta.cpp.o"
+  "CMakeFiles/vc_api.dir/meta.cpp.o.d"
+  "libvc_api.a"
+  "libvc_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_apiserver.dir/apiserver.cpp.o"
+  "CMakeFiles/vc_apiserver.dir/apiserver.cpp.o.d"
+  "CMakeFiles/vc_apiserver.dir/rbac.cpp.o"
+  "CMakeFiles/vc_apiserver.dir/rbac.cpp.o.d"
+  "libvc_apiserver.a"
+  "libvc_apiserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_apiserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

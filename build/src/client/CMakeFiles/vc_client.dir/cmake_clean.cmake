@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_client.dir/fairqueue.cpp.o"
+  "CMakeFiles/vc_client.dir/fairqueue.cpp.o.d"
+  "CMakeFiles/vc_client.dir/workqueue.cpp.o"
+  "CMakeFiles/vc_client.dir/workqueue.cpp.o.d"
+  "libvc_client.a"
+  "libvc_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

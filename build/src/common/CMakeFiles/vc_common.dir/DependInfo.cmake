@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/clock.cpp" "src/common/CMakeFiles/vc_common.dir/clock.cpp.o" "gcc" "src/common/CMakeFiles/vc_common.dir/clock.cpp.o.d"
+  "/root/repo/src/common/cpu_time.cpp" "src/common/CMakeFiles/vc_common.dir/cpu_time.cpp.o" "gcc" "src/common/CMakeFiles/vc_common.dir/cpu_time.cpp.o.d"
+  "/root/repo/src/common/hash.cpp" "src/common/CMakeFiles/vc_common.dir/hash.cpp.o" "gcc" "src/common/CMakeFiles/vc_common.dir/hash.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/common/CMakeFiles/vc_common.dir/histogram.cpp.o" "gcc" "src/common/CMakeFiles/vc_common.dir/histogram.cpp.o.d"
+  "/root/repo/src/common/json.cpp" "src/common/CMakeFiles/vc_common.dir/json.cpp.o" "gcc" "src/common/CMakeFiles/vc_common.dir/json.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/vc_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/vc_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/common/CMakeFiles/vc_common.dir/status.cpp.o" "gcc" "src/common/CMakeFiles/vc_common.dir/status.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/common/CMakeFiles/vc_common.dir/strings.cpp.o" "gcc" "src/common/CMakeFiles/vc_common.dir/strings.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/common/CMakeFiles/vc_common.dir/thread_pool.cpp.o" "gcc" "src/common/CMakeFiles/vc_common.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/common/token_bucket.cpp" "src/common/CMakeFiles/vc_common.dir/token_bucket.cpp.o" "gcc" "src/common/CMakeFiles/vc_common.dir/token_bucket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_common.dir/clock.cpp.o"
+  "CMakeFiles/vc_common.dir/clock.cpp.o.d"
+  "CMakeFiles/vc_common.dir/cpu_time.cpp.o"
+  "CMakeFiles/vc_common.dir/cpu_time.cpp.o.d"
+  "CMakeFiles/vc_common.dir/hash.cpp.o"
+  "CMakeFiles/vc_common.dir/hash.cpp.o.d"
+  "CMakeFiles/vc_common.dir/histogram.cpp.o"
+  "CMakeFiles/vc_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/vc_common.dir/json.cpp.o"
+  "CMakeFiles/vc_common.dir/json.cpp.o.d"
+  "CMakeFiles/vc_common.dir/logging.cpp.o"
+  "CMakeFiles/vc_common.dir/logging.cpp.o.d"
+  "CMakeFiles/vc_common.dir/status.cpp.o"
+  "CMakeFiles/vc_common.dir/status.cpp.o.d"
+  "CMakeFiles/vc_common.dir/strings.cpp.o"
+  "CMakeFiles/vc_common.dir/strings.cpp.o.d"
+  "CMakeFiles/vc_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/vc_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/vc_common.dir/token_bucket.cpp.o"
+  "CMakeFiles/vc_common.dir/token_bucket.cpp.o.d"
+  "libvc_common.a"
+  "libvc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controllers/base.cpp" "src/controllers/CMakeFiles/vc_controllers.dir/base.cpp.o" "gcc" "src/controllers/CMakeFiles/vc_controllers.dir/base.cpp.o.d"
+  "/root/repo/src/controllers/deployment.cpp" "src/controllers/CMakeFiles/vc_controllers.dir/deployment.cpp.o" "gcc" "src/controllers/CMakeFiles/vc_controllers.dir/deployment.cpp.o.d"
+  "/root/repo/src/controllers/endpoints.cpp" "src/controllers/CMakeFiles/vc_controllers.dir/endpoints.cpp.o" "gcc" "src/controllers/CMakeFiles/vc_controllers.dir/endpoints.cpp.o.d"
+  "/root/repo/src/controllers/events.cpp" "src/controllers/CMakeFiles/vc_controllers.dir/events.cpp.o" "gcc" "src/controllers/CMakeFiles/vc_controllers.dir/events.cpp.o.d"
+  "/root/repo/src/controllers/gc.cpp" "src/controllers/CMakeFiles/vc_controllers.dir/gc.cpp.o" "gcc" "src/controllers/CMakeFiles/vc_controllers.dir/gc.cpp.o.d"
+  "/root/repo/src/controllers/manager.cpp" "src/controllers/CMakeFiles/vc_controllers.dir/manager.cpp.o" "gcc" "src/controllers/CMakeFiles/vc_controllers.dir/manager.cpp.o.d"
+  "/root/repo/src/controllers/namespace.cpp" "src/controllers/CMakeFiles/vc_controllers.dir/namespace.cpp.o" "gcc" "src/controllers/CMakeFiles/vc_controllers.dir/namespace.cpp.o.d"
+  "/root/repo/src/controllers/node_lifecycle.cpp" "src/controllers/CMakeFiles/vc_controllers.dir/node_lifecycle.cpp.o" "gcc" "src/controllers/CMakeFiles/vc_controllers.dir/node_lifecycle.cpp.o.d"
+  "/root/repo/src/controllers/replicaset.cpp" "src/controllers/CMakeFiles/vc_controllers.dir/replicaset.cpp.o" "gcc" "src/controllers/CMakeFiles/vc_controllers.dir/replicaset.cpp.o.d"
+  "/root/repo/src/controllers/service.cpp" "src/controllers/CMakeFiles/vc_controllers.dir/service.cpp.o" "gcc" "src/controllers/CMakeFiles/vc_controllers.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/vc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/vc_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/apiserver/CMakeFiles/vc_apiserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/vc_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/vc_kv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

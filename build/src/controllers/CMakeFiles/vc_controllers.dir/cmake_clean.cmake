@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_controllers.dir/base.cpp.o"
+  "CMakeFiles/vc_controllers.dir/base.cpp.o.d"
+  "CMakeFiles/vc_controllers.dir/deployment.cpp.o"
+  "CMakeFiles/vc_controllers.dir/deployment.cpp.o.d"
+  "CMakeFiles/vc_controllers.dir/endpoints.cpp.o"
+  "CMakeFiles/vc_controllers.dir/endpoints.cpp.o.d"
+  "CMakeFiles/vc_controllers.dir/events.cpp.o"
+  "CMakeFiles/vc_controllers.dir/events.cpp.o.d"
+  "CMakeFiles/vc_controllers.dir/gc.cpp.o"
+  "CMakeFiles/vc_controllers.dir/gc.cpp.o.d"
+  "CMakeFiles/vc_controllers.dir/manager.cpp.o"
+  "CMakeFiles/vc_controllers.dir/manager.cpp.o.d"
+  "CMakeFiles/vc_controllers.dir/namespace.cpp.o"
+  "CMakeFiles/vc_controllers.dir/namespace.cpp.o.d"
+  "CMakeFiles/vc_controllers.dir/node_lifecycle.cpp.o"
+  "CMakeFiles/vc_controllers.dir/node_lifecycle.cpp.o.d"
+  "CMakeFiles/vc_controllers.dir/replicaset.cpp.o"
+  "CMakeFiles/vc_controllers.dir/replicaset.cpp.o.d"
+  "CMakeFiles/vc_controllers.dir/service.cpp.o"
+  "CMakeFiles/vc_controllers.dir/service.cpp.o.d"
+  "libvc_controllers.a"
+  "libvc_controllers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_controllers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

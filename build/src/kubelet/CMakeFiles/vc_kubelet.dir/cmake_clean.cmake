@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_kubelet.dir/cri.cpp.o"
+  "CMakeFiles/vc_kubelet.dir/cri.cpp.o.d"
+  "CMakeFiles/vc_kubelet.dir/kubelet.cpp.o"
+  "CMakeFiles/vc_kubelet.dir/kubelet.cpp.o.d"
+  "CMakeFiles/vc_kubelet.dir/registry.cpp.o"
+  "CMakeFiles/vc_kubelet.dir/registry.cpp.o.d"
+  "libvc_kubelet.a"
+  "libvc_kubelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_kubelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_kv.dir/kvstore.cpp.o"
+  "CMakeFiles/vc_kv.dir/kvstore.cpp.o.d"
+  "libvc_kv.a"
+  "libvc_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_net.dir/fabric.cpp.o"
+  "CMakeFiles/vc_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/vc_net.dir/ipam.cpp.o"
+  "CMakeFiles/vc_net.dir/ipam.cpp.o.d"
+  "CMakeFiles/vc_net.dir/iptables.cpp.o"
+  "CMakeFiles/vc_net.dir/iptables.cpp.o.d"
+  "CMakeFiles/vc_net.dir/kata_agent.cpp.o"
+  "CMakeFiles/vc_net.dir/kata_agent.cpp.o.d"
+  "CMakeFiles/vc_net.dir/kubeproxy.cpp.o"
+  "CMakeFiles/vc_net.dir/kubeproxy.cpp.o.d"
+  "libvc_net.a"
+  "libvc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

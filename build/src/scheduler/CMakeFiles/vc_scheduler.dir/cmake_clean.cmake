@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_scheduler.dir/predicates.cpp.o"
+  "CMakeFiles/vc_scheduler.dir/predicates.cpp.o.d"
+  "CMakeFiles/vc_scheduler.dir/scheduler.cpp.o"
+  "CMakeFiles/vc_scheduler.dir/scheduler.cpp.o.d"
+  "libvc_scheduler.a"
+  "libvc_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

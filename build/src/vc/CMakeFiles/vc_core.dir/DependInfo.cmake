@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vc/cert.cpp" "src/vc/CMakeFiles/vc_core.dir/cert.cpp.o" "gcc" "src/vc/CMakeFiles/vc_core.dir/cert.cpp.o.d"
+  "/root/repo/src/vc/cluster.cpp" "src/vc/CMakeFiles/vc_core.dir/cluster.cpp.o" "gcc" "src/vc/CMakeFiles/vc_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/vc/conformance.cpp" "src/vc/CMakeFiles/vc_core.dir/conformance.cpp.o" "gcc" "src/vc/CMakeFiles/vc_core.dir/conformance.cpp.o.d"
+  "/root/repo/src/vc/crds.cpp" "src/vc/CMakeFiles/vc_core.dir/crds.cpp.o" "gcc" "src/vc/CMakeFiles/vc_core.dir/crds.cpp.o.d"
+  "/root/repo/src/vc/deployment.cpp" "src/vc/CMakeFiles/vc_core.dir/deployment.cpp.o" "gcc" "src/vc/CMakeFiles/vc_core.dir/deployment.cpp.o.d"
+  "/root/repo/src/vc/multi_super.cpp" "src/vc/CMakeFiles/vc_core.dir/multi_super.cpp.o" "gcc" "src/vc/CMakeFiles/vc_core.dir/multi_super.cpp.o.d"
+  "/root/repo/src/vc/syncer/conversion.cpp" "src/vc/CMakeFiles/vc_core.dir/syncer/conversion.cpp.o" "gcc" "src/vc/CMakeFiles/vc_core.dir/syncer/conversion.cpp.o.d"
+  "/root/repo/src/vc/syncer/syncer.cpp" "src/vc/CMakeFiles/vc_core.dir/syncer/syncer.cpp.o" "gcc" "src/vc/CMakeFiles/vc_core.dir/syncer/syncer.cpp.o.d"
+  "/root/repo/src/vc/syncer/vnode_manager.cpp" "src/vc/CMakeFiles/vc_core.dir/syncer/vnode_manager.cpp.o" "gcc" "src/vc/CMakeFiles/vc_core.dir/syncer/vnode_manager.cpp.o.d"
+  "/root/repo/src/vc/tenant_client.cpp" "src/vc/CMakeFiles/vc_core.dir/tenant_client.cpp.o" "gcc" "src/vc/CMakeFiles/vc_core.dir/tenant_client.cpp.o.d"
+  "/root/repo/src/vc/tenant_control_plane.cpp" "src/vc/CMakeFiles/vc_core.dir/tenant_control_plane.cpp.o" "gcc" "src/vc/CMakeFiles/vc_core.dir/tenant_control_plane.cpp.o.d"
+  "/root/repo/src/vc/tenant_operator.cpp" "src/vc/CMakeFiles/vc_core.dir/tenant_operator.cpp.o" "gcc" "src/vc/CMakeFiles/vc_core.dir/tenant_operator.cpp.o.d"
+  "/root/repo/src/vc/types.cpp" "src/vc/CMakeFiles/vc_core.dir/types.cpp.o" "gcc" "src/vc/CMakeFiles/vc_core.dir/types.cpp.o.d"
+  "/root/repo/src/vc/vnagent.cpp" "src/vc/CMakeFiles/vc_core.dir/vnagent.cpp.o" "gcc" "src/vc/CMakeFiles/vc_core.dir/vnagent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/controllers/CMakeFiles/vc_controllers.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/vc_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/kubelet/CMakeFiles/vc_kubelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/vc_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/apiserver/CMakeFiles/vc_apiserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/vc_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/vc_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

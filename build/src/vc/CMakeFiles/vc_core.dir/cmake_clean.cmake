@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_core.dir/cert.cpp.o"
+  "CMakeFiles/vc_core.dir/cert.cpp.o.d"
+  "CMakeFiles/vc_core.dir/cluster.cpp.o"
+  "CMakeFiles/vc_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/vc_core.dir/conformance.cpp.o"
+  "CMakeFiles/vc_core.dir/conformance.cpp.o.d"
+  "CMakeFiles/vc_core.dir/crds.cpp.o"
+  "CMakeFiles/vc_core.dir/crds.cpp.o.d"
+  "CMakeFiles/vc_core.dir/deployment.cpp.o"
+  "CMakeFiles/vc_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/vc_core.dir/multi_super.cpp.o"
+  "CMakeFiles/vc_core.dir/multi_super.cpp.o.d"
+  "CMakeFiles/vc_core.dir/syncer/conversion.cpp.o"
+  "CMakeFiles/vc_core.dir/syncer/conversion.cpp.o.d"
+  "CMakeFiles/vc_core.dir/syncer/syncer.cpp.o"
+  "CMakeFiles/vc_core.dir/syncer/syncer.cpp.o.d"
+  "CMakeFiles/vc_core.dir/syncer/vnode_manager.cpp.o"
+  "CMakeFiles/vc_core.dir/syncer/vnode_manager.cpp.o.d"
+  "CMakeFiles/vc_core.dir/tenant_client.cpp.o"
+  "CMakeFiles/vc_core.dir/tenant_client.cpp.o.d"
+  "CMakeFiles/vc_core.dir/tenant_control_plane.cpp.o"
+  "CMakeFiles/vc_core.dir/tenant_control_plane.cpp.o.d"
+  "CMakeFiles/vc_core.dir/tenant_operator.cpp.o"
+  "CMakeFiles/vc_core.dir/tenant_operator.cpp.o.d"
+  "CMakeFiles/vc_core.dir/types.cpp.o"
+  "CMakeFiles/vc_core.dir/types.cpp.o.d"
+  "CMakeFiles/vc_core.dir/vnagent.cpp.o"
+  "CMakeFiles/vc_core.dir/vnagent.cpp.o.d"
+  "libvc_core.a"
+  "libvc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

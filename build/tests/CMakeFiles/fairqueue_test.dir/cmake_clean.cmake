@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairqueue_test.dir/fairqueue_test.cpp.o"
+  "CMakeFiles/fairqueue_test.dir/fairqueue_test.cpp.o.d"
+  "fairqueue_test"
+  "fairqueue_test.pdb"
+  "fairqueue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairqueue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/informer_test.dir/informer_test.cpp.o"
+  "CMakeFiles/informer_test.dir/informer_test.cpp.o.d"
+  "informer_test"
+  "informer_test.pdb"
+  "informer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/informer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for informer_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kubelet_test.dir/kubelet_test.cpp.o"
+  "CMakeFiles/kubelet_test.dir/kubelet_test.cpp.o.d"
+  "kubelet_test"
+  "kubelet_test.pdb"
+  "kubelet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kubelet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncer_test.dir/syncer_test.cpp.o"
+  "CMakeFiles/syncer_test.dir/syncer_test.cpp.o.d"
+  "syncer_test"
+  "syncer_test.pdb"
+  "syncer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_e2e_test.dir/vc_e2e_test.cpp.o"
+  "CMakeFiles/vc_e2e_test.dir/vc_e2e_test.cpp.o.d"
+  "vc_e2e_test"
+  "vc_e2e_test.pdb"
+  "vc_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workqueue_test.dir/workqueue_test.cpp.o"
+  "CMakeFiles/workqueue_test.dir/workqueue_test.cpp.o.d"
+  "workqueue_test"
+  "workqueue_test.pdb"
+  "workqueue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workqueue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
