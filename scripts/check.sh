@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local CI: configure + build + run the full test suite.
+#
+#   scripts/check.sh          # normal RelWithDebInfo build
+#   scripts/check.sh tsan     # ThreadSanitizer build (slower; races are errors)
+#   scripts/check.sh all      # both
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_preset() {
+  local preset="$1"
+  echo "==> configure [$preset]"
+  cmake --preset "$preset"
+  echo "==> build [$preset]"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  echo "==> test [$preset]"
+  ctest --preset "$preset" -j "$(nproc)"
+}
+
+case "${1:-default}" in
+  default) run_preset default ;;
+  tsan)    run_preset tsan ;;
+  all)     run_preset default; run_preset tsan ;;
+  *) echo "usage: $0 [default|tsan|all]" >&2; exit 2 ;;
+esac

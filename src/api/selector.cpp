@@ -1,0 +1,392 @@
+#include "api/selector.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace vc::api {
+
+// ----------------------------------------------------------- FieldSelector
+
+bool FieldSelector::Matches(const std::map<std::string, std::string>& fields) const {
+  for (const FieldSelectorRequirement& req : requirements) {
+    auto it = fields.find(req.path);
+    const std::string& have = it == fields.end() ? std::string() : it->second;
+    if (req.equals != (have == req.value)) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> FieldSelector::Paths() const {
+  std::vector<std::string> out;
+  for (const FieldSelectorRequirement& req : requirements) {
+    if (std::find(out.begin(), out.end(), req.path) == out.end()) out.push_back(req.path);
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- parsers
+
+namespace {
+
+std::string Trimmed(std::string_view s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string_view::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return std::string(s.substr(b, e - b + 1));
+}
+
+// Splits on commas that are not inside a (...) value list.
+std::vector<std::string> SplitTerms(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (char c : text) {
+    if (c == '(') depth++;
+    if (c == ')') depth--;
+    if (c == ',' && depth == 0) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+Result<std::vector<std::string>> ParseValueList(std::string_view term) {
+  size_t open = term.find('(');
+  size_t close = term.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos || close < open) {
+    return InvalidArgumentError("selector: expected (v1,v2,...) value list");
+  }
+  std::vector<std::string> values;
+  for (const std::string& v : Split(std::string(term.substr(open + 1, close - open - 1)), ',')) {
+    std::string t = Trimmed(v);
+    if (!t.empty()) values.push_back(std::move(t));
+  }
+  if (values.empty()) return InvalidArgumentError("selector: empty value list");
+  return values;
+}
+
+}  // namespace
+
+Result<LabelSelector> ParseLabelSelector(const std::string& text) {
+  LabelSelector sel;
+  std::string trimmed = Trimmed(text);
+  if (trimmed.empty()) return sel;
+  for (const std::string& raw : SplitTerms(trimmed)) {
+    std::string term = Trimmed(raw);
+    if (term.empty()) return InvalidArgumentError("label selector: empty term");
+    // Set-based forms first: "key in (a,b)" / "key notin (a,b)".
+    size_t sp = term.find(' ');
+    if (sp != std::string::npos) {
+      std::string key = Trimmed(term.substr(0, sp));
+      std::string rest = Trimmed(term.substr(sp + 1));
+      LabelSelectorRequirement req;
+      req.key = key;
+      if (StartsWith(rest, "in")) {
+        req.op = LabelSelectorRequirement::Op::kIn;
+      } else if (StartsWith(rest, "notin")) {
+        req.op = LabelSelectorRequirement::Op::kNotIn;
+      } else {
+        return InvalidArgumentError("label selector: bad operator in term '" + term + "'");
+      }
+      Result<std::vector<std::string>> values = ParseValueList(rest);
+      if (!values.ok()) return values.status();
+      req.values = std::move(*values);
+      sel.match_expressions.push_back(std::move(req));
+      continue;
+    }
+    if (size_t ne = term.find("!="); ne != std::string::npos) {
+      LabelSelectorRequirement req;
+      req.key = Trimmed(term.substr(0, ne));
+      req.op = LabelSelectorRequirement::Op::kNotIn;
+      req.values = {Trimmed(term.substr(ne + 2))};
+      if (req.key.empty()) return InvalidArgumentError("label selector: missing key");
+      sel.match_expressions.push_back(std::move(req));
+      continue;
+    }
+    if (size_t eq = term.find('='); eq != std::string::npos) {
+      size_t vstart = eq + 1;
+      if (vstart < term.size() && term[vstart] == '=') vstart++;  // "=="
+      std::string key = Trimmed(term.substr(0, eq));
+      if (key.empty()) return InvalidArgumentError("label selector: missing key");
+      sel.match_labels[key] = Trimmed(term.substr(vstart));
+      continue;
+    }
+    if (term[0] == '!') {
+      LabelSelectorRequirement req;
+      req.key = Trimmed(term.substr(1));
+      req.op = LabelSelectorRequirement::Op::kDoesNotExist;
+      if (req.key.empty()) return InvalidArgumentError("label selector: missing key");
+      sel.match_expressions.push_back(std::move(req));
+      continue;
+    }
+    LabelSelectorRequirement req;
+    req.key = term;
+    req.op = LabelSelectorRequirement::Op::kExists;
+    sel.match_expressions.push_back(std::move(req));
+  }
+  return sel;
+}
+
+Result<FieldSelector> ParseFieldSelector(const std::string& text) {
+  FieldSelector sel;
+  std::string trimmed = Trimmed(text);
+  if (trimmed.empty()) return sel;
+  for (const std::string& raw : SplitTerms(trimmed)) {
+    std::string term = Trimmed(raw);
+    if (term.empty()) return InvalidArgumentError("field selector: empty term");
+    FieldSelectorRequirement req;
+    if (size_t ne = term.find("!="); ne != std::string::npos) {
+      req.equals = false;
+      req.path = Trimmed(term.substr(0, ne));
+      req.value = Trimmed(term.substr(ne + 2));
+    } else if (size_t eq = term.find('='); eq != std::string::npos) {
+      size_t vstart = eq + 1;
+      if (vstart < term.size() && term[vstart] == '=') vstart++;
+      req.path = Trimmed(term.substr(0, eq));
+      req.value = Trimmed(term.substr(vstart));
+    } else {
+      return InvalidArgumentError("field selector: term '" + term + "' has no = or !=");
+    }
+    if (req.path.empty()) return InvalidArgumentError("field selector: missing path");
+    sel.requirements.push_back(std::move(req));
+  }
+  return sel;
+}
+
+// ------------------------------------------------------------ blob scanner
+
+namespace {
+
+// Hand-rolled skip-scanner over the compact JSON the codec emits. Descends
+// only where the path trie requires; everything else is consumed without
+// allocating. Malformed input returns false and the caller full-decodes.
+class BlobScanner {
+ public:
+  BlobScanner(std::string_view s, const std::vector<std::string>& wanted, ObjectScan* out)
+      : s_(s), wanted_(wanted), out_(out) {}
+
+  bool Run() {
+    SkipWs();
+    if (!ScanObject("")) return false;
+    return true;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\r')) {
+      pos_++;
+    }
+  }
+
+  bool Peek(char c) const { return pos_ < s_.size() && s_[pos_] == c; }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (!Peek(c)) return false;
+    pos_++;
+    return true;
+  }
+
+  // True when some wanted path equals `path`.
+  bool IsLeaf(const std::string& path) const {
+    for (const std::string& w : wanted_) {
+      if (w == path) return true;
+    }
+    return false;
+  }
+
+  // True when some wanted path lies strictly below `path`.
+  bool IsInterior(const std::string& path) const {
+    for (const std::string& w : wanted_) {
+      if (w.size() > path.size() + 1 && StartsWith(w, path) && w[path.size()] == '.') {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        if (out) *out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      char esc = s_[pos_++];
+      if (out) {
+        switch (esc) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            // Keep the escape literal; selector values never use \u in
+            // practice and the full decoder handles it properly.
+            *out += "\\u";
+            break;
+          }
+          default: *out += esc; break;
+        }
+      }
+      if (esc == 'u') pos_ = std::min(pos_ + 4, s_.size());
+    }
+    return false;
+  }
+
+  bool SkipValue() {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    char c = s_[pos_];
+    if (c == '"') return ParseString(nullptr);
+    if (c == '{' || c == '[') {
+      char open = c;
+      char close = (c == '{') ? '}' : ']';
+      pos_++;
+      int depth = 1;
+      while (pos_ < s_.size() && depth > 0) {
+        char d = s_[pos_];
+        if (d == '"') {
+          if (!ParseString(nullptr)) return false;
+          continue;
+        }
+        if (d == open) depth++;
+        if (d == close) depth--;
+        pos_++;
+      }
+      return depth == 0;
+    }
+    // number / true / false / null
+    while (pos_ < s_.size()) {
+      char d = s_[pos_];
+      if (d == ',' || d == '}' || d == ']') break;
+      pos_++;
+    }
+    return true;
+  }
+
+  // Captures the scalar at the current position as a string: strings are
+  // unescaped, other scalars keep their literal spelling. Non-scalar values
+  // are skipped and captured as "".
+  bool CaptureScalar(std::string* out) {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    if (s_[pos_] == '"') return ParseString(out);
+    if (s_[pos_] == '{' || s_[pos_] == '[') return SkipValue();
+    size_t start = pos_;
+    if (!SkipValue()) return false;
+    *out = std::string(s_.substr(start, pos_ - start));
+    if (*out == "null") out->clear();
+    return true;
+  }
+
+  bool ScanLabels() {
+    SkipWs();
+    if (!Peek('{')) return SkipValue();
+    pos_++;
+    SkipWs();
+    if (Consume('}')) return true;
+    while (true) {
+      std::string key, value;
+      SkipWs();
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      SkipWs();
+      if (Peek('"')) {
+        if (!ParseString(&value)) return false;
+        out_->labels.emplace(std::move(key), std::move(value));
+      } else {
+        if (!SkipValue()) return false;
+      }
+      SkipWs();
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+
+  bool ScanObject(const std::string& path_prefix) {
+    if (!Consume('{')) return false;
+    SkipWs();
+    if (Consume('}')) return true;
+    while (true) {
+      std::string key;
+      SkipWs();
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      std::string path = path_prefix.empty() ? key : path_prefix + "." + key;
+      if (path == "metadata.labels") {
+        if (!ScanLabels()) return false;
+      } else if (IsLeaf(path)) {
+        std::string value;
+        if (!CaptureScalar(&value)) return false;
+        if (path == "metadata.name") {
+          out_->name = value;
+        } else if (path == "metadata.namespace") {
+          out_->ns = value;
+        } else {
+          out_->fields[path] = std::move(value);
+        }
+      } else if (IsInterior(path)) {
+        SkipWs();
+        if (Peek('{')) {
+          if (!ScanObject(path)) return false;
+        } else {
+          if (!SkipValue()) return false;
+        }
+      } else {
+        if (!SkipValue()) return false;
+      }
+      SkipWs();
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+  const std::vector<std::string>& wanted_;
+  ObjectScan* out_;
+};
+
+}  // namespace
+
+bool ScanObjectBlob(std::string_view blob, const std::vector<std::string>& field_paths,
+                    ObjectScan* out) {
+  std::vector<std::string> wanted = field_paths;
+  wanted.push_back("metadata.name");
+  wanted.push_back("metadata.namespace");
+  wanted.push_back("metadata.labels");  // handled specially; listed so the
+                                        // metadata subtree counts as interior
+  BlobScanner scanner(blob, wanted, out);
+  return scanner.Run();
+}
+
+bool BlobMatchesSelectors(std::string_view blob, const LabelSelector& labels,
+                          const FieldSelector& fields) {
+  if (labels.Empty() && fields.Empty()) return true;
+  ObjectScan scan;
+  if (!ScanObjectBlob(blob, fields.Paths(), &scan)) return false;
+  if (!labels.Empty() && !labels.Matches(scan.labels)) return false;
+  if (!fields.Empty()) {
+    // metadata.name / metadata.namespace are captured into dedicated slots;
+    // reflect them into the field map for uniform evaluation.
+    if (!scan.name.empty()) scan.fields["metadata.name"] = scan.name;
+    if (!scan.ns.empty()) scan.fields["metadata.namespace"] = scan.ns;
+    if (!fields.Matches(scan.fields)) return false;
+  }
+  return true;
+}
+
+}  // namespace vc::api

@@ -1,0 +1,79 @@
+// Server-side selection machinery for the apiserver read path:
+//
+//   * FieldSelector — equality/inequality requirements over a small set of
+//     dotted paths into the JSON encoding ("metadata.name", "spec.nodeName",
+//     "status.phase", ...), mirroring Kubernetes field selectors.
+//   * ParseLabelSelector / ParseFieldSelector — the kubectl string grammars
+//     ("app=web,env in (prod,dev),!legacy" / "spec.nodeName=node-1").
+//   * ScanObjectBlob — a skip-scanner that extracts ONLY the metadata
+//     identity (name/namespace/labels) and the requested field paths from an
+//     encoded object, without building a DOM for the rest of the blob. This
+//     is what lets the apiserver evaluate selectors over thousands of stored
+//     objects while fully decoding just the matches (O(matching) instead of
+//     O(total) decode bytes per LIST/WATCH).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/labels.h"
+#include "common/status.h"
+
+namespace vc::api {
+
+struct FieldSelectorRequirement {
+  std::string path;   // dotted path using JSON encoding names, e.g. "spec.nodeName"
+  bool equals = true; // false: "!="
+  std::string value;
+
+  bool operator==(const FieldSelectorRequirement&) const = default;
+};
+
+// All requirements must hold. Missing fields compare as the empty string, so
+// "spec.nodeName=" selects unbound pods exactly like Kubernetes.
+struct FieldSelector {
+  std::vector<FieldSelectorRequirement> requirements;
+
+  bool Empty() const { return requirements.empty(); }
+  bool Matches(const std::map<std::string, std::string>& fields) const;
+  // Distinct paths the scanner must extract to evaluate this selector.
+  std::vector<std::string> Paths() const;
+
+  bool operator==(const FieldSelector&) const = default;
+};
+
+// kubectl label-selector grammar: comma-separated terms of
+//   key=value | key==value | key!=value | key in (v1,v2) | key notin (v1,v2)
+//   key (exists) | !key (does not exist)
+Result<LabelSelector> ParseLabelSelector(const std::string& text);
+
+// Field-selector grammar: comma-separated "path=value" / "path==value" /
+// "path!=value" terms.
+Result<FieldSelector> ParseFieldSelector(const std::string& text);
+
+// What ScanObjectBlob extracts: enough to evaluate selectors, nothing more.
+struct ObjectScan {
+  std::string name;
+  std::string ns;
+  LabelMap labels;
+  // Requested field paths → scalar values. Strings are unescaped; numbers and
+  // booleans keep their literal JSON spelling; absent paths are absent.
+  std::map<std::string, std::string> fields;
+};
+
+// Partial parse of an encoded object blob. Descends only into subtrees on the
+// way to metadata.{name,namespace,labels} and the requested field paths;
+// every other value is skipped without allocation. Returns false on malformed
+// input (callers should then fall back to a full decode).
+bool ScanObjectBlob(std::string_view blob, const std::vector<std::string>& field_paths,
+                    ObjectScan* out);
+
+// Convenience: evaluate both selectors against a blob via one scan. A null /
+// empty selector matches everything.
+bool BlobMatchesSelectors(std::string_view blob, const LabelSelector& labels,
+                          const FieldSelector& fields);
+
+}  // namespace vc::api

@@ -1,5 +1,8 @@
 #include "apiserver/apiserver.h"
 
+#include <cerrno>
+#include <cstdlib>
+
 #include "common/hash.h"
 
 namespace vc::apiserver {
@@ -40,9 +43,63 @@ APIServer::InflightSlot::~InflightSlot() {
   server_->inflight_cv_.notify_one();
 }
 
+std::string APIServer::MakeContinueToken(int64_t revision, const std::string& last_key) {
+  return StrFormat("v1:%lld:", static_cast<long long>(revision)) + last_key;
+}
+
+Result<APIServer::ContinueToken> APIServer::ParseContinueToken(const std::string& token) {
+  if (!StartsWith(token, "v1:")) {
+    return InvalidArgumentError("malformed continue token: " + token);
+  }
+  size_t sep = token.find(':', 3);
+  if (sep == std::string::npos) {
+    return InvalidArgumentError("malformed continue token: " + token);
+  }
+  ContinueToken out;
+  errno = 0;
+  char* end = nullptr;
+  out.revision = std::strtoll(token.c_str() + 3, &end, 10);
+  if (errno != 0 || end != token.c_str() + sep || out.revision <= 0) {
+    return InvalidArgumentError("malformed continue token revision: " + token);
+  }
+  out.last_key = token.substr(sep + 1);
+  return out;
+}
+
+std::function<std::optional<kv::Event>(const kv::Event&)> APIServer::MakeSelectorFilter(
+    api::LabelSelector labels, api::FieldSelector fields) {
+  return [labels = std::move(labels),
+          fields = std::move(fields)](const kv::Event& e) -> std::optional<kv::Event> {
+    if (e.type == kv::EventType::kBookmark) return e;
+    const bool now =
+        !e.value.empty() && api::BlobMatchesSelectors(e.value, labels, fields);
+    const bool before =
+        !e.prev_value.empty() && api::BlobMatchesSelectors(e.prev_value, labels, fields);
+    if (e.type == kv::EventType::kPut) {
+      if (now) return e;
+      if (before) {
+        // The object left the selection; to this watcher that is a delete.
+        kv::Event out = e;
+        out.type = kv::EventType::kDelete;
+        out.value.clear();
+        return out;
+      }
+      return std::nullopt;
+    }
+    return before ? std::optional<kv::Event>(e) : std::nullopt;
+  };
+}
+
 Status APIServer::Before(const char* verb, const char* kind, const std::string& ns,
                          const RequestContext& ctx) const {
   if (store_->IsShutdown()) return UnavailableError(name() + " is shut down");
+  stats_.BumpIdentity(ctx.StatsKey());
+  if (LogEnabled(LogLevel::kDebug)) {
+    LOG(DEBUG) << name() << ": " << verb << " " << kind
+               << (ns.empty() ? "" : " ns=" + ns) << " user=" << ctx.identity.user
+               << (ctx.user_agent.empty() ? "" : " ua=" + ctx.user_agent)
+               << (ctx.trace_id.empty() ? "" : " trace=" + ctx.trace_id);
+  }
   if (!authorizer_.Allowed(ctx.identity, verb, kind, ns)) {
     return ForbiddenError(StrFormat("user %s cannot %s %s in namespace %s",
                                     ctx.identity.user.c_str(), verb, kind,

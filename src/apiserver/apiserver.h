@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "api/codec.h"
+#include "api/selector.h"
 #include "api/types.h"
 #include "apiserver/rbac.h"
 #include "common/clock.h"
@@ -40,11 +41,57 @@ namespace vc::apiserver {
 
 struct RequestContext {
   Identity identity = Identity::Loopback();
+  // Optional attribution: stamped into request log lines and the per-identity
+  // ServerStats counters so interference benches can tell which tenant is
+  // loading a shared control plane.
+  std::string trace_id;
+  std::string user_agent;
+
+  // Stats key: "<user>" or "<user>/<user_agent>".
+  std::string StatsKey() const {
+    return user_agent.empty() ? identity.user : identity.user + "/" + user_agent;
+  }
+};
+
+// ------------------------------------------------------------ verb options
+//
+// Options structs for the read path (the unified TypedClient API passes these
+// through). The string selectors use the kubectl grammars and are parsed
+// server-side; parse errors surface as InvalidArgument.
+
+struct GetOptions {
+  // Advisory: reads are always served from current state, which trivially
+  // satisfies any "not older than" constraint.
+  int64_t resource_version = 0;
+};
+
+struct ListOptions {
+  std::string ns;               // "" = all namespaces / cluster scope
+  std::string label_selector;   // e.g. "app=web,env in (prod,dev)"
+  std::string field_selector;   // e.g. "spec.nodeName=node-1"
+  // Max *matching* objects per page; 0 = no paging. When a page is truncated
+  // the result carries an opaque continue_token for the next call.
+  size_t limit = 0;
+  std::string continue_token;
+  int64_t resource_version = 0;  // advisory, see GetOptions
+};
+
+struct WatchOptions {
+  std::string ns;
+  int64_t from_revision = 0;  // normally TypedList::revision
+  std::string label_selector;
+  std::string field_selector;
+  // When > 0, the server emits a revision-only kBookmark after this many
+  // revisions pass without a delivered event, keeping an idle (e.g. fully
+  // filtered) watcher's resume revision ahead of compaction.
+  int64_t bookmark_interval = 0;
 };
 
 template <typename T>
 struct WatchEvent {
-  enum class Type { kPut, kDelete };
+  // kBookmark is revision-only: `object` is default-constructed and carries no
+  // data. Consumers update their resume revision and move on.
+  enum class Type { kPut, kDelete, kBookmark };
   Type type = Type::kPut;
   T object;           // new state for kPut; last known state for kDelete
   int64_t revision = 0;
@@ -64,6 +111,10 @@ class TypedWatch {
     if (!e.ok()) return e.status();
     WatchEvent<T> out;
     out.revision = e->revision;
+    if (e->type == kv::EventType::kBookmark) {
+      out.type = WatchEvent<T>::Type::kBookmark;
+      return out;
+    }
     if (e->type == kv::EventType::kPut) {
       out.type = WatchEvent<T>::Type::kPut;
       Result<T> obj = api::Decode<T>(e->value);
@@ -96,6 +147,11 @@ template <typename T>
 struct TypedList {
   std::vector<T> items;
   int64_t revision = 0;
+  // Paged list only: set when live objects remain past this page. Feed
+  // continue_token into the next ListOptions to fetch them; an expired token
+  // (snapshot compacted away) fails Gone (410) and the client must relist.
+  bool more = false;
+  std::string continue_token;
 };
 
 // Per-verb request counters, exposed for interference/observability tests.
@@ -108,8 +164,33 @@ struct ServerStats {
   std::atomic<uint64_t> watches{0};
   std::atomic<uint64_t> rate_limited{0};
   std::atomic<uint64_t> conflicts{0};
+  // Read-path cost accounting: bytes skip-scanned for selector evaluation vs
+  // bytes fully decoded onto the wire. A selective list keeps decoded ≪
+  // scanned — the O(matching) story the micro benches assert.
+  std::atomic<uint64_t> list_bytes_scanned{0};
+  std::atomic<uint64_t> list_bytes_decoded{0};
 
   uint64_t TotalMutations() const { return creates + updates + deletes; }
+
+  // Per-identity request counts keyed by RequestContext::StatsKey(), letting
+  // interference benches attribute load per tenant / component.
+  void BumpIdentity(const std::string& key) {
+    std::lock_guard<std::mutex> l(identity_mu_);
+    per_identity_[key]++;
+  }
+  uint64_t IdentityRequests(const std::string& key) const {
+    std::lock_guard<std::mutex> l(identity_mu_);
+    auto it = per_identity_.find(key);
+    return it == per_identity_.end() ? 0 : it->second;
+  }
+  std::map<std::string, uint64_t> PerIdentity() const {
+    std::lock_guard<std::mutex> l(identity_mu_);
+    return per_identity_;
+  }
+
+ private:
+  mutable std::mutex identity_mu_;
+  std::map<std::string, uint64_t> per_identity_;
 };
 
 class APIServer {
@@ -194,23 +275,76 @@ class APIServer {
     return obj;
   }
 
-  // ns == "" lists across all namespaces (or all cluster-scoped objects).
+  // List with server-side selection and pagination. Selector evaluation uses
+  // the skip-scanner, so non-matching objects cost a partial scan, never a
+  // full decode — O(matching) decode bytes per page.
   template <typename T>
-  Result<TypedList<T>> List(const std::string& ns = "", const RequestContext& ctx = {}) const {
-    VC_RETURN_IF_ERROR(Before("list", T::kKind, ns, ctx));
+  Result<TypedList<T>> List(const ListOptions& opts = {},
+                            const RequestContext& ctx = {}) const {
+    VC_RETURN_IF_ERROR(Before("list", T::kKind, opts.ns, ctx));
     stats_.lists++;
-    std::string prefix = ns.empty() ? KindPrefix<T>() : Key<T>(ns, "");
-    kv::ListResult raw = store_->List(prefix);
+    Result<api::LabelSelector> labels = api::ParseLabelSelector(opts.label_selector);
+    if (!labels.ok()) return labels.status();
+    Result<api::FieldSelector> fields = api::ParseFieldSelector(opts.field_selector);
+    if (!fields.ok()) return fields.status();
+    int64_t snapshot = 0;
+    std::string start_after;
+    if (!opts.continue_token.empty()) {
+      Result<ContinueToken> tok = ParseContinueToken(opts.continue_token);
+      if (!tok.ok()) return tok.status();
+      snapshot = tok->revision;
+      start_after = tok->last_key;
+      if (snapshot < store_->CompactedRevision()) {
+        return GoneError(StrFormat(
+            "continue token snapshot %lld expired (compacted=%lld); relist",
+            static_cast<long long>(snapshot),
+            static_cast<long long>(store_->CompactedRevision())));
+      }
+    }
+    const bool selecting = !labels->Empty() || !fields->Empty();
+    std::string prefix = opts.ns.empty() ? KindPrefix<T>() : Key<T>(opts.ns, "");
+    // With a selector the limit applies to *matching* objects, so take the
+    // whole remaining key range and stop once the page is full; otherwise the
+    // kv layer pages for us.
+    kv::ListResult raw = store_->List(prefix, selecting ? 0 : opts.limit, start_after);
     TypedList<T> out;
     out.revision = raw.revision;
-    out.items.reserve(raw.entries.size());
+    bool truncated = raw.more;
+    std::string last_key = start_after;
     for (const kv::Entry& e : raw.entries) {
+      if (selecting) {
+        stats_.list_bytes_scanned += e.value.size();
+        if (!api::BlobMatchesSelectors(e.value, *labels, *fields)) continue;
+      }
+      if (opts.limit > 0 && out.items.size() >= opts.limit) {
+        truncated = true;
+        break;
+      }
+      stats_.list_bytes_decoded += e.value.size();
       Result<T> obj = api::Decode<T>(e.value);
       if (!obj.ok()) return obj.status();
       obj->meta.resource_version = e.mod_revision;
+      last_key = e.key;
       out.items.push_back(std::move(*obj));
     }
+    if (truncated) {
+      out.more = true;
+      // The token pins the revision of the page-1 snapshot; once that falls
+      // behind the compaction horizon the token answers Gone.
+      out.continue_token =
+          MakeContinueToken(snapshot ? snapshot : raw.revision, last_key);
+    }
     return out;
+  }
+
+  // Deprecated shim (kept for one PR): use List(ListOptions) instead.
+  // `ns` intentionally has no default so a zero-argument List<T>() resolves
+  // to the options overload above.
+  template <typename T>
+  Result<TypedList<T>> List(const std::string& ns, const RequestContext& ctx = {}) const {
+    ListOptions o;
+    o.ns = ns;
+    return List<T>(o, ctx);
   }
 
   // Full-object update with optimistic concurrency on resourceVersion.
@@ -224,7 +358,7 @@ class APIServer {
   // upward synchronization.
   template <typename T>
   Result<T> UpdateStatus(T obj, const RequestContext& ctx = {}) {
-    return DoUpdate(std::move(obj), "update", ctx);
+    return DoUpdate(std::move(obj), "update-status", ctx);
   }
 
   // Delete honoring finalizers. Returns OK when deletion is complete OR has
@@ -258,18 +392,40 @@ class APIServer {
     return AbortedError("delete retry budget exhausted for " + ns + "/" + name);
   }
 
-  // Watch objects of kind T (optionally restricted to one namespace) for
-  // changes after `from_revision` (normally TypedList::revision).
+  // Watch objects of kind T for changes after from_revision (normally
+  // TypedList::revision). Selectors are evaluated server-side at dispatch: a
+  // put whose new state stops matching is delivered as a delete, and fully
+  // invisible churn surfaces only as bookmark events (when enabled).
+  template <typename T>
+  Result<TypedWatch<T>> Watch(const WatchOptions& opts,
+                              const RequestContext& ctx = {}) const {
+    VC_RETURN_IF_ERROR(Before("watch", T::kKind, opts.ns, ctx));
+    stats_.watches++;
+    Result<api::LabelSelector> labels = api::ParseLabelSelector(opts.label_selector);
+    if (!labels.ok()) return labels.status();
+    Result<api::FieldSelector> fields = api::ParseFieldSelector(opts.field_selector);
+    if (!fields.ok()) return fields.status();
+    std::string prefix = opts.ns.empty() ? KindPrefix<T>() : Key<T>(opts.ns, "");
+    kv::WatchParams params;
+    params.from_revision = opts.from_revision;
+    params.buffer_capacity = opts_.watch_buffer;
+    params.bookmark_interval = opts.bookmark_interval;
+    if (!labels->Empty() || !fields->Empty()) {
+      params.filter = MakeSelectorFilter(std::move(*labels), std::move(*fields));
+    }
+    Result<std::shared_ptr<kv::WatchChannel>> ch = store_->Watch(prefix, std::move(params));
+    if (!ch.ok()) return ch.status();
+    return TypedWatch<T>(std::move(*ch));
+  }
+
+  // Deprecated shim (kept for one PR): use Watch(WatchOptions) instead.
   template <typename T>
   Result<TypedWatch<T>> Watch(const std::string& ns, int64_t from_revision,
                               const RequestContext& ctx = {}) const {
-    VC_RETURN_IF_ERROR(Before("watch", T::kKind, ns, ctx));
-    stats_.watches++;
-    std::string prefix = ns.empty() ? KindPrefix<T>() : Key<T>(ns, "");
-    Result<std::shared_ptr<kv::WatchChannel>> ch =
-        store_->Watch(prefix, from_revision, opts_.watch_buffer);
-    if (!ch.ok()) return ch.status();
-    return TypedWatch<T>(std::move(*ch));
+    WatchOptions o;
+    o.ns = ns;
+    o.from_revision = from_revision;
+    return Watch<T>(o, ctx);
   }
 
   // ------------------------------------------------------------- helpers
@@ -292,6 +448,20 @@ class APIServer {
 
   // Approximate stored bytes (Fig. 10 accounting helper).
   size_t StoreBytes() const { return store_->ApproxBytes(); }
+
+  // Opaque-to-clients continue token: "v1:<snapshot revision>:<last key>".
+  // Public for tests that exercise expiry; production callers must treat the
+  // string as opaque.
+  struct ContinueToken {
+    int64_t revision = 0;
+    std::string last_key;
+  };
+  static std::string MakeContinueToken(int64_t revision, const std::string& last_key);
+  static Result<ContinueToken> ParseContinueToken(const std::string& token);
+
+  // Builds the kv-level event filter for a selector watch (see Watch()).
+  static std::function<std::optional<kv::Event>(const kv::Event&)> MakeSelectorFilter(
+      api::LabelSelector labels, api::FieldSelector fields);
 
  private:
   template <typename T>
@@ -366,6 +536,24 @@ Status RetryUpdate(APIServer& server, const std::string& ns, const std::string& 
     if (!updated.status().IsConflict()) return updated.status();
   }
   return AbortedError("RetryUpdate: conflict budget exhausted for " + ns + "/" + name);
+}
+
+// Status-subresource variant of RetryUpdate: writes through UpdateStatus so a
+// status-only identity (RBAC verb "update-status" — kubelet heartbeats, the
+// syncer's upward sync) needs no full "update" grant.
+template <typename T, typename Fn>
+Status RetryUpdateStatus(APIServer& server, const std::string& ns, const std::string& name,
+                         Fn fn, const RequestContext& ctx = {}, int max_attempts = 10) {
+  for (int i = 0; i < max_attempts; ++i) {
+    Result<T> obj = server.Get<T>(ns, name, ctx);
+    if (!obj.ok()) return obj.status();
+    if (!fn(*obj)) return OkStatus();
+    Result<T> updated = server.UpdateStatus<T>(std::move(*obj), ctx);
+    if (updated.ok()) return OkStatus();
+    if (!updated.status().IsConflict()) return updated.status();
+  }
+  return AbortedError("RetryUpdateStatus: conflict budget exhausted for " + ns + "/" +
+                      name);
 }
 
 }  // namespace vc::apiserver

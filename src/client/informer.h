@@ -25,24 +25,77 @@
 
 namespace vc::client {
 
-// List+Watch binding to one apiserver. `ns` restricts scope ("" = all).
+// List+Watch binding to one apiserver. Carries the reflector's scope: the
+// namespace, server-side selectors, list page size, and the watch bookmark
+// interval. Selectors are applied by the SERVER, so a heavily filtered
+// reflector decodes (and transfers) only the objects it actually caches.
+template <typename T>
+struct ReflectorOptions {
+  std::string ns;              // "" = all namespaces
+  std::string label_selector;  // kubectl grammar, evaluated server-side
+  std::string field_selector;
+  // LIST page size (objects per continue page); 0 = single unpaged list.
+  size_t page_size = 0;
+  // Bookmark cadence for the watch (revisions of invisible churn between
+  // bookmarks); 0 disables bookmarks. Keep > 0 for selective watchers or an
+  // idle reflector's resume revision falls behind compaction.
+  int64_t bookmark_interval = 256;
+};
+
 template <typename T>
 class ListerWatcher {
  public:
   ListerWatcher() = default;
   ListerWatcher(apiserver::APIServer* server, std::string ns = "",
                 apiserver::RequestContext ctx = {})
-      : server_(server), ns_(std::move(ns)), ctx_(ctx) {}
-
-  Result<apiserver::TypedList<T>> List() const { return server_->List<T>(ns_, ctx_); }
-  Result<apiserver::TypedWatch<T>> Watch(int64_t rv) const {
-    return server_->Watch<T>(ns_, rv, ctx_);
+      : server_(server), ctx_(std::move(ctx)) {
+    opts_.ns = std::move(ns);
   }
+  ListerWatcher(apiserver::APIServer* server, ReflectorOptions<T> opts,
+                apiserver::RequestContext ctx = {})
+      : server_(server), opts_(std::move(opts)), ctx_(std::move(ctx)) {}
+
+  // Follows continue tokens until the full (filtered) set is assembled, so
+  // callers see one atomic snapshot. The returned revision is the FIRST
+  // page's: watching from there replays anything that moved while later
+  // pages were fetched (duplicate puts are harmless; gaps are not).
+  Result<apiserver::TypedList<T>> List() const {
+    apiserver::ListOptions lo;
+    lo.ns = opts_.ns;
+    lo.label_selector = opts_.label_selector;
+    lo.field_selector = opts_.field_selector;
+    lo.limit = opts_.page_size;
+    apiserver::TypedList<T> all;
+    while (true) {
+      Result<apiserver::TypedList<T>> page = server_->List<T>(lo, ctx_);
+      if (!page.ok()) return page.status();
+      if (all.revision == 0) all.revision = page->revision;
+      if (all.items.empty()) {
+        all.items = std::move(page->items);
+      } else {
+        all.items.insert(all.items.end(), std::make_move_iterator(page->items.begin()),
+                         std::make_move_iterator(page->items.end()));
+      }
+      if (!page->more) return all;
+      lo.continue_token = page->continue_token;
+    }
+  }
+
+  Result<apiserver::TypedWatch<T>> Watch(int64_t rv) const {
+    apiserver::WatchOptions wo;
+    wo.ns = opts_.ns;
+    wo.from_revision = rv;
+    wo.label_selector = opts_.label_selector;
+    wo.field_selector = opts_.field_selector;
+    wo.bookmark_interval = opts_.bookmark_interval;
+    return server_->Watch<T>(wo, ctx_);
+  }
+
   apiserver::APIServer* server() const { return server_; }
 
  private:
   apiserver::APIServer* server_ = nullptr;
-  std::string ns_;
+  ReflectorOptions<T> opts_;
   apiserver::RequestContext ctx_;
 };
 
@@ -105,6 +158,10 @@ class SharedInformer {
   const ObjectCache<T>& cache() const { return cache_; }
 
   uint64_t relists() const { return relists_.load(); }
+  // Watch re-establishments that skipped the relist (resume revision was
+  // still uncompacted — usually thanks to bookmarks).
+  uint64_t resumes() const { return resumes_.load(); }
+  uint64_t bookmarks() const { return bookmarks_.load(); }
 
  private:
   using Ptr = typename ObjectCache<T>::Ptr;
@@ -155,15 +212,28 @@ class SharedInformer {
     std::shared_ptr<void> thread_token =
         opts_.thread_hook ? opts_.thread_hook() : nullptr;
     TimePoint last_resync = opts_.clock->Now();
+    // Last revision observed via list, data events, or bookmarks. When a
+    // watch breaks we first try to re-watch from here — bookmarks keep this
+    // ahead of compaction for idle/filtered reflectors, so the common case is
+    // a cheap resume instead of a full relist.
+    int64_t rv = -1;
     while (!stop_.load()) {
-      int64_t rv = Relist();
       if (rv < 0) {
-        opts_.clock->SleepFor(opts_.relist_backoff);
-        continue;
+        rv = Relist();
+        if (rv < 0) {
+          opts_.clock->SleepFor(opts_.relist_backoff);
+          continue;
+        }
+      } else {
+        resumes_.fetch_add(1);
       }
       Result<apiserver::TypedWatch<T>> watch = lw_.Watch(rv);
       if (!watch.ok()) {
-        LOG(WARN) << "informer<" << T::kKind << ">: watch failed: " << watch.status();
+        LOG(WARN) << "informer<" << T::kKind << ">: watch from rv=" << rv
+                  << " failed: " << watch.status();
+        // Gone: the resume revision was compacted — the cache may have missed
+        // deletes, so only a full relist can resynchronize it.
+        rv = -1;
         opts_.clock->SleepFor(opts_.relist_backoff);
         continue;
       }
@@ -178,8 +248,15 @@ class SharedInformer {
             }
             continue;
           }
-          // Gone (compaction/restart/overflow) or Aborted: fall back to relist.
+          // Gone (overflow/restart/shutdown) or Aborted: the channel is dead
+          // but `rv` still marks the last event we applied, so the outer loop
+          // retries from there before falling back to a relist.
           break;
+        }
+        rv = ev->revision;
+        if (ev->type == apiserver::WatchEvent<T>::Type::kBookmark) {
+          bookmarks_.fetch_add(1);
+          continue;
         }
         if (ev->type == apiserver::WatchEvent<T>::Type::kPut) {
           Ptr old = cache_.Upsert(ev->object);
@@ -207,6 +284,8 @@ class SharedInformer {
   std::atomic<bool> stop_{false};
   std::atomic<bool> synced_{false};
   std::atomic<uint64_t> relists_{0};
+  std::atomic<uint64_t> resumes_{0};
+  std::atomic<uint64_t> bookmarks_{0};
 };
 
 }  // namespace vc::client

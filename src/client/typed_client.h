@@ -1,0 +1,85 @@
+// TypedClient<T>: thin per-kind facade bundling (apiserver, RequestContext,
+// namespace scope) — the "clientset" every component holds instead of
+// threading (server, ns, ctx) triples through each call site. All verbs take
+// the options structs from apiserver.h; the client only fills in its scope.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "apiserver/apiserver.h"
+
+namespace vc::client {
+
+template <typename T>
+class TypedClient {
+ public:
+  TypedClient() = default;
+  TypedClient(apiserver::APIServer* server, std::string ns = "",
+              apiserver::RequestContext ctx = {})
+      : server_(server), ns_(std::move(ns)), ctx_(std::move(ctx)) {}
+
+  apiserver::APIServer* server() const { return server_; }
+  const std::string& ns() const { return ns_; }
+  const apiserver::RequestContext& context() const { return ctx_; }
+
+  // Returns a copy of this client scoped to another namespace.
+  TypedClient WithNamespace(std::string ns) const {
+    return TypedClient(server_, std::move(ns), ctx_);
+  }
+
+  Result<T> Create(T obj) const {
+    if constexpr (T::kNamespaced) {
+      if (obj.meta.ns.empty()) obj.meta.ns = ns_;
+    }
+    return server_->Create<T>(std::move(obj), ctx_);
+  }
+
+  Result<T> Get(const std::string& name, const apiserver::GetOptions& = {}) const {
+    return server_->Get<T>(ScopeNs(), name, ctx_);
+  }
+
+  // opts.ns defaults to the client's scope; pass a non-empty opts.ns to
+  // override (e.g. a cluster-scoped client listing one namespace).
+  Result<apiserver::TypedList<T>> List(apiserver::ListOptions opts = {}) const {
+    if (opts.ns.empty()) opts.ns = ns_;
+    return server_->List<T>(opts, ctx_);
+  }
+
+  Result<T> Update(T obj) const { return server_->Update<T>(std::move(obj), ctx_); }
+
+  Result<T> UpdateStatus(T obj) const {
+    return server_->UpdateStatus<T>(std::move(obj), ctx_);
+  }
+
+  Status Delete(const std::string& name) const {
+    return server_->Delete<T>(ScopeNs(), name, ctx_);
+  }
+
+  Result<apiserver::TypedWatch<T>> Watch(apiserver::WatchOptions opts = {}) const {
+    if (opts.ns.empty()) opts.ns = ns_;
+    return server_->Watch<T>(opts, ctx_);
+  }
+
+  // Read-modify-write with conflict retry, scoped like Get/Delete.
+  template <typename Fn>
+  Status RetryUpdate(const std::string& name, Fn fn, int max_attempts = 10) const {
+    return apiserver::RetryUpdate<T>(*server_, ScopeNs(), name, std::move(fn), ctx_,
+                                     max_attempts);
+  }
+
+ private:
+  std::string ScopeNs() const {
+    if constexpr (T::kNamespaced) {
+      return ns_;
+    } else {
+      return "";
+    }
+  }
+
+  apiserver::APIServer* server_ = nullptr;
+  std::string ns_;
+  apiserver::RequestContext ctx_;
+};
+
+}  // namespace vc::client

@@ -17,25 +17,37 @@ NamespaceController::NamespaceController(
   namespaces_->AddHandlers(std::move(h));
 }
 
+namespace {
+apiserver::RequestContext ControllerContext() {
+  apiserver::RequestContext ctx;
+  ctx.user_agent = "namespace-controller";
+  return ctx;
+}
+}  // namespace
+
 template <typename T>
 size_t NamespaceController::PurgeKind(const std::string& ns) {
-  Result<apiserver::TypedList<T>> list = server_->List<T>(ns);
+  const apiserver::RequestContext ctx = ControllerContext();
+  apiserver::ListOptions opts;
+  opts.ns = ns;
+  Result<apiserver::TypedList<T>> list = server_->List<T>(opts, ctx);
   if (!list.ok()) return 1;  // conservative: report work remaining
   for (T& obj : list->items) {
     if (obj.meta.deleting()) continue;  // already terminating (has finalizers)
-    (void)server_->Delete<T>(ns, obj.meta.name);
+    (void)server_->Delete<T>(ns, obj.meta.name, ctx);
   }
   return list->items.size();
 }
 
 bool NamespaceController::Reconcile(const std::string& key) {
-  Result<api::NamespaceObj> ns = server_->Get<api::NamespaceObj>("", key);
+  const apiserver::RequestContext ctx = ControllerContext();
+  Result<api::NamespaceObj> ns = server_->Get<api::NamespaceObj>("", key, ctx);
   if (!ns.ok()) return true;  // gone
   if (!ns->meta.deleting()) return true;
 
   if (ns->phase != "Terminating") {
     ns->phase = "Terminating";
-    Result<api::NamespaceObj> updated = server_->UpdateStatus(*ns);
+    Result<api::NamespaceObj> updated = server_->UpdateStatus(*ns, ctx);
     if (!updated.ok()) return false;
     *ns = std::move(*updated);
   }
@@ -55,15 +67,17 @@ bool NamespaceController::Reconcile(const std::string& key) {
 
   // All content drained: strip our finalizer and finish the delete.
   Status st = apiserver::RetryUpdate<api::NamespaceObj>(
-      *server_, "", key, [&](api::NamespaceObj& live) {
+      *server_, "", key,
+      [&](api::NamespaceObj& live) {
         auto& fs = live.meta.finalizers;
         auto it = std::find(fs.begin(), fs.end(), "kubernetes");
         if (it == fs.end()) return false;
         fs.erase(it);
         return true;
-      });
+      },
+      ctx);
   if (!st.ok() && !st.IsNotFound()) return false;
-  (void)server_->Delete<api::NamespaceObj>("", key);
+  (void)server_->Delete<api::NamespaceObj>("", key, ctx);
   return true;
 }
 

@@ -219,9 +219,12 @@ Status Kubelet::StartPod(const api::Pod& pod) {
     if (it != running_.end()) it->second.containers = started;
   }
 
-  // Report Running/Ready.
+  // Report Running/Ready. Status-only write: goes through the /status
+  // subresource (RBAC verb "update-status"), like the real kubelet.
   const int64_t now_ms = opts_.clock->WallUnixMillis();
-  Status st = apiserver::RetryUpdate<api::Pod>(
+  apiserver::RequestContext ctx;
+  ctx.user_agent = "kubelet";
+  Status st = apiserver::RetryUpdateStatus<api::Pod>(
       *opts_.server, pod.meta.ns, pod.meta.name, [&](api::Pod& live) {
         if (live.meta.uid != pod.meta.uid) return false;
         live.status.phase = api::PodPhase::kRunning;
@@ -236,7 +239,8 @@ Status Kubelet::StartPod(const api::Pod& pod) {
           live.status.container_statuses.push_back({c.name, true, 0, "running"});
         }
         return true;
-      });
+      },
+      ctx);
   if (!st.ok() && !st.IsNotFound()) return fail(st);
 
   pods_started_.fetch_add(1);
@@ -261,7 +265,9 @@ void Kubelet::TeardownPod(const std::string& key) {
 
 Status Kubelet::UpdateNodeStatus(bool ready) {
   const int64_t now_ms = opts_.clock->WallUnixMillis();
-  return apiserver::RetryUpdate<api::Node>(
+  apiserver::RequestContext ctx;
+  ctx.user_agent = "kubelet";
+  return apiserver::RetryUpdateStatus<api::Node>(
       *opts_.server, "", opts_.node_name, [&](api::Node& node) {
         node.status.capacity = opts_.capacity;
         node.status.allocatable = opts_.capacity;
@@ -282,7 +288,8 @@ Status Kubelet::UpdateNodeStatus(bool ready) {
           node.status.conditions.push_back({api::kNodeReady, ready, now_ms, "KubeletReady"});
         }
         return true;
-      });
+      },
+      ctx);
 }
 
 void Kubelet::HeartbeatLoop() {

@@ -79,6 +79,32 @@ KvStore::KvStore(size_t max_log_events, int64_t start_revision)
 
 KvStore::~KvStore() { Shutdown(); }
 
+void KvStore::OfferFiltered(Watcher& w, const Event& e) {
+  if (StartsWith(e.key, w.prefix)) {
+    if (!w.filter) {
+      w.channel->Offer(e);
+      w.last_sent_revision = e.revision;
+      return;
+    }
+    if (std::optional<Event> out = w.filter(e)) {
+      w.channel->Offer(*out);
+      w.last_sent_revision = e.revision;
+      return;
+    }
+  }
+  // Event invisible to this watcher (prefix miss or filtered out). Keep its
+  // resume revision fresh with a bookmark so a later re-watch from that
+  // revision survives compaction of everything it never needed to see.
+  if (w.bookmark_interval > 0 &&
+      e.revision - w.last_sent_revision >= w.bookmark_interval) {
+    Event bm;
+    bm.type = EventType::kBookmark;
+    bm.revision = e.revision;
+    w.channel->Offer(bm);
+    w.last_sent_revision = e.revision;
+  }
+}
+
 void KvStore::AppendAndDispatchLocked(Event e) {
   log_.push_back(e);
   while (log_.size() > max_log_events_) {
@@ -92,9 +118,7 @@ void KvStore::AppendAndDispatchLocked(Event e) {
       it = watchers_.erase(it);
       continue;
     }
-    if (StartsWith(e.key, it->prefix)) {
-      it->channel->Offer(e);
-    }
+    OfferFiltered(*it, e);
     ++it;
   }
 }
@@ -177,11 +201,22 @@ Result<Entry> KvStore::Get(const std::string& key) const {
 }
 
 ListResult KvStore::List(const std::string& prefix) const {
+  return List(prefix, /*limit=*/0, /*start_after=*/"");
+}
+
+ListResult KvStore::List(const std::string& prefix, size_t limit,
+                         const std::string& start_after) const {
   std::lock_guard<std::mutex> l(mu_);
   ListResult out;
   out.revision = revision_;
-  for (auto it = data_.lower_bound(prefix); it != data_.end(); ++it) {
+  auto it = start_after.empty() ? data_.lower_bound(prefix)
+                                : data_.upper_bound(start_after);
+  for (; it != data_.end(); ++it) {
     if (!StartsWith(it->first, prefix)) break;
+    if (limit > 0 && out.entries.size() >= limit) {
+      out.more = true;
+      break;
+    }
     out.entries.push_back(it->second);
   }
   return out;
@@ -200,22 +235,36 @@ int64_t KvStore::CompactedRevision() const {
 Result<std::shared_ptr<WatchChannel>> KvStore::Watch(const std::string& prefix,
                                                      int64_t from_revision,
                                                      size_t buffer_capacity) {
+  WatchParams params;
+  params.from_revision = from_revision;
+  params.buffer_capacity = buffer_capacity;
+  return Watch(prefix, std::move(params));
+}
+
+Result<std::shared_ptr<WatchChannel>> KvStore::Watch(const std::string& prefix,
+                                                     WatchParams params) {
   std::lock_guard<std::mutex> l(mu_);
   if (shutdown_) return UnavailableError("store is shut down");
-  if (from_revision < compacted_) {
+  if (params.from_revision < compacted_) {
     return GoneError(StrFormat("revision %lld compacted (compacted=%lld)",
-                               static_cast<long long>(from_revision),
+                               static_cast<long long>(params.from_revision),
                                static_cast<long long>(compacted_)));
   }
-  auto ch = std::shared_ptr<WatchChannel>(new WatchChannel(buffer_capacity));
+  auto ch = std::shared_ptr<WatchChannel>(new WatchChannel(params.buffer_capacity));
+  Watcher w;
+  w.prefix = prefix;
+  w.channel = ch;
+  w.filter = std::move(params.filter);
+  w.bookmark_interval = params.bookmark_interval;
+  w.last_sent_revision = params.from_revision;
   // Replay history after from_revision, then register for live events —
   // atomically under the store lock so nothing is missed or duplicated.
   for (const Event& e : log_) {
-    if (e.revision <= from_revision) continue;
-    if (!StartsWith(e.key, prefix)) continue;
-    if (!ch->Offer(e)) break;
+    if (e.revision <= params.from_revision) continue;
+    OfferFiltered(w, e);
+    if (!w.channel->ok()) break;
   }
-  watchers_.push_back(Watcher{prefix, ch});
+  watchers_.push_back(std::move(w));
   return ch;
 }
 

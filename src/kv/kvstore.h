@@ -22,6 +22,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -34,12 +35,16 @@
 
 namespace vc::kv {
 
-enum class EventType { kPut, kDelete };
+// kBookmark carries no key/value — only a revision. It tells a watcher "you
+// have seen everything up to here" so an idle watcher's resume revision keeps
+// pace with the store even when every data event is filtered away from it
+// (etcd progress notify / Kubernetes watch bookmarks).
+enum class EventType { kPut, kDelete, kBookmark };
 
 struct Event {
   EventType type = EventType::kPut;
   std::string key;
-  std::string value;       // new value (empty for kDelete)
+  std::string value;       // new value (empty for kDelete/kBookmark)
   std::string prev_value;  // value before this event (empty for first Put)
   int64_t revision = 0;    // store revision of this event
 };
@@ -87,6 +92,24 @@ class WatchChannel {
 struct ListResult {
   std::vector<Entry> entries;
   int64_t revision = 0;  // snapshot revision; start watches from here
+  // Paged variant only: true when live keys remain under the prefix past the
+  // last returned entry.
+  bool more = false;
+};
+
+// Server-side watch configuration (apiserver ListOptions/WatchOptions map
+// onto this).
+struct WatchParams {
+  int64_t from_revision = 0;
+  size_t buffer_capacity = 8192;
+  // Optional event transform applied store-side before enqueueing: return the
+  // (possibly rewritten) event to deliver it, nullopt to drop it. Used by the
+  // apiserver to evaluate selectors once at dispatch instead of per client
+  // decode, and to rewrite "object left the selection" puts into deletes.
+  std::function<std::optional<Event>(const Event&)> filter;
+  // When > 0, a watcher that had `bookmark_interval` revisions pass without a
+  // delivered event receives a revision-only kBookmark instead of silence.
+  int64_t bookmark_interval = 0;
 };
 
 class KvStore {
@@ -120,6 +143,13 @@ class KvStore {
   // key, plus the revision of the snapshot.
   ListResult List(const std::string& prefix) const;
 
+  // Paged variant: entries with key > start_after (all of them when empty),
+  // at most `limit` (0 = unlimited). Sets ListResult::more when live keys
+  // remain under the prefix past the last returned entry, so callers can
+  // build continue tokens without a second scan.
+  ListResult List(const std::string& prefix, size_t limit,
+                  const std::string& start_after) const;
+
   int64_t CurrentRevision() const;
   int64_t CompactedRevision() const;
 
@@ -129,6 +159,10 @@ class KvStore {
   Result<std::shared_ptr<WatchChannel>> Watch(const std::string& prefix,
                                               int64_t from_revision,
                                               size_t buffer_capacity = 8192);
+
+  // Full-featured variant: server-side event filtering + bookmark emission.
+  Result<std::shared_ptr<WatchChannel>> Watch(const std::string& prefix,
+                                              WatchParams params);
 
   // Drop replay-log events with revision <= up_to (watchers already created
   // are unaffected; new watches from before `up_to` get Gone).
@@ -155,9 +189,17 @@ class KvStore {
   struct Watcher {
     std::string prefix;
     std::shared_ptr<WatchChannel> channel;
+    std::function<std::optional<Event>(const Event&)> filter;  // nullptr = all
+    int64_t bookmark_interval = 0;
+    // Revision of the last event (data or bookmark) offered to the channel;
+    // drives bookmark pacing.
+    int64_t last_sent_revision = 0;
   };
 
   void AppendAndDispatchLocked(Event e);
+  // Offers `e` if it survives the watcher's filter; otherwise emits a
+  // bookmark when the watcher has been quiet for bookmark_interval revisions.
+  static void OfferFiltered(Watcher& w, const Event& e);
 
   mutable std::mutex mu_;
   std::map<std::string, Entry> data_;

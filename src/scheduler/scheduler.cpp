@@ -170,15 +170,19 @@ bool Scheduler::ScheduleOne(const std::string& key) {
 
   const std::string node_name = best->meta.name;
   bool bound = false;
+  apiserver::RequestContext ctx;
+  ctx.user_agent = "scheduler";
   Status st = apiserver::RetryUpdate<api::Pod>(
-      *opts_.server, pod->meta.ns, pod->meta.name, [&](api::Pod& live) {
+      *opts_.server, pod->meta.ns, pod->meta.name,
+      [&](api::Pod& live) {
         if (!live.spec.node_name.empty() || live.meta.deleting()) return false;
         live.spec.node_name = node_name;
         live.status.SetCondition(api::kPodScheduled, true,
                                  opts_.clock->WallUnixMillis(), "Scheduled");
         bound = true;
         return true;
-      });
+      },
+      ctx);
   if (!st.ok()) {
     if (st.IsNotFound()) return true;  // pod vanished
     failed_attempts_.fetch_add(1);

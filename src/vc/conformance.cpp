@@ -82,7 +82,7 @@ CheckResult ConformanceSuite::NamespaceLifecycle(ConformanceEnv& env) {
   const std::string ns = "conf-nslc";
   if (Status st = EnsureNamespace(env, ns); !st.ok()) return Fail(name, st.ToString());
   Result<apiserver::TypedList<api::NamespaceObj>> all =
-      env.server->List<api::NamespaceObj>("", env.ctx);
+      env.server->List<api::NamespaceObj>(apiserver::ListOptions{}, env.ctx);
   if (!all.ok()) return Fail(name, all.status().ToString());
   bool found = false;
   for (const auto& n : all->items) found |= (n.meta.name == ns);
@@ -260,7 +260,7 @@ CheckResult ConformanceSuite::NamespaceIsolationOfListing(ConformanceEnv& env) {
   // Every namespace visible through this cluster view must be one this
   // cluster's user created (plus the built-ins) — no foreign tenants' names.
   Result<apiserver::TypedList<api::NamespaceObj>> all =
-      env.server->List<api::NamespaceObj>("", env.ctx);
+      env.server->List<api::NamespaceObj>(apiserver::ListOptions{}, env.ctx);
   if (!all.ok()) return Fail(name, all.status().ToString());
   for (const auto& n : all->items) {
     if (StartsWith(n.meta.name, "foreign-tenant-")) {

@@ -22,6 +22,10 @@ namespace vc::core {
 
 inline constexpr const char* kSyncerAnnotationPrefix = "tenant.virtualcluster.io/";
 inline constexpr const char* kTenantAnnotation = "tenant.virtualcluster.io/id";
+// Tenant identity is ALSO stamped as a label so syncer reflectors can use a
+// server-side label selector ("tenant.virtualcluster.io/id" Exists) and never
+// list/decode the super cluster's non-tenant objects.
+inline constexpr const char* kTenantLabel = "tenant.virtualcluster.io/id";
 inline constexpr const char* kOriginNamespaceAnnotation =
     "tenant.virtualcluster.io/namespace";
 inline constexpr const char* kOriginUidAnnotation = "tenant.virtualcluster.io/uid";
@@ -36,6 +40,17 @@ inline void StripSyncerAnnotations(api::LabelMap& annotations) {
   for (auto it = annotations.begin(); it != annotations.end();) {
     if (StartsWith(it->first, kSyncerAnnotationPrefix)) {
       it = annotations.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// Same for syncer-owned labels (currently just the tenant label).
+inline void StripSyncerLabels(api::LabelMap& labels) {
+  for (auto it = labels.begin(); it != labels.end();) {
+    if (StartsWith(it->first, kSyncerAnnotationPrefix)) {
+      it = labels.erase(it);
     } else {
       ++it;
     }
@@ -83,8 +98,12 @@ T ToSuper(const TenantMapping& map, const T& tenant_obj) {
   out.meta.finalizers.clear();
   out.meta.owner_references.clear();
   StripSyncerAnnotations(out.meta.annotations);
+  StripSyncerLabels(out.meta.labels);
   out.meta.annotations[kTenantAnnotation] = map.tenant_id;
   out.meta.annotations[kOriginUidAnnotation] = tenant_obj.meta.uid;
+  // Label (not just annotation): shadow objects must be label-selectable so
+  // the syncer's super-cluster reflectors can filter server-side.
+  out.meta.labels[kTenantLabel] = map.tenant_id;
   if constexpr (std::is_same_v<T, api::NamespaceObj>) {
     out.meta.annotations[kOriginNamespaceAnnotation] = tenant_obj.meta.name;
     out.meta.name = map.SuperNamespace(tenant_obj.meta.name);
@@ -124,6 +143,7 @@ std::string DownwardFingerprint(const T& obj) {
   norm.meta.finalizers.clear();
   norm.meta.owner_references.clear();
   StripSyncerAnnotations(norm.meta.annotations);
+  StripSyncerLabels(norm.meta.labels);
   norm.meta.name.clear();
   norm.meta.ns.clear();
   if constexpr (std::is_same_v<T, api::Pod>) {

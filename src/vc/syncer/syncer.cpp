@@ -55,25 +55,40 @@ Syncer::Syncer(Options opts)
   retry_queue_ = std::make_unique<client::DelayingQueue>(opts_.clock);
   apiserver::APIServer* super = opts_.super_server;
 
+  apiserver::RequestContext ctx;
+  ctx.user_agent = "syncer";
+
+  // Super-cluster reflectors for the synchronized kinds select only tenant
+  // shadows (stamped with kTenantLabel by ToSuper) SERVER-side: the super
+  // apiserver never decodes, transfers, or caches its non-tenant objects for
+  // the syncer, instead of the syncer filtering via OriginOf after paying the
+  // full list cost. Bookmarks keep these mostly-idle watches resumable across
+  // compactions. The node reflector stays unfiltered — physical Node objects
+  // carry no tenant label.
+  auto tenant_scoped = [&](auto kind_tag) {
+    using Kind = decltype(kind_tag);
+    client::ReflectorOptions<Kind> ro;
+    ro.label_selector = kTenantLabel;  // bare key = Exists
+    return client::ListerWatcher<Kind>(super, std::move(ro), ctx);
+  };
+
   super_pods_ = std::make_unique<client::SharedInformer<api::Pod>>(
-      client::ListerWatcher<api::Pod>(super), InformerOptions<api::Pod>());
+      tenant_scoped(api::Pod{}), InformerOptions<api::Pod>());
   super_namespaces_ = std::make_unique<client::SharedInformer<api::NamespaceObj>>(
-      client::ListerWatcher<api::NamespaceObj>(super),
-      InformerOptions<api::NamespaceObj>());
+      tenant_scoped(api::NamespaceObj{}), InformerOptions<api::NamespaceObj>());
   super_services_ = std::make_unique<client::SharedInformer<api::Service>>(
-      client::ListerWatcher<api::Service>(super), InformerOptions<api::Service>());
+      tenant_scoped(api::Service{}), InformerOptions<api::Service>());
   super_secrets_ = std::make_unique<client::SharedInformer<api::Secret>>(
-      client::ListerWatcher<api::Secret>(super), InformerOptions<api::Secret>());
+      tenant_scoped(api::Secret{}), InformerOptions<api::Secret>());
   super_configmaps_ = std::make_unique<client::SharedInformer<api::ConfigMap>>(
-      client::ListerWatcher<api::ConfigMap>(super), InformerOptions<api::ConfigMap>());
+      tenant_scoped(api::ConfigMap{}), InformerOptions<api::ConfigMap>());
   super_serviceaccounts_ = std::make_unique<client::SharedInformer<api::ServiceAccount>>(
-      client::ListerWatcher<api::ServiceAccount>(super),
-      InformerOptions<api::ServiceAccount>());
+      tenant_scoped(api::ServiceAccount{}), InformerOptions<api::ServiceAccount>());
   super_pvcs_ = std::make_unique<client::SharedInformer<api::PersistentVolumeClaim>>(
-      client::ListerWatcher<api::PersistentVolumeClaim>(super),
+      tenant_scoped(api::PersistentVolumeClaim{}),
       InformerOptions<api::PersistentVolumeClaim>());
   super_nodes_ = std::make_unique<client::SharedInformer<api::Node>>(
-      client::ListerWatcher<api::Node>(super), InformerOptions<api::Node>());
+      client::ListerWatcher<api::Node>(super, "", ctx), InformerOptions<api::Node>());
 
   // Upward path: super pod events drive status back-population and vNode
   // lifecycle. Tenant identity rides on the shadow's annotations.
@@ -169,23 +184,28 @@ void Syncer::AttachTenant(const VirtualClusterObj& vc, TenantControlPlane* tcp) 
   ts->tcp = tcp;
   ts->weight = std::max(1, vc.weight);
   apiserver::APIServer* server = &tcp->server();
+  apiserver::RequestContext ctx;
+  ctx.user_agent = "syncer";
 
   ts->pods = std::make_unique<client::SharedInformer<api::Pod>>(
-      client::ListerWatcher<api::Pod>(server), InformerOptions<api::Pod>());
+      client::ListerWatcher<api::Pod>(server, "", ctx), InformerOptions<api::Pod>());
   ts->namespaces = std::make_unique<client::SharedInformer<api::NamespaceObj>>(
-      client::ListerWatcher<api::NamespaceObj>(server),
+      client::ListerWatcher<api::NamespaceObj>(server, "", ctx),
       InformerOptions<api::NamespaceObj>());
   ts->services = std::make_unique<client::SharedInformer<api::Service>>(
-      client::ListerWatcher<api::Service>(server), InformerOptions<api::Service>());
+      client::ListerWatcher<api::Service>(server, "", ctx),
+      InformerOptions<api::Service>());
   ts->secrets = std::make_unique<client::SharedInformer<api::Secret>>(
-      client::ListerWatcher<api::Secret>(server), InformerOptions<api::Secret>());
+      client::ListerWatcher<api::Secret>(server, "", ctx),
+      InformerOptions<api::Secret>());
   ts->configmaps = std::make_unique<client::SharedInformer<api::ConfigMap>>(
-      client::ListerWatcher<api::ConfigMap>(server), InformerOptions<api::ConfigMap>());
+      client::ListerWatcher<api::ConfigMap>(server, "", ctx),
+      InformerOptions<api::ConfigMap>());
   ts->serviceaccounts = std::make_unique<client::SharedInformer<api::ServiceAccount>>(
-      client::ListerWatcher<api::ServiceAccount>(server),
+      client::ListerWatcher<api::ServiceAccount>(server, "", ctx),
       InformerOptions<api::ServiceAccount>());
   ts->pvcs = std::make_unique<client::SharedInformer<api::PersistentVolumeClaim>>(
-      client::ListerWatcher<api::PersistentVolumeClaim>(server),
+      client::ListerWatcher<api::PersistentVolumeClaim>(server, "", ctx),
       InformerOptions<api::PersistentVolumeClaim>());
 
   WireTenantHandlers(*ts, ts->pods.get());
@@ -593,6 +613,8 @@ bool Syncer::SyncUpPod(const client::FairQueue::Item& item, TimePoint dequeue) {
 
   bool wrote = false;
   bool became_ready = false;
+  apiserver::RequestContext ctx;
+  ctx.user_agent = "syncer-upward";
   Status st = apiserver::RetryUpdate<api::Pod>(
       ts->tcp->server(), origin->tenant_ns, super_pod->meta.name,
       [&](api::Pod& tp) {
@@ -617,7 +639,8 @@ bool Syncer::SyncUpPod(const client::FairQueue::Item& item, TimePoint dequeue) {
         }
         wrote = changed;
         return changed;
-      });
+      },
+      ctx);
   if (!st.ok()) {
     if (st.IsNotFound()) {
       // Tenant deleted the pod while its status update was in flight — the
@@ -714,6 +737,8 @@ void Syncer::BroadcastHeartbeatsOnce() {
     std::lock_guard<std::mutex> l(tenants_mu_);
     for (auto& [id, ts] : tenants_) snapshot.push_back(ts);
   }
+  apiserver::RequestContext ctx;
+  ctx.user_agent = "syncer-heartbeat";
   for (TenantPtr& ts : snapshot) {
     for (const std::string& node : vnodes_.NodesOf(ts->map.tenant_id)) {
       auto snode = super_nodes_->cache().GetByKey(node);
@@ -729,7 +754,8 @@ void Syncer::BroadcastHeartbeatsOnce() {
             vn.status = snode->status;
             vn.status.kubelet_endpoint = endpoint;
             return true;
-          });
+          },
+          ctx);
     }
   }
 }

@@ -26,7 +26,13 @@ class TenantClient {
   }
   template <typename T>
   Result<apiserver::TypedList<T>> List(const std::string& ns = "") {
-    return tcp_->server().List<T>(ns, ctx_);
+    apiserver::ListOptions opts;
+    opts.ns = ns;
+    return tcp_->server().List<T>(opts, ctx_);
+  }
+  template <typename T>
+  Result<apiserver::TypedList<T>> List(const apiserver::ListOptions& opts) {
+    return tcp_->server().List<T>(opts, ctx_);
   }
   template <typename T>
   Status Delete(const std::string& ns, const std::string& name) {

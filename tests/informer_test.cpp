@@ -96,9 +96,12 @@ TEST(InformerTest, CacheHoldsLatestVersion) {
   inf.Stop();
 }
 
-// Apiserver restart (watch Gone) forces a relist; objects created while the
-// informer was "disconnected" appear via synthetic adds, deleted ones via
-// synthetic deletes. This is the recovery path the paper's syncer leans on.
+// A broken watch whose resume revision has been compacted away forces a full
+// relist; objects created while the informer was "disconnected" appear via
+// synthetic adds, deleted ones via synthetic deletes. This is the recovery
+// path the paper's syncer leans on. (When the resume revision is NOT
+// compacted the informer resumes the watch in place instead of relisting —
+// covered in read_path_test.cpp.)
 TEST(InformerTest, RelistAfterRestartEmitsSyntheticDeltas) {
   APIServer server({});
   server.Create(SimplePod("default", "keep"));
@@ -114,6 +117,16 @@ TEST(InformerTest, RelistAfterRestartEmitsSyntheticDeltas) {
   server.Restart();  // breaks the watch
   server.Create(SimplePod("default", "born-during-outage"));
   server.Delete<Pod>("default", "will-die");
+  // Advance the store revision with churn the Pod watcher never sees, then
+  // compact the whole log and break watches again. Whatever revision the
+  // informer reached by now is strictly below the compaction horizon, so its
+  // resume attempt gets Gone and it MUST take the relist path.
+  api::ConfigMap cm;
+  cm.meta.ns = "default";
+  cm.meta.name = "churn";
+  server.Create(cm);
+  server.store().Compact(server.store().CurrentRevision());
+  server.Restart();
 
   WaitUntil([&] { return inf.relists() > relists_before; });
   WaitUntil([&] { return c.adds.load() == 3 && c.deletes.load() == 1; });

@@ -340,6 +340,9 @@ TEST(SyncerIntegrationTest, ScanReapsOrphanShadows) {
   orphan.meta.annotations[kTenantAnnotation] = "acme";
   orphan.meta.annotations[kOriginNamespaceAnnotation] = "default";
   orphan.meta.annotations[kOriginUidAnnotation] = "ghost-uid";
+  // A syncer-created shadow always carries the tenant label (ToSuper stamps
+  // it); without it the label-selected super reflector can't see the orphan.
+  orphan.meta.labels[kTenantLabel] = "acme";
   ASSERT_TRUE(deploy.super().server().Create(orphan).ok());
   RealClock::Get()->SleepFor(Millis(100));
 
