@@ -85,7 +85,7 @@ RunResult RunVcCase(const RunConfig& cfg, bool keep_phase_metrics) {
   size_t measured = 0;
   for (int t = 0; t < cfg.tenants; ++t) {
     Result<apiserver::TypedList<api::Pod>> pods =
-        tcps[static_cast<size_t>(t)]->server().List<api::Pod>("default");
+        tcps[static_cast<size_t>(t)]->server().List<api::Pod>({"default"});
     if (!pods.ok()) continue;
     double tenant_sum = 0;
     int tenant_n = 0;

@@ -65,7 +65,7 @@ FairnessResult RunFairnessCase(bool fair, int greedy_tenants, int greedy_pods,
   FairnessResult out;
   for (int t = 0; t < cfg.tenants; ++t) {
     Result<apiserver::TypedList<api::Pod>> pods =
-        tcps[static_cast<size_t>(t)]->server().List<api::Pod>("default");
+        tcps[static_cast<size_t>(t)]->server().List<api::Pod>({"default"});
     if (!pods.ok()) continue;
     double sum = 0;
     int n = 0;

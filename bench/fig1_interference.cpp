@@ -71,7 +71,7 @@ Histogram MeasureShared(bool with_aggressor) {
         apiserver::RequestContext ctx;
         ctx.identity.user = "tenant-a";
         while (!stop.load()) {
-          (void)server.List<api::Pod>("tenant-a-ns", ctx);
+          (void)server.List<api::Pod>({"tenant-a-ns"}, ctx);
         }
       });
     }
@@ -103,7 +103,7 @@ Histogram MeasureVirtualCluster() {
       apiserver::RequestContext ctx;
       ctx.identity.user = "tenant-a";
       while (!stop.load()) {
-        (void)server_a.List<api::Pod>("tenant-a-ns", ctx);
+        (void)server_a.List<api::Pod>({"tenant-a-ns"}, ctx);
       }
     });
   }

@@ -1,0 +1,133 @@
+// Tenant-scaling bench for the shared executor + timer service: before the
+// refactor every controller / worker pool / retry pump / heartbeat loop /
+// per-tenant scan owned a dedicated thread, so process thread count grew
+// O(tenants × components). Now all of it multiplexes onto one bounded pool
+// per clock, so thread count must stay flat as tenants attach.
+//
+//   scale_tenants [--quick]
+//
+// Prints process thread count at each tenant-count step, asserts the bound
+// (threads ≤ 2 × hardware concurrency + slack), and reports the periodic
+// scan's latency and drift-remediation time at full scale — the baseline
+// table in EXPERIMENTS.md §Tenant scaling.
+#include <thread>
+
+#include "bench_common.h"
+
+using namespace vc;
+using namespace vc::bench;
+
+namespace {
+
+uint64_t SettledThreadCount() {
+  // Let transient ParallelFor helpers and executor spares finish joining.
+  RealClock::Get()->SleepFor(Millis(200));
+  return ProcessThreadCount();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+  const std::vector<int> steps =
+      args.quick ? std::vector<int>{10, 25, 50} : std::vector<int>{20, 50, 100, 200};
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+
+  // Like bench_common's BuildDeployment, but with periodic per-tenant scans
+  // ON — they are exactly the per-tenant timer load whose thread cost this
+  // bench pins down (§III-C's "one thread per tenant", here one *timer* per
+  // tenant).
+  Calibration cal;
+  VcDeployment::Options o;
+  o.super.num_nodes = cal.nodes;
+  o.super.sched_cost = cal.sched;
+  o.super.kubelet_workers = 1;
+  o.super.kubelet_heartbeat = Seconds(5);
+  o.super.vn_agents = false;
+  o.downward_op_cost = cal.downward_op_cost;
+  o.upward_op_cost = cal.upward_op_cost;
+  o.periodic_scan = true;
+  o.scan_interval = Seconds(2);
+  o.heartbeat_broadcast_period = Seconds(30);
+  o.local_provision_delay = Millis(1);
+  o.tenant_controllers = false;  // lean tenants, as in the large-scale runs
+  auto deploy = std::make_unique<VcDeployment>(std::move(o));
+  if (Status st = deploy->Start(); !st.ok()) {
+    std::fprintf(stderr, "deployment start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  deploy->WaitForSync(Seconds(60));
+  const uint64_t base_threads = SettledThreadCount();
+  std::printf("=== Tenant scaling: process threads vs attached tenants ===\n");
+  std::printf("hardware concurrency: %u, baseline (0 tenants): %llu threads\n",
+              hw, static_cast<unsigned long long>(base_threads));
+  std::printf("%10s %12s %14s\n", "tenants", "threads", "threads/tenant");
+
+  std::vector<std::shared_ptr<TenantControlPlane>> tcps;
+  uint64_t max_threads = base_threads;
+  for (int target : steps) {
+    while (static_cast<int>(tcps.size()) < target) {
+      int i = static_cast<int>(tcps.size());
+      Result<std::shared_ptr<TenantControlPlane>> tcp =
+          deploy->CreateTenant(TenantName(i), /*weight=*/1, "Local", Seconds(60));
+      if (!tcp.ok()) {
+        std::fprintf(stderr, "tenant %d provisioning failed: %s\n", i,
+                     tcp.status().ToString().c_str());
+        return 1;
+      }
+      tcps.push_back(*tcp);
+      // One pod per tenant keeps the syncer's per-tenant informers, queues,
+      // and scan timers genuinely active rather than idle registrations.
+      TenantClient client(tcp->get());
+      (void)client.Create(BenchPod("default", "pod-0"));
+    }
+    const uint64_t threads = SettledThreadCount();
+    max_threads = std::max(max_threads, threads);
+    std::printf("%10d %12llu %14.2f\n", target,
+                static_cast<unsigned long long>(threads),
+                static_cast<double>(threads) / target);
+  }
+
+  // The tentpole acceptance bound: attaching hundreds of tenants must not
+  // multiply threads. Slack covers the timer thread, informer-delivery
+  // machinery, and blocking-compensation spares the pool retains.
+  const uint64_t bound = 2ull * hw + 24;
+  const bool flat = max_threads <= base_threads + bound;
+  std::printf("peak: %llu threads at %d tenants (bound: baseline %llu + %llu) %s\n",
+              static_cast<unsigned long long>(max_threads), steps.back(),
+              static_cast<unsigned long long>(base_threads),
+              static_cast<unsigned long long>(bound), flat ? "[OK]" : "[FAIL]");
+
+  // Scan latency at full scale (paper §IV-C: full scan of 10000 pods < 2 s).
+  core::Syncer::ScanRound round = deploy->syncer().ScanAllTenants();
+  std::printf("full scan at %d tenants: %zu objects in %.3fs, %llu resent\n",
+              steps.back(), static_cast<size_t>(round.objects_scanned),
+              ToSeconds(round.took),
+              static_cast<unsigned long long>(round.resent));
+
+  // Drift remediation: delete one shadow behind the syncer's back and time
+  // scan → shadow restored.
+  core::TenantMapping map = deploy->syncer().MappingOf(TenantName(0));
+  const std::string super_ns = map.SuperNamespace("default");
+  double remediation_s = -1;
+  if (deploy->super().server().Delete<api::Pod>(super_ns, "pod-0").ok()) {
+    RealClock::Get()->SleepFor(Millis(100));  // let the informer observe it
+    Stopwatch sw(RealClock::Get());
+    (void)deploy->syncer().ScanAllTenants();
+    for (int i = 0; i < 5000; ++i) {
+      if (deploy->super().server().Get<api::Pod>(super_ns, "pod-0").ok()) {
+        remediation_s = ToSeconds(sw.Elapsed());
+        break;
+      }
+      RealClock::Get()->SleepFor(Millis(2));
+    }
+  }
+  if (remediation_s >= 0) {
+    std::printf("drift remediation (scan → shadow restored): %.3fs\n", remediation_s);
+  } else {
+    std::printf("drift remediation: FAILED (shadow never restored)\n");
+  }
+
+  deploy->Stop();
+  return flat && remediation_s >= 0 ? 0 : 1;
+}

@@ -1,24 +1,30 @@
 #!/usr/bin/env bash
 # Local CI: configure + build + run the full test suite.
 #
-#   scripts/check.sh          # normal RelWithDebInfo build
-#   scripts/check.sh tsan     # ThreadSanitizer build (slower; races are errors)
-#   scripts/check.sh all      # both
+#   scripts/check.sh          # RelWithDebInfo build + full suite, then the
+#                             # concurrency-labelled suites under tsan
+#   scripts/check.sh tsan     # ThreadSanitizer build, full suite (slow)
+#   scripts/check.sh all      # both full suites
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_preset() {
-  local preset="$1"
+  local preset="$1"; shift
   echo "==> configure [$preset]"
   cmake --preset "$preset"
   echo "==> build [$preset]"
   cmake --build --preset "$preset" -j "$(nproc)"
-  echo "==> test [$preset]"
-  ctest --preset "$preset" -j "$(nproc)"
+  echo "==> test [$preset] $*"
+  ctest --preset "$preset" -j "$(nproc)" "$@"
 }
 
 case "${1:-default}" in
-  default) run_preset default ;;
+  default)
+    run_preset default
+    # The executor/workqueue/fairqueue/syncer suites carry the `concurrency`
+    # label; any data race in the shared executor stack is a hard failure.
+    run_preset tsan -L concurrency
+    ;;
   tsan)    run_preset tsan ;;
   all)     run_preset default; run_preset tsan ;;
   *) echo "usage: $0 [default|tsan|all]" >&2; exit 2 ;;

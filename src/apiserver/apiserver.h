@@ -134,10 +134,21 @@ class TypedWatch {
     return out;
   }
 
+  // Non-blocking Next: Timeout status when the buffer is empty but the
+  // channel is healthy; Aborted/Gone when it is dead. Push-driven consumers
+  // pair this with SetSignal.
+  Result<WatchEvent<T>> TryNext() { return Next(Duration::zero()); }
+
   void Cancel() {
     if (ch_) ch_->Cancel();
   }
   bool ok() const { return ch_ && ch_->ok(); }
+
+  // See kv::WatchChannel::SetSignal: fn fires after every buffered event,
+  // Cancel, or channel death; SetSignal(nullptr) blocks out in-flight calls.
+  void SetSignal(std::function<void()> fn) {
+    if (ch_) ch_->SetSignal(std::move(fn));
+  }
 
  private:
   std::shared_ptr<kv::WatchChannel> ch_;
@@ -337,16 +348,6 @@ class APIServer {
     return out;
   }
 
-  // Deprecated shim (kept for one PR): use List(ListOptions) instead.
-  // `ns` intentionally has no default so a zero-argument List<T>() resolves
-  // to the options overload above.
-  template <typename T>
-  Result<TypedList<T>> List(const std::string& ns, const RequestContext& ctx = {}) const {
-    ListOptions o;
-    o.ns = ns;
-    return List<T>(o, ctx);
-  }
-
   // Full-object update with optimistic concurrency on resourceVersion.
   template <typename T>
   Result<T> Update(T obj, const RequestContext& ctx = {}) {
@@ -416,16 +417,6 @@ class APIServer {
     Result<std::shared_ptr<kv::WatchChannel>> ch = store_->Watch(prefix, std::move(params));
     if (!ch.ok()) return ch.status();
     return TypedWatch<T>(std::move(*ch));
-  }
-
-  // Deprecated shim (kept for one PR): use Watch(WatchOptions) instead.
-  template <typename T>
-  Result<TypedWatch<T>> Watch(const std::string& ns, int64_t from_revision,
-                              const RequestContext& ctx = {}) const {
-    WatchOptions o;
-    o.ns = ns;
-    o.from_revision = from_revision;
-    return Watch<T>(o, ctx);
   }
 
   // ------------------------------------------------------------- helpers

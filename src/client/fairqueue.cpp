@@ -37,6 +37,7 @@ void FairQueue::UnregisterTenant(const std::string& tenant) {
 }
 
 void FairQueue::Add(const std::string& tenant, const std::string& key) {
+  std::function<void()> ready;
   {
     std::lock_guard<std::mutex> l(mu_);
     if (shutting_down_) return;
@@ -63,8 +64,10 @@ void FairQueue::Add(const std::string& tenant, const std::string& key) {
       fifo_.push_back(Item{tenant, key, opts_.clock->Now()});
     }
     queued_++;
+    ready = ready_cb_;
   }
   cv_.notify_one();
+  if (ready) ready();
 }
 
 std::optional<FairQueue::Item> FairQueue::PopLocked() {
@@ -99,11 +102,9 @@ std::optional<FairQueue::Item> FairQueue::PopLocked() {
   return std::nullopt;
 }
 
-std::optional<FairQueue::Item> FairQueue::Get() {
-  std::unique_lock<std::mutex> l(mu_);
-  cv_.wait(l, [this] { return queued_ > 0 || shutting_down_; });
+std::optional<FairQueue::Item> FairQueue::TakeLocked() {
   std::optional<Item> item = PopLocked();
-  if (!item) return std::nullopt;  // shutdown with empty queue
+  if (!item) return std::nullopt;
   queued_--;
   const std::string fk = FullKey(item->tenant, item->key);
   processing_.insert(fk);
@@ -118,8 +119,26 @@ std::optional<FairQueue::Item> FairQueue::Get() {
   return item;
 }
 
+std::optional<FairQueue::Item> FairQueue::Get() {
+  std::unique_lock<std::mutex> l(mu_);
+  cv_.wait(l, [this] { return queued_ > 0 || shutting_down_; });
+  return TakeLocked();
+}
+
+std::optional<FairQueue::Item> FairQueue::TryGet() {
+  std::lock_guard<std::mutex> l(mu_);
+  if (queued_ == 0) return std::nullopt;
+  return TakeLocked();
+}
+
+void FairQueue::SetReadyCallback(std::function<void()> fn) {
+  std::lock_guard<std::mutex> l(mu_);
+  ready_cb_ = std::move(fn);
+}
+
 void FairQueue::Done(const Item& item) {
   bool notify = false;
+  std::function<void()> ready;
   {
     std::lock_guard<std::mutex> l(mu_);
     const std::string fk = FullKey(item.tenant, item.key);
@@ -138,9 +157,11 @@ void FairQueue::Done(const Item& item) {
       }
       queued_++;
       notify = true;
+      ready = ready_cb_;
     }
   }
   if (notify) cv_.notify_one();
+  if (ready) ready();
 }
 
 void FairQueue::ShutDown() {

@@ -18,6 +18,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -61,6 +62,15 @@ class FairQueue {
   // order when fair=false). Returns nullopt on shutdown.
   std::optional<Item> Get();
 
+  // Non-blocking Get: returns the next WRR-chosen item if one is queued
+  // (even while shutting down, mirroring Get), nullopt otherwise.
+  std::optional<Item> TryGet();
+
+  // Registers fn to run (outside the queue lock) whenever an item becomes
+  // available: on Add and on a dirty re-queue in Done. Executor-pump
+  // consumers use this instead of blocking in Get.
+  void SetReadyCallback(std::function<void()> fn);
+
   void Done(const Item& item);
 
   void ShutDown();
@@ -83,6 +93,9 @@ class FairQueue {
   }
   // Picks the next (tenant,key) under mu_; empties credit bookkeeping.
   std::optional<Item> PopLocked();
+  // PopLocked + dirty/processing/enqueue-time bookkeeping shared by
+  // Get/TryGet.
+  std::optional<Item> TakeLocked();
 
   Options opts_;
   mutable std::mutex mu_;
@@ -94,6 +107,7 @@ class FairQueue {
   std::set<std::string> dirty_;       // full keys queued or awaiting re-queue
   std::set<std::string> processing_;  // full keys held by workers
   std::map<std::string, TimePoint> enqueue_times_;
+  std::function<void()> ready_cb_;
   size_t queued_ = 0;
   bool shutting_down_ = false;
   uint64_t adds_ = 0;

@@ -10,17 +10,26 @@
 //   * List errors → exponential backoff retry.
 //   * The cache is eventually consistent with the apiserver; reconcilers must
 //     tolerate reading slightly stale objects (the syncer's races, §III-C).
+//
+// Threading: the informer owns no thread. It runs as a strand of tasks on the
+// clock's shared executor — the watch channel's push signal schedules a step,
+// each step drains a bounded batch of events, and at most one step runs at a
+// time (handlers stay serialized exactly as with the old per-informer
+// thread). Relist backoff and resync are executor timers.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "apiserver/apiserver.h"
 #include "client/cache.h"
 #include "common/clock.h"
+#include "common/executor.h"
 #include "common/logging.h"
 
 namespace vc::client {
@@ -111,12 +120,14 @@ class SharedInformer {
  public:
   struct Options {
     Clock* clock = RealClock::Get();
-    Duration watch_poll = Millis(100);   // Next() timeout granularity
+    // Legacy polling granularity; event delivery is push-signalled now and
+    // this knob is unused.
+    Duration watch_poll = Millis(100);
     Duration relist_backoff = Millis(20);
     Duration resync_period = Duration::zero();  // 0 = no resync
-    // Invoked on the informer thread at start; the returned token lives for
-    // the thread's lifetime. Used e.g. to enroll the thread in a
-    // CpuTimeGroup for the syncer's Fig. 10 CPU accounting.
+    // Invoked at the start of every strand step; the returned token lives for
+    // that step. Used e.g. to enroll the step's CPU time in a CpuTimeGroup
+    // for the syncer's Fig. 10 accounting.
     std::function<std::shared_ptr<void>()> thread_hook;
   };
 
@@ -128,24 +139,54 @@ class SharedInformer {
   SharedInformer(const SharedInformer&) = delete;
   SharedInformer& operator=(const SharedInformer&) = delete;
 
-  // Handlers must be registered before Start(); they are invoked on the
-  // informer thread (one thread per informer, like a client-go goroutine).
+  // Handlers must be registered before Start(); they are invoked from the
+  // informer's strand (one step at a time, never concurrently).
   void AddHandlers(EventHandlers<T> h) { handlers_.push_back(std::move(h)); }
 
   void Start() {
-    if (thread_.joinable()) return;
+    std::lock_guard<std::mutex> l(sm_mu_);
+    if (started_) return;
+    started_ = true;
     stop_.store(false);
-    thread_ = std::thread([this] { Run(); });
+    exec_ = Executor::SharedFor(opts_.clock);
+    if (opts_.resync_period > Duration::zero()) {
+      resync_timer_ = exec_->RunEvery(opts_.resync_period, [this] {
+        resync_due_.store(true);
+        ScheduleStep();
+      });
+    }
+    ScheduleStepLocked();
   }
 
   void Stop() {
-    stop_.store(true);
-    if (thread_.joinable()) thread_.join();
+    TimerHandle resync, backoff;
+    std::shared_ptr<apiserver::TypedWatch<T>> watch;
+    {
+      std::lock_guard<std::mutex> l(sm_mu_);
+      if (!started_) return;
+      stop_.store(true);
+      resync = resync_timer_;
+      backoff = backoff_timer_;
+      watch = watch_;
+    }
+    resync.Cancel();
+    backoff.Cancel();
+    if (watch) {
+      // Block out in-flight signals, then break any step reading the channel.
+      watch->SetSignal(nullptr);
+      watch->Cancel();
+    }
+    BlockingRegion br;  // the strand may need a pool slot to finish
+    std::unique_lock<std::mutex> l(sm_mu_);
+    idle_cv_.wait(l, [this] { return !scheduled_ && !running_; });
+    watch_.reset();
+    started_ = false;
   }
 
   bool HasSynced() const { return synced_.load(); }
 
   bool WaitForSync(Duration timeout) {
+    BlockingRegion br;  // callers may poll from a pool task
     Stopwatch sw(opts_.clock);
     while (!HasSynced()) {
       if (sw.Elapsed() > timeout) return false;
@@ -208,67 +249,142 @@ class SharedInformer {
     return list->revision;
   }
 
-  void Run() {
-    std::shared_ptr<void> thread_token =
+  // Schedules one strand step on the executor (at most one queued at a time;
+  // the running step re-runs itself if more work arrived meanwhile).
+  void ScheduleStep() {
+    std::lock_guard<std::mutex> l(sm_mu_);
+    ScheduleStepLocked();
+  }
+
+  void ScheduleStepLocked() {
+    if (stop_.load() || scheduled_ || !exec_) return;
+    scheduled_ = true;
+    if (!exec_->Submit([this] { RunStep(); })) {
+      scheduled_ = false;  // executor torn down; Stop's idle wait must pass
+      idle_cv_.notify_all();
+    }
+  }
+
+  void RunStep() {
+    {
+      std::lock_guard<std::mutex> l(sm_mu_);
+      scheduled_ = false;
+      if (running_) {
+        // Another step is active; it loops again before going idle.
+        rerun_ = true;
+        return;
+      }
+      running_ = true;
+      rerun_ = false;
+    }
+    std::shared_ptr<void> step_token =
         opts_.thread_hook ? opts_.thread_hook() : nullptr;
-    TimePoint last_resync = opts_.clock->Now();
-    // Last revision observed via list, data events, or bookmarks. When a
-    // watch breaks we first try to re-watch from here — bookmarks keep this
-    // ahead of compaction for idle/filtered reflectors, so the common case is
-    // a cheap resume instead of a full relist.
-    int64_t rv = -1;
-    while (!stop_.load()) {
-      if (rv < 0) {
-        rv = Relist();
-        if (rv < 0) {
-          opts_.clock->SleepFor(opts_.relist_backoff);
-          continue;
+    for (;;) {
+      const bool more = StepOnce();
+      std::lock_guard<std::mutex> l(sm_mu_);
+      if (stop_.load() || (!more && !rerun_)) {
+        // Drop the CPU-accounting token BEFORE announcing idle: the moment
+        // running_ clears, Stop() may return and the owner (and the
+        // CpuTimeGroup the token charges) may be destroyed. sm_mu_ never
+        // nests inside the group's mutex, so releasing under the lock is
+        // deadlock-free.
+        step_token.reset();
+        running_ = false;
+        idle_cv_.notify_all();
+        return;
+      }
+      rerun_ = false;
+    }
+  }
+
+  // One bounded unit of reflector work. Returns true when more immediate work
+  // remains (another batch of buffered events, or a broken watch to
+  // re-establish); false when the strand should wait for a signal or timer.
+  bool StepOnce() {
+    if (stop_.load()) return false;
+    if (resync_due_.exchange(false)) Resync();
+    std::shared_ptr<apiserver::TypedWatch<T>> watch;
+    {
+      std::lock_guard<std::mutex> l(sm_mu_);
+      watch = watch_;
+    }
+    if (!watch) {
+      // (Re-)establish the watch. `rv_` is the last revision observed via
+      // list, data events, or bookmarks; when a watch breaks we first try to
+      // re-watch from here — bookmarks keep it ahead of compaction for
+      // idle/filtered reflectors, so the common case is a cheap resume
+      // instead of a full relist.
+      if (rv_ < 0) {
+        rv_ = Relist();
+        if (rv_ < 0) {
+          ArmBackoff();
+          return false;
         }
       } else {
         resumes_.fetch_add(1);
       }
-      Result<apiserver::TypedWatch<T>> watch = lw_.Watch(rv);
-      if (!watch.ok()) {
-        LOG(WARN) << "informer<" << T::kKind << ">: watch from rv=" << rv
-                  << " failed: " << watch.status();
+      Result<apiserver::TypedWatch<T>> res = lw_.Watch(rv_);
+      if (!res.ok()) {
+        LOG(WARN) << "informer<" << T::kKind << ">: watch from rv=" << rv_
+                  << " failed: " << res.status();
         // Gone: the resume revision was compacted — the cache may have missed
         // deletes, so only a full relist can resynchronize it.
-        rv = -1;
-        opts_.clock->SleepFor(opts_.relist_backoff);
+        rv_ = -1;
+        ArmBackoff();
+        return false;
+      }
+      watch = std::make_shared<apiserver::TypedWatch<T>>(std::move(*res));
+      // Install the push signal BEFORE draining so no event slips between
+      // establishment and subscription; drain below picks up anything that
+      // arrived in the gap.
+      watch->SetSignal([this] { ScheduleStep(); });
+      bool stopped;
+      {
+        std::lock_guard<std::mutex> l(sm_mu_);
+        stopped = stop_.load();
+        if (!stopped) watch_ = watch;
+      }
+      if (stopped) {
+        watch->SetSignal(nullptr);
+        watch->Cancel();
+        return false;
+      }
+    }
+    // Drain a bounded batch so one chatty informer cannot hog a pool worker.
+    for (int budget = 0; budget < 64; ++budget) {
+      Result<apiserver::WatchEvent<T>> ev = watch->TryNext();
+      if (!ev.ok()) {
+        if (ev.status().code() == Code::kTimeout) return false;  // idle, healthy
+        // Gone (overflow/restart/shutdown) or Aborted: drop the channel; the
+        // next step retries from rv_ before falling back to a relist. Clear
+        // the signal so the dead channel cannot reference us once dropped.
+        watch->SetSignal(nullptr);
+        watch->Cancel();
+        std::lock_guard<std::mutex> l(sm_mu_);
+        if (watch_ == watch) watch_.reset();
+        return !stop_.load();
+      }
+      rv_ = ev->revision;
+      if (ev->type == apiserver::WatchEvent<T>::Type::kBookmark) {
+        bookmarks_.fetch_add(1);
         continue;
       }
-      while (!stop_.load()) {
-        Result<apiserver::WatchEvent<T>> ev = watch->Next(opts_.watch_poll);
-        if (!ev.ok()) {
-          if (ev.status().code() == Code::kTimeout) {
-            if (opts_.resync_period > Duration::zero() &&
-                opts_.clock->Now() - last_resync >= opts_.resync_period) {
-              last_resync = opts_.clock->Now();
-              Resync();
-            }
-            continue;
-          }
-          // Gone (overflow/restart/shutdown) or Aborted: the channel is dead
-          // but `rv` still marks the last event we applied, so the outer loop
-          // retries from there before falling back to a relist.
-          break;
-        }
-        rv = ev->revision;
-        if (ev->type == apiserver::WatchEvent<T>::Type::kBookmark) {
-          bookmarks_.fetch_add(1);
-          continue;
-        }
-        if (ev->type == apiserver::WatchEvent<T>::Type::kPut) {
-          Ptr old = cache_.Upsert(ev->object);
-          Ptr fresh = cache_.GetByKey(ObjectCache<T>::KeyOf(ev->object));
-          Dispatch(old, fresh);
-        } else {
-          Ptr old = cache_.Delete(ObjectCache<T>::KeyOf(ev->object));
-          if (old) Dispatch(old, nullptr);
-        }
+      if (ev->type == apiserver::WatchEvent<T>::Type::kPut) {
+        Ptr old = cache_.Upsert(ev->object);
+        Ptr fresh = cache_.GetByKey(ObjectCache<T>::KeyOf(ev->object));
+        Dispatch(old, fresh);
+      } else {
+        Ptr old = cache_.Delete(ObjectCache<T>::KeyOf(ev->object));
+        if (old) Dispatch(old, nullptr);
       }
-      watch->Cancel();
     }
+    return true;  // batch exhausted; more may be buffered
+  }
+
+  void ArmBackoff() {
+    std::lock_guard<std::mutex> l(sm_mu_);
+    if (stop_.load() || !exec_) return;
+    backoff_timer_ = exec_->RunAfter(opts_.relist_backoff, [this] { ScheduleStep(); });
   }
 
   // Re-deliver every cached object as a self-update (client-go "resync").
@@ -280,8 +396,23 @@ class SharedInformer {
   Options opts_;
   ObjectCache<T> cache_;
   std::vector<EventHandlers<T>> handlers_;
-  std::thread thread_;
+
+  // Strand state. rv_ is touched only from within steps (which never run
+  // concurrently); everything else is guarded by sm_mu_.
+  std::mutex sm_mu_;
+  std::condition_variable idle_cv_;
+  std::shared_ptr<Executor> exec_;
+  std::shared_ptr<apiserver::TypedWatch<T>> watch_;
+  TimerHandle backoff_timer_;
+  TimerHandle resync_timer_;
+  bool started_ = false;
+  bool scheduled_ = false;
+  bool running_ = false;
+  bool rerun_ = false;
+  int64_t rv_ = -1;
+
   std::atomic<bool> stop_{false};
+  std::atomic<bool> resync_due_{false};
   std::atomic<bool> synced_{false};
   std::atomic<uint64_t> relists_{0};
   std::atomic<uint64_t> resumes_{0};

@@ -7,6 +7,7 @@ namespace vc::client {
 // ------------------------------------------------------------------ WorkQueue
 
 void WorkQueue::Add(const std::string& key) {
+  std::function<void()> ready;
   {
     std::lock_guard<std::mutex> l(mu_);
     if (shutting_down_) return;
@@ -21,8 +22,10 @@ void WorkQueue::Add(const std::string& key) {
       return;
     }
     queue_.push_back(key);
+    ready = ReadyCallbackLocked();
   }
   cv_.notify_one();
+  if (ready) ready();
 }
 
 std::optional<std::string> WorkQueue::Get() {
@@ -36,8 +39,24 @@ std::optional<std::string> WorkQueue::Get() {
   return key;
 }
 
+std::optional<std::string> WorkQueue::TryGet() {
+  std::lock_guard<std::mutex> l(mu_);
+  if (queue_.empty()) return std::nullopt;
+  std::string key = std::move(queue_.front());
+  queue_.pop_front();
+  processing_.insert(key);
+  dirty_.erase(key);
+  return key;
+}
+
+void WorkQueue::SetReadyCallback(std::function<void()> fn) {
+  std::lock_guard<std::mutex> l(mu_);
+  ready_cb_ = std::move(fn);
+}
+
 void WorkQueue::Done(const std::string& key) {
   bool notify = false;
+  std::function<void()> ready;
   {
     std::lock_guard<std::mutex> l(mu_);
     processing_.erase(key);
@@ -45,9 +64,11 @@ void WorkQueue::Done(const std::string& key) {
       // Went dirty while processing: re-queue.
       queue_.push_back(key);
       notify = true;
+      ready = ReadyCallbackLocked();
     }
   }
   if (notify) cv_.notify_one();
+  if (ready) ready();
 }
 
 void WorkQueue::ShutDown() {
@@ -80,59 +101,69 @@ uint64_t WorkQueue::dedups() const {
 
 // -------------------------------------------------------------- DelayingQueue
 
-DelayingQueue::DelayingQueue(Clock* clock) : clock_(clock) {
-  timer_thread_ = std::thread([this] { TimerLoop(); });
-}
+DelayingQueue::DelayingQueue(Clock* clock)
+    : clock_(clock), exec_(Executor::SharedFor(clock)) {}
 
-DelayingQueue::~DelayingQueue() {
-  ShutDown();
-  if (timer_thread_.joinable()) timer_thread_.join();
-}
+DelayingQueue::~DelayingQueue() { ShutDown(); }
 
 void DelayingQueue::AddAfter(const std::string& key, Duration delay) {
   if (delay <= Duration::zero()) {
     Add(key);
     return;
   }
+  std::lock_guard<std::mutex> l(timer_mu_);
+  if (timer_stop_) return;
+  pending_.emplace(clock_->Now() + delay, key);
+  ArmLocked();
+}
+
+void DelayingQueue::ArmLocked() {
+  if (timer_stop_ || pending_.empty()) return;
+  const TimePoint next = pending_.begin()->first;
+  // An armed timer at or before `next` will promote it; otherwise arm an
+  // additional (earlier) timer. The later one fires as a harmless no-op.
+  if (armed_deadline_ <= next) {
+    for (const TimerHandle& h : armed_) {
+      if (h.active()) return;
+    }
+  }
+  armed_.erase(std::remove_if(armed_.begin(), armed_.end(),
+                              [](const TimerHandle& h) { return !h.active(); }),
+               armed_.end());
+  armed_deadline_ = next;
+  const TimePoint now = clock_->Now();
+  const Duration delay = next > now ? next - now : Duration::zero();
+  armed_.push_back(exec_->RunAfter(delay, [this] { OnTimer(); }));
+}
+
+void DelayingQueue::OnTimer() {
+  std::vector<std::string> due;
   {
     std::lock_guard<std::mutex> l(timer_mu_);
     if (timer_stop_) return;
-    pending_.emplace(clock_->Now() + delay, key);
-  }
-  timer_cv_.notify_one();
-}
-
-void DelayingQueue::ShutDown() {
-  {
-    std::lock_guard<std::mutex> l(timer_mu_);
-    timer_stop_ = true;
-  }
-  timer_cv_.notify_all();
-  WorkQueue::ShutDown();
-}
-
-void DelayingQueue::TimerLoop() {
-  std::unique_lock<std::mutex> l(timer_mu_);
-  while (!timer_stop_) {
-    if (pending_.empty()) {
-      timer_cv_.wait(l, [this] { return timer_stop_ || !pending_.empty(); });
-      continue;
-    }
-    TimePoint next = pending_.begin()->first;
-    TimePoint now = clock_->Now();
-    if (now < next) {
-      timer_cv_.wait_for(l, std::min<Duration>(next - now, Millis(50)));
-      continue;
-    }
-    std::vector<std::string> due;
+    armed_deadline_ = TimePoint::max();
+    const TimePoint now = clock_->Now();
     while (!pending_.empty() && pending_.begin()->first <= now) {
       due.push_back(pending_.begin()->second);
       pending_.erase(pending_.begin());
     }
-    l.unlock();
-    for (const std::string& key : due) Add(key);
-    l.lock();
+    ArmLocked();
   }
+  for (const std::string& key : due) Add(key);
+}
+
+void DelayingQueue::ShutDown() {
+  std::vector<TimerHandle> armed;
+  {
+    std::lock_guard<std::mutex> l(timer_mu_);
+    timer_stop_ = true;
+    pending_.clear();
+    armed.swap(armed_);
+  }
+  // Cancel outside timer_mu_: an in-flight OnTimer holds the timer state's
+  // run lock and may be waiting on timer_mu_.
+  for (TimerHandle& h : armed) h.Cancel();
+  WorkQueue::ShutDown();
 }
 
 // ---------------------------------------------------------------- ItemBackoff

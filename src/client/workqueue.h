@@ -16,15 +16,17 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/executor.h"
 
 namespace vc::client {
 
@@ -44,6 +46,16 @@ class WorkQueue {
   // drained. The caller MUST call Done(key) when finished.
   virtual std::optional<std::string> Get();
 
+  // Non-blocking Get: returns the next key if one is queued (even while
+  // shutting down, mirroring Get's drain semantics), nullopt otherwise. The
+  // caller MUST call Done(key) when finished.
+  virtual std::optional<std::string> TryGet();
+
+  // Registers fn to run (outside the queue lock) whenever a key becomes
+  // available: on Add, on a dirty re-queue in Done, and when a delayed add
+  // promotes. Executor-pump consumers use this instead of blocking in Get.
+  void SetReadyCallback(std::function<void()> fn);
+
   // Marks processing finished; re-queues the key if it went dirty meanwhile.
   virtual void Done(const std::string& key);
 
@@ -56,18 +68,22 @@ class WorkQueue {
   uint64_t dedups() const;
 
  protected:
+  // Returns a copy of the ready callback; invoke it after releasing mu_.
+  std::function<void()> ReadyCallbackLocked() const { return ready_cb_; }
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::string> queue_;
   std::set<std::string> dirty_;       // queued or needs re-queue
   std::set<std::string> processing_;  // currently held by a worker
+  std::function<void()> ready_cb_;
   bool shutting_down_ = false;
   uint64_t adds_ = 0;
   uint64_t dedups_ = 0;
 };
 
-// WorkQueue with AddAfter(key, delay). A single timer thread moves due items
-// into the main queue.
+// WorkQueue with AddAfter(key, delay). Due items are promoted into the main
+// queue by a timer on the clock's shared executor (no dedicated thread).
 class DelayingQueue : public WorkQueue {
  public:
   explicit DelayingQueue(Clock* clock);
@@ -77,15 +93,21 @@ class DelayingQueue : public WorkQueue {
   void ShutDown() override;
 
  private:
-  void TimerLoop();
+  // Arms a one-shot executor timer for the earliest pending deadline if none
+  // is armed early enough. Never cancels from under timer_mu_ (an in-flight
+  // OnTimer also takes timer_mu_); superseded timers fire harmlessly and are
+  // pruned lazily.
+  void ArmLocked();
+  void OnTimer();
 
   Clock* const clock_;
+  std::shared_ptr<Executor> exec_;
   std::mutex timer_mu_;
-  std::condition_variable timer_cv_;
   // deadline -> keys (multimap preserves ordering)
   std::multimap<TimePoint, std::string> pending_;
+  std::vector<TimerHandle> armed_;
+  TimePoint armed_deadline_ = TimePoint::max();
   bool timer_stop_ = false;
-  std::thread timer_thread_;
 };
 
 // Per-item exponential backoff: base * 2^(failures-1), capped.

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "common/executor.h"
+
 namespace vc {
 
 RealClock* RealClock::Get() {
@@ -10,7 +12,15 @@ RealClock* RealClock::Get() {
 }
 
 void RealClock::SleepFor(Duration d) {
-  if (d > Duration::zero()) std::this_thread::sleep_for(d);
+  if (d <= Duration::zero()) return;
+  if (d >= Millis(5)) {
+    // Long enough that a shared-pool worker sleeping here should not count
+    // against the pool's capacity.
+    BlockingRegion br;
+    std::this_thread::sleep_for(d);
+  } else {
+    std::this_thread::sleep_for(d);
+  }
 }
 
 int64_t RealClock::WallUnixMillis() const {
@@ -20,6 +30,10 @@ int64_t RealClock::WallUnixMillis() const {
 }
 
 void ManualClock::SleepFor(Duration d) {
+  // A manual-clock sleep blocks until some other thread calls Advance(); if
+  // the sleeper is a pool worker, the pool must be compensated or the thread
+  // that would Advance() could be starved of a worker slot.
+  BlockingRegion br;
   std::unique_lock<std::mutex> l(mu_);
   const TimePoint deadline = now_ + d;
   cv_.wait(l, [&] { return now_ >= deadline; });
@@ -31,6 +45,20 @@ void ManualClock::Advance(Duration d) {
     now_ += d;
   }
   cv_.notify_all();
+  std::lock_guard<std::mutex> ll(listeners_mu_);
+  for (auto& [id, fn] : listeners_) fn();
+}
+
+size_t ManualClock::AddTickListener(std::function<void()> fn) {
+  std::lock_guard<std::mutex> l(listeners_mu_);
+  const size_t id = next_listener_id_++;
+  listeners_.emplace(id, std::move(fn));
+  return id;
+}
+
+void ManualClock::RemoveTickListener(size_t id) {
+  std::lock_guard<std::mutex> l(listeners_mu_);
+  listeners_.erase(id);
 }
 
 }  // namespace vc

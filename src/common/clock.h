@@ -9,6 +9,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <mutex>
 
 namespace vc {
@@ -37,6 +39,20 @@ class Clock {
 
   // Wall-clock seconds since epoch, for creationTimestamp fields.
   virtual int64_t WallUnixMillis() const = 0;
+
+  // True when time only moves via explicit Advance() calls (ManualClock).
+  // Timer services wait on tick listeners instead of real-time deadlines.
+  virtual bool TicksManually() const { return false; }
+
+  // Registers fn to run after every time advancement; returns a removal id.
+  // Real clocks never tick discretely, so the default is a no-op.
+  virtual size_t AddTickListener(std::function<void()> fn) {
+    (void)fn;
+    return 0;
+  }
+  // Removes a listener. Blocks until any in-flight invocation of it returns,
+  // so after removal the listener's captures may safely be destroyed.
+  virtual void RemoveTickListener(size_t id) { (void)id; }
 };
 
 // The process-wide real clock.
@@ -71,10 +87,20 @@ class ManualClock final : public Clock {
 
   void Advance(Duration d);
 
+  bool TicksManually() const override { return true; }
+  size_t AddTickListener(std::function<void()> fn) override;
+  void RemoveTickListener(size_t id) override;
+
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
   TimePoint now_;
+
+  // Listeners are invoked under listeners_mu_ (never under mu_), so
+  // RemoveTickListener can block out in-flight invocations without deadlock.
+  std::mutex listeners_mu_;
+  std::map<size_t, std::function<void()>> listeners_;
+  size_t next_listener_id_ = 1;
 };
 
 // RAII stopwatch for phase timing.

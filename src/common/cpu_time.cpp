@@ -22,26 +22,38 @@ CpuTimeGroup::Member::Member(CpuTimeGroup* group) : group_(group), slot_(0) {
   if (pthread_getcpuclockid(pthread_self(), &clock) != 0) {
     clock = CLOCK_THREAD_CPUTIME_ID;
   }
+  const Duration start = ClockNow(clock);
   std::lock_guard<std::mutex> l(group_->mu_);
-  Slot s;
+  if (!group_->free_slots_.empty()) {
+    slot_ = group_->free_slots_.back();
+    group_->free_slots_.pop_back();
+  } else {
+    group_->slots_.emplace_back();
+    slot_ = group_->slots_.size() - 1;
+  }
+  Slot& s = group_->slots_[slot_];
   s.live = true;
   s.clock = clock;
-  group_->slots_.push_back(s);
-  slot_ = group_->slots_.size() - 1;
+  s.start = start;
 }
 
 CpuTimeGroup::Member::~Member() {
-  Duration final = ThreadCpuTime();
+  const Duration now = ThreadCpuTime();
   std::lock_guard<std::mutex> l(group_->mu_);
-  group_->slots_[slot_].live = false;
-  group_->banked_total_ += final;
+  Slot& s = group_->slots_[slot_];
+  const Duration delta = now - s.start;
+  s.live = false;
+  group_->free_slots_.push_back(slot_);
+  if (delta > Duration::zero()) group_->banked_total_ += delta;
 }
 
 Duration CpuTimeGroup::Total() const {
   std::lock_guard<std::mutex> l(mu_);
   Duration total = banked_total_;
   for (const Slot& s : slots_) {
-    if (s.live) total += ClockNow(s.clock);
+    if (!s.live) continue;
+    const Duration delta = ClockNow(s.clock) - s.start;
+    if (delta > Duration::zero()) total += delta;
   }
   return total;
 }

@@ -1,7 +1,11 @@
 // Per-thread CPU-time measurement, used to reproduce Fig. 10's syncer CPU
-// accounting ("accumulated process CPU time"). Worker threads register
-// themselves with a CpuTimeGroup; the group sums live thread CPU clocks plus
-// the totals banked by exited threads.
+// accounting ("accumulated process CPU time"). Work running on behalf of a
+// component constructs a scoped Member; the group sums the CPU-time deltas of
+// live members plus the deltas banked when members ended.
+//
+// Members are deltas, not whole-thread totals: with work multiplexed onto the
+// shared executor, one OS thread serves many components, so a member must only
+// charge the CPU consumed between its construction and destruction.
 #pragma once
 
 #include <mutex>
@@ -16,8 +20,9 @@ Duration ThreadCpuTime();
 
 class CpuTimeGroup {
  public:
-  // RAII membership: construct on the worker thread at loop start; on
-  // destruction the thread's final CPU time is banked into the group.
+  // RAII membership: construct at the start of a unit of work on the current
+  // thread; on destruction the CPU time consumed during the member's lifetime
+  // is banked into the group.
   class Member {
    public:
     explicit Member(CpuTimeGroup* group);
@@ -30,21 +35,21 @@ class CpuTimeGroup {
     size_t slot_;
   };
 
-  // Total CPU time consumed by all member threads (live + exited).
+  // Total CPU time consumed by all members (live + ended).
   Duration Total() const;
 
  private:
   friend class Member;
 
   struct Slot {
-    // pthread_t of the live thread, stored as an opaque handle via clockid.
     bool live = false;
-    clockid_t clock = 0;
-    Duration banked{0};
+    clockid_t clock = 0;     // the member thread's CPU clock
+    Duration start{0};       // that clock's reading at member construction
   };
 
   mutable std::mutex mu_;
   std::vector<Slot> slots_;
+  std::vector<size_t> free_slots_;
   Duration banked_total_{0};
 };
 

@@ -1,0 +1,212 @@
+// Shared task executor + timer service.
+//
+// The paper's §III-C centralization argument applied to our own threading:
+// instead of every controller / worker pool / retry pump / heartbeat loop /
+// per-tenant scan owning a dedicated thread (O(tenants × components) threads),
+// all components share one bounded worker pool and schedule time-based work on
+// a hierarchical timer wheel. Thread count stays O(hardware concurrency)
+// regardless of how many tenants are attached.
+//
+// - Submit(fn): run fn on the shared pool. Returns false (and warns) once the
+//   executor is shut down, so lost work during teardown is observable.
+// - RunAfter/RunEvery: cancellable timers driven off the injectable Clock.
+//   With a ManualClock the wheel only advances when the test advances the
+//   clock (the executor registers a tick listener), so fast-forward works.
+// - TimerHandle::Cancel(): returns true iff the callback was prevented from
+//   (ever) running. Blocks while a callback is in flight, unless called from
+//   inside the callback itself, so after Cancel() returns the callee may be
+//   destroyed.
+// - BlockingRegion: RAII marker a pool task wraps around operations that block
+//   the worker (sleeps, joins, waiting on other tasks). The pool compensates
+//   by spawning a spare worker so throughput is preserved and tasks waiting on
+//   other tasks cannot deadlock the bounded pool. Spares are retained (they
+//   become ordinary workers) rather than retired, bounding total threads at
+//   target + max_spare_threads.
+//
+// Executors are looked up per Clock via SharedFor(): components derive their
+// executor from the clock they were already constructed with, so the real
+// clock maps to the process-wide Default() executor and each test ManualClock
+// gets its own deterministic executor that dies with its last user.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace vc {
+
+class Executor;
+
+// Cancellable handle for a timer created by RunAfter/RunEvery. Copyable;
+// copies share the same underlying timer.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  // Cancels the timer. Returns true when the pending fire was prevented (the
+  // callback never ran and never will); false when the callback already ran,
+  // is running, or the handle is empty. Blocks until an in-flight callback
+  // returns unless invoked from that callback's own thread, so once Cancel()
+  // has returned the callback's captures may safely be destroyed.
+  bool Cancel();
+
+  // True while the timer can still fire (not cancelled, not completed).
+  bool active() const;
+
+  explicit operator bool() const { return state_ != nullptr; }
+
+ private:
+  friend class Executor;
+  struct State;
+  explicit TimerHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Executor {
+ public:
+  struct Options {
+    // Worker threads; 0 → max(2, hardware concurrency).
+    int threads = 0;
+    // Time source driving the timer wheel. Manual clocks advance the wheel
+    // only via Advance() (the executor registers a tick listener).
+    Clock* clock = nullptr;  // nullptr → RealClock::Get()
+    std::string name = "executor";
+    // Cap on compensation workers spawned for BlockingRegions.
+    int max_spare_threads = 256;
+  };
+
+  Executor() : Executor(Options{}) {}
+  explicit Executor(Options opts);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // Enqueue work. Returns false (with a warning) after Shutdown.
+  bool Submit(std::function<void()> fn);
+
+  // One-shot timer: run fn on the pool once `delay` has elapsed on the clock.
+  TimerHandle RunAfter(Duration delay, std::function<void()> fn);
+
+  // Periodic timer: first fire after `initial_delay`, then re-armed `period`
+  // after each completed run (fixed-rate anchor: if a run overshoots, the next
+  // fire is scheduled from now rather than bursting to catch up). Runs never
+  // overlap.
+  TimerHandle RunEvery(Duration initial_delay, Duration period, std::function<void()> fn);
+  TimerHandle RunEvery(Duration period, std::function<void()> fn);
+
+  // Blocks until the task queue is empty and no task is executing (pending
+  // timers that have not fired do not count).
+  void Wait();
+
+  // Stops the timer thread (pending timers are cancelled), drains the task
+  // queue, and joins all workers. Idempotent.
+  void Shutdown();
+
+  Clock* clock() const { return clock_; }
+  // Live worker threads right now (excludes the timer thread).
+  int threads() const;
+  // Total threads ever created by this executor (workers + spares + timer).
+  uint64_t threads_created() const;
+  uint64_t tasks_run() const;
+  size_t pending_timers() const;
+
+  // Process-wide executor on the real clock. Created on first use; its
+  // threads live until process exit.
+  static Executor* Default();
+
+  // Shared executor for `clock`: the real clock maps to Default() (non-owning
+  // handle); any other clock gets a lazily-created executor shared by all
+  // components using that clock and destroyed with its last reference.
+  static std::shared_ptr<Executor> SharedFor(Clock* clock);
+
+  // Blocking-compensation markers (no-ops off-pool). Prefer BlockingRegion.
+  static void BeginBlocking();
+  static void EndBlocking();
+
+ private:
+  using TimerState = TimerHandle::State;
+  using TimerPtr = std::shared_ptr<TimerState>;
+
+  static constexpr int kWheelBits = 6;
+  static constexpr int kWheelSlots = 1 << kWheelBits;  // 64
+  static constexpr int kWheelLevels = 4;
+
+  void WorkerLoop();
+  void TimerLoop();
+  void SpawnWorkerLocked();
+  void OnBlocked();
+  void OnUnblocked();
+
+  // Timer-wheel internals; all *Locked require timer_mu_.
+  int64_t TickOf(TimePoint tp) const;
+  int64_t FloorTickOf(TimePoint tp) const;
+  void AddTimerLocked(const TimerPtr& state, std::vector<TimerPtr>* due);
+  void CascadeLocked(int level, std::vector<TimerPtr>* due);
+  void AdvanceLocked(int64_t now_tick, std::vector<TimerPtr>* due);
+  // Next wake-up tick strictly after tick_, or -1 for "no timer pending".
+  int64_t NextWakeTickLocked() const;
+  void FireTimer(const TimerPtr& state);
+  void ArmLocked(const TimerPtr& state, std::vector<TimerPtr>* due);
+
+  Clock* clock_;
+  const std::string name_;
+  const Duration tick_duration_;
+  const TimePoint epoch_;
+
+  // Worker pool.
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  int target_ = 0;
+  int max_live_ = 0;
+  int live_ = 0;
+  int blocked_ = 0;
+  int busy_ = 0;
+  bool pool_shutdown_ = false;
+  uint64_t threads_created_ = 0;
+  std::atomic<uint64_t> tasks_run_{0};
+
+  // Timer wheel.
+  mutable std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  std::vector<TimerPtr> wheel_[kWheelLevels][kWheelSlots];
+  std::multimap<int64_t, TimerPtr> overflow_;
+  int64_t tick_ = 0;
+  size_t timer_count_ = 0;
+  bool timer_stop_ = false;
+  std::thread timer_thread_;
+  size_t tick_listener_ = 0;
+  bool has_tick_listener_ = false;
+
+  std::mutex shutdown_mu_;
+  bool shut_ = false;
+};
+
+// RAII wrapper for Executor::BeginBlocking/EndBlocking. Wrap any section of a
+// pool task that blocks on something other than its own CPU work.
+class BlockingRegion {
+ public:
+  BlockingRegion() { Executor::BeginBlocking(); }
+  ~BlockingRegion() { Executor::EndBlocking(); }
+  BlockingRegion(const BlockingRegion&) = delete;
+  BlockingRegion& operator=(const BlockingRegion&) = delete;
+};
+
+// Number of OS threads in this process (from /proc/self/status), for
+// benchmarks that assert thread-count bounds.
+uint64_t ProcessThreadCount();
+
+}  // namespace vc

@@ -1,5 +1,8 @@
 #include "common/thread_pool.h"
 
+#include "common/executor.h"
+#include "common/logging.h"
+
 namespace vc {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -10,13 +13,17 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
-void ThreadPool::Submit(std::function<void()> fn) {
+bool ThreadPool::Submit(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> l(mu_);
-    if (shutdown_) return;
+    if (shutdown_) {
+      LOG(WARN) << "ThreadPool::Submit after Shutdown; task dropped";
+      return false;
+    }
     queue_.push_back(std::move(fn));
   }
   work_cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::Wait() {
@@ -66,6 +73,9 @@ void ParallelFor(int n, const std::function<void(int)>& fn) {
   std::vector<std::thread> ts;
   ts.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) ts.emplace_back([&fn, i] { fn(i); });
+  // Joining can take arbitrarily long; if the caller is a shared-pool worker
+  // the pool must not lose the slot while we wait.
+  BlockingRegion br;
   for (auto& t : ts) t.join();
 }
 

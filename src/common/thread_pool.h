@@ -1,6 +1,7 @@
-// Fixed-size worker pool used by load generators and the periodic-scan
-// machinery. Controllers own their threads directly (their loops are
-// long-lived); the pool is for fan-out/fan-in bursts.
+// Fixed-size worker pool used by load generators and fan-out/fan-in bursts
+// that want a caller-owned pool of a specific size. Long-lived component work
+// (controllers, syncer, kubelet, timers) runs on the shared Executor in
+// common/executor.h instead.
 #pragma once
 
 #include <condition_variable>
@@ -20,8 +21,9 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueue work; rejected (silently dropped) after Shutdown.
-  void Submit(std::function<void()> fn);
+  // Enqueue work. Returns false (and logs a warning) after Shutdown so lost
+  // tasks during teardown are observable.
+  bool Submit(std::function<void()> fn);
 
   // Blocks until all submitted work has finished executing.
   void Wait();

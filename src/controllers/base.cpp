@@ -4,43 +4,77 @@ namespace vc::controllers {
 
 QueueWorker::QueueWorker(std::string name, Clock* clock, int workers)
     : name_(std::move(name)), clock_(clock), num_workers_(workers > 0 ? workers : 1),
-      queue_(clock, Millis(5), Seconds(5)) {}
+      queue_(clock, Millis(5), Seconds(5)), exec_(Executor::SharedFor(clock)) {}
 
 QueueWorker::~QueueWorker() { StopWorkers(); }
 
 void QueueWorker::StartWorkers() {
-  stopping_.store(false);
-  for (int i = 0; i < num_workers_; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+  {
+    std::lock_guard<std::mutex> l(pump_mu_);
+    if (started_) return;
+    started_ = true;
   }
+  stopping_.store(false);
+  queue_.SetReadyCallback([this] { Pump(); });
+  Pump();
 }
 
 void QueueWorker::StopWorkers() {
   stopping_.store(true);
   queue_.ShutDown();
-  for (auto& t : threads_) {
-    if (t.joinable()) t.join();
-  }
-  threads_.clear();
+  // Drain: in-flight reconciles finish (or short-circuit on `stopping_`);
+  // queued keys are consumed and Done'd without reconciling.
+  BlockingRegion br;
+  std::unique_lock<std::mutex> l(pump_mu_);
+  drain_cv_.wait(l, [this] { return active_ == 0; });
+  started_ = false;
 }
 
-void QueueWorker::WorkerLoop() {
-  while (auto key = queue_.Get()) {
-    if (stopping_.load()) {
+void QueueWorker::Pump() {
+  std::unique_lock<std::mutex> l(pump_mu_);
+  while (active_ < num_workers_) {
+    std::optional<std::string> key = queue_.TryGet();
+    if (!key) break;
+    ++active_;
+    l.unlock();
+    if (!exec_->Submit([this, k = *key] { Process(k); })) {
       queue_.Done(*key);
-      break;
+      l.lock();
+      --active_;
+      drain_cv_.notify_all();
+      continue;
     }
-    bool done = true;
-    done = Reconcile(*key);
+    l.lock();
+  }
+}
+
+void QueueWorker::Process(const std::string& key) {
+  if (!stopping_.load()) {
+    const bool done = Reconcile(key);
     reconciles_.fetch_add(1);
     if (done) {
-      queue_.Forget(*key);
+      queue_.Forget(key);
     } else {
       retries_.fetch_add(1);
-      queue_.AddRateLimited(*key);
+      queue_.AddRateLimited(key);
     }
-    queue_.Done(*key);
   }
+  queue_.Done(key);
+  // Hand the slot to the next queued item instead of re-pumping after the
+  // decrement: the moment active_ hits zero StopWorkers() returns and the
+  // object may be destroyed, so the decrement must be the last touch of
+  // `this` on this code path.
+  std::unique_lock<std::mutex> l(pump_mu_);
+  std::optional<std::string> next;
+  if (!stopping_.load()) next = queue_.TryGet();
+  if (next) {
+    l.unlock();
+    if (exec_->Submit([this, k = *next] { Process(k); })) return;  // slot moves on
+    queue_.Done(*next);
+    l.lock();
+  }
+  --active_;
+  drain_cv_.notify_all();
 }
 
 }  // namespace vc::controllers

@@ -1,16 +1,19 @@
 // Common scaffolding for controllers: the standard client-go controller shape
 // from Figure 3 of the paper — informer event handlers enqueue keys into a
-// rate-limited work queue; worker threads drain it and run Reconcile; failed
-// reconciles are retried with per-item backoff.
+// rate-limited work queue; reconciles run as tasks on the clock's shared
+// executor (at most `workers` in flight per controller); failed reconciles
+// are retried with per-item backoff via executor timers.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "client/workqueue.h"
 #include "common/clock.h"
+#include "common/executor.h"
 #include "common/logging.h"
 
 namespace vc::controllers {
@@ -40,11 +43,17 @@ class QueueWorker {
   Clock* const clock_;
 
  private:
-  void WorkerLoop();
+  // Fills the in-flight budget with executor tasks while keys are queued.
+  void Pump();
+  void Process(const std::string& key);
 
   const int num_workers_;
   client::RateLimitingQueue queue_;
-  std::vector<std::thread> threads_;
+  std::shared_ptr<Executor> exec_;
+  std::mutex pump_mu_;
+  std::condition_variable drain_cv_;
+  int active_ = 0;       // in-flight Process tasks (<= num_workers_)
+  bool started_ = false;
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> reconciles_{0};
   std::atomic<uint64_t> retries_{0};

@@ -47,27 +47,19 @@ GarbageCollector::GarbageCollector(apiserver::APIServer* server,
 GarbageCollector::~GarbageCollector() { StopSweeper(); }
 
 void GarbageCollector::StartSweeper() {
-  stop_.store(false);
-  sweeper_ = std::thread([this] { SweepLoop(); });
+  if (sweep_timer_.active()) return;
+  sweep_timer_ = Executor::SharedFor(clock_)->RunEvery(sweep_interval_,
+                                                       [this] { SweepOnce(); });
 }
 
-void GarbageCollector::StopSweeper() {
-  stop_.store(true);
-  if (sweeper_.joinable()) sweeper_.join();
-}
+void GarbageCollector::StopSweeper() { sweep_timer_.Cancel(); }
 
-void GarbageCollector::SweepLoop() {
-  TimePoint last = clock_->Now();
-  while (!stop_.load()) {
-    clock_->SleepFor(Millis(100));
-    if (clock_->Now() - last < sweep_interval_) continue;
-    last = clock_->Now();
-    for (const auto& pod : pods_->cache().List()) {
-      if (!pod->meta.owner_references.empty()) Enqueue("Pod|" + pod->meta.FullName());
-    }
-    for (const auto& rs : replicasets_->cache().List()) {
-      if (!rs->meta.owner_references.empty()) Enqueue("ReplicaSet|" + rs->meta.FullName());
-    }
+void GarbageCollector::SweepOnce() {
+  for (const auto& pod : pods_->cache().List()) {
+    if (!pod->meta.owner_references.empty()) Enqueue("Pod|" + pod->meta.FullName());
+  }
+  for (const auto& rs : replicasets_->cache().List()) {
+    if (!rs->meta.owner_references.empty()) Enqueue("ReplicaSet|" + rs->meta.FullName());
   }
 }
 

@@ -5,7 +5,6 @@
 #pragma once
 
 #include <atomic>
-#include <thread>
 
 #include "apiserver/apiserver.h"
 #include "client/informer.h"
@@ -30,15 +29,14 @@ class GarbageCollector : public QueueWorker {
   bool Reconcile(const std::string& key) override;
 
  private:
-  void SweepLoop();
+  void SweepOnce();
 
   apiserver::APIServer* const server_;
   client::SharedInformer<api::Pod>* const pods_;
   client::SharedInformer<api::ReplicaSet>* const replicasets_;
   client::SharedInformer<api::Deployment>* const deployments_;
   const Duration sweep_interval_;
-  std::thread sweeper_;
-  std::atomic<bool> stop_{false};
+  TimerHandle sweep_timer_;
   std::atomic<uint64_t> collected_{0};
 };
 

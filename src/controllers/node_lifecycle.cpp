@@ -10,24 +10,14 @@ NodeLifecycleController::NodeLifecycleController(
 NodeLifecycleController::~NodeLifecycleController() { Stop(); }
 
 void NodeLifecycleController::Start() {
-  stop_.store(false);
-  thread_ = std::thread([this] { Loop(); });
+  if (check_timer_.active()) return;
+  check_timer_ = Executor::SharedFor(clock_)->RunEvery(
+      tuning_.check_interval, [this] {
+        if (nodes_->HasSynced()) CheckOnce();
+      });
 }
 
-void NodeLifecycleController::Stop() {
-  stop_.store(true);
-  if (thread_.joinable()) thread_.join();
-}
-
-void NodeLifecycleController::Loop() {
-  TimePoint last = clock_->Now();
-  while (!stop_.load()) {
-    clock_->SleepFor(Millis(20));
-    if (clock_->Now() - last < tuning_.check_interval) continue;
-    last = clock_->Now();
-    if (nodes_->HasSynced()) CheckOnce();
-  }
-}
+void NodeLifecycleController::Stop() { check_timer_.Cancel(); }
 
 void NodeLifecycleController::CheckOnce() {
   const int64_t now_ms = clock_->WallUnixMillis();

@@ -5,7 +5,6 @@
 #pragma once
 
 #include <atomic>
-#include <thread>
 
 #include "apiserver/apiserver.h"
 #include "client/informer.h"
@@ -34,7 +33,6 @@ class NodeLifecycleController {
   uint64_t evicted_pods() const { return evicted_.load(); }
 
  private:
-  void Loop();
   void CheckOnce();
 
   apiserver::APIServer* const server_;
@@ -42,8 +40,7 @@ class NodeLifecycleController {
   client::SharedInformer<api::Pod>* const pods_;
   Clock* const clock_;
   const Tuning tuning_;
-  std::thread thread_;
-  std::atomic<bool> stop_{false};
+  TimerHandle check_timer_;
   std::atomic<uint64_t> marked_not_ready_{0};
   std::atomic<uint64_t> evicted_{0};
   std::map<std::string, TimePoint> not_ready_since_;

@@ -14,7 +14,8 @@ bool IsTerminal(const api::Pod& pod) {
 
 }  // namespace
 
-Kubelet::Kubelet(Options opts) : opts_(std::move(opts)) {
+Kubelet::Kubelet(Options opts)
+    : opts_(std::move(opts)), exec_(Executor::SharedFor(opts_.clock)) {
   if (opts_.runtimes.empty() || !opts_.runtimes.count("")) {
     opts_.runtimes[""] = std::make_shared<MockRuntime>(opts_.clock, opts_.fabric);
   }
@@ -68,23 +69,28 @@ Status Kubelet::Start() {
 
   KubeletRegistry::Get().Register(endpoint_, this);
   stop_.store(false);
-  for (int i = 0; i < std::max(1, opts_.workers); ++i) {
-    workers_.emplace_back([this] { Worker(); });
-  }
-  heartbeat_ = std::thread([this] { HeartbeatLoop(); });
+  queue_->SetReadyCallback([this] { Pump(); });
+  Pump();
+  heartbeat_timer_ = exec_->RunEvery(opts_.heartbeat_period, [this] {
+    Status st = UpdateNodeStatus(true);
+    if (!st.ok()) {
+      VLOG(2) << opts_.node_name << ": heartbeat failed: " << st;
+    }
+  });
   return OkStatus();
 }
 
 void Kubelet::Stop() {
   if (stop_.exchange(true)) {
-    // Already stopping; still join below in case Stop raced Start.
+    // Already stopping; still drain below in case Stop raced Start.
   }
   queue_->ShutDown();
-  for (auto& w : workers_) {
-    if (w.joinable()) w.join();
+  heartbeat_timer_.Cancel();
+  {
+    BlockingRegion br;
+    std::unique_lock<std::mutex> l(pump_mu_);
+    drain_cv_.wait(l, [this] { return active_ == 0; });
   }
-  workers_.clear();
-  if (heartbeat_.joinable()) heartbeat_.join();
   if (!endpoint_.empty()) KubeletRegistry::Get().Unregister(endpoint_);
 }
 
@@ -99,20 +105,48 @@ CriRuntime* Kubelet::RuntimeFor(const api::Pod& pod) {
   return it->second.get();
 }
 
-void Kubelet::Worker() {
-  while (auto key = queue_->Get()) {
-    if (stop_.load()) {
+void Kubelet::Pump() {
+  std::unique_lock<std::mutex> l(pump_mu_);
+  while (active_ < std::max(1, opts_.workers)) {
+    std::optional<std::string> key = queue_->TryGet();
+    if (!key) break;
+    ++active_;
+    l.unlock();
+    if (!exec_->Submit([this, k = *key] { Process(k); })) {
       queue_->Done(*key);
-      break;
+      l.lock();
+      --active_;
+      drain_cv_.notify_all();
+      continue;
     }
-    bool done = ReconcilePod(*key);
-    if (done) {
-      queue_->Forget(*key);
-    } else {
-      queue_->AddRateLimited(*key);
-    }
-    queue_->Done(*key);
+    l.lock();
   }
+}
+
+void Kubelet::Process(const std::string& key) {
+  if (!stop_.load()) {
+    bool done = ReconcilePod(key);
+    if (done) {
+      queue_->Forget(key);
+    } else {
+      queue_->AddRateLimited(key);
+    }
+  }
+  queue_->Done(key);
+  // Hand the slot to the next queued item instead of re-pumping after the
+  // decrement: the moment active_ hits zero Stop() returns and the object
+  // may be destroyed, so the decrement must be the last touch of `this`.
+  std::unique_lock<std::mutex> l(pump_mu_);
+  std::optional<std::string> next;
+  if (!stop_.load()) next = queue_->TryGet();
+  if (next) {
+    l.unlock();
+    if (exec_->Submit([this, k = *next] { Process(k); })) return;  // slot moves on
+    queue_->Done(*next);
+    l.lock();
+  }
+  --active_;
+  drain_cv_.notify_all();
 }
 
 bool Kubelet::ReconcilePod(const std::string& key) {
@@ -201,6 +235,7 @@ Status Kubelet::StartPod(const api::Pod& pod) {
   // The enhanced-kubeproxy barrier: Kata pods in gated clusters wait for
   // service routing rules before workload containers start (§III-B (4)).
   if (sandbox->guest && opts_.enforce_network_gate) {
+    BlockingRegion br;  // may park a worker slot for up to the gate timeout
     if (!sandbox->guest->WaitNetworkReady(opts_.network_gate_timeout)) {
       return fail(TimeoutError("network gate: no routing rules injected within timeout"));
     }
@@ -290,19 +325,6 @@ Status Kubelet::UpdateNodeStatus(bool ready) {
         return true;
       },
       ctx);
-}
-
-void Kubelet::HeartbeatLoop() {
-  TimePoint last = opts_.clock->Now();
-  while (!stop_.load()) {
-    opts_.clock->SleepFor(Millis(100));
-    if (opts_.clock->Now() - last < opts_.heartbeat_period) continue;
-    last = opts_.clock->Now();
-    Status st = UpdateNodeStatus(true);
-    if (!st.ok()) {
-      VLOG(2) << opts_.node_name << ": heartbeat failed: " << st;
-    }
-  }
 }
 
 Result<std::string> Kubelet::Logs(const std::string& ns, const std::string& pod,

@@ -10,14 +10,15 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "client/informer.h"
 #include "client/workqueue.h"
+#include "common/executor.h"
 #include "common/histogram.h"
 #include "kubelet/cri.h"
 #include "kubelet/registry.h"
@@ -85,8 +86,8 @@ class Kubelet {
     std::string uid;
   };
 
-  void Worker();
-  void HeartbeatLoop();
+  void Pump();
+  void Process(const std::string& key);
   // Returns true when terminal; false → retry with backoff.
   bool ReconcilePod(const std::string& key);
   Status StartPod(const api::Pod& pod);
@@ -97,8 +98,11 @@ class Kubelet {
   Options opts_;
   client::SharedInformer<api::Pod>* source_ = nullptr;
   std::unique_ptr<client::RateLimitingQueue> queue_;
-  std::vector<std::thread> workers_;
-  std::thread heartbeat_;
+  std::shared_ptr<Executor> exec_;
+  std::mutex pump_mu_;
+  std::condition_variable drain_cv_;
+  int active_ = 0;  // in-flight reconciles (<= opts_.workers)
+  TimerHandle heartbeat_timer_;
   std::atomic<bool> stop_{false};
   std::string address_;
   std::string endpoint_;

@@ -36,6 +36,17 @@ void WatchChannel::Cancel() {
     cancelled_ = true;
   }
   cv_.notify_all();
+  Signal();
+}
+
+void WatchChannel::SetSignal(std::function<void()> fn) {
+  std::lock_guard<std::mutex> l(signal_mu_);
+  signal_ = std::move(fn);
+}
+
+void WatchChannel::Signal() {
+  std::lock_guard<std::mutex> l(signal_mu_);
+  if (signal_) signal_();
 }
 
 bool WatchChannel::ok() const {
@@ -55,11 +66,13 @@ bool WatchChannel::Offer(const Event& e) {
       queue_.clear();
       LOG(WARN) << "kv watch channel overflow (capacity=" << capacity_ << ")";
       cv_.notify_all();
+      Signal();
       return false;
     }
     queue_.push_back(e);
   }
   cv_.notify_all();
+  Signal();
   return true;
 }
 
@@ -69,6 +82,7 @@ void WatchChannel::CloseGone() {
     gone_ = true;
   }
   cv_.notify_all();
+  Signal();
 }
 
 // -------------------------------------------------------------------- KvStore

@@ -67,11 +67,21 @@ class WatchChannel {
   //               store was shut down; caller must relist and re-watch.
   Result<Event> Next(Duration timeout);
 
-  // Non-blocking variant used by tests.
+  // Non-blocking variant: returns the next buffered event, or nullopt when
+  // the buffer is empty (check ok() to distinguish "healthy but idle" from
+  // "dead"). Used by tests and push-driven consumers.
   std::optional<Event> TryNext();
 
   void Cancel();
   bool ok() const;
+
+  // Registers fn to be invoked after every state change a consumer should
+  // react to: a new event buffered, Cancel, or channel death. Invocations are
+  // serialized under an internal mutex; SetSignal(nullptr) blocks out any
+  // in-flight invocation, so afterwards the old fn's captures may safely be
+  // destroyed. Push-driven consumers (SharedInformer) use this instead of
+  // blocking in Next().
+  void SetSignal(std::function<void()> fn);
 
  private:
   friend class KvStore;
@@ -81,12 +91,18 @@ class WatchChannel {
   bool Offer(const Event& e);
   void CloseGone();
 
+  void Signal();
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Event> queue_;
   const size_t capacity_;
   bool cancelled_ = false;
   bool gone_ = false;
+
+  // Held while invoking signal_; taken only after mu_ is released.
+  std::mutex signal_mu_;
+  std::function<void()> signal_;
 };
 
 struct ListResult {

@@ -53,28 +53,24 @@ void KubeProxy::Start() {
   svc_informer_->Start();
   ep_informer_->Start();
   stop_.store(false);
-  thread_ = std::thread([this] { Loop(); });
+  sync_timer_ = Executor::SharedFor(opts_.clock)->RunEvery(opts_.sync_period, [this] {
+    if (stop_.load()) return;
+    if (svc_informer_->HasSynced() && ep_informer_->HasSynced()) {
+      SyncOnce();
+      sync_rounds_.fetch_add(1);
+    }
+  });
 }
 
 void KubeProxy::Stop() {
   stop_.store(true);
-  if (thread_.joinable()) thread_.join();
+  sync_timer_.Cancel();
   svc_informer_->Stop();
   ep_informer_->Stop();
 }
 
 bool KubeProxy::WaitForSync(Duration timeout) {
   return svc_informer_->WaitForSync(timeout) && ep_informer_->WaitForSync(timeout);
-}
-
-void KubeProxy::Loop() {
-  while (!stop_.load()) {
-    if (svc_informer_->HasSynced() && ep_informer_->HasSynced()) {
-      SyncOnce();
-      sync_rounds_.fetch_add(1);
-    }
-    opts_.clock->SleepFor(opts_.sync_period);
-  }
 }
 
 void KubeProxy::SyncOnce() {

@@ -15,9 +15,9 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <thread>
 
 #include "client/informer.h"
+#include "common/executor.h"
 #include "common/histogram.h"
 #include "net/fabric.h"
 
@@ -58,9 +58,7 @@ class KubeProxy {
   std::unique_ptr<client::SharedInformer<api::Endpoints>> ep_informer_;
 
  private:
-  void Loop();
-
-  std::thread thread_;
+  TimerHandle sync_timer_;
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> sync_rounds_{0};
 };

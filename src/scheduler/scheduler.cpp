@@ -24,7 +24,8 @@ bool HasAffinityTerms(const api::Pod& pod) {
 
 }  // namespace
 
-Scheduler::Scheduler(Options opts) : opts_(std::move(opts)) {
+Scheduler::Scheduler(Options opts)
+    : opts_(std::move(opts)), exec_(Executor::SharedFor(opts_.clock)) {
   queue_ = std::make_unique<client::RateLimitingQueue>(opts_.clock, Millis(10),
                                                        opts_.unschedulable_backoff);
   pod_informer_ = std::make_unique<client::SharedInformer<api::Pod>>(
@@ -54,13 +55,18 @@ void Scheduler::Start() {
   node_informer_->Start();
   pod_informer_->Start();
   stop_.store(false);
-  worker_ = std::thread([this] { Worker(); });
+  queue_->SetReadyCallback([this] { Pump(); });
+  Pump();
 }
 
 void Scheduler::Stop() {
   stop_.store(true);
   queue_->ShutDown();
-  if (worker_.joinable()) worker_.join();
+  {
+    BlockingRegion br;
+    std::unique_lock<std::mutex> l(pump_mu_);
+    drain_cv_.wait(l, [this] { return active_ == 0; });
+  }
   pod_informer_->Stop();
   node_informer_->Stop();
 }
@@ -202,20 +208,48 @@ bool Scheduler::ScheduleOne(const std::string& key) {
   return true;
 }
 
-void Scheduler::Worker() {
-  while (auto key = queue_->Get()) {
-    if (stop_.load()) {
+void Scheduler::Pump() {
+  std::unique_lock<std::mutex> l(pump_mu_);
+  while (active_ < 1) {
+    std::optional<std::string> key = queue_->TryGet();
+    if (!key) break;
+    ++active_;
+    l.unlock();
+    if (!exec_->Submit([this, k = *key] { Process(k); })) {
       queue_->Done(*key);
-      break;
+      l.lock();
+      --active_;
+      drain_cv_.notify_all();
+      continue;
     }
-    bool done = ScheduleOne(*key);
-    if (done) {
-      queue_->Forget(*key);
-    } else {
-      queue_->AddRateLimited(*key);
-    }
-    queue_->Done(*key);
+    l.lock();
   }
+}
+
+void Scheduler::Process(const std::string& key) {
+  if (!stop_.load()) {
+    bool done = ScheduleOne(key);
+    if (done) {
+      queue_->Forget(key);
+    } else {
+      queue_->AddRateLimited(key);
+    }
+  }
+  queue_->Done(key);
+  // Hand the slot to the next queued item instead of re-pumping after the
+  // decrement: the moment active_ hits zero Stop() returns and the object
+  // may be destroyed, so the decrement must be the last touch of `this`.
+  std::unique_lock<std::mutex> l(pump_mu_);
+  std::optional<std::string> next;
+  if (!stop_.load()) next = queue_->TryGet();
+  if (next) {
+    l.unlock();
+    if (exec_->Submit([this, k = *next] { Process(k); })) return;  // slot moves on
+    queue_->Done(*next);
+    l.lock();
+  }
+  --active_;
+  drain_cv_.notify_all();
 }
 
 }  // namespace vc::scheduler

@@ -15,13 +15,14 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <thread>
 
 #include "client/informer.h"
 #include "client/workqueue.h"
+#include "common/executor.h"
 #include "common/histogram.h"
 #include "scheduler/predicates.h"
 
@@ -68,7 +69,10 @@ class Scheduler {
     api::ResourceList requested;
   };
 
-  void Worker();
+  // Single-slot pump: the sequential scheduling loop of the default
+  // kube-scheduler, run as at most one executor task at a time.
+  void Pump();
+  void Process(const std::string& key);
   // One scheduling cycle. Returns true on terminal outcome (bound, gone, or
   // not pending anymore); false → retry with backoff.
   bool ScheduleOne(const std::string& key);
@@ -80,7 +84,10 @@ class Scheduler {
   std::unique_ptr<client::SharedInformer<api::Pod>> pod_informer_;
   std::unique_ptr<client::SharedInformer<api::Node>> node_informer_;
   std::unique_ptr<client::RateLimitingQueue> queue_;
-  std::thread worker_;
+  std::shared_ptr<Executor> exec_;
+  std::mutex pump_mu_;
+  std::condition_variable drain_cv_;
+  int active_ = 0;  // 0 or 1: scheduling is sequential
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> scheduled_{0};
   std::atomic<uint64_t> failed_attempts_{0};

@@ -13,15 +13,17 @@
 // Header-only (templated); instantiated per CRD type.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "client/fairqueue.h"
 #include "client/informer.h"
+#include "common/executor.h"
 #include "common/logging.h"
 #include "vc/syncer/conversion.h"
 #include "vc/tenant_control_plane.h"
@@ -41,7 +43,9 @@ class CrdSyncer {
     Duration op_cost = Duration::zero();
   };
 
-  explicit CrdSyncer(Options opts) : opts_(opts), downward_([&] {
+  explicit CrdSyncer(Options opts) : opts_(opts),
+                                     exec_(Executor::SharedFor(opts.clock)),
+                                     downward_([&] {
                                        client::FairQueue::Options qo;
                                        qo.fair = opts.fair_queuing;
                                        qo.clock = opts.clock;
@@ -111,25 +115,32 @@ class CrdSyncer {
 
   void Start() {
     if (started_.exchange(true)) return;
+    stop_.store(false);
+    downward_.SetReadyCallback([this] { PumpDownward(); });
+    upward_.SetReadyCallback([this] { PumpUpward(); });
     super_informer_->Start();
     std::vector<TenantPtr> snapshot = Snapshot();
     for (TenantPtr& ts : snapshot) ts->informer->Start();
-    for (int i = 0; i < opts_.downward_workers; ++i) {
-      workers_.emplace_back([this] { DownwardWorker(); });
-    }
-    for (int i = 0; i < opts_.upward_workers; ++i) {
-      workers_.emplace_back([this] { UpwardWorker(); });
-    }
+    PumpDownward();
+    PumpUpward();
   }
 
   void Stop() {
     if (!started_.exchange(false)) return;
+    stop_.store(true);
     downward_.ShutDown();
     upward_.ShutDown();
-    for (auto& t : workers_) {
-      if (t.joinable()) t.join();
+    std::vector<TimerHandle> retries;
+    {
+      std::lock_guard<std::mutex> l(pump_mu_);
+      retries.swap(retry_timers_);
     }
-    workers_.clear();
+    for (TimerHandle& h : retries) h.Cancel();
+    {
+      BlockingRegion br;
+      std::unique_lock<std::mutex> l(pump_mu_);
+      drain_cv_.wait(l, [this] { return active_down_ == 0 && active_up_ == 0; });
+    }
     for (TenantPtr& ts : Snapshot()) ts->informer->Stop();
     super_informer_->Stop();
   }
@@ -172,17 +183,52 @@ class CrdSyncer {
     upward_.Add(origin->tenant_id, super_obj.meta.FullName());
   }
 
-  void DownwardWorker() {
-    while (auto item = downward_.Get()) {
-      if (!SyncDown(*item)) {
-        // Simple retry: requeue after releasing the item.
+  void PumpDownward() {
+    std::unique_lock<std::mutex> l(pump_mu_);
+    while (!stop_.load() && active_down_ < opts_.downward_workers) {
+      std::optional<client::FairQueue::Item> item = downward_.TryGet();
+      if (!item) break;
+      ++active_down_;
+      l.unlock();
+      if (!exec_->Submit([this, it = *item] { ProcessDownward(it); })) {
         downward_.Done(*item);
-        opts_.clock->SleepFor(Millis(10));
-        downward_.Add(item->tenant, item->key);
+        l.lock();
+        --active_down_;
+        drain_cv_.notify_all();
         continue;
       }
-      downward_.Done(*item);
+      l.lock();
     }
+  }
+
+  void ProcessDownward(client::FairQueue::Item item) {
+    bool ok = true;
+    if (!stop_.load()) ok = SyncDown(item);
+    downward_.Done(item);
+    if (!ok && !stop_.load()) {
+      // Simple retry: requeue after a short backoff timer.
+      std::lock_guard<std::mutex> l(pump_mu_);
+      retry_timers_.erase(
+          std::remove_if(retry_timers_.begin(), retry_timers_.end(),
+                         [](const TimerHandle& h) { return !h.active(); }),
+          retry_timers_.end());
+      retry_timers_.push_back(exec_->RunAfter(Millis(10), [this, item] {
+        if (!stop_.load()) downward_.Add(item.tenant, item.key);
+      }));
+    }
+    // Hand the slot to the next queued item; the decrement must be the last
+    // touch of `this` — Stop() may return the moment the counters hit zero.
+    std::unique_lock<std::mutex> l(pump_mu_);
+    std::optional<client::FairQueue::Item> next;
+    if (!stop_.load()) next = downward_.TryGet();
+    if (next) {
+      l.unlock();
+      if (exec_->Submit([this, it = *next] { ProcessDownward(it); })) return;
+      downward_.Done(*next);
+      l.lock();
+    }
+    --active_down_;
+    drain_cv_.notify_all();
   }
 
   bool SyncDown(const client::FairQueue::Item& item) {
@@ -229,9 +275,27 @@ class CrdSyncer {
     return res.ok();
   }
 
-  void UpwardWorker() {
-    while (auto item = upward_.Get()) {
-      auto super_obj = super_informer_->cache().GetByKey(item->key);
+  void PumpUpward() {
+    std::unique_lock<std::mutex> l(pump_mu_);
+    while (!stop_.load() && active_up_ < opts_.upward_workers) {
+      std::optional<client::FairQueue::Item> item = upward_.TryGet();
+      if (!item) break;
+      ++active_up_;
+      l.unlock();
+      if (!exec_->Submit([this, it = *item] { ProcessUpward(it); })) {
+        upward_.Done(*item);
+        l.lock();
+        --active_up_;
+        drain_cv_.notify_all();
+        continue;
+      }
+      l.lock();
+    }
+  }
+
+  void ProcessUpward(client::FairQueue::Item item) {
+    if (!stop_.load()) {
+      auto super_obj = super_informer_->cache().GetByKey(item.key);
       if (super_obj) {
         std::optional<Origin> origin = OriginOf(*super_obj);
         TenantPtr ts = origin ? GetTenant(origin->tenant_id) : nullptr;
@@ -249,15 +313,34 @@ class CrdSyncer {
           }
         }
       }
-      upward_.Done(*item);
     }
+    upward_.Done(item);
+    // Same slot-handoff shape as ProcessDownward: no touch of `this` after
+    // the decrement.
+    std::unique_lock<std::mutex> l(pump_mu_);
+    std::optional<client::FairQueue::Item> next;
+    if (!stop_.load()) next = upward_.TryGet();
+    if (next) {
+      l.unlock();
+      if (exec_->Submit([this, it = *next] { ProcessUpward(it); })) return;
+      upward_.Done(*next);
+      l.lock();
+    }
+    --active_up_;
+    drain_cv_.notify_all();
   }
 
   Options opts_;
+  std::shared_ptr<Executor> exec_;
   std::unique_ptr<client::SharedInformer<T>> super_informer_;
   client::FairQueue downward_;
   client::FairQueue upward_;
-  std::vector<std::thread> workers_;
+  std::mutex pump_mu_;
+  std::condition_variable drain_cv_;
+  int active_down_ = 0;
+  int active_up_ = 0;
+  std::vector<TimerHandle> retry_timers_;
+  std::atomic<bool> stop_{true};
   std::atomic<bool> started_{false};
   mutable std::mutex mu_;
   std::map<std::string, TenantPtr> tenants_;

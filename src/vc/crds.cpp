@@ -14,23 +14,18 @@ GpuJobPlugin::~GpuJobPlugin() { Stop(); }
 void GpuJobPlugin::Start() {
   stop_.store(false);
   informer_->Start();
-  thread_ = std::thread([this] { Loop(); });
+  reconcile_timer_ = Executor::SharedFor(opts_.clock)->RunEvery(Millis(20), [this] {
+    if (!stop_.load() && informer_->HasSynced()) ReconcileAll();
+  });
 }
 
 void GpuJobPlugin::Stop() {
   if (stop_.exchange(true)) return;
-  if (thread_.joinable()) thread_.join();
+  reconcile_timer_.Cancel();
   informer_->Stop();
 }
 
 bool GpuJobPlugin::WaitForSync(Duration timeout) { return informer_->WaitForSync(timeout); }
-
-void GpuJobPlugin::Loop() {
-  while (!stop_.load()) {
-    if (informer_->HasSynced()) ReconcileAll();
-    opts_.clock->SleepFor(Millis(20));
-  }
-}
 
 void GpuJobPlugin::ReconcileAll() {
   int32_t in_use = 0;

@@ -12,11 +12,11 @@
 
 #include <atomic>
 #include <memory>
-#include <thread>
 
 #include "api/codec.h"
 #include "api/meta.h"
 #include "client/informer.h"
+#include "common/executor.h"
 
 namespace vc::core {
 
@@ -83,12 +83,11 @@ class GpuJobPlugin {
   int32_t gpus_in_use() const { return gpus_in_use_.load(); }
 
  private:
-  void Loop();
   void ReconcileAll();
 
   Options opts_;
   std::unique_ptr<client::SharedInformer<GpuJob>> informer_;
-  std::thread thread_;
+  TimerHandle reconcile_timer_;
   std::atomic<bool> stop_{true};
   std::atomic<int32_t> gpus_in_use_{0};
 };

@@ -40,6 +40,7 @@ typename client::SharedInformer<T>::Options Syncer::InformerOptions() {
 
 Syncer::Syncer(Options opts)
     : opts_(std::move(opts)),
+      exec_(Executor::SharedFor(opts_.clock)),
       downward_queue_([&] {
         client::FairQueue::Options qo;
         qo.fair = opts_.fair_queuing;
@@ -231,6 +232,7 @@ void Syncer::AttachTenant(const VirtualClusterObj& vc, TenantControlPlane* tcp) 
     ts->configmaps->Start();
     ts->serviceaccounts->Start();
     ts->pvcs->Start();
+    if (opts_.periodic_scan) ArmTenantScan(ts);
   }
 }
 
@@ -245,6 +247,7 @@ void Syncer::DetachTenant(const std::string& tenant_id) {
   }
   downward_queue_.UnregisterTenant(tenant_id);
   vnodes_.ForgetTenant(tenant_id);
+  ts->scan_timer.Cancel();
   ts->pods->Stop();
   ts->namespaces->Stop();
   ts->services->Stop();
@@ -278,6 +281,10 @@ void Syncer::Start() {
   if (started_.exchange(true)) return;
   stop_.store(false);
 
+  downward_queue_.SetReadyCallback([this] { PumpDownward(); });
+  upward_queue_.SetReadyCallback([this] { PumpUpward(); });
+  retry_queue_->SetReadyCallback([this] { ScheduleRetryDrain(); });
+
   super_pods_->Start();
   super_namespaces_->Start();
   super_services_->Start();
@@ -300,38 +307,51 @@ void Syncer::Start() {
     ts->configmaps->Start();
     ts->serviceaccounts->Start();
     ts->pvcs->Start();
+    if (opts_.periodic_scan) ArmTenantScan(ts);
   }
 
-  for (int i = 0; i < opts_.downward_workers; ++i) {
-    downward_threads_.emplace_back([this] { DownwardWorker(); });
-  }
-  for (int i = 0; i < opts_.upward_workers; ++i) {
-    upward_threads_.emplace_back([this] { UpwardWorker(); });
-  }
-  retry_thread_ = std::thread([this] { RetryPump(); });
-  heartbeat_thread_ = std::thread([this] { HeartbeatLoop(); });
-  if (opts_.periodic_scan) {
-    scan_thread_ = std::thread([this] { ScanLoop(); });
-  }
+  heartbeat_timer_ = exec_->RunEvery(opts_.heartbeat_broadcast_period, [this] {
+    CpuTimeGroup::Member cpu_member(&cpu_);
+    BroadcastHeartbeatsOnce();
+  });
+
+  PumpDownward();
+  PumpUpward();
+  ScheduleRetryDrain();
 }
 
 void Syncer::Stop() {
   if (!started_.exchange(false)) return;
   stop_.store(true);
+  heartbeat_timer_.Cancel();
+  {
+    std::vector<TenantPtr> snapshot;
+    {
+      std::lock_guard<std::mutex> l(tenants_mu_);
+      for (auto& [id, ts] : tenants_) snapshot.push_back(ts);
+    }
+    for (TenantPtr& ts : snapshot) ts->scan_timer.Cancel();
+  }
   downward_queue_.ShutDown();
   upward_queue_.ShutDown();
   retry_queue_->ShutDown();
-  for (auto& t : downward_threads_) {
-    if (t.joinable()) t.join();
+  // Pending op-cost charges complete inline (Stop does not wait out modeled
+  // latencies); in-flight reconciles drain to zero. A reconcile still running
+  // may file a new charge after the first sweep, hence the loop.
+  DrainCharges();
+  {
+    BlockingRegion br;
+    std::unique_lock<std::mutex> l(pump_mu_);
+    while (!drain_cv_.wait_for(l, std::chrono::milliseconds(5), [this] {
+      return active_down_ == 0 && active_up_ == 0 && !retry_scheduled_ &&
+             !retry_running_;
+    })) {
+      l.unlock();
+      DrainCharges();
+      l.lock();
+    }
   }
-  downward_threads_.clear();
-  for (auto& t : upward_threads_) {
-    if (t.joinable()) t.join();
-  }
-  upward_threads_.clear();
-  if (retry_thread_.joinable()) retry_thread_.join();
-  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
-  if (scan_thread_.joinable()) scan_thread_.join();
+  DrainCharges();
 
   std::vector<TenantPtr> snapshot;
   {
@@ -390,23 +410,115 @@ bool Syncer::WaitForSync(Duration timeout) {
   return true;
 }
 
-// ------------------------------------------------------------ downward path
+// ----------------------------------------------------------- op-cost charges
 
-void Syncer::DownwardWorker() {
-  CpuTimeGroup::Member cpu_member(&cpu_);
-  while (auto item = downward_queue_.Get()) {
-    TimePoint dequeue = opts_.clock->Now();
-    bool done = DispatchDownward(*item, dequeue);
-    if (!done) {
-      retry_queue_->AddAfter(std::string("D") + kFieldSep + item->tenant + kFieldSep +
-                                 item->key,
-                             Millis(25));
+// Charges the modeled API-operation service time as an executor timer: the
+// reconcile's worker slot stays occupied (throughput is limited exactly as a
+// sleeping worker thread would limit it) but no thread blocks.
+void Syncer::ChargeCost(Duration cost, std::function<void()> finish) {
+  if (stop_.load() || cost <= Duration::zero()) {
+    finish();
+    return;
+  }
+  // Hold charge_mu_ across RunAfter: the fire callback takes charge_mu_, so
+  // it cannot observe the map before this charge is filed.
+  std::lock_guard<std::mutex> l(charge_mu_);
+  const uint64_t id = charge_seq_++;
+  TimerHandle h = exec_->RunAfter(cost, [this, id] { FinishCharge(id); });
+  charges_.emplace(id, Charge{std::move(h), std::move(finish)});
+}
+
+void Syncer::FinishCharge(uint64_t id) {
+  std::function<void()> fin;
+  {
+    std::lock_guard<std::mutex> l(charge_mu_);
+    auto it = charges_.find(id);
+    if (it == charges_.end()) return;
+    fin = std::move(it->second.finish);
+    charges_.erase(it);
+  }
+  fin();
+}
+
+void Syncer::DrainCharges() {
+  for (;;) {
+    uint64_t id;
+    TimerHandle h;
+    {
+      std::lock_guard<std::mutex> l(charge_mu_);
+      if (charges_.empty()) return;
+      id = charges_.begin()->first;
+      h = charges_.begin()->second.handle;
     }
-    downward_queue_.Done(*item);
+    // Cancel outside charge_mu_ (an in-flight fire holds the timer run state
+    // and takes charge_mu_); whoever still finds the entry runs the finish.
+    h.Cancel();
+    FinishCharge(id);
   }
 }
 
-bool Syncer::DispatchDownward(const client::FairQueue::Item& item, TimePoint dequeue) {
+// ------------------------------------------------------------ downward path
+
+void Syncer::PumpDownward() {
+  std::unique_lock<std::mutex> l(pump_mu_);
+  while (!stop_.load() && active_down_ < opts_.downward_workers) {
+    std::optional<client::FairQueue::Item> item = downward_queue_.TryGet();
+    if (!item) break;
+    ++active_down_;
+    l.unlock();
+    if (!exec_->Submit([this, it = *item] { ProcessDownward(it); })) {
+      downward_queue_.Done(*item);
+      l.lock();
+      --active_down_;
+      drain_cv_.notify_all();
+      continue;
+    }
+    l.lock();
+  }
+}
+
+void Syncer::ProcessDownward(client::FairQueue::Item item) {
+  if (stop_.load()) {
+    downward_queue_.Done(item);
+    std::lock_guard<std::mutex> l(pump_mu_);
+    --active_down_;
+    drain_cv_.notify_all();
+    return;
+  }
+  Duration cost{};
+  bool done;
+  {
+    // Scoped: the CPU accounting guard must not outlive the slot decrement
+    // below — once active_down_ hits zero Stop() can return and destroy us.
+    CpuTimeGroup::Member cpu_member(&cpu_);
+    const TimePoint dequeue = opts_.clock->Now();
+    done = DispatchDownward(item, dequeue, &cost);
+  }
+  ChargeCost(cost, [this, item, done] {
+    if (!done) {
+      retry_queue_->AddAfter(std::string("D") + kFieldSep + item.tenant + kFieldSep +
+                                 item.key,
+                             Millis(25));
+    }
+    downward_queue_.Done(item);
+    // Hand the slot to the next queued item; the decrement must be the last
+    // touch of `this` (see ProcessUpward for the same shape).
+    std::unique_lock<std::mutex> l(pump_mu_);
+    std::optional<client::FairQueue::Item> next;
+    if (!stop_.load()) next = downward_queue_.TryGet();
+    if (next) {
+      l.unlock();
+      if (exec_->Submit([this, it = *next] { ProcessDownward(it); })) return;
+      downward_queue_.Done(*next);
+      l.lock();
+    }
+    --active_down_;
+    drain_cv_.notify_all();
+  });
+}
+
+bool Syncer::DispatchDownward(const client::FairQueue::Item& item, TimePoint dequeue,
+                              Duration* cost) {
   TenantPtr ts = GetTenant(item.tenant);
   if (!ts) return true;  // tenant detached; drop
   auto [kind, key] = SplitKind(item.key);
@@ -414,24 +526,25 @@ bool Syncer::DispatchDownward(const client::FairQueue::Item& item, TimePoint deq
   DownResult r = DownResult::kNoop;
   Stopwatch process(opts_.clock);
   if (kind == api::Pod::kKind) {
-    r = SyncDownObj<api::Pod>(*ts, key);
+    r = SyncDownObj<api::Pod>(*ts, key, cost);
     if (r == DownResult::kCreated) {
-      // Phase metrics are recorded for the creation path only (Fig. 8).
+      // Phase metrics are recorded for the creation path only (Fig. 8). The
+      // process phase includes the modeled op cost (charged after return).
       metrics_.dws_queue.Record(dequeue - item.enqueue_time);
-      metrics_.dws_process.Record(process.Elapsed());
+      metrics_.dws_process.Record(process.Elapsed() + *cost);
     }
   } else if (kind == api::NamespaceObj::kKind) {
-    r = SyncDownObj<api::NamespaceObj>(*ts, key);
+    r = SyncDownObj<api::NamespaceObj>(*ts, key, cost);
   } else if (kind == api::Service::kKind) {
-    r = SyncDownObj<api::Service>(*ts, key);
+    r = SyncDownObj<api::Service>(*ts, key, cost);
   } else if (kind == api::Secret::kKind) {
-    r = SyncDownObj<api::Secret>(*ts, key);
+    r = SyncDownObj<api::Secret>(*ts, key, cost);
   } else if (kind == api::ConfigMap::kKind) {
-    r = SyncDownObj<api::ConfigMap>(*ts, key);
+    r = SyncDownObj<api::ConfigMap>(*ts, key, cost);
   } else if (kind == api::ServiceAccount::kKind) {
-    r = SyncDownObj<api::ServiceAccount>(*ts, key);
+    r = SyncDownObj<api::ServiceAccount>(*ts, key, cost);
   } else if (kind == api::PersistentVolumeClaim::kKind) {
-    r = SyncDownObj<api::PersistentVolumeClaim>(*ts, key);
+    r = SyncDownObj<api::PersistentVolumeClaim>(*ts, key, cost);
   }
 
   switch (r) {
@@ -445,7 +558,8 @@ bool Syncer::DispatchDownward(const client::FairQueue::Item& item, TimePoint deq
 }
 
 template <typename T>
-Syncer::DownResult Syncer::SyncDownObj(TenantState& ts, const std::string& tenant_key) {
+Syncer::DownResult Syncer::SyncDownObj(TenantState& ts, const std::string& tenant_key,
+                                       Duration* cost) {
   client::SharedInformer<T>* tinf = TenantInformer<T>(ts);
   client::SharedInformer<T>* sinf = SuperInformer<T>();
   auto tenant_obj = tinf->cache().GetByKey(tenant_key);
@@ -479,7 +593,7 @@ Syncer::DownResult Syncer::SyncDownObj(TenantState& ts, const std::string& tenan
     const bool shadow_cached = sinf->cache().GetByKey(super_key) != nullptr;
     Status st = opts_.super_server->Delete<T>(del_ns, del_name);
     if (st.ok()) {
-      opts_.clock->SleepFor(opts_.downward_op_cost);
+      *cost += opts_.downward_op_cost;
       return DownResult::kDeleted;
     }
     if (st.IsNotFound()) {
@@ -505,7 +619,7 @@ Syncer::DownResult Syncer::SyncDownObj(TenantState& ts, const std::string& tenan
       Status ns_st = EnsureSuperNamespace(ts, tenant_ns);
       if (!ns_st.ok()) return DownResult::kRetry;
     }
-    opts_.clock->SleepFor(opts_.downward_op_cost);
+    *cost += opts_.downward_op_cost;
     Result<T> created = opts_.super_server->Create(desired);
     if (!created.ok()) {
       if (created.status().IsAlreadyExists()) {
@@ -543,7 +657,7 @@ Syncer::DownResult Syncer::SyncDownObj(TenantState& ts, const std::string& tenan
   if constexpr (std::is_same_v<T, api::NamespaceObj>) {
     updated.phase = existing->phase;
   }
-  opts_.clock->SleepFor(opts_.downward_op_cost);
+  *cost += opts_.downward_op_cost;
   Result<T> res = opts_.super_server->Update(std::move(updated));
   if (!res.ok()) {
     if (res.status().IsConflict()) metrics_.conflicts_retried.fetch_add(1);
@@ -567,34 +681,83 @@ Status Syncer::EnsureSuperNamespace(TenantState& ts, const std::string& tenant_n
 
 // -------------------------------------------------------------- upward path
 
-void Syncer::UpwardWorker() {
-  CpuTimeGroup::Member cpu_member(&cpu_);
-  while (auto item = upward_queue_.Get()) {
-    TimePoint dequeue = opts_.clock->Now();
-    auto [kind, key] = SplitKind(item->key);
-    bool done = true;
-    if (kind == "Pod") {
-      done = SyncUpPod(*item, dequeue);
-    } else if (kind == "PodGone") {
-      ProcessPodGone(key);
+void Syncer::PumpUpward() {
+  std::unique_lock<std::mutex> l(pump_mu_);
+  while (!stop_.load() && active_up_ < opts_.upward_workers) {
+    std::optional<client::FairQueue::Item> item = upward_queue_.TryGet();
+    if (!item) break;
+    ++active_up_;
+    l.unlock();
+    if (!exec_->Submit([this, it = *item] { ProcessUpward(it); })) {
+      upward_queue_.Done(*item);
+      l.lock();
+      --active_up_;
+      drain_cv_.notify_all();
+      continue;
     }
-    if (!done) {
-      retry_queue_->AddAfter(std::string("U") + kFieldSep + item->tenant + kFieldSep +
-                                 item->key,
-                             Millis(25));
-    }
-    upward_queue_.Done(*item);
+    l.lock();
   }
 }
 
-bool Syncer::SyncUpPod(const client::FairQueue::Item& item, TimePoint dequeue) {
+void Syncer::ProcessUpward(client::FairQueue::Item item) {
+  if (stop_.load()) {
+    upward_queue_.Done(item);
+    std::lock_guard<std::mutex> l(pump_mu_);
+    --active_up_;
+    drain_cv_.notify_all();
+    return;
+  }
+  const TimePoint dequeue = opts_.clock->Now();
+  UpOutcome out;
+  {
+    // Scoped: must not outlive the slot decrement in the finish callback.
+    CpuTimeGroup::Member cpu_member(&cpu_);
+    auto [kind, key] = SplitKind(item.key);
+    if (kind == "Pod") {
+      out = SyncUpPod(item);
+    } else if (kind == "PodGone") {
+      ProcessPodGone(key);
+    }
+  }
+  ChargeCost(out.cost, [this, item, out, dequeue] {
+    if (out.wrote) {
+      metrics_.upward_updates.fetch_add(1);
+      if (out.became_ready) {
+        metrics_.uws_queue.Record(dequeue - item.enqueue_time);
+        metrics_.uws_process.Record(opts_.clock->Now() - dequeue);
+      }
+    }
+    if (!out.done) {
+      retry_queue_->AddAfter(std::string("U") + kFieldSep + item.tenant + kFieldSep +
+                                 item.key,
+                             Millis(25));
+    }
+    upward_queue_.Done(item);
+    // Hand the slot to the next queued item; the decrement must be the last
+    // touch of `this` — Stop() may return the moment the counters hit zero.
+    std::unique_lock<std::mutex> l(pump_mu_);
+    std::optional<client::FairQueue::Item> next;
+    if (!stop_.load()) next = upward_queue_.TryGet();
+    if (next) {
+      l.unlock();
+      if (exec_->Submit([this, it = *next] { ProcessUpward(it); })) return;
+      upward_queue_.Done(*next);
+      l.lock();
+    }
+    --active_up_;
+    drain_cv_.notify_all();
+  });
+}
+
+Syncer::UpOutcome Syncer::SyncUpPod(const client::FairQueue::Item& item) {
+  UpOutcome out;
   auto [kind, super_key] = SplitKind(item.key);
   auto super_pod = super_pods_->cache().GetByKey(super_key);
-  if (!super_pod) return true;  // deleted; PodGone path handles bindings
+  if (!super_pod) return out;  // deleted; PodGone path handles bindings
   std::optional<Origin> origin = OriginOf(*super_pod);
-  if (!origin) return true;
+  if (!origin) return out;
   TenantPtr ts = GetTenant(origin->tenant_id);
-  if (!ts) return true;
+  if (!ts) return out;
 
   // Virtual node lifecycle: pod got bound → tenant needs a vNode for that
   // physical node (1:1 mapping, Fig. 6).
@@ -606,7 +769,8 @@ bool Syncer::SyncUpPod(const client::FairQueue::Item& item, TimePoint dequeue) {
       Status st = EnsureVNode(*ts, super_pod->spec.node_name);
       if (!st.ok()) {
         VLOG(1) << "syncer: vNode creation failed: " << st;
-        return false;
+        out.done = false;
+        return out;
       }
     }
   }
@@ -646,21 +810,21 @@ bool Syncer::SyncUpPod(const client::FairQueue::Item& item, TimePoint dequeue) {
       // Tenant deleted the pod while its status update was in flight — the
       // §III-C race; the downward path will delete the shadow.
       metrics_.races_tolerated.fetch_add(1);
-      return true;
+      return out;
     }
-    return false;
+    out.done = false;
+    return out;
   }
   if (wrote) {
-    opts_.clock->SleepFor(opts_.upward_op_cost);
-    metrics_.upward_updates.fetch_add(1);
-    if (became_ready) {
-      metrics_.uws_queue.Record(dequeue - item.enqueue_time);
-      metrics_.uws_process.Record(opts_.clock->Now() - dequeue);
-    }
+    // The op cost is charged as a timer by ProcessUpward; completion metrics
+    // are recorded when it fires, matching the old post-sleep timing.
+    out.wrote = true;
+    out.became_ready = became_ready;
+    out.cost = opts_.upward_op_cost;
   } else {
     metrics_.upward_noops.fetch_add(1);
   }
-  return true;
+  return out;
 }
 
 void Syncer::ProcessPodGone(const std::string& super_key) {
@@ -705,29 +869,52 @@ Status Syncer::EnsureVNode(TenantState& ts, const std::string& node) {
 
 // -------------------------------------------------------- retries/heartbeat
 
-void Syncer::RetryPump() {
-  CpuTimeGroup::Member cpu_member(&cpu_);
-  while (auto key = retry_queue_->Get()) {
-    std::vector<std::string> parts = Split(*key, kFieldSep);
-    if (parts.size() == 3) {
-      if (parts[0] == "D") {
-        downward_queue_.Add(parts[1], parts[2]);
-      } else {
-        upward_queue_.Add(parts[1], parts[2]);
-      }
-    }
-    retry_queue_->Done(*key);
+void Syncer::ScheduleRetryDrain() {
+  if (stop_.load()) return;
+  std::lock_guard<std::mutex> l(pump_mu_);
+  if (retry_running_) {
+    // A drain is running; make it loop once more so keys added after its
+    // final TryGet are not stranded.
+    retry_rerun_ = true;
+    return;
   }
+  if (retry_scheduled_) return;
+  retry_scheduled_ = true;
+  if (!exec_->Submit([this] { RetryDrain(); })) retry_scheduled_ = false;
 }
 
-void Syncer::HeartbeatLoop() {
-  CpuTimeGroup::Member cpu_member(&cpu_);
-  TimePoint last = opts_.clock->Now();
-  while (!stop_.load()) {
-    opts_.clock->SleepFor(Millis(100));
-    if (opts_.clock->Now() - last < opts_.heartbeat_broadcast_period) continue;
-    last = opts_.clock->Now();
-    BroadcastHeartbeatsOnce();
+void Syncer::RetryDrain() {
+  {
+    std::lock_guard<std::mutex> l(pump_mu_);
+    retry_scheduled_ = false;
+    retry_running_ = true;
+  }
+  for (;;) {
+    {
+      // Scoped: the CPU accounting guard must destruct before the final
+      // retry_running_=false below — Stop() may return (and the Syncer be
+      // destroyed) the moment that flag clears.
+      CpuTimeGroup::Member cpu_member(&cpu_);
+      while (std::optional<std::string> key = retry_queue_->TryGet()) {
+        std::vector<std::string> parts = Split(*key, kFieldSep);
+        if (parts.size() == 3) {
+          if (parts[0] == "D") {
+            downward_queue_.Add(parts[1], parts[2]);
+          } else {
+            upward_queue_.Add(parts[1], parts[2]);
+          }
+        }
+        retry_queue_->Done(*key);
+      }
+    }
+    std::lock_guard<std::mutex> l(pump_mu_);
+    if (retry_rerun_) {
+      retry_rerun_ = false;
+      continue;
+    }
+    retry_running_ = false;
+    drain_cv_.notify_all();
+    return;
   }
 }
 
@@ -762,14 +949,24 @@ void Syncer::BroadcastHeartbeatsOnce() {
 
 // ------------------------------------------------------------------ scanning
 
-void Syncer::ScanLoop() {
-  TimePoint last = opts_.clock->Now();
-  while (!stop_.load()) {
-    opts_.clock->SleepFor(Millis(100));
-    if (opts_.clock->Now() - last < opts_.scan_interval) continue;
-    last = opts_.clock->Now();
-    ScanAllTenants();
-  }
+// One periodic timer per tenant on the shared executor — the cheap analogue
+// of the paper's one-scan-thread-per-tenant. The weak_ptr keeps a detached
+// tenant from being revived by a late firing.
+void Syncer::ArmTenantScan(const TenantPtr& ts) {
+  std::weak_ptr<TenantState> wts = ts;
+  ts->scan_timer = exec_->RunEvery(opts_.scan_interval, [this, wts] {
+    if (stop_.load()) return;
+    TenantPtr t = wts.lock();
+    if (!t) return;
+    CpuTimeGroup::Member cpu_member(&cpu_);
+    Stopwatch sw(opts_.clock);
+    ScanRound r = ScanTenant(*t);
+    r.took = sw.Elapsed();
+    metrics_.scan_rounds.fetch_add(1);
+    metrics_.scan_resent.fetch_add(r.resent);
+    std::lock_guard<std::mutex> l(scan_mu_);
+    last_scan_ = r;
+  });
 }
 
 template <typename T>

@@ -13,10 +13,10 @@
 //     the physical nodes hosting tenant pods and removed when their last pod
 //     goes away; physical node heartbeats are broadcast to all vNodes.
 //   * CONSISTENCY: reconcilers compare against informer caches (eventual
-//     consistency, races tolerated); a periodic scan — one thread per tenant,
-//     1-minute interval in the paper — re-enqueues any object whose tenant
-//     and super states have drifted, remediating rare permanent
-//     inconsistencies (§III-C).
+//     consistency, races tolerated); a periodic scan — one timer per tenant
+//     (the paper's "one thread per tenant", 1-minute interval) — re-enqueues
+//     any object whose tenant and super states have drifted, remediating rare
+//     permanent inconsistencies (§III-C).
 //
 // Why centralized (one syncer for many tenants) instead of per-tenant: the
 // paper's §III-C argument — infrequent tenant mutations make per-tenant
@@ -25,16 +25,17 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "client/fairqueue.h"
 #include "client/informer.h"
 #include "client/workqueue.h"
 #include "common/cpu_time.h"
+#include "common/executor.h"
 #include "vc/syncer/conversion.h"
 #include "vc/syncer/metrics.h"
 #include "vc/syncer/vnode_manager.h"
@@ -48,9 +49,11 @@ class Syncer {
   struct Options {
     apiserver::APIServer* super_server = nullptr;
     Clock* clock = RealClock::Get();
-    // Worker-pool sizes; paper defaults (§IV-A): "we set a high default
-    // number of one hundred upward worker threads and a low default number
-    // of twenty downward worker threads".
+    // Concurrency budgets (max in-flight reconciles on the shared executor);
+    // paper defaults (§IV-A): "we set a high default number of one hundred
+    // upward worker threads and a low default number of twenty downward
+    // worker threads". The modeled op costs below are charged as timers, not
+    // sleeps, so a budget of 100 does not pin 100 threads.
     int downward_workers = 20;
     int upward_workers = 100;
     // Fair queuing across tenant sub-queues; false = shared FIFO (Fig. 11b).
@@ -124,6 +127,7 @@ class Syncer {
     std::unique_ptr<client::SharedInformer<api::ConfigMap>> configmaps;
     std::unique_ptr<client::SharedInformer<api::ServiceAccount>> serviceaccounts;
     std::unique_ptr<client::SharedInformer<api::PersistentVolumeClaim>> pvcs;
+    TimerHandle scan_timer;  // periodic consistency scan for this tenant
   };
   using TenantPtr = std::shared_ptr<TenantState>;
 
@@ -137,6 +141,22 @@ class Syncer {
     std::string node;
   };
 
+  // Result of one upward pod reconcile; the modeled op cost is charged as an
+  // executor timer by the caller before completion metrics are recorded.
+  struct UpOutcome {
+    bool done = true;
+    Duration cost{};
+    bool wrote = false;
+    bool became_ready = false;
+  };
+
+  // A modeled-op-cost charge in flight: when the timer fires (or Stop drains
+  // it), `finish` completes the reconcile (metrics, Done, slot release).
+  struct Charge {
+    TimerHandle handle;
+    std::function<void()> finish;
+  };
+
   TenantPtr GetTenant(const std::string& id) const;
 
   template <typename T>
@@ -147,17 +167,25 @@ class Syncer {
   template <typename T>
   void WireTenantHandlers(TenantState& ts, client::SharedInformer<T>* informer);
 
-  void DownwardWorker();
-  void UpwardWorker();
-  void RetryPump();
-  void HeartbeatLoop();
-  void ScanLoop();
+  // Pumps fill the in-flight budgets with executor tasks while keys are
+  // queued; each Process charges its modeled op cost as a timer and re-pumps.
+  void PumpDownward();
+  void PumpUpward();
+  void ProcessDownward(client::FairQueue::Item item);
+  void ProcessUpward(client::FairQueue::Item item);
+  void ScheduleRetryDrain();
+  void RetryDrain();
+  void ChargeCost(Duration cost, std::function<void()> finish);
+  void FinishCharge(uint64_t id);
+  void DrainCharges();
+  void ArmTenantScan(const TenantPtr& ts);
 
-  bool DispatchDownward(const client::FairQueue::Item& item, TimePoint dequeue_time);
+  bool DispatchDownward(const client::FairQueue::Item& item, TimePoint dequeue_time,
+                        Duration* cost);
   template <typename T>
-  DownResult SyncDownObj(TenantState& ts, const std::string& tenant_key);
+  DownResult SyncDownObj(TenantState& ts, const std::string& tenant_key, Duration* cost);
 
-  bool SyncUpPod(const client::FairQueue::Item& item, TimePoint dequeue_time);
+  UpOutcome SyncUpPod(const client::FairQueue::Item& item);
   void ProcessPodGone(const std::string& super_key);
   Status EnsureSuperNamespace(TenantState& ts, const std::string& tenant_ns);
   Status EnsureVNode(TenantState& ts, const std::string& node);
@@ -172,6 +200,7 @@ class Syncer {
   typename client::SharedInformer<T>::Options InformerOptions();
 
   Options opts_;
+  std::shared_ptr<Executor> exec_;
   client::FairQueue downward_queue_;
   client::FairQueue upward_queue_;  // fair=false: plain FIFO (paper design)
   std::unique_ptr<client::DelayingQueue> retry_queue_;  // "<tenant>\x1f<kind|key>"
@@ -196,11 +225,19 @@ class Syncer {
   std::mutex gone_mu_;
   std::map<std::string, GoneInfo> pending_gone_;
 
-  std::vector<std::thread> downward_threads_;
-  std::vector<std::thread> upward_threads_;
-  std::thread retry_thread_;
-  std::thread heartbeat_thread_;
-  std::thread scan_thread_;
+  std::mutex pump_mu_;
+  std::condition_variable drain_cv_;
+  int active_down_ = 0;  // in-flight downward reconciles (<= downward_workers)
+  int active_up_ = 0;    // in-flight upward reconciles (<= upward_workers)
+  bool retry_scheduled_ = false;
+  bool retry_running_ = false;
+  bool retry_rerun_ = false;
+  TimerHandle heartbeat_timer_;
+
+  std::mutex charge_mu_;
+  uint64_t charge_seq_ = 0;
+  std::map<uint64_t, Charge> charges_;
+
   std::atomic<bool> stop_{true};
   std::atomic<bool> started_{false};
 

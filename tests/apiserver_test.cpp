@@ -129,8 +129,8 @@ TEST(ApiServerTest, ListScoping) {
   s->Create(SimplePod("default", "a"));
   s->Create(SimplePod("default", "b"));
   s->Create(SimplePod("tenant-a", "c"));
-  EXPECT_EQ(s->List<Pod>("default")->items.size(), 2u);
-  EXPECT_EQ(s->List<Pod>("tenant-a")->items.size(), 1u);
+  EXPECT_EQ(s->List<Pod>({"default"})->items.size(), 2u);
+  EXPECT_EQ(s->List<Pod>({"tenant-a"})->items.size(), 1u);
   EXPECT_EQ(s->List<Pod>()->items.size(), 3u);
   EXPECT_GT(s->List<Pod>()->revision, 0);
 }
@@ -164,7 +164,7 @@ TEST(ApiServerTest, DeleteWithFinalizersSetsDeletionTimestamp) {
 TEST(ApiServerTest, WatchDeliversTypedEvents) {
   auto s = NewServer();
   Result<apiserver::TypedList<Pod>> list = s->List<Pod>();
-  auto w = *s->Watch<Pod>("", list->revision);
+  auto w = *s->Watch<Pod>({"", list->revision});
   Result<Pod> created = s->Create(SimplePod("default", "web-0"));
   Result<WatchEvent<Pod>> e = w.Next(Seconds(1));
   ASSERT_TRUE(e.ok());
@@ -181,7 +181,7 @@ TEST(ApiServerTest, WatchDeliversTypedEvents) {
 TEST(ApiServerTest, WatchIsKindAndNamespaceScoped) {
   auto s = NewServer();
   int64_t rv = s->List<Pod>()->revision;
-  auto w = *s->Watch<Pod>("default", rv);
+  auto w = *s->Watch<Pod>({"default", rv});
   NamespaceObj ns;
   ns.meta.name = "other";
   s->Create(ns);
@@ -200,7 +200,7 @@ TEST(ApiServerTest, WatchIsKindAndNamespaceScoped) {
 TEST(ApiServerTest, RestartBreaksWatchesKeepsData) {
   auto s = NewServer();
   s->Create(SimplePod("default", "web-0"));
-  auto w = *s->Watch<Pod>("", s->List<Pod>()->revision);
+  auto w = *s->Watch<Pod>({"", s->List<Pod>()->revision});
   s->Restart();
   Status st;
   for (int i = 0; i < 3; ++i) {
@@ -220,17 +220,17 @@ TEST(ApiServerTest, RbacDeniesTenantAccess) {
   RequestContext tenant;
   tenant.identity = Identity{"tenant-a", {}, ""};
   // Allowed in own namespace.
-  EXPECT_FALSE(s->List<Pod>("tenant-a-ns", tenant).status().code() == Code::kForbidden);
+  EXPECT_FALSE(s->List<Pod>({"tenant-a-ns"}, tenant).status().code() == Code::kForbidden);
   // Denied elsewhere and for other verbs.
-  EXPECT_EQ(s->List<Pod>("default", tenant).status().code(), Code::kForbidden);
+  EXPECT_EQ(s->List<Pod>({"default"}, tenant).status().code(), Code::kForbidden);
   EXPECT_EQ(s->Create(SimplePod("tenant-a-ns", "x"), tenant).status().code(),
             Code::kForbidden);
   // Unknown identity denied entirely once default-deny is on.
   RequestContext other;
   other.identity = Identity{"stranger", {}, ""};
-  EXPECT_EQ(s->List<Pod>("default", other).status().code(), Code::kForbidden);
+  EXPECT_EQ(s->List<Pod>({"default"}, other).status().code(), Code::kForbidden);
   // Loopback bypasses.
-  EXPECT_TRUE(s->List<Pod>("default").ok());
+  EXPECT_TRUE(s->List<Pod>({"default"}).ok());
 }
 
 // Demonstrates the namespace-List leak from paper §I: granting a tenant the
@@ -244,7 +244,7 @@ TEST(ApiServerTest, NamespaceListLeaksAllNamespaces) {
   s->authorizer().Grant("tenant-a", PolicyRule{{"list"}, {"Namespace"}, {"*"}});
   RequestContext tenant;
   tenant.identity = Identity{"tenant-a", {}, ""};
-  Result<apiserver::TypedList<NamespaceObj>> all = s->List<NamespaceObj>("", tenant);
+  Result<apiserver::TypedList<NamespaceObj>> all = s->List<NamespaceObj>({""}, tenant);
   ASSERT_TRUE(all.ok());
   bool saw_other_tenant = false;
   for (const auto& n : all->items) {
@@ -264,7 +264,7 @@ TEST(ApiServerTest, RateLimitReturns429) {
   tenant.identity = Identity{"tenant-a", {}, ""};
   int ok = 0, limited = 0;
   for (int i = 0; i < 10; ++i) {
-    Status st = s->List<Pod>("default", tenant).status();
+    Status st = s->List<Pod>({"default"}, tenant).status();
     if (st.IsTooManyRequests()) {
       limited++;
     } else {
@@ -275,9 +275,9 @@ TEST(ApiServerTest, RateLimitReturns429) {
   EXPECT_EQ(limited, 5);
   EXPECT_EQ(s->stats().rate_limited.load(), 5u);
   // Loopback identity is never limited.
-  for (int i = 0; i < 20; ++i) EXPECT_TRUE(s->List<Pod>("default").ok());
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(s->List<Pod>({"default"}).ok());
   clock.Advance(Seconds(1));
-  EXPECT_TRUE(s->List<Pod>("default", tenant).ok());
+  EXPECT_TRUE(s->List<Pod>({"default"}, tenant).ok());
 }
 
 TEST(ApiServerTest, StatsCountVerbs) {
@@ -322,7 +322,7 @@ TEST(ApiServerTest, MaxInflightCreatesInterference) {
   std::vector<std::thread> flood;
   for (int i = 0; i < 8; ++i) {
     flood.emplace_back([&] {
-      while (!stop.load()) (void)s->List<Pod>("default");
+      while (!stop.load()) (void)s->List<Pod>({"default"});
     });
   }
   RealClock::Get()->SleepFor(Millis(20));
@@ -341,7 +341,7 @@ TEST(ApiServerTest, UnlimitedInflightByDefault) {
   auto s = NewServer();
   // With no limit, many concurrent requests all proceed (no deadlock/blocking).
   ParallelFor(16, [&](int) {
-    for (int i = 0; i < 50; ++i) (void)s->List<Pod>("default");
+    for (int i = 0; i < 50; ++i) (void)s->List<Pod>({"default"});
   });
 }
 

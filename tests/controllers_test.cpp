@@ -178,7 +178,7 @@ TEST(ReplicaSetControllerTest, ScalesUpAndDown) {
     Result<api::ReplicaSet> live = h.server->Get<api::ReplicaSet>("default", "web");
     return live.ok() && live->status_replicas == 3 && live->status_ready == 3;
   }));
-  EXPECT_EQ(h.server->List<Pod>("default")->items.size(), 3u);
+  EXPECT_EQ(h.server->List<Pod>({"default"})->items.size(), 3u);
 
   // Scale down to 1.
   ASSERT_TRUE(apiserver::RetryUpdate<api::ReplicaSet>(
@@ -189,7 +189,7 @@ TEST(ReplicaSetControllerTest, ScalesUpAndDown) {
                   })
                   .ok());
   ASSERT_TRUE(h.Eventually([&] {
-    return h.server->List<Pod>("default")->items.size() == 1;
+    return h.server->List<Pod>({"default"})->items.size() == 1;
   }));
 }
 
@@ -208,12 +208,12 @@ TEST(ReplicaSetControllerTest, ReplacesDeletedPods) {
   rs.template_.spec.node_name = "node-0";
   ASSERT_TRUE(h.server->Create(rs).ok());
   ASSERT_TRUE(h.Eventually([&] {
-    return h.server->List<Pod>("default")->items.size() == 2;
+    return h.server->List<Pod>({"default"})->items.size() == 2;
   }));
-  std::string victim = h.server->List<Pod>("default")->items[0].meta.name;
+  std::string victim = h.server->List<Pod>({"default"})->items[0].meta.name;
   ASSERT_TRUE(h.server->Delete<Pod>("default", victim).ok());
   ASSERT_TRUE(h.Eventually([&] {
-    auto pods = h.server->List<Pod>("default")->items;
+    auto pods = h.server->List<Pod>({"default"})->items;
     if (pods.size() != 2) return false;
     for (const auto& p : pods) {
       if (p.meta.name == victim) return false;
@@ -238,12 +238,12 @@ TEST(GarbageCollectorTest, ReapsOrphanedPods) {
   Result<api::ReplicaSet> created = h.server->Create(rs);
   ASSERT_TRUE(created.ok());
   ASSERT_TRUE(h.Eventually([&] {
-    return h.server->List<Pod>("default")->items.size() == 1;
+    return h.server->List<Pod>({"default"})->items.size() == 1;
   }));
   // Delete the owner; its pod must be garbage collected.
   ASSERT_TRUE(h.server->Delete<api::ReplicaSet>("default", "owner").ok());
   ASSERT_TRUE(h.Eventually([&] {
-    return h.server->List<Pod>("default")->items.empty();
+    return h.server->List<Pod>({"default"})->items.empty();
   }));
 }
 
@@ -267,7 +267,7 @@ TEST(DeploymentControllerTest, CreatesReplicaSetAndAggregatesStatus) {
     return live.ok() && live->status_ready == 2;
   }));
   Result<apiserver::TypedList<api::ReplicaSet>> rss =
-      h.server->List<api::ReplicaSet>("default");
+      h.server->List<api::ReplicaSet>({"default"});
   ASSERT_EQ(rss->items.size(), 1u);
   EXPECT_EQ(rss->items[0].meta.owner_references[0].name, "web");
 
@@ -281,7 +281,7 @@ TEST(DeploymentControllerTest, CreatesReplicaSetAndAggregatesStatus) {
                   })
                   .ok());
   ASSERT_TRUE(h.Eventually([&] {
-    auto list = h.server->List<api::ReplicaSet>("default")->items;
+    auto list = h.server->List<api::ReplicaSet>({"default"})->items;
     return list.size() == 1 && list[0].template_.spec.containers[0].image == "img:v2";
   }));
 }
@@ -318,14 +318,14 @@ TEST(EventRecorderTest, MergesRepeatsByCount) {
              "no nodes");
   rec.Record("default", "Pod", "web-0", "uid-1", "Warning", "FailedScheduling",
              "still no nodes");
-  Result<apiserver::TypedList<api::EventObj>> events = server.List<api::EventObj>("default");
+  Result<apiserver::TypedList<api::EventObj>> events = server.List<api::EventObj>({"default"});
   ASSERT_TRUE(events.ok());
   ASSERT_EQ(events->items.size(), 1u);
   EXPECT_EQ(events->items[0].count, 2);
   EXPECT_EQ(events->items[0].message, "still no nodes");
   // A different reason creates a separate event.
   rec.Record("default", "Pod", "web-0", "uid-1", "Normal", "Scheduled", "ok");
-  EXPECT_EQ(server.List<api::EventObj>("default")->items.size(), 2u);
+  EXPECT_EQ(server.List<api::EventObj>({"default"})->items.size(), 2u);
 }
 
 }  // namespace

@@ -60,7 +60,7 @@ TEST_F(IsolationTest, TenantIdentityDeniedOnSuperCluster) {
   // A tenant re-using its credentials against the super apiserver is denied
   // every verb.
   apiserver::RequestContext tenant_ctx = acme_->TenantContext();
-  EXPECT_EQ(deploy_->super().server().List<api::Pod>("", tenant_ctx).status().code(),
+  EXPECT_EQ(deploy_->super().server().List<api::Pod>({""}, tenant_ctx).status().code(),
             Code::kForbidden);
   EXPECT_EQ(deploy_->super()
                 .server()
@@ -70,7 +70,7 @@ TEST_F(IsolationTest, TenantIdentityDeniedOnSuperCluster) {
             Code::kForbidden);
   EXPECT_EQ(deploy_->super()
                 .server()
-                .List<api::Secret>("default", tenant_ctx)
+                .List<api::Secret>({"default"}, tenant_ctx)
                 .status()
                 .code(),
             Code::kForbidden)

@@ -242,6 +242,11 @@ TEST(KubeletTest, RestartCountsAreStable) {
   Result<Pod> p = h.WaitReady("web-0");
   ASSERT_TRUE(p.ok());
   EXPECT_EQ(p->status.container_statuses[0].restart_count, 0);
+  // pods_started() increments after the Ready status write becomes visible,
+  // so give the worker a moment instead of asserting instantly.
+  for (int i = 0; i < 500 && h.fleet->kubelets()[0]->pods_started() < 1; ++i) {
+    RealClock::Get()->SleepFor(Millis(2));
+  }
   EXPECT_EQ(h.fleet->kubelets()[0]->pods_started(), 1u);
 }
 

