@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# Storage hot-path benchmark comparison: builds the current checkout (head)
+# and, when possible, its parent commit (baseline) in a scratch worktree, runs
+# the storage microbenches on both, and writes BENCH_storage.json with both
+# sets of numbers side by side.
+#
+#   scripts/bench_compare.sh                 # baseline = HEAD~1
+#   BASELINE_REF=main~2 scripts/bench_compare.sh
+#
+# The head's bench/ sources are copied into the baseline worktree so both
+# builds run the *same* benchmark binary names and arguments
+# (micro_substrate.cpp carries a detection shim for pre-refactor KvStore
+# APIs). If the baseline cannot be built (shallow clone, dirty tree, source
+# incompatibility), the script degrades to head-only output rather than fail.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE_REF="${BASELINE_REF:-HEAD~1}"
+OUT="${OUT:-BENCH_storage.json}"
+FILTER='BM_WatchFanout|BM_ListZeroCopy|BM_ApiServerListSelective|BM_KvPut|BM_KvGet|BM_KvList'
+NPROC="$(nproc)"
+
+build_and_run() {  # $1 = source dir, $2 = result json, $3 = fig9 text output
+  local src="$1" out="$2" fig9="$3"
+  mkdir -p "$src/build-bench"
+  cmake -S "$src" -B "$src/build-bench" -DCMAKE_BUILD_TYPE=Release \
+        > "$src/build-bench/configure.log" 2>&1 || return 1
+  cmake --build "$src/build-bench" -j "$NPROC" \
+        --target micro_substrate fig9_throughput \
+        > "$src/build-bench/build.log" 2>&1 || return 1
+  "$src/build-bench/bench/micro_substrate" \
+      --benchmark_filter="$FILTER" \
+      --benchmark_out="$out" --benchmark_out_format=json \
+      --benchmark_repetitions=1 || return 1
+  "$src/build-bench/bench/fig9_throughput" --quick > "$fig9" 2>&1 || return 1
+}
+
+echo "==> head: building + running storage benches"
+HEAD_JSON="$(mktemp)"
+HEAD_FIG9="$(mktemp)"
+if ! build_and_run "$PWD" "$HEAD_JSON" "$HEAD_FIG9"; then
+  echo "error: head benchmark run failed" >&2
+  exit 1
+fi
+
+BASE_JSON=""
+WORKTREE=""
+if git rev-parse --verify -q "$BASELINE_REF" > /dev/null; then
+  WORKTREE="$(mktemp -d)/baseline"
+  echo "==> baseline ($BASELINE_REF): building in worktree $WORKTREE"
+  if git worktree add --detach "$WORKTREE" "$BASELINE_REF" > /dev/null 2>&1; then
+    # Same bench sources on both sides so names/args line up.
+    rm -rf "$WORKTREE/bench"
+    cp -r bench "$WORKTREE/bench"
+    BASE_JSON="$(mktemp)"
+    BASE_FIG9="$(mktemp)"
+    if ! build_and_run "$WORKTREE" "$BASE_JSON" "$BASE_FIG9"; then
+      echo "warning: baseline build/run failed; emitting head-only results" >&2
+      BASE_JSON=""
+      BASE_FIG9=""
+    fi
+  else
+    echo "warning: could not create baseline worktree; head-only results" >&2
+  fi
+else
+  echo "warning: baseline ref $BASELINE_REF not found; head-only results" >&2
+fi
+
+BASE_FIG9="${BASE_FIG9:-}"
+python3 - "$HEAD_JSON" "$BASE_JSON" "$OUT" "$BASELINE_REF" "$HEAD_FIG9" "$BASE_FIG9" <<'EOF'
+import json, subprocess, sys
+
+head_path, base_path, out_path, base_ref, head_fig9, base_fig9 = sys.argv[1:7]
+
+def load(path):
+    if not path:
+        return {}
+    with open(path) as f:
+        raw = json.load(f)
+    out = {}
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        out[b["name"]] = {
+            "real_time": b["real_time"],
+            "cpu_time": b["cpu_time"],
+            "time_unit": b["time_unit"],
+            **{k: b[k] for k in ("items_per_second", "bytes_per_second",
+                                 "decode_reduction", "decoded_bytes") if k in b},
+        }
+    return out
+
+head, base = load(head_path), load(base_path)
+rev = subprocess.run(["git", "rev-parse", "HEAD"], capture_output=True,
+                     text=True).stdout.strip()
+def read_text(path):
+    if not path:
+        return None
+    try:
+        with open(path) as f:
+            return f.read().splitlines()
+    except OSError:
+        return None
+
+report = {
+    "head_commit": rev,
+    "baseline_ref": base_ref if base else None,
+    "benchmarks": {},
+    "fig9_quick": {"head": read_text(head_fig9), "baseline": read_text(base_fig9)},
+}
+for name in sorted(set(head) | set(base)):
+    entry = {"head": head.get(name), "baseline": base.get(name)}
+    h, b = head.get(name), base.get(name)
+    if h and b and b["real_time"] > 0:
+        entry["speedup"] = round(b["real_time"] / h["real_time"], 3)
+    report["benchmarks"][name] = entry
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"==> wrote {out_path}")
+for name, e in report["benchmarks"].items():
+    s = e.get("speedup")
+    print(f"    {name}: " + (f"{s}x vs baseline" if s else "head-only"))
+EOF
+STATUS=$?
+
+if [ -n "$WORKTREE" ] && [ -d "$WORKTREE" ]; then
+  git worktree remove --force "$WORKTREE" > /dev/null 2>&1 || true
+fi
+exit $STATUS

@@ -22,12 +22,15 @@ std::string Encode(const T& obj) {
 }
 
 template <typename T>
-Result<T> Decode(const std::string& data) {
+Result<T> Decode(std::string_view data) {
   Result<Json> j = Json::Parse(data);
   if (!j.ok()) return j.status();
   return Codec<T>::Decode(*j);
 }
 
+// Overload for callers holding a std::string (or anything convertible to one,
+// e.g. kv::Blob): avoids requiring two user-defined conversions to reach the
+// string_view overload.
 // Approximate in-memory size of an object, used by informer-cache byte
 // accounting (Fig. 10 reproduction).
 template <typename T>

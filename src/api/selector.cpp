@@ -389,4 +389,17 @@ bool BlobMatchesSelectors(std::string_view blob, const LabelSelector& labels,
   return true;
 }
 
+bool ScanMetaLifecycle(std::string_view blob, bool* has_finalizers, bool* deleting) {
+  static const std::vector<std::string> kPaths = {"metadata.finalizers",
+                                                  "metadata.deletionTimestamp"};
+  ObjectScan scan;
+  if (!ScanObjectBlob(blob, kPaths, &scan)) return false;
+  // ObjectMetaToJson emits `finalizers` only when non-empty and
+  // `deletionTimestamp` only when set, so presence of the captured path is
+  // the whole answer (arrays are captured as an empty marker entry).
+  *has_finalizers = scan.fields.count("metadata.finalizers") > 0;
+  *deleting = scan.fields.count("metadata.deletionTimestamp") > 0;
+  return true;
+}
+
 }  // namespace vc::api

@@ -76,4 +76,11 @@ bool ScanObjectBlob(std::string_view blob, const std::vector<std::string>& field
 bool BlobMatchesSelectors(std::string_view blob, const LabelSelector& labels,
                           const FieldSelector& fields);
 
+// Lifecycle peek for the delete path: detects whether the encoded object
+// carries any finalizers and whether deletionTimestamp is set, WITHOUT a full
+// decode (the encoder omits both keys when empty/unset, so key presence in
+// the scan is the answer). Returns false on malformed input — callers fall
+// back to a full decode.
+bool ScanMetaLifecycle(std::string_view blob, bool* has_finalizers, bool* deleting);
+
 }  // namespace vc::api

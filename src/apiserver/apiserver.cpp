@@ -8,7 +8,12 @@
 namespace vc::apiserver {
 
 APIServer::APIServer(Options opts) : opts_(std::move(opts)) {
-  store_ = std::make_unique<kv::KvStore>();
+  exec_ = Executor::SharedFor(opts_.clock);
+  kv::KvStore::Options store_opts;
+  store_opts.max_log_bytes = opts_.max_log_bytes;
+  store_opts.executor = exec_;
+  store_ = std::make_unique<kv::KvStore>(std::move(store_opts));
+  decode_cache_ = std::make_shared<DecodeCache>();
   if (opts_.create_default_namespaces) {
     for (const char* ns : {"default", "kube-system"}) {
       api::NamespaceObj n;
@@ -72,16 +77,16 @@ std::function<std::optional<kv::Event>(const kv::Event&)> APIServer::MakeSelecto
           fields = std::move(fields)](const kv::Event& e) -> std::optional<kv::Event> {
     if (e.type == kv::EventType::kBookmark) return e;
     const bool now =
-        !e.value.empty() && api::BlobMatchesSelectors(e.value, labels, fields);
+        !e.value.empty() && api::BlobMatchesSelectors(e.value.str(), labels, fields);
     const bool before =
-        !e.prev_value.empty() && api::BlobMatchesSelectors(e.prev_value, labels, fields);
+        !e.prev_value.empty() && api::BlobMatchesSelectors(e.prev_value.str(), labels, fields);
     if (e.type == kv::EventType::kPut) {
       if (now) return e;
       if (before) {
         // The object left the selection; to this watcher that is a delete.
         kv::Event out = e;
         out.type = kv::EventType::kDelete;
-        out.value.clear();
+        out.value.reset();
         return out;
       }
       return std::nullopt;
@@ -134,9 +139,13 @@ Status APIServer::Before(const char* verb, const char* kind, const std::string& 
 Status APIServer::CheckNamespaceActive(const std::string& ns) const {
   Result<kv::Entry> e = store_->Get(Key<api::NamespaceObj>("", ns));
   if (!e.ok()) return NotFoundError("namespace " + ns + " not found");
-  Result<api::NamespaceObj> n = api::Decode<api::NamespaceObj>(e->value);
+  // Memoized by mod_revision: every namespaced create between two namespace
+  // writes reuses one decode instead of re-parsing the namespace blob.
+  Result<std::shared_ptr<const api::NamespaceObj>> n =
+      decode_cache_->GetOrDecode<api::NamespaceObj>(e->mod_revision, e->value,
+                                                    e->mod_revision);
   if (!n.ok()) return n.status();
-  if (n->meta.deleting() || n->phase == "Terminating") {
+  if ((*n)->meta.deleting() || (*n)->phase == "Terminating") {
     return ForbiddenError("namespace " + ns + " is terminating");
   }
   return OkStatus();

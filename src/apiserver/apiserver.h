@@ -18,6 +18,7 @@
 //   * RBAC authorization and per-identity token-bucket rate limits (429).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <map>
 #include <memory>
@@ -29,6 +30,7 @@
 #include "api/selector.h"
 #include "api/types.h"
 #include "apiserver/rbac.h"
+#include "apiserver/watch_cache.h"
 #include "common/clock.h"
 #include "common/hash.h"
 #include "common/logging.h"
@@ -95,14 +97,22 @@ struct WatchEvent {
   Type type = Type::kPut;
   T object;           // new state for kPut; last known state for kDelete
   int64_t revision = 0;
+  // When the delivery came through the server's DecodeCache, the memoized
+  // decoded object (resource_version already stamped). N informers watching
+  // one kind share this single decode; consumers that can hold a
+  // shared_ptr<const T> (ObjectCache::UpsertShared) avoid copying entirely.
+  std::shared_ptr<const T> shared;
 };
 
-// Typed view over a kv watch channel; decodes values lazily per event.
+// Typed view over a kv watch channel; decodes values lazily per event,
+// memoized through the server's DecodeCache when one is attached.
 template <typename T>
 class TypedWatch {
  public:
   TypedWatch() = default;
-  explicit TypedWatch(std::shared_ptr<kv::WatchChannel> ch) : ch_(std::move(ch)) {}
+  explicit TypedWatch(std::shared_ptr<kv::WatchChannel> ch,
+                      std::shared_ptr<DecodeCache> decode = nullptr)
+      : ch_(std::move(ch)), decode_(std::move(decode)) {}
 
   // Same status contract as kv::WatchChannel::Next (Timeout/Aborted/Gone).
   Result<WatchEvent<T>> Next(Duration timeout) {
@@ -115,19 +125,24 @@ class TypedWatch {
       out.type = WatchEvent<T>::Type::kBookmark;
       return out;
     }
-    if (e->type == kv::EventType::kPut) {
-      out.type = WatchEvent<T>::Type::kPut;
-      Result<T> obj = api::Decode<T>(e->value);
+    const bool is_put = e->type == kv::EventType::kPut;
+    out.type = is_put ? WatchEvent<T>::Type::kPut : WatchEvent<T>::Type::kDelete;
+    const kv::Blob& blob = is_put ? e->value : e->prev_value;
+    if (blob.empty()) return out;  // delete with no prior state
+    if (decode_) {
+      // DecodeCache key: +rev = the event's value blob, -rev = its prev_value
+      // blob (revisions are store-wide unique, so this names exactly one
+      // blob). Every TypedWatch and the WatchCache share one parse per event.
+      Result<std::shared_ptr<const T>> obj =
+          decode_->GetOrDecode<T>(is_put ? e->revision : -e->revision, blob, e->revision);
       if (!obj.ok()) return obj.status();
-      out.object = std::move(*obj);
-    } else {
-      out.type = WatchEvent<T>::Type::kDelete;
-      if (!e->prev_value.empty()) {
-        Result<T> obj = api::Decode<T>(e->prev_value);
-        if (!obj.ok()) return obj.status();
-        out.object = std::move(*obj);
-      }
+      out.shared = std::move(*obj);
+      out.object = *out.shared;
+      return out;
     }
+    Result<T> obj = api::Decode<T>(blob.str());
+    if (!obj.ok()) return obj.status();
+    out.object = std::move(*obj);
     // resourceVersion is never stored inside the blob; stamp it from the
     // event revision so caches stay strictly ordered.
     out.object.meta.resource_version = e->revision;
@@ -152,6 +167,7 @@ class TypedWatch {
 
  private:
   std::shared_ptr<kv::WatchChannel> ch_;
+  std::shared_ptr<DecodeCache> decode_;
 };
 
 template <typename T>
@@ -177,31 +193,56 @@ struct ServerStats {
   std::atomic<uint64_t> conflicts{0};
   // Read-path cost accounting: bytes skip-scanned for selector evaluation vs
   // bytes fully decoded onto the wire. A selective list keeps decoded ≪
-  // scanned — the O(matching) story the micro benches assert.
+  // scanned — the O(matching) story the micro benches assert. A cache-served
+  // list decodes NOTHING: objects come pre-decoded from the watch cache.
   std::atomic<uint64_t> list_bytes_scanned{0};
   std::atomic<uint64_t> list_bytes_decoded{0};
+  // Reads answered by the per-kind watch cache (no store List, no decode).
+  std::atomic<uint64_t> cache_served_gets{0};
+  std::atomic<uint64_t> cache_served_lists{0};
+
+  // Store log pressure gauges, refreshed after every mutation (Fig. 10
+  // accounting: replay-log growth is the reclaimable part of control-plane
+  // memory).
+  std::atomic<uint64_t> store_log_bytes{0};
+  std::atomic<uint64_t> store_log_events{0};
+  std::atomic<int64_t> store_compacted_revision{0};
 
   uint64_t TotalMutations() const { return creates + updates + deletes; }
 
-  // Per-identity request counts keyed by RequestContext::StatsKey(), letting
-  // interference benches attribute load per tenant / component.
+  // Per-identity request counts keyed by RequestContext::StatsKey(). Striped
+  // across shards so the per-request bump does not serialize every identity
+  // behind one global mutex on the hot path.
   void BumpIdentity(const std::string& key) {
-    std::lock_guard<std::mutex> l(identity_mu_);
-    per_identity_[key]++;
+    IdentityShard& s = ShardFor(key);
+    std::lock_guard<std::mutex> l(s.mu);
+    s.counts[key]++;
   }
   uint64_t IdentityRequests(const std::string& key) const {
-    std::lock_guard<std::mutex> l(identity_mu_);
-    auto it = per_identity_.find(key);
-    return it == per_identity_.end() ? 0 : it->second;
+    IdentityShard& s = ShardFor(key);
+    std::lock_guard<std::mutex> l(s.mu);
+    auto it = s.counts.find(key);
+    return it == s.counts.end() ? 0 : it->second;
   }
   std::map<std::string, uint64_t> PerIdentity() const {
-    std::lock_guard<std::mutex> l(identity_mu_);
-    return per_identity_;
+    std::map<std::string, uint64_t> out;
+    for (const IdentityShard& s : identity_shards_) {
+      std::lock_guard<std::mutex> l(s.mu);
+      for (const auto& [k, v] : s.counts) out[k] += v;
+    }
+    return out;
   }
 
  private:
-  mutable std::mutex identity_mu_;
-  std::map<std::string, uint64_t> per_identity_;
+  static constexpr size_t kIdentityShards = 16;
+  struct IdentityShard {
+    mutable std::mutex mu;
+    std::map<std::string, uint64_t> counts;
+  };
+  IdentityShard& ShardFor(const std::string& key) const {
+    return identity_shards_[Fnv1a64(key) % kIdentityShards];
+  }
+  mutable std::array<IdentityShard, kIdentityShards> identity_shards_;
 };
 
 class APIServer {
@@ -222,6 +263,15 @@ class APIServer {
     // flooding a SHARED apiserver visibly delays everyone else — the Fig. 1
     // interference problem that motivates per-tenant control planes.
     int max_inflight = 0;
+    // Per-kind watch cache serving Get and unpaged List from decoded objects
+    // (kube's watchCache). Reads fall back to the store whenever the cache
+    // cannot answer with read-your-write freshness within cache_fresh_timeout
+    // (real time, like kube's waitUntilFreshAndBlock deadline).
+    bool enable_watch_cache = true;
+    Duration cache_fresh_timeout = Millis(250);
+    // Byte bound on the store's watch-replay log (0 = event-count bound
+    // only); see kv::KvStore::Options::max_log_bytes.
+    size_t max_log_bytes = 0;
   };
 
   explicit APIServer(Options opts);
@@ -268,6 +318,7 @@ class APIServer {
     Result<int64_t> rev = store_->Put(Key<T>(obj.meta.ns, obj.meta.name), api::Encode(obj),
                                       /*expected=*/0);
     if (!rev.ok()) return rev.status();
+    RefreshStoreGauges();
     obj.meta.resource_version = *rev;
     return obj;
   }
@@ -277,10 +328,26 @@ class APIServer {
                 const RequestContext& ctx = {}) const {
     VC_RETURN_IF_ERROR(Before("get", T::kKind, ns, ctx));
     stats_.gets++;
+    if (opts_.enable_watch_cache) {
+      WatchCache<T>* cache = CacheFor<T>();
+      Result<std::shared_ptr<const T>> hit = cache->GetFresh(
+          Key<T>(ns, name), store_->CurrentRevision(), opts_.cache_fresh_timeout);
+      if (hit.ok()) {
+        stats_.cache_served_gets++;
+        return T(**hit);  // resource_version already stamped at decode
+      }
+      if (hit.status().IsNotFound()) {
+        // Authoritative: the cache has applied the store's current revision.
+        stats_.cache_served_gets++;
+        return NotFoundError(std::string(T::kKind) + " " + ns + "/" + name +
+                             " not found");
+      }
+      // Unavailable (stale/unhealthy): fall through to the store.
+    }
     Result<kv::Entry> e = store_->Get(Key<T>(ns, name));
     if (!e.ok()) return NotFoundError(std::string(T::kKind) + " " + ns + "/" + name +
                                       " not found");
-    Result<T> obj = api::Decode<T>(e->value);
+    Result<T> obj = api::Decode<T>(e->value.str());
     if (!obj.ok()) return obj.status();
     obj->meta.resource_version = e->mod_revision;
     return obj;
@@ -298,6 +365,39 @@ class APIServer {
     if (!labels.ok()) return labels.status();
     Result<api::FieldSelector> fields = api::ParseFieldSelector(opts.field_selector);
     if (!fields.ok()) return fields.status();
+    const bool selecting = !labels->Empty() || !fields->Empty();
+    std::string prefix = opts.ns.empty() ? KindPrefix<T>() : Key<T>(opts.ns, "");
+    // Unpaged lists are served from the per-kind watch cache: objects are
+    // already decoded, so selection costs at most a field-selector scan and
+    // matching costs ZERO decode bytes. Paged / continue-token reads keep the
+    // store path (their snapshot is pinned to a past revision the cache no
+    // longer holds).
+    if (opts_.enable_watch_cache && opts.limit == 0 && opts.continue_token.empty()) {
+      WatchCache<T>* cache = CacheFor<T>();
+      const std::vector<std::string> paths = fields->Paths();
+      TypedList<T> out;
+      const bool served = cache->SnapshotScan(
+          prefix, store_->CurrentRevision(), opts_.cache_fresh_timeout, &out.revision,
+          [&](const std::string&, const typename WatchCache<T>::Item& item) {
+            if (selecting) {
+              if (!labels->Empty() && !labels->Matches(item.obj->meta.labels)) return;
+              if (!fields->Empty()) {
+                stats_.list_bytes_scanned += item.blob.size();
+                api::ObjectScan scan;
+                if (!api::ScanObjectBlob(item.blob.str(), paths, &scan)) return;
+                if (!scan.name.empty()) scan.fields["metadata.name"] = scan.name;
+                if (!scan.ns.empty()) scan.fields["metadata.namespace"] = scan.ns;
+                if (!fields->Matches(scan.fields)) return;
+              }
+            }
+            out.items.push_back(*item.obj);
+          });
+      if (served) {
+        stats_.cache_served_lists++;
+        return out;
+      }
+      // Cache stale/unhealthy: serve from the store below.
+    }
     int64_t snapshot = 0;
     std::string start_after;
     if (!opts.continue_token.empty()) {
@@ -312,8 +412,6 @@ class APIServer {
             static_cast<long long>(store_->CompactedRevision())));
       }
     }
-    const bool selecting = !labels->Empty() || !fields->Empty();
-    std::string prefix = opts.ns.empty() ? KindPrefix<T>() : Key<T>(opts.ns, "");
     // With a selector the limit applies to *matching* objects, so take the
     // whole remaining key range and stop once the page is full; otherwise the
     // kv layer pages for us.
@@ -325,14 +423,14 @@ class APIServer {
     for (const kv::Entry& e : raw.entries) {
       if (selecting) {
         stats_.list_bytes_scanned += e.value.size();
-        if (!api::BlobMatchesSelectors(e.value, *labels, *fields)) continue;
+        if (!api::BlobMatchesSelectors(e.value.str(), *labels, *fields)) continue;
       }
       if (opts.limit > 0 && out.items.size() >= opts.limit) {
         truncated = true;
         break;
       }
       stats_.list_bytes_decoded += e.value.size();
-      Result<T> obj = api::Decode<T>(e.value);
+      Result<T> obj = api::Decode<T>(e.value.str());
       if (!obj.ok()) return obj.status();
       obj->meta.resource_version = e.mod_revision;
       last_key = e.key;
@@ -373,20 +471,36 @@ class APIServer {
       Result<kv::Entry> e = store_->Get(Key<T>(ns, name));
       if (!e.ok()) return NotFoundError(std::string(T::kKind) + " " + ns + "/" + name +
                                         " not found");
-      Result<T> obj = api::Decode<T>(e->value);
-      if (!obj.ok()) return obj.status();
-      if (!obj->meta.finalizers.empty()) {
-        if (obj->meta.deleting()) return OkStatus();  // already terminating
+      // Peek finalizers/deletionTimestamp straight off the raw blob: every
+      // CAS retry used to pay a full decode just to branch on two fields.
+      // Only the set-deletionTimestamp branch (which must re-encode) decodes.
+      bool has_finalizers = true, deleting = false;
+      if (!api::ScanMetaLifecycle(e->value.str(), &has_finalizers, &deleting)) {
+        Result<T> probe = api::Decode<T>(e->value.str());  // malformed-scan fallback
+        if (!probe.ok()) return probe.status();
+        has_finalizers = !probe->meta.finalizers.empty();
+        deleting = probe->meta.deleting();
+      }
+      if (has_finalizers) {
+        if (deleting) return OkStatus();  // already terminating
+        Result<T> obj = api::Decode<T>(e->value.str());
+        if (!obj.ok()) return obj.status();
         obj->meta.deletion_timestamp_ms = opts_.clock->WallUnixMillis();
         obj->meta.resource_version = 0;  // not stored in the blob
         Result<int64_t> rev = store_->Put(Key<T>(ns, name), api::Encode(*obj),
                                           e->mod_revision);
-        if (rev.ok()) return OkStatus();
+        if (rev.ok()) {
+          RefreshStoreGauges();
+          return OkStatus();
+        }
         if (rev.status().IsConflict()) continue;  // racing writer; retry
         return rev.status();
       }
       Result<int64_t> rev = store_->Delete(Key<T>(ns, name), e->mod_revision);
-      if (rev.ok()) return OkStatus();
+      if (rev.ok()) {
+        RefreshStoreGauges();
+        return OkStatus();
+      }
       if (rev.status().IsConflict() || rev.status().IsNotFound()) continue;
       return rev.status();
     }
@@ -416,7 +530,7 @@ class APIServer {
     }
     Result<std::shared_ptr<kv::WatchChannel>> ch = store_->Watch(prefix, std::move(params));
     if (!ch.ok()) return ch.status();
-    return TypedWatch<T>(std::move(*ch));
+    return TypedWatch<T>(std::move(*ch), decode_cache_);
   }
 
   // ------------------------------------------------------------- helpers
@@ -473,6 +587,7 @@ class APIServer {
         if (del.status().IsConflict()) stats_.conflicts++;
         return del.status();
       }
+      RefreshStoreGauges();
       obj.meta.resource_version = *del;
       return obj;
     }
@@ -481,6 +596,7 @@ class APIServer {
       if (rev.status().IsConflict()) stats_.conflicts++;
       return rev.status();
     }
+    RefreshStoreGauges();
     obj.meta.resource_version = *rev;
     return obj;
   }
@@ -488,6 +604,29 @@ class APIServer {
   Status Before(const char* verb, const char* kind, const std::string& ns,
                 const RequestContext& ctx) const;
   Status CheckNamespaceActive(const std::string& ns) const;
+
+  // Lazily builds the per-kind watch cache (first typed read pays the priming
+  // list). Keyed by T::kKind; the shared_ptr<void> erases the type while
+  // keeping the right destructor.
+  template <typename T>
+  WatchCache<T>* CacheFor() const {
+    std::lock_guard<std::mutex> l(cache_mu_);
+    std::shared_ptr<void>& slot = caches_[T::kKind];
+    if (!slot) {
+      slot = std::make_shared<WatchCache<T>>(store_.get(), KindPrefix<T>(),
+                                             decode_cache_, exec_);
+    }
+    return static_cast<WatchCache<T>*>(slot.get());
+  }
+
+  // Mirrors the store's replay-log pressure into the stats gauges; called
+  // after every successful mutation (all O(1) reads under a shared lock).
+  void RefreshStoreGauges() const {
+    stats_.store_log_bytes.store(store_->LogBytes(), std::memory_order_relaxed);
+    stats_.store_log_events.store(store_->LogEvents(), std::memory_order_relaxed);
+    stats_.store_compacted_revision.store(store_->CompactedRevision(),
+                                          std::memory_order_relaxed);
+  }
 
   // RAII slot in the max-inflight gate (no-op when unlimited).
   class InflightSlot {
@@ -503,6 +642,9 @@ class APIServer {
   friend class InflightSlot;
 
   Options opts_;
+  // Shared executor hosting the store's dispatch strand and the watch caches'
+  // apply strands. Declared before store_/caches_ so it outlives them.
+  std::shared_ptr<Executor> exec_;
   std::unique_ptr<kv::KvStore> store_;
   Authorizer authorizer_;
   mutable ServerStats stats_;
@@ -511,6 +653,11 @@ class APIServer {
   mutable std::mutex inflight_mu_;
   mutable std::condition_variable inflight_cv_;
   mutable int inflight_ = 0;
+  std::shared_ptr<DecodeCache> decode_cache_;
+  // Per-kind watch caches. Declared after store_ so they are destroyed first
+  // (each holds a live watch on the store).
+  mutable std::mutex cache_mu_;
+  mutable std::map<std::string, std::shared_ptr<void>> caches_;
 };
 
 // Read-modify-write loop: fetch ns/name, apply fn, Update; retry on Conflict.

@@ -35,11 +35,19 @@ class ObjectCache {
 
   // Returns the previous object (nullptr if absent).
   Ptr Upsert(const T& obj) {
-    auto p = std::make_shared<const T>(obj);
+    return UpsertShared(std::make_shared<const T>(obj));
+  }
+
+  // Zero-copy upsert: stores the given shared object directly. Watch
+  // deliveries that carry the apiserver's memoized decode
+  // (WatchEvent::shared) land here, so N informers caching one kind hold N
+  // references to ONE decoded object instead of N copies.
+  Ptr UpsertShared(Ptr p) {
+    const std::string key = KeyOf(*p);
     std::lock_guard<std::mutex> l(mu_);
-    auto it = objects_.find(KeyOf(obj));
+    auto it = objects_.find(key);
     if (it == objects_.end()) {
-      objects_.emplace(KeyOf(obj), std::move(p));
+      objects_.emplace(key, std::move(p));
       return nullptr;
     }
     Ptr old = it->second;

@@ -370,8 +370,10 @@ class SharedInformer {
         continue;
       }
       if (ev->type == apiserver::WatchEvent<T>::Type::kPut) {
-        Ptr old = cache_.Upsert(ev->object);
-        Ptr fresh = cache_.GetByKey(ObjectCache<T>::KeyOf(ev->object));
+        // Prefer the server's memoized decode: all informers watching this
+        // kind share one immutable object per event (see WatchEvent::shared).
+        Ptr fresh = ev->shared ? ev->shared : std::make_shared<const T>(ev->object);
+        Ptr old = cache_.UpsertShared(fresh);
         Dispatch(old, fresh);
       } else {
         Ptr old = cache_.Delete(ObjectCache<T>::KeyOf(ev->object));

@@ -59,8 +59,8 @@ bool WatchChannel::Offer(const Event& e) {
     std::lock_guard<std::mutex> l(mu_);
     if (cancelled_ || gone_) return false;
     if (queue_.size() >= capacity_) {
-      // Slow watcher: poison instead of blocking the writer. The client will
-      // observe Gone and relist, exactly like a real etcd watch falling
+      // Slow watcher: poison instead of blocking the dispatcher. The client
+      // will observe Gone and relist, exactly like a real etcd watch falling
       // behind the compaction window.
       gone_ = true;
       queue_.clear();
@@ -87,9 +87,16 @@ void WatchChannel::CloseGone() {
 
 // -------------------------------------------------------------------- KvStore
 
+KvStore::KvStore(Options opts)
+    : revision_(opts.start_revision),
+      compacted_(opts.start_revision),
+      max_log_events_(opts.max_log_events),
+      max_log_bytes_(opts.max_log_bytes),
+      executor_(opts.executor ? std::move(opts.executor)
+                              : Executor::SharedFor(RealClock::Get())) {}
+
 KvStore::KvStore(size_t max_log_events, int64_t start_revision)
-    : revision_(start_revision), compacted_(start_revision),
-      max_log_events_(max_log_events) {}
+    : KvStore(Options{max_log_events, /*max_log_bytes=*/0, start_revision, nullptr}) {}
 
 KvStore::~KvStore() { Shutdown(); }
 
@@ -119,96 +126,192 @@ void KvStore::OfferFiltered(Watcher& w, const Event& e) {
   }
 }
 
-void KvStore::AppendAndDispatchLocked(Event e) {
-  log_.push_back(e);
-  while (log_.size() > max_log_events_) {
+size_t KvStore::EventBytes(const Event& e) {
+  return sizeof(Event) + e.key.size() + e.value.size() + e.prev_value.size();
+}
+
+void KvStore::TrimLogLocked() {
+  while (!log_.empty() &&
+         (log_.size() > max_log_events_ ||
+          (max_log_bytes_ > 0 && log_bytes_ > max_log_bytes_))) {
+    log_bytes_ -= EventBytes(log_.front());
     compacted_ = log_.front().revision;
     log_.pop_front();
   }
-  // Dispatch to live watchers; drop the dead ones.
+}
+
+void KvStore::AppendLocked(Event e) {
+  log_bytes_ += EventBytes(e);
+  log_.push_back(e);
+  TrimLogLocked();
+  if (fan_targets_.load(std::memory_order_relaxed) > 0) {
+    DispatchCmd cmd;
+    cmd.kind = DispatchCmd::Kind::kEvent;
+    cmd.event = std::move(e);
+    EnqueueLocked(std::move(cmd));
+  }
+}
+
+void KvStore::EnqueueLocked(DispatchCmd cmd) {
+  std::lock_guard<std::mutex> pl(pend_mu_);
+  pending_.push_back(std::move(cmd));
+}
+
+void KvStore::KickDispatch() {
+  {
+    std::lock_guard<std::mutex> pl(pend_mu_);
+    if (dispatch_active_ || pending_.empty()) return;
+    dispatch_active_ = true;
+  }
+  if (!executor_->Submit([this] { DispatchLoop(); })) {
+    // Executor torn down (process exit path): run the strand inline so no
+    // command is silently dropped.
+    DispatchLoop();
+  }
+}
+
+void KvStore::DispatchLoop() {
+  for (;;) {
+    DispatchCmd cmd;
+    {
+      std::lock_guard<std::mutex> pl(pend_mu_);
+      if (pending_.empty()) {
+        dispatch_active_ = false;
+        pend_cv_.notify_all();
+        return;  // must not touch *this past this point (see FlushWatchDispatch)
+      }
+      cmd = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    ProcessCmd(std::move(cmd));
+  }
+}
+
+void KvStore::ProcessCmd(DispatchCmd cmd) {
+  std::lock_guard<std::mutex> fl(fan_mu_);
+  if (cmd.kind == DispatchCmd::Kind::kRegister) {
+    uint64_t epoch_now;
+    {
+      std::lock_guard<std::mutex> pl(pend_mu_);
+      epoch_now = epoch_;
+    }
+    if (cmd.epoch != epoch_now) {
+      // BreakWatches/Shutdown ran after this registration was enqueued but
+      // before it reached the strand: it must break like the rest.
+      cmd.watcher.channel->CloseGone();
+      fan_targets_.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+    for (const Event& e : cmd.replay) {
+      OfferFiltered(cmd.watcher, e);
+      if (!cmd.watcher.channel->ok()) break;
+    }
+    watchers_.push_back(std::move(cmd.watcher));
+    return;
+  }
+  // Fan an event out to live watchers; drop the dead ones.
   auto it = watchers_.begin();
   while (it != watchers_.end()) {
     if (!it->channel->ok()) {
       it = watchers_.erase(it);
+      fan_targets_.fetch_sub(1, std::memory_order_relaxed);
       continue;
     }
-    OfferFiltered(*it, e);
+    OfferFiltered(*it, cmd.event);
     ++it;
   }
 }
 
-Result<int64_t> KvStore::Put(const std::string& key, const std::string& value,
+void KvStore::FlushWatchDispatch() {
+  KickDispatch();
+  BlockingRegion blocking;
+  std::unique_lock<std::mutex> pl(pend_mu_);
+  pend_cv_.wait(pl, [this] { return pending_.empty() && !dispatch_active_; });
+}
+
+Result<int64_t> KvStore::Put(const std::string& key, std::string value,
                              std::optional<int64_t> expected_mod_revision) {
-  std::lock_guard<std::mutex> l(mu_);
-  if (shutdown_) return UnavailableError("store is shut down");
-  auto it = data_.find(key);
-  if (expected_mod_revision.has_value()) {
-    int64_t want = *expected_mod_revision;
-    if (want == 0) {
-      if (it != data_.end()) return AlreadyExistsError("key exists: " + key);
-    } else {
-      if (it == data_.end()) return NotFoundError("key not found: " + key);
-      if (it->second.mod_revision != want) {
-        return ConflictError(StrFormat("mod revision mismatch for %s: have %lld want %lld",
-                                       key.c_str(),
-                                       static_cast<long long>(it->second.mod_revision),
-                                       static_cast<long long>(want)));
+  int64_t rev;
+  {
+    std::unique_lock<std::shared_mutex> l(mu_);
+    if (shutdown_) return UnavailableError("store is shut down");
+    auto it = data_.find(key);
+    if (expected_mod_revision.has_value()) {
+      int64_t want = *expected_mod_revision;
+      if (want == 0) {
+        if (it != data_.end()) return AlreadyExistsError("key exists: " + key);
+      } else {
+        if (it == data_.end()) return NotFoundError("key not found: " + key);
+        if (it->second.mod_revision != want) {
+          return ConflictError(StrFormat("mod revision mismatch for %s: have %lld want %lld",
+                                         key.c_str(),
+                                         static_cast<long long>(it->second.mod_revision),
+                                         static_cast<long long>(want)));
+        }
       }
     }
+    ++revision_;
+    Blob blob(std::move(value));
+    Event e;
+    e.type = EventType::kPut;
+    e.key = key;
+    e.value = blob;
+    e.revision = revision_;
+    if (it == data_.end()) {
+      Entry entry;
+      entry.key = key;
+      entry.value = blob;
+      entry.create_revision = revision_;
+      entry.mod_revision = revision_;
+      entry.version = 1;
+      live_bytes_ += key.size() + blob.size();
+      data_.emplace(key, std::move(entry));
+    } else {
+      e.prev_value = it->second.value;
+      live_bytes_ += blob.size();
+      live_bytes_ -= it->second.value.size();
+      it->second.value = std::move(blob);
+      it->second.mod_revision = revision_;
+      it->second.version++;
+    }
+    AppendLocked(std::move(e));
+    rev = revision_;
   }
-  ++revision_;
-  Event e;
-  e.type = EventType::kPut;
-  e.key = key;
-  e.value = value;
-  e.revision = revision_;
-  if (it == data_.end()) {
-    Entry entry;
-    entry.key = key;
-    entry.value = value;
-    entry.create_revision = revision_;
-    entry.mod_revision = revision_;
-    entry.version = 1;
-    live_bytes_ += key.size() + value.size();
-    data_.emplace(key, std::move(entry));
-  } else {
-    e.prev_value = it->second.value;
-    live_bytes_ += value.size();
-    live_bytes_ -= it->second.value.size();
-    it->second.value = value;
-    it->second.mod_revision = revision_;
-    it->second.version++;
-  }
-  AppendAndDispatchLocked(std::move(e));
-  return revision_;
+  KickDispatch();
+  return rev;
 }
 
 Result<int64_t> KvStore::Delete(const std::string& key,
                                 std::optional<int64_t> expected_mod_revision) {
-  std::lock_guard<std::mutex> l(mu_);
-  if (shutdown_) return UnavailableError("store is shut down");
-  auto it = data_.find(key);
-  if (it == data_.end()) return NotFoundError("key not found: " + key);
-  if (expected_mod_revision.has_value() && it->second.mod_revision != *expected_mod_revision) {
-    return ConflictError(StrFormat("mod revision mismatch for %s: have %lld want %lld",
-                                   key.c_str(),
-                                   static_cast<long long>(it->second.mod_revision),
-                                   static_cast<long long>(*expected_mod_revision)));
+  int64_t rev;
+  {
+    std::unique_lock<std::shared_mutex> l(mu_);
+    if (shutdown_) return UnavailableError("store is shut down");
+    auto it = data_.find(key);
+    if (it == data_.end()) return NotFoundError("key not found: " + key);
+    if (expected_mod_revision.has_value() && it->second.mod_revision != *expected_mod_revision) {
+      return ConflictError(StrFormat("mod revision mismatch for %s: have %lld want %lld",
+                                     key.c_str(),
+                                     static_cast<long long>(it->second.mod_revision),
+                                     static_cast<long long>(*expected_mod_revision)));
+    }
+    ++revision_;
+    Event e;
+    e.type = EventType::kDelete;
+    e.key = key;
+    e.prev_value = it->second.value;
+    e.revision = revision_;
+    live_bytes_ -= key.size() + it->second.value.size();
+    data_.erase(it);
+    AppendLocked(std::move(e));
+    rev = revision_;
   }
-  ++revision_;
-  Event e;
-  e.type = EventType::kDelete;
-  e.key = key;
-  e.prev_value = it->second.value;
-  e.revision = revision_;
-  live_bytes_ -= key.size() + it->second.value.size();
-  data_.erase(it);
-  AppendAndDispatchLocked(std::move(e));
-  return revision_;
+  KickDispatch();
+  return rev;
 }
 
 Result<Entry> KvStore::Get(const std::string& key) const {
-  std::lock_guard<std::mutex> l(mu_);
+  std::shared_lock<std::shared_mutex> l(mu_);
   auto it = data_.find(key);
   if (it == data_.end()) return NotFoundError("key not found: " + key);
   return it->second;
@@ -220,7 +323,7 @@ ListResult KvStore::List(const std::string& prefix) const {
 
 ListResult KvStore::List(const std::string& prefix, size_t limit,
                          const std::string& start_after) const {
-  std::lock_guard<std::mutex> l(mu_);
+  std::shared_lock<std::shared_mutex> l(mu_);
   ListResult out;
   out.revision = revision_;
   auto it = start_after.empty() ? data_.lower_bound(prefix)
@@ -237,12 +340,12 @@ ListResult KvStore::List(const std::string& prefix, size_t limit,
 }
 
 int64_t KvStore::CurrentRevision() const {
-  std::lock_guard<std::mutex> l(mu_);
+  std::shared_lock<std::shared_mutex> l(mu_);
   return revision_;
 }
 
 int64_t KvStore::CompactedRevision() const {
-  std::lock_guard<std::mutex> l(mu_);
+  std::shared_lock<std::shared_mutex> l(mu_);
   return compacted_;
 }
 
@@ -257,34 +360,46 @@ Result<std::shared_ptr<WatchChannel>> KvStore::Watch(const std::string& prefix,
 
 Result<std::shared_ptr<WatchChannel>> KvStore::Watch(const std::string& prefix,
                                                      WatchParams params) {
-  std::lock_guard<std::mutex> l(mu_);
-  if (shutdown_) return UnavailableError("store is shut down");
-  if (params.from_revision < compacted_) {
-    return GoneError(StrFormat("revision %lld compacted (compacted=%lld)",
-                               static_cast<long long>(params.from_revision),
-                               static_cast<long long>(compacted_)));
+  std::shared_ptr<WatchChannel> ch;
+  {
+    std::unique_lock<std::shared_mutex> l(mu_);
+    if (shutdown_) return UnavailableError("store is shut down");
+    if (params.from_revision < compacted_) {
+      return GoneError(StrFormat("revision %lld compacted (compacted=%lld)",
+                                 static_cast<long long>(params.from_revision),
+                                 static_cast<long long>(compacted_)));
+    }
+    ch = std::shared_ptr<WatchChannel>(new WatchChannel(params.buffer_capacity));
+    DispatchCmd cmd;
+    cmd.kind = DispatchCmd::Kind::kRegister;
+    cmd.watcher.prefix = prefix;
+    cmd.watcher.channel = ch;
+    cmd.watcher.filter = std::move(params.filter);
+    cmd.watcher.bookmark_interval = params.bookmark_interval;
+    cmd.watcher.last_sent_revision = params.from_revision;
+    // Capture the replay under the store lock: every event <= revision_ is
+    // already ahead of this command in the queue (writers enqueue while
+    // holding mu_), so the strand replays (from_revision, revision_] exactly
+    // once and live events resume at revision_ + 1 — no gap, no duplication.
+    for (const Event& e : log_) {
+      if (e.revision <= params.from_revision) continue;
+      cmd.replay.push_back(e);
+    }
+    {
+      std::lock_guard<std::mutex> pl(pend_mu_);
+      cmd.epoch = epoch_;
+    }
+    fan_targets_.fetch_add(1, std::memory_order_relaxed);
+    EnqueueLocked(std::move(cmd));
   }
-  auto ch = std::shared_ptr<WatchChannel>(new WatchChannel(params.buffer_capacity));
-  Watcher w;
-  w.prefix = prefix;
-  w.channel = ch;
-  w.filter = std::move(params.filter);
-  w.bookmark_interval = params.bookmark_interval;
-  w.last_sent_revision = params.from_revision;
-  // Replay history after from_revision, then register for live events —
-  // atomically under the store lock so nothing is missed or duplicated.
-  for (const Event& e : log_) {
-    if (e.revision <= params.from_revision) continue;
-    OfferFiltered(w, e);
-    if (!w.channel->ok()) break;
-  }
-  watchers_.push_back(std::move(w));
+  KickDispatch();
   return ch;
 }
 
 void KvStore::Compact(int64_t up_to) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::unique_lock<std::shared_mutex> l(mu_);
   while (!log_.empty() && log_.front().revision <= up_to) {
+    log_bytes_ -= EventBytes(log_.front());
     compacted_ = log_.front().revision;
     log_.pop_front();
   }
@@ -292,51 +407,72 @@ void KvStore::Compact(int64_t up_to) {
 }
 
 void KvStore::Shutdown() {
+  {
+    std::unique_lock<std::shared_mutex> l(mu_);
+    if (shutdown_) {
+      l.unlock();
+      // A concurrent first Shutdown may still be flushing; wait for it so the
+      // destructor never races the strand.
+      FlushWatchDispatch();
+      return;
+    }
+    shutdown_ = true;
+  }
+  {
+    std::lock_guard<std::mutex> pl(pend_mu_);
+    ++epoch_;  // queued registrations must break too
+  }
   std::vector<Watcher> watchers;
   {
-    std::lock_guard<std::mutex> l(mu_);
-    if (shutdown_) return;
-    shutdown_ = true;
+    std::lock_guard<std::mutex> fl(fan_mu_);
     watchers.swap(watchers_);
+    fan_targets_.fetch_sub(static_cast<int64_t>(watchers.size()),
+                           std::memory_order_relaxed);
   }
   for (Watcher& w : watchers) w.channel->CloseGone();
+  // Drain the strand: leftover events fan out to the (now empty) watcher set
+  // and stale registrations observe the epoch bump and close. After this, no
+  // strand task references *this.
+  FlushWatchDispatch();
 }
 
 void KvStore::BreakWatches() {
+  {
+    std::lock_guard<std::mutex> pl(pend_mu_);
+    ++epoch_;
+  }
   std::vector<Watcher> watchers;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    std::lock_guard<std::mutex> fl(fan_mu_);
     watchers.swap(watchers_);
+    fan_targets_.fetch_sub(static_cast<int64_t>(watchers.size()),
+                           std::memory_order_relaxed);
   }
   for (Watcher& w : watchers) w.channel->CloseGone();
 }
 
 bool KvStore::IsShutdown() const {
-  std::lock_guard<std::mutex> l(mu_);
+  std::shared_lock<std::shared_mutex> l(mu_);
   return shutdown_;
 }
 
 size_t KvStore::ApproxBytes() const {
-  std::lock_guard<std::mutex> l(mu_);
+  std::shared_lock<std::shared_mutex> l(mu_);
   return live_bytes_;
 }
 
 size_t KvStore::EntryCount() const {
-  std::lock_guard<std::mutex> l(mu_);
+  std::shared_lock<std::shared_mutex> l(mu_);
   return data_.size();
 }
 
 size_t KvStore::LogBytes() const {
-  std::lock_guard<std::mutex> l(mu_);
-  size_t total = 0;
-  for (const Event& e : log_) {
-    total += sizeof(Event) + e.key.size() + e.value.size() + e.prev_value.size();
-  }
-  return total;
+  std::shared_lock<std::shared_mutex> l(mu_);
+  return log_bytes_;
 }
 
 size_t KvStore::LogEvents() const {
-  std::lock_guard<std::mutex> l(mu_);
+  std::shared_lock<std::shared_mutex> l(mu_);
   return log_.size();
 }
 

@@ -18,8 +18,22 @@
 //     relist — the reflector handles this.
 //   * Per-watcher bounded buffers: a slow watcher overflows and is closed
 //     with Gone rather than blocking writers.
+//
+// Hot-path structure:
+//   * Values are shared blobs (`Blob` = shared_ptr<const string>): Get, List
+//     snapshots, watch events, and the replay log all alias one allocation
+//     instead of deep-copying under the lock.
+//   * Reads take `mu_` shared; only mutations take it exclusive, so Get/List/
+//     CurrentRevision proceed concurrently with each other.
+//   * Writers never fan out: Put/Delete append the event to the log, enqueue
+//     a dispatch command, and return. Filter evaluation, bookmark pacing, and
+//     overflow poisoning run on a sequenced strand (one task at a time) on the
+//     shared Executor, preserving per-watcher ordering and the no-gap/no-dup
+//     replay contract (registration commands are sequenced through the same
+//     queue, with replay captured under the store lock).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -27,13 +41,55 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/executor.h"
 #include "common/status.h"
 
 namespace vc::kv {
+
+// Immutable shared value buffer. Copying a Blob bumps a refcount; the bytes
+// are written once (at Put) and shared by the live entry, the replay log,
+// every watch delivery, and every List snapshot that references them.
+// Converts implicitly to `const std::string&` so existing call sites (codec,
+// selectors, tests) keep working unchanged.
+class Blob {
+ public:
+  Blob() = default;
+  Blob(std::string s) : ptr_(std::make_shared<const std::string>(std::move(s))) {}
+  Blob(const char* s) : ptr_(std::make_shared<const std::string>(s)) {}
+  explicit Blob(std::shared_ptr<const std::string> p) : ptr_(std::move(p)) {}
+
+  const std::string& str() const {
+    static const std::string kEmpty;
+    return ptr_ ? *ptr_ : kEmpty;
+  }
+  operator const std::string&() const { return str(); }
+
+  // The underlying shared buffer (null when empty); lets consumers keep the
+  // bytes alive without copying (decode memoization, informer caches).
+  const std::shared_ptr<const std::string>& share() const { return ptr_; }
+
+  const char* data() const { return str().data(); }
+  size_t size() const { return ptr_ ? ptr_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  void reset() { ptr_.reset(); }
+
+  friend bool operator==(const Blob& a, const Blob& b) { return a.str() == b.str(); }
+  friend bool operator!=(const Blob& a, const Blob& b) { return !(a == b); }
+  friend bool operator==(const Blob& a, const std::string& b) { return a.str() == b; }
+  friend bool operator==(const std::string& a, const Blob& b) { return a == b.str(); }
+  friend bool operator==(const Blob& a, const char* b) { return a.str() == b; }
+  friend bool operator==(const char* a, const Blob& b) { return b.str() == a; }
+  friend std::ostream& operator<<(std::ostream& os, const Blob& b) { return os << b.str(); }
+
+ private:
+  std::shared_ptr<const std::string> ptr_;
+};
 
 // kBookmark carries no key/value — only a revision. It tells a watcher "you
 // have seen everything up to here" so an idle watcher's resume revision keeps
@@ -44,14 +100,14 @@ enum class EventType { kPut, kDelete, kBookmark };
 struct Event {
   EventType type = EventType::kPut;
   std::string key;
-  std::string value;       // new value (empty for kDelete/kBookmark)
-  std::string prev_value;  // value before this event (empty for first Put)
-  int64_t revision = 0;    // store revision of this event
+  Blob value;       // new value (empty for kDelete/kBookmark)
+  Blob prev_value;  // value before this event (empty for first Put)
+  int64_t revision = 0;  // store revision of this event
 };
 
 struct Entry {
   std::string key;
-  std::string value;
+  Blob value;
   int64_t create_revision = 0;
   int64_t mod_revision = 0;
   int64_t version = 0;  // number of writes to this key since creation
@@ -122,6 +178,7 @@ struct WatchParams {
   // (possibly rewritten) event to deliver it, nullopt to drop it. Used by the
   // apiserver to evaluate selectors once at dispatch instead of per client
   // decode, and to rewrite "object left the selection" puts into deletes.
+  // Runs on the dispatch strand, not under the writer's lock.
   std::function<std::optional<Event>(const Event&)> filter;
   // When > 0, a watcher that had `bookmark_interval` revisions pass without a
   // delivered event receives a revision-only kBookmark instead of silence.
@@ -130,10 +187,22 @@ struct WatchParams {
 
 class KvStore {
  public:
-  // max_log_events bounds the watch-replay event log; older events are
-  // auto-compacted (watchers needing them get Gone). start_revision seeds the
-  // revision counter, used when rebuilding a store across a simulated restart
-  // so revisions stay monotone for clients.
+  struct Options {
+    // Bounds the watch-replay event log by event count; older events are
+    // auto-compacted (watchers needing them get Gone).
+    size_t max_log_events = 200000;
+    // Additional byte bound on the replay log (keys + values + headers);
+    // 0 = bounded by event count only.
+    size_t max_log_bytes = 0;
+    // Seeds the revision counter, used when rebuilding a store across a
+    // simulated restart so revisions stay monotone for clients.
+    int64_t start_revision = 0;
+    // Executor hosting the watch-dispatch strand. nullptr → the process-wide
+    // default executor.
+    std::shared_ptr<Executor> executor;
+  };
+
+  explicit KvStore(Options opts);
   explicit KvStore(size_t max_log_events = 200000, int64_t start_revision = 0);
   ~KvStore();
 
@@ -146,7 +215,7 @@ class KvStore {
   //   expected_mod_revision == r > 0   : update iff current mod_revision == r,
   //                                      else Conflict (or NotFound if absent)
   // Returns the new store revision.
-  Result<int64_t> Put(const std::string& key, const std::string& value,
+  Result<int64_t> Put(const std::string& key, std::string value,
                       std::optional<int64_t> expected_mod_revision = std::nullopt);
 
   // Conditional delete, same precondition semantics as Put (0 is invalid).
@@ -156,7 +225,8 @@ class KvStore {
   Result<Entry> Get(const std::string& key) const;
 
   // Snapshot of all live entries whose key starts with `prefix`, sorted by
-  // key, plus the revision of the snapshot.
+  // key, plus the revision of the snapshot. Entry values alias the stored
+  // blobs (no copy).
   ListResult List(const std::string& prefix) const;
 
   // Paged variant: entries with key > start_after (all of them when empty),
@@ -193,11 +263,17 @@ class KvStore {
   // state surviving a process restart.
   void BreakWatches();
 
+  // Blocks until every event enqueued before this call has been offered to
+  // (or filtered away from) every watcher. Tests and benchmarks use this to
+  // draw a line under the asynchronous fan-out; safe to call from executor
+  // tasks (waits inside a BlockingRegion).
+  void FlushWatchDispatch();
+
   // Approximate bytes held by live entries (keys + values).
   size_t ApproxBytes() const;
   size_t EntryCount() const;
   // Approximate bytes held by the watch-replay event log (reclaimable via
-  // Compact — the "swappable" state of an idle control plane).
+  // Compact — the "swappable" state of an idle control plane). O(1).
   size_t LogBytes() const;
   size_t LogEvents() const;
 
@@ -212,20 +288,63 @@ class KvStore {
     int64_t last_sent_revision = 0;
   };
 
-  void AppendAndDispatchLocked(Event e);
+  // A unit of work for the dispatch strand. Either a store event to fan out,
+  // or a watcher registration (replay captured under the store lock) to
+  // splice into the fan-out at exactly its snapshot position.
+  struct DispatchCmd {
+    enum class Kind { kEvent, kRegister };
+    Kind kind = Kind::kEvent;
+    Event event;                // kEvent
+    Watcher watcher;            // kRegister
+    std::vector<Event> replay;  // kRegister: raw events in (from_revision, R]
+    uint64_t epoch = 0;         // kRegister: guards against BreakWatches races
+  };
+
+  static size_t EventBytes(const Event& e);
+  // Appends to the replay log, trims by count/bytes, and enqueues the event
+  // for the dispatch strand. Requires mu_ held exclusive.
+  void AppendLocked(Event e);
+  void TrimLogLocked();
+  // Enqueues cmd (requires mu_ held exclusive, so queue order == revision
+  // order) without kicking the strand; call KickDispatch() after unlocking.
+  void EnqueueLocked(DispatchCmd cmd);
+  void KickDispatch();
+  void DispatchLoop();
+  void ProcessCmd(DispatchCmd cmd);
   // Offers `e` if it survives the watcher's filter; otherwise emits a
   // bookmark when the watcher has been quiet for bookmark_interval revisions.
   static void OfferFiltered(Watcher& w, const Event& e);
 
-  mutable std::mutex mu_;
+  // Store state. Reads take shared, mutations exclusive.
+  mutable std::shared_mutex mu_;
   std::map<std::string, Entry> data_;
   std::deque<Event> log_;  // events with revision in (compacted_, revision_]
   int64_t revision_ = 0;
   int64_t compacted_ = 0;
-  size_t max_log_events_;
+  const size_t max_log_events_;
+  const size_t max_log_bytes_;
   size_t live_bytes_ = 0;
+  size_t log_bytes_ = 0;  // incremental mirror of the log's EventBytes sum
   bool shutdown_ = false;
+
+  std::shared_ptr<Executor> executor_;
+
+  // Dispatch queue. Writers push under mu_ (exclusive) + pend_mu_; the strand
+  // pops under pend_mu_ alone. dispatch_active_ is true while a strand task
+  // is scheduled or running — at most one at a time.
+  std::mutex pend_mu_;
+  std::condition_variable pend_cv_;
+  std::deque<DispatchCmd> pending_;
+  bool dispatch_active_ = false;
+  uint64_t epoch_ = 0;  // bumped by BreakWatches/Shutdown; guarded by pend_mu_
+
+  // Watchers are owned by the dispatch strand; fan_mu_ also admits
+  // Shutdown/BreakWatches swapping the set out to close it.
+  std::mutex fan_mu_;
   std::vector<Watcher> watchers_;
+  // Live watchers + queued registrations. When zero, writers skip enqueueing
+  // event commands entirely (the log still records them for future replay).
+  std::atomic<int64_t> fan_targets_{0};
 };
 
 }  // namespace vc::kv

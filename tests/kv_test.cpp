@@ -170,6 +170,11 @@ TEST(KvStoreTest, SlowWatcherOverflowsToGone) {
   KvStore store;
   auto ch = *store.Watch("/a", 0, /*buffer_capacity=*/4);
   for (int i = 0; i < 10; ++i) store.Put("/a/k", std::to_string(i));
+  // Fan-out is asynchronous: only after the dispatch strand has drained is
+  // the overflow (10 events into a 4-slot buffer) guaranteed to have hit the
+  // channel. Don't consume before then, or the watcher isn't actually slow.
+  store.FlushWatchDispatch();
+  EXPECT_FALSE(ch->ok());
   // Drain: after overflow the channel reports Gone.
   Status last;
   for (int i = 0; i < 12; ++i) {
@@ -237,6 +242,18 @@ TEST(KvStoreTest, ByteAccountingTracksLiveData) {
   store.Delete("/a");
   EXPECT_EQ(store.ApproxBytes(), 0u);
   EXPECT_EQ(store.EntryCount(), 0u);
+}
+
+TEST(KvStoreTest, ByteBoundedLogTrimsToBudget) {
+  KvStore::Options o;
+  o.max_log_bytes = 2048;
+  KvStore store(o);
+  for (int i = 0; i < 200; ++i) store.Put("/k" + std::to_string(i % 5), std::string(100, 'x'));
+  EXPECT_LE(store.LogBytes(), 2048u);
+  // Byte pressure advanced the compaction horizon: old revisions are Gone.
+  EXPECT_GT(store.CompactedRevision(), 0);
+  EXPECT_TRUE(store.Watch("/k", 1).status().IsGone());
+  EXPECT_TRUE(store.Watch("/k", store.CurrentRevision()).ok());
 }
 
 TEST(KvStoreTest, ConcurrentCasWritersLinearize) {

@@ -197,18 +197,37 @@ TEST(ReadPathTest, SelectiveListDecodesOnlyMatches) {
         server.Create(LabeledPod("default", "pod-" + std::to_string(i), "tier", tier))
             .ok());
   }
-  const uint64_t scanned0 = server.stats().list_bytes_scanned.load();
-  const uint64_t decoded0 = server.stats().list_bytes_decoded.load();
-  ListOptions opts;
-  opts.label_selector = "tier=rare";
-  Result<TypedList<Pod>> got = server.List<Pod>(opts);
-  ASSERT_TRUE(got.ok());
-  ASSERT_EQ(got->items.size(), 1u);
-  const uint64_t scanned = server.stats().list_bytes_scanned.load() - scanned0;
-  const uint64_t decoded = server.stats().list_bytes_decoded.load() - decoded0;
-  EXPECT_GT(decoded, 0u);
-  // 1 match in 200: decode cost must be a small fraction of the scan cost.
-  EXPECT_GE(scanned, decoded * 10);
+  // Unpaged selective list: served from the watch cache — label selectors
+  // are evaluated directly on cached decoded objects, so zero bytes go
+  // through the JSON decoder (and none even need skip-scanning).
+  {
+    const uint64_t decoded0 = server.stats().list_bytes_decoded.load();
+    const uint64_t cached0 = server.stats().cache_served_lists.load();
+    ListOptions opts;
+    opts.label_selector = "tier=rare";
+    Result<TypedList<Pod>> got = server.List<Pod>(opts);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->items.size(), 1u);
+    EXPECT_GT(server.stats().cache_served_lists.load(), cached0);
+    EXPECT_EQ(server.stats().list_bytes_decoded.load(), decoded0);
+  }
+  // Paged selective list: falls back to the store path, which decodes only
+  // the objects that pass the selector skip-scan.
+  {
+    const uint64_t scanned0 = server.stats().list_bytes_scanned.load();
+    const uint64_t decoded0 = server.stats().list_bytes_decoded.load();
+    ListOptions opts;
+    opts.label_selector = "tier=rare";
+    opts.limit = 10;
+    Result<TypedList<Pod>> got = server.List<Pod>(opts);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->items.size(), 1u);
+    const uint64_t scanned = server.stats().list_bytes_scanned.load() - scanned0;
+    const uint64_t decoded = server.stats().list_bytes_decoded.load() - decoded0;
+    EXPECT_GT(decoded, 0u);
+    // 1 match in 200: decode cost must be a small fraction of the scan cost.
+    EXPECT_GE(scanned, decoded * 10);
+  }
 }
 
 // ---------------------------------------------------------- watch + bookmarks
