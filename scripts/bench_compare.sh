@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Storage hot-path benchmark comparison: builds the current checkout (head)
-# and, when possible, its parent commit (baseline) in a scratch worktree, runs
-# the storage microbenches on both, and writes BENCH_storage.json with both
-# sets of numbers side by side.
+# Hot-path benchmark comparison: builds the current checkout (head) and, when
+# possible, its parent commit (baseline) in a scratch worktree, runs the
+# storage + queue microbenches plus the quick fig9/fig11/scale_tenants
+# harnesses on both, and writes BENCH_storage.json with both sets of numbers
+# side by side.
 #
 #   scripts/bench_compare.sh                 # baseline = HEAD~1
 #   BASELINE_REF=main~2 scripts/bench_compare.sh
@@ -17,33 +18,39 @@ cd "$(dirname "$0")/.."
 
 BASELINE_REF="${BASELINE_REF:-HEAD~1}"
 OUT="${OUT:-BENCH_storage.json}"
-FILTER='BM_WatchFanout|BM_ListZeroCopy|BM_ApiServerListSelective|BM_KvPut|BM_KvGet|BM_KvList'
+FILTER='BM_WatchFanout|BM_ListZeroCopy|BM_ApiServerListSelective|BM_KvPut|BM_KvGet|BM_KvList|BM_FairQueueDequeue'
 NPROC="$(nproc)"
 
-build_and_run() {  # $1 = source dir, $2 = result json, $3 = fig9 text output
-  local src="$1" out="$2" fig9="$3"
-  mkdir -p "$src/build-bench"
+build_and_run() {  # $1 = source dir, $2 = result json, $3 = text-output dir
+  local src="$1" out="$2" txt="$3"
+  mkdir -p "$src/build-bench" "$txt"
   cmake -S "$src" -B "$src/build-bench" -DCMAKE_BUILD_TYPE=Release \
         > "$src/build-bench/configure.log" 2>&1 || return 1
   cmake --build "$src/build-bench" -j "$NPROC" \
-        --target micro_substrate fig9_throughput \
+        --target micro_substrate fig9_throughput fig11_fairness scale_tenants \
         > "$src/build-bench/build.log" 2>&1 || return 1
   "$src/build-bench/bench/micro_substrate" \
       --benchmark_filter="$FILTER" \
       --benchmark_out="$out" --benchmark_out_format=json \
       --benchmark_repetitions=1 || return 1
-  "$src/build-bench/bench/fig9_throughput" --quick > "$fig9" 2>&1 || return 1
+  "$src/build-bench/bench/fig9_throughput" --quick > "$txt/fig9" 2>&1 || return 1
+  # Fairness ablation and tenant-scale sweep guard the reconciler runtime:
+  # fig11 exercises the WRR/FIFO split end to end, scale_tenants the
+  # many-registered-tenants dequeue path.
+  "$src/build-bench/bench/fig11_fairness" --quick > "$txt/fig11" 2>&1 || return 1
+  "$src/build-bench/bench/scale_tenants" --quick > "$txt/scale_tenants" 2>&1 || return 1
 }
 
 echo "==> head: building + running storage benches"
 HEAD_JSON="$(mktemp)"
-HEAD_FIG9="$(mktemp)"
-if ! build_and_run "$PWD" "$HEAD_JSON" "$HEAD_FIG9"; then
+HEAD_TXT="$(mktemp -d)"
+if ! build_and_run "$PWD" "$HEAD_JSON" "$HEAD_TXT"; then
   echo "error: head benchmark run failed" >&2
   exit 1
 fi
 
 BASE_JSON=""
+BASE_TXT=""
 WORKTREE=""
 if git rev-parse --verify -q "$BASELINE_REF" > /dev/null; then
   WORKTREE="$(mktemp -d)/baseline"
@@ -53,11 +60,11 @@ if git rev-parse --verify -q "$BASELINE_REF" > /dev/null; then
     rm -rf "$WORKTREE/bench"
     cp -r bench "$WORKTREE/bench"
     BASE_JSON="$(mktemp)"
-    BASE_FIG9="$(mktemp)"
-    if ! build_and_run "$WORKTREE" "$BASE_JSON" "$BASE_FIG9"; then
+    BASE_TXT="$(mktemp -d)"
+    if ! build_and_run "$WORKTREE" "$BASE_JSON" "$BASE_TXT"; then
       echo "warning: baseline build/run failed; emitting head-only results" >&2
       BASE_JSON=""
-      BASE_FIG9=""
+      BASE_TXT=""
     fi
   else
     echo "warning: could not create baseline worktree; head-only results" >&2
@@ -66,11 +73,10 @@ else
   echo "warning: baseline ref $BASELINE_REF not found; head-only results" >&2
 fi
 
-BASE_FIG9="${BASE_FIG9:-}"
-python3 - "$HEAD_JSON" "$BASE_JSON" "$OUT" "$BASELINE_REF" "$HEAD_FIG9" "$BASE_FIG9" <<'EOF'
-import json, subprocess, sys
+python3 - "$HEAD_JSON" "$BASE_JSON" "$OUT" "$BASELINE_REF" "$HEAD_TXT" "$BASE_TXT" <<'EOF'
+import json, os, subprocess, sys
 
-head_path, base_path, out_path, base_ref, head_fig9, base_fig9 = sys.argv[1:7]
+head_path, base_path, out_path, base_ref, head_txt, base_txt = sys.argv[1:7]
 
 def load(path):
     if not path:
@@ -93,11 +99,11 @@ def load(path):
 head, base = load(head_path), load(base_path)
 rev = subprocess.run(["git", "rev-parse", "HEAD"], capture_output=True,
                      text=True).stdout.strip()
-def read_text(path):
-    if not path:
+def read_text(dirname, name):
+    if not dirname:
         return None
     try:
-        with open(path) as f:
+        with open(os.path.join(dirname, name)) as f:
             return f.read().splitlines()
     except OSError:
         return None
@@ -106,8 +112,10 @@ report = {
     "head_commit": rev,
     "baseline_ref": base_ref if base else None,
     "benchmarks": {},
-    "fig9_quick": {"head": read_text(head_fig9), "baseline": read_text(base_fig9)},
 }
+for fig in ("fig9", "fig11", "scale_tenants"):
+    report[f"{fig}_quick"] = {"head": read_text(head_txt, fig),
+                              "baseline": read_text(base_txt, fig)}
 for name in sorted(set(head) | set(base)):
     entry = {"head": head.get(name), "baseline": base.get(name)}
     h, b = head.get(name), base.get(name)

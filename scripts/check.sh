@@ -21,8 +21,9 @@ run_preset() {
 case "${1:-default}" in
   default)
     run_preset default
-    # The executor/workqueue/fairqueue/syncer suites carry the `concurrency`
-    # label; any data race in the shared executor stack is a hard failure.
+    # The executor/workqueue/fairqueue/runtime/syncer suites carry the
+    # `concurrency` label; any data race in the shared executor stack or the
+    # reconciler runtime is a hard failure.
     run_preset tsan -L concurrency
     ;;
   tsan)    run_preset tsan ;;

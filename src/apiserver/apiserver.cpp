@@ -24,6 +24,26 @@ APIServer::APIServer(Options opts) : opts_(std::move(opts)) {
       }
     }
   }
+  metrics_reg_ = MetricsRegistry::Global().Register(opts_.name, [this] {
+    std::vector<MetricsRegistry::Sample> s;
+    s.emplace_back("creates", static_cast<double>(stats_.creates.load()));
+    s.emplace_back("gets", static_cast<double>(stats_.gets.load()));
+    s.emplace_back("lists", static_cast<double>(stats_.lists.load()));
+    s.emplace_back("updates", static_cast<double>(stats_.updates.load()));
+    s.emplace_back("deletes", static_cast<double>(stats_.deletes.load()));
+    s.emplace_back("watches", static_cast<double>(stats_.watches.load()));
+    s.emplace_back("rate_limited", static_cast<double>(stats_.rate_limited.load()));
+    s.emplace_back("conflicts", static_cast<double>(stats_.conflicts.load()));
+    s.emplace_back("cache_served_gets",
+                   static_cast<double>(stats_.cache_served_gets.load()));
+    s.emplace_back("cache_served_lists",
+                   static_cast<double>(stats_.cache_served_lists.load()));
+    s.emplace_back("store_log_bytes",
+                   static_cast<double>(stats_.store_log_bytes.load()));
+    s.emplace_back("store_log_events",
+                   static_cast<double>(stats_.store_log_events.load()));
+    return s;
+  });
 }
 
 void APIServer::Restart() {

@@ -34,6 +34,7 @@
 #include "common/clock.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/strings.h"
 #include "common/token_bucket.h"
@@ -658,6 +659,9 @@ class APIServer {
   // (each holds a live watch on the store).
   mutable std::mutex cache_mu_;
   mutable std::map<std::string, std::shared_ptr<void>> caches_;
+  // LAST member: publishes stats_ under opts_.name in the process-wide
+  // registry; must unregister before the data above dies.
+  MetricsRegistry::Registration metrics_reg_;
 };
 
 // Read-modify-write loop: fetch ns/name, apply fn, Update; retry on Conflict.

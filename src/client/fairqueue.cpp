@@ -5,6 +5,26 @@
 #include "common/logging.h"
 
 namespace vc::client {
+namespace {
+
+// Erases every entry of an ordered set/map whose key starts with `prefix`.
+// Keys sharing a prefix are contiguous under lexicographic order, so this is
+// a single range scan, not a full traversal.
+const std::string& KeyOf(const std::string& s) { return s; }
+template <typename V>
+const std::string& KeyOf(const std::pair<const std::string, V>& p) {
+  return p.first;
+}
+
+template <typename Container>
+void ErasePrefixRange(Container* c, const std::string& prefix) {
+  auto it = c->lower_bound(prefix);
+  while (it != c->end() && KeyOf(*it).compare(0, prefix.size(), prefix) == 0) {
+    it = c->erase(it);
+  }
+}
+
+}  // namespace
 
 FairQueue::FairQueue() : FairQueue(Options{}) {}
 
@@ -12,28 +32,36 @@ FairQueue::FairQueue(Options opts) : opts_(opts) {}
 
 void FairQueue::RegisterTenant(const std::string& tenant, int weight) {
   std::lock_guard<std::mutex> l(mu_);
-  auto [it, inserted] = subqueues_.try_emplace(tenant);
-  it->second.weight = std::max(1, weight);
-  if (inserted) rr_order_.push_back(tenant);
+  // An already-active tenant picks the new weight up at its next credit
+  // refill; the in-progress round finishes on the old credit.
+  subqueues_[tenant].weight = std::max(1, weight);
 }
 
 void FairQueue::UnregisterTenant(const std::string& tenant) {
   std::lock_guard<std::mutex> l(mu_);
   auto it = subqueues_.find(tenant);
-  if (it == subqueues_.end()) return;
-  queued_ -= it->second.keys.size();
-  for (const std::string& key : it->second.keys) {
-    dirty_.erase(FullKey(tenant, key));
-    enqueue_times_.erase(FullKey(tenant, key));
+  if (it != subqueues_.end()) {
+    queued_ -= it->second.keys.size();
+    if (it->second.in_rotation) {
+      auto pos = std::find(rotation_.begin(), rotation_.end(), tenant);
+      if (pos != rotation_.end()) rotation_.erase(pos);
+    }
+    subqueues_.erase(it);
   }
-  subqueues_.erase(it);
-  auto pos = std::find(rr_order_.begin(), rr_order_.end(), tenant);
-  if (pos != rr_order_.end()) {
-    size_t idx = static_cast<size_t>(pos - rr_order_.begin());
-    rr_order_.erase(pos);
-    if (rr_pos_ > idx) --rr_pos_;
-    if (!rr_order_.empty()) rr_pos_ %= rr_order_.size();
+  if (!opts_.fair) {
+    auto keep = std::remove_if(
+        fifo_.begin(), fifo_.end(),
+        [&](const Item& i) { return i.tenant == tenant; });
+    queued_ -= static_cast<size_t>(fifo_.end() - keep);
+    fifo_.erase(keep, fifo_.end());
   }
+  // Clear dedup/latency state for all of the tenant's keys — including items
+  // currently in processing whose dirty re-add would otherwise resurrect the
+  // sub-queue on Done(). processing_ entries stay; Done() erases them and
+  // finds no dirty mark, so nothing is re-queued.
+  const std::string prefix = tenant + "|";
+  ErasePrefixRange(&dirty_, prefix);
+  ErasePrefixRange(&enqueue_times_, prefix);
 }
 
 void FairQueue::Add(const std::string& tenant, const std::string& key) {
@@ -55,11 +83,9 @@ void FairQueue::Add(const std::string& tenant, const std::string& key) {
     }
     if (opts_.fair) {
       auto [it, inserted] = subqueues_.try_emplace(tenant);
-      if (inserted) {
-        it->second.weight = std::max(1, opts_.default_weight);
-        rr_order_.push_back(tenant);
-      }
+      if (inserted) it->second.weight = std::max(1, opts_.default_weight);
       it->second.keys.push_back(key);
+      ActivateLocked(tenant, &it->second);
     } else {
       fifo_.push_back(Item{tenant, key, opts_.clock->Now()});
     }
@@ -70,6 +96,12 @@ void FairQueue::Add(const std::string& tenant, const std::string& key) {
   if (ready) ready();
 }
 
+void FairQueue::ActivateLocked(const std::string& tenant, SubQueue* sq) {
+  if (sq->in_rotation) return;
+  sq->in_rotation = true;
+  rotation_.push_back(tenant);
+}
+
 std::optional<FairQueue::Item> FairQueue::PopLocked() {
   if (!opts_.fair) {
     if (fifo_.empty()) return std::nullopt;
@@ -77,25 +109,38 @@ std::optional<FairQueue::Item> FairQueue::PopLocked() {
     fifo_.pop_front();
     return item;
   }
-  if (rr_order_.empty()) return std::nullopt;
-  // Weighted round-robin: visit tenants cyclically; a tenant may dequeue up
-  // to `weight` items before the position advances. Empty sub-queues forfeit
-  // their turn (O(n) scan in the worst case — see paper §IV-A).
-  for (size_t scanned = 0; scanned < rr_order_.size(); ++scanned) {
-    const std::string& tenant = rr_order_[rr_pos_];
-    SubQueue& sq = subqueues_[tenant];
-    if (sq.keys.empty()) {
-      sq.credit = 0;
-      rr_pos_ = (rr_pos_ + 1) % rr_order_.size();
+  // Weighted round-robin over *active* tenants only: the front of rotation_
+  // dequeues up to `weight` items across its turn, then rotates to the back;
+  // a tenant whose sub-queue drains forfeits its remaining credit and leaves
+  // the rotation. Idle registered tenants are never visited, so dequeue is
+  // O(1) amortized regardless of how many tenants exist.
+  while (!rotation_.empty()) {
+    const std::string tenant = rotation_.front();
+    auto it = subqueues_.find(tenant);
+    if (it == subqueues_.end() || it->second.keys.empty()) {
+      // Defensive: stale rotation entry (should not happen — emptied and
+      // unregistered tenants are removed eagerly).
+      if (it != subqueues_.end()) {
+        it->second.in_rotation = false;
+        it->second.credit = 0;
+      }
+      rotation_.pop_front();
       continue;
     }
+    SubQueue& sq = it->second;
     if (sq.credit <= 0) sq.credit = sq.weight;
     Item item;
     item.tenant = tenant;
     item.key = std::move(sq.keys.front());
     sq.keys.pop_front();
-    if (--sq.credit <= 0) {
-      rr_pos_ = (rr_pos_ + 1) % rr_order_.size();
+    --sq.credit;
+    if (sq.keys.empty()) {
+      sq.credit = 0;
+      sq.in_rotation = false;
+      rotation_.pop_front();
+    } else if (sq.credit <= 0) {
+      rotation_.pop_front();
+      rotation_.push_back(tenant);
     }
     return item;
   }
@@ -147,11 +192,9 @@ void FairQueue::Done(const Item& item) {
       // Went dirty during processing: re-queue into the tenant sub-queue.
       if (opts_.fair) {
         auto [it, inserted] = subqueues_.try_emplace(item.tenant);
-        if (inserted) {
-          it->second.weight = std::max(1, opts_.default_weight);
-          rr_order_.push_back(item.tenant);
-        }
+        if (inserted) it->second.weight = std::max(1, opts_.default_weight);
         it->second.keys.push_back(item.key);
+        ActivateLocked(item.tenant, &it->second);
       } else {
         fifo_.push_back(Item{item.tenant, item.key, opts_.clock->Now()});
       }
@@ -191,6 +234,12 @@ size_t FairQueue::TenantLen(const std::string& t) const {
   }
   auto it = subqueues_.find(t);
   return it == subqueues_.end() ? 0 : it->second.keys.size();
+}
+
+bool FairQueue::IsQueued(const std::string& tenant,
+                         const std::string& key) const {
+  std::lock_guard<std::mutex> l(mu_);
+  return dirty_.count(FullKey(tenant, key)) > 0;
 }
 
 uint64_t FairQueue::adds() const {

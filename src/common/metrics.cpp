@@ -1,0 +1,80 @@
+#include "common/metrics.h"
+
+#include <sstream>
+
+namespace vc {
+
+void MetricsRegistry::Registration::Release() {
+  if (registry_ != nullptr) {
+    registry_->Unregister(id_);
+    registry_ = nullptr;
+  }
+}
+
+MetricsRegistry::Registration MetricsRegistry::Register(const std::string& block,
+                                                        Provider provider) {
+  std::lock_guard<std::mutex> l(mu_);
+  const uint64_t id = next_id_++;
+  int n = ++name_counts_[block];
+  Entry e;
+  e.block = n == 1 ? block : block + "#" + std::to_string(n);
+  e.provider = std::move(provider);
+  entries_.emplace(id, std::move(e));
+  return Registration(this, id);
+}
+
+void MetricsRegistry::Unregister(uint64_t id) {
+  std::lock_guard<std::mutex> l(mu_);
+  entries_.erase(id);
+  // Base-name counts are intentionally not decremented: a new registration
+  // after churn must not collide with a still-live "#N" sibling.
+}
+
+std::map<std::string, double> MetricsRegistry::Collect() const {
+  // Copy the entries, then run providers outside mu_: a provider may take its
+  // component's own locks, and holding mu_ across arbitrary callbacks invites
+  // lock-order cycles with Register/Unregister on other threads.
+  std::vector<Entry> snapshot;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    snapshot.reserve(entries_.size());
+    for (const auto& [id, e] : entries_) snapshot.push_back(e);
+  }
+  std::map<std::string, double> out;
+  for (const Entry& e : snapshot) {
+    for (const auto& [name, value] : e.provider()) {
+      out[e.block + "." + name] = value;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : Collect()) {
+    os << name << " " << value << "\n";
+  }
+  return os.str();
+}
+
+size_t MetricsRegistry::ProviderCount() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return entries_.size();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* g = new MetricsRegistry();  // never destroyed
+  return *g;
+}
+
+void AppendHistogram(std::vector<MetricsRegistry::Sample>* out,
+                     const std::string& prefix, const Histogram& h) {
+  const size_t count = h.Count();
+  out->emplace_back(prefix + "_count", static_cast<double>(count));
+  if (count == 0) return;
+  out->emplace_back(prefix + "_mean_s", h.MeanSeconds());
+  out->emplace_back(prefix + "_p50_s", h.PercentileSeconds(50));
+  out->emplace_back(prefix + "_p99_s", h.PercentileSeconds(99));
+}
+
+}  // namespace vc

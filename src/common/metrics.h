@@ -1,0 +1,104 @@
+// Process-wide metrics registry: every control loop, the syncer, and the
+// apiservers publish their counters/histograms through one place, so a single
+// dump shows the whole control plane (queue depths, reconcile latencies,
+// retries, request counts) instead of each component growing bespoke
+// accessors.
+//
+// Design: pull, not push. A component registers a named *provider* — a
+// callback returning (metric name, value) pairs read from its own atomics and
+// histograms — and the registry snapshots all providers on Collect(). No
+// per-sample synchronization is added to hot paths; the provider runs only
+// when somebody asks.
+//
+// Lifetime: Register() returns an RAII Registration. Declare it as the LAST
+// member of the owning class so it unregisters before the data the provider
+// reads is destroyed. Block names are uniquified ("apiserver", "apiserver#2",
+// ...) because large deployments register hundreds of identically-named
+// tenant components.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace vc {
+
+class MetricsRegistry {
+ public:
+  using Sample = std::pair<std::string, double>;
+  using Provider = std::function<std::vector<Sample>()>;
+
+  // RAII registration handle; movable, unregisters on destruction.
+  class Registration {
+   public:
+    Registration() = default;
+    Registration(Registration&& other) noexcept { *this = std::move(other); }
+    Registration& operator=(Registration&& other) noexcept {
+      if (this != &other) {
+        Release();
+        registry_ = other.registry_;
+        id_ = other.id_;
+        other.registry_ = nullptr;
+      }
+      return *this;
+    }
+    ~Registration() { Release(); }
+
+    Registration(const Registration&) = delete;
+    Registration& operator=(const Registration&) = delete;
+
+    void Release();
+
+   private:
+    friend class MetricsRegistry;
+    Registration(MetricsRegistry* registry, uint64_t id)
+        : registry_(registry), id_(id) {}
+    MetricsRegistry* registry_ = nullptr;
+    uint64_t id_ = 0;
+  };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Registers a provider under `block`; the effective name gets a "#N" suffix
+  // when the block name is already taken.
+  Registration Register(const std::string& block, Provider provider);
+
+  // Snapshot of every provider: "block.metric" -> value, sorted by name.
+  std::map<std::string, double> Collect() const;
+
+  // Human-readable one-line-per-metric rendering of Collect().
+  std::string DumpText() const;
+
+  size_t ProviderCount() const;
+
+  // Process-wide registry; components default to this.
+  static MetricsRegistry& Global();
+
+ private:
+  friend class Registration;
+  void Unregister(uint64_t id);
+
+  struct Entry {
+    std::string block;
+    Provider provider;
+  };
+
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, Entry> entries_;       // id -> provider, stable order
+  std::map<std::string, int> name_counts_;  // base block name -> uses
+};
+
+// Appends the standard summary of a Histogram (count/mean/p50/p99, seconds)
+// under `prefix` — the shape every latency metric in the registry shares.
+void AppendHistogram(std::vector<MetricsRegistry::Sample>* out,
+                     const std::string& prefix, const Histogram& h);
+
+}  // namespace vc

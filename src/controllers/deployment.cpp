@@ -7,9 +7,19 @@ namespace vc::controllers {
 
 DeploymentController::DeploymentController(
     apiserver::APIServer* server, client::SharedInformer<api::Deployment>* deployments,
-    client::SharedInformer<api::ReplicaSet>* replicasets, Clock* clock, int workers)
-    : QueueWorker("deployment-controller", clock, workers),
-      server_(server), deployments_(deployments), replicasets_(replicasets) {
+    client::SharedInformer<api::ReplicaSet>* replicasets, Clock* clock, int workers,
+    TenantOfFn tenant_of)
+    : server_(server), deployments_(deployments), replicasets_(replicasets),
+      runtime_(
+          [&] {
+            Reconciler::Options o;
+            o.name = "deployment-controller";
+            o.clock = clock;
+            o.workers = workers;
+            o.key_tenant = NamespacedKeyTenant(std::move(tenant_of));
+            return o;
+          }(),
+          [this](const std::string& key) { return Reconcile(key); }) {
   client::EventHandlers<api::Deployment> dh;
   dh.on_add = [this](const api::Deployment& d) { Enqueue(d.meta.FullName()); };
   dh.on_update = [this](const api::Deployment&, const api::Deployment& d) {

@@ -6,24 +6,28 @@
 
 #include "apiserver/apiserver.h"
 #include "client/informer.h"
-#include "controllers/base.h"
+#include "controllers/runtime.h"
 
 namespace vc::controllers {
 
-class DeploymentController : public QueueWorker {
+class DeploymentController {
  public:
   DeploymentController(apiserver::APIServer* server,
                        client::SharedInformer<api::Deployment>* deployments,
                        client::SharedInformer<api::ReplicaSet>* replicasets, Clock* clock,
-                       int workers = 1);
+                       int workers = 1, TenantOfFn tenant_of = {});
 
- protected:
-  bool Reconcile(const std::string& key) override;
+  void Start() { runtime_.Start(); }
+  void Stop() { runtime_.Stop(); }
 
  private:
+  bool Reconcile(const std::string& key);
+  void Enqueue(const std::string& key) { runtime_.Enqueue(key); }
+
   apiserver::APIServer* const server_;
   client::SharedInformer<api::Deployment>* const deployments_;
   client::SharedInformer<api::ReplicaSet>* const replicasets_;
+  Reconciler runtime_;  // last: drains before members above die
 };
 
 }  // namespace vc::controllers

@@ -8,9 +8,18 @@ EndpointsController::EndpointsController(apiserver::APIServer* server,
                                          client::SharedInformer<api::Pod>* pods,
                                          client::SharedInformer<api::Service>* services,
                                          client::SharedInformer<api::Endpoints>* endpoints,
-                                         Clock* clock, int workers)
-    : QueueWorker("endpoints-controller", clock, workers),
-      server_(server), pods_(pods), services_(services), endpoints_(endpoints) {
+                                         Clock* clock, int workers, TenantOfFn tenant_of)
+    : server_(server), pods_(pods), services_(services), endpoints_(endpoints),
+      runtime_(
+          [&] {
+            Reconciler::Options o;
+            o.name = "endpoints-controller";
+            o.clock = clock;
+            o.workers = workers;
+            o.key_tenant = NamespacedKeyTenant(std::move(tenant_of));
+            return o;
+          }(),
+          [this](const std::string& key) { return Reconcile(key); }) {
   client::EventHandlers<api::Service> sh;
   sh.on_add = [this](const api::Service& s) { Enqueue(s.meta.FullName()); };
   sh.on_update = [this](const api::Service&, const api::Service& s) {

@@ -5,28 +5,31 @@
 
 #include "apiserver/apiserver.h"
 #include "client/informer.h"
-#include "controllers/base.h"
+#include "controllers/runtime.h"
 
 namespace vc::controllers {
 
-class EndpointsController : public QueueWorker {
+class EndpointsController {
  public:
   EndpointsController(apiserver::APIServer* server,
                       client::SharedInformer<api::Pod>* pods,
                       client::SharedInformer<api::Service>* services,
                       client::SharedInformer<api::Endpoints>* endpoints, Clock* clock,
-                      int workers = 2);
+                      int workers = 2, TenantOfFn tenant_of = {});
 
- protected:
-  bool Reconcile(const std::string& key) override;
+  void Start() { runtime_.Start(); }
+  void Stop() { runtime_.Stop(); }
 
  private:
+  bool Reconcile(const std::string& key);
+  void Enqueue(const std::string& key) { runtime_.Enqueue(key); }
   void OnPodChanged(const api::LabelMap& labels, const std::string& ns);
 
   apiserver::APIServer* const server_;
   client::SharedInformer<api::Pod>* const pods_;
   client::SharedInformer<api::Service>* const services_;
   client::SharedInformer<api::Endpoints>* const endpoints_;
+  Reconciler runtime_;  // last: drains before members above die
 };
 
 }  // namespace vc::controllers

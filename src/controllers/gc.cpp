@@ -9,10 +9,28 @@ GarbageCollector::GarbageCollector(apiserver::APIServer* server,
                                    client::SharedInformer<api::Pod>* pods,
                                    client::SharedInformer<api::ReplicaSet>* replicasets,
                                    client::SharedInformer<api::Deployment>* deployments,
-                                   Clock* clock, Duration sweep_interval)
-    : QueueWorker("garbage-collector", clock, 1),
-      server_(server), pods_(pods), replicasets_(replicasets), deployments_(deployments),
-      sweep_interval_(sweep_interval) {
+                                   Clock* clock, Duration sweep_interval,
+                                   TenantOfFn tenant_of)
+    : server_(server), pods_(pods), replicasets_(replicasets), deployments_(deployments),
+      clock_(clock), sweep_interval_(sweep_interval),
+      runtime_(
+          [&] {
+            Reconciler::Options o;
+            o.name = "garbage-collector";
+            o.clock = clock;
+            o.workers = 1;
+            if (tenant_of) {
+              // Keys are "<Kind>|<ns>/<name>": strip the kind before mapping.
+              o.key_tenant = [t = std::move(tenant_of)](const std::string& key) {
+                size_t bar = key.find('|');
+                const std::string full =
+                    bar == std::string::npos ? key : key.substr(bar + 1);
+                return t(full.substr(0, full.find('/')));
+              };
+            }
+            return o;
+          }(),
+          [this](const std::string& key) { return Reconcile(key); }) {
   client::EventHandlers<api::Pod> ph;
   ph.on_add = [this](const api::Pod& p) {
     if (!p.meta.owner_references.empty()) Enqueue("Pod|" + p.meta.FullName());

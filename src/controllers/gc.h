@@ -8,36 +8,40 @@
 
 #include "apiserver/apiserver.h"
 #include "client/informer.h"
-#include "controllers/base.h"
+#include "controllers/runtime.h"
 
 namespace vc::controllers {
 
-class GarbageCollector : public QueueWorker {
+class GarbageCollector {
  public:
   GarbageCollector(apiserver::APIServer* server, client::SharedInformer<api::Pod>* pods,
                    client::SharedInformer<api::ReplicaSet>* replicasets,
                    client::SharedInformer<api::Deployment>* deployments, Clock* clock,
-                   Duration sweep_interval = Seconds(2));
-  ~GarbageCollector() override;
+                   Duration sweep_interval = Seconds(2), TenantOfFn tenant_of = {});
+  ~GarbageCollector();
+
+  void Start() { runtime_.Start(); }
+  void Stop() { runtime_.Stop(); }
 
   void StartSweeper();
   void StopSweeper();
 
   uint64_t collected() const { return collected_.load(); }
 
- protected:
-  bool Reconcile(const std::string& key) override;
-
  private:
+  bool Reconcile(const std::string& key);
+  void Enqueue(const std::string& key) { runtime_.Enqueue(key); }
   void SweepOnce();
 
   apiserver::APIServer* const server_;
   client::SharedInformer<api::Pod>* const pods_;
   client::SharedInformer<api::ReplicaSet>* const replicasets_;
   client::SharedInformer<api::Deployment>* const deployments_;
+  Clock* const clock_;
   const Duration sweep_interval_;
   TimerHandle sweep_timer_;
   std::atomic<uint64_t> collected_{0};
+  Reconciler runtime_;  // last: drains before members above die
 };
 
 }  // namespace vc::controllers

@@ -61,20 +61,22 @@ ControllerManager::ControllerManager(Options opts)
   if (opts_.endpoints_controller) {
     endpoints_ = std::make_unique<EndpointsController>(
         opts_.server, &informers_.pods, &informers_.services, &informers_.endpoints,
-        opts_.clock);
+        opts_.clock, /*workers=*/2, opts_.tenant_of);
   }
   if (opts_.service_controller) {
     service_ = std::make_unique<ServiceController>(
-        opts_.server, &informers_.services, opts_.service_vip_pool, opts_.clock);
+        opts_.server, &informers_.services, opts_.service_vip_pool, opts_.clock,
+        /*workers=*/1, opts_.tenant_of);
   }
   if (opts_.namespace_controller) {
-    namespace_ = std::make_unique<NamespaceController>(opts_.server, &informers_.namespaces,
-                                                       opts_.clock);
+    namespace_ = std::make_unique<NamespaceController>(
+        opts_.server, &informers_.namespaces, opts_.clock, /*workers=*/1,
+        opts_.tenant_of);
   }
   if (opts_.garbage_collector) {
-    gc_ = std::make_unique<GarbageCollector>(opts_.server, &informers_.pods,
-                                             &informers_.replicasets,
-                                             &informers_.deployments, opts_.clock);
+    gc_ = std::make_unique<GarbageCollector>(
+        opts_.server, &informers_.pods, &informers_.replicasets,
+        &informers_.deployments, opts_.clock, Seconds(2), opts_.tenant_of);
   }
   if (opts_.node_lifecycle_controller) {
     node_lifecycle_ = std::make_unique<NodeLifecycleController>(
@@ -82,11 +84,13 @@ ControllerManager::ControllerManager(Options opts)
   }
   if (opts_.replicaset_controller) {
     replicaset_ = std::make_unique<ReplicaSetController>(
-        opts_.server, &informers_.replicasets, &informers_.pods, opts_.clock);
+        opts_.server, &informers_.replicasets, &informers_.pods, opts_.clock,
+        /*workers=*/2, opts_.tenant_of);
   }
   if (opts_.deployment_controller) {
     deployment_ = std::make_unique<DeploymentController>(
-        opts_.server, &informers_.deployments, &informers_.replicasets, opts_.clock);
+        opts_.server, &informers_.deployments, &informers_.replicasets, opts_.clock,
+        /*workers=*/1, opts_.tenant_of);
   }
 }
 
@@ -94,16 +98,16 @@ ControllerManager::~ControllerManager() { Stop(); }
 
 void ControllerManager::Start() {
   informers_.StartAll();
-  if (endpoints_) endpoints_->StartWorkers();
-  if (service_) service_->StartWorkers();
-  if (namespace_) namespace_->StartWorkers();
+  if (endpoints_) endpoints_->Start();
+  if (service_) service_->Start();
+  if (namespace_) namespace_->Start();
   if (gc_) {
-    gc_->StartWorkers();
+    gc_->Start();
     gc_->StartSweeper();
   }
   if (node_lifecycle_) node_lifecycle_->Start();
-  if (replicaset_) replicaset_->StartWorkers();
-  if (deployment_) deployment_->StartWorkers();
+  if (replicaset_) replicaset_->Start();
+  if (deployment_) deployment_->Start();
   started_ = true;
 }
 
@@ -113,13 +117,13 @@ void ControllerManager::Stop() {
   if (node_lifecycle_) node_lifecycle_->Stop();
   if (gc_) {
     gc_->StopSweeper();
-    gc_->StopWorkers();
+    gc_->Stop();
   }
-  if (endpoints_) endpoints_->StopWorkers();
-  if (service_) service_->StopWorkers();
-  if (namespace_) namespace_->StopWorkers();
-  if (replicaset_) replicaset_->StopWorkers();
-  if (deployment_) deployment_->StopWorkers();
+  if (endpoints_) endpoints_->Stop();
+  if (service_) service_->Stop();
+  if (namespace_) namespace_->Stop();
+  if (replicaset_) replicaset_->Stop();
+  if (deployment_) deployment_->Stop();
   informers_.StopAll();
 }
 

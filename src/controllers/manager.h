@@ -52,6 +52,11 @@ class ControllerManager {
     bool replicaset_controller = true;
     bool deployment_controller = true;
     NodeLifecycleController::Tuning node_tuning;
+    // ns → tenant mapper keying every controller's fair queue by tenant
+    // namespace prefix (paper §III-C extended to the super cluster's own
+    // control loops). Unset on tenant control planes — a single-tenant loop
+    // degenerates to FIFO.
+    TenantOfFn tenant_of;
   };
 
   explicit ControllerManager(Options opts);

@@ -4,9 +4,19 @@ namespace vc::controllers {
 
 NamespaceController::NamespaceController(
     apiserver::APIServer* server, client::SharedInformer<api::NamespaceObj>* namespaces,
-    Clock* clock, int workers)
-    : QueueWorker("namespace-controller", clock, workers),
-      server_(server), namespaces_(namespaces) {
+    Clock* clock, int workers, TenantOfFn tenant_of)
+    : server_(server), namespaces_(namespaces),
+      runtime_(
+          [&] {
+            Reconciler::Options o;
+            o.name = "namespace-controller";
+            o.clock = clock;
+            o.workers = workers;
+            // Keys ARE namespace names here, so the mapper applies directly.
+            o.key_tenant = std::move(tenant_of);
+            return o;
+          }(),
+          [this](const std::string& key) { return Reconcile(key); }) {
   client::EventHandlers<api::NamespaceObj> h;
   h.on_add = [this](const api::NamespaceObj& n) {
     if (n.meta.deleting()) Enqueue(n.meta.name);

@@ -7,26 +7,30 @@
 
 #include "apiserver/apiserver.h"
 #include "client/informer.h"
-#include "controllers/base.h"
+#include "controllers/runtime.h"
 
 namespace vc::controllers {
 
-class NamespaceController : public QueueWorker {
+class NamespaceController {
  public:
   NamespaceController(apiserver::APIServer* server,
                       client::SharedInformer<api::NamespaceObj>* namespaces, Clock* clock,
-                      int workers = 1);
+                      int workers = 1, TenantOfFn tenant_of = {});
 
- protected:
-  bool Reconcile(const std::string& key) override;
+  void Start() { runtime_.Start(); }
+  void Stop() { runtime_.Stop(); }
 
  private:
+  bool Reconcile(const std::string& key);
+  void Enqueue(const std::string& key) { runtime_.Enqueue(key); }
+
   // Deletes all objects of type T in ns; returns how many were present.
   template <typename T>
   size_t PurgeKind(const std::string& ns);
 
   apiserver::APIServer* const server_;
   client::SharedInformer<api::NamespaceObj>* const namespaces_;
+  Reconciler runtime_;  // last: drains before members above die
 };
 
 }  // namespace vc::controllers

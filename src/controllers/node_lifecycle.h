@@ -8,7 +8,7 @@
 
 #include "apiserver/apiserver.h"
 #include "client/informer.h"
-#include "controllers/base.h"
+#include "common/executor.h"
 
 namespace vc::controllers {
 

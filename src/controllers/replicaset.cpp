@@ -12,9 +12,19 @@ const char* kSuffixAlphabet = "bcdfghjklmnpqrstvwxz2456789";
 
 ReplicaSetController::ReplicaSetController(
     apiserver::APIServer* server, client::SharedInformer<api::ReplicaSet>* replicasets,
-    client::SharedInformer<api::Pod>* pods, Clock* clock, int workers)
-    : QueueWorker("replicaset-controller", clock, workers),
-      server_(server), replicasets_(replicasets), pods_(pods) {
+    client::SharedInformer<api::Pod>* pods, Clock* clock, int workers,
+    TenantOfFn tenant_of)
+    : server_(server), replicasets_(replicasets), pods_(pods),
+      runtime_(
+          [&] {
+            Reconciler::Options o;
+            o.name = "replicaset-controller";
+            o.clock = clock;
+            o.workers = workers;
+            o.key_tenant = NamespacedKeyTenant(std::move(tenant_of));
+            return o;
+          }(),
+          [this](const std::string& key) { return Reconcile(key); }) {
   client::EventHandlers<api::ReplicaSet> rh;
   rh.on_add = [this](const api::ReplicaSet& r) { Enqueue(r.meta.FullName()); };
   rh.on_update = [this](const api::ReplicaSet&, const api::ReplicaSet& r) {

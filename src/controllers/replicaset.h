@@ -5,21 +5,23 @@
 #include "apiserver/apiserver.h"
 #include "client/informer.h"
 #include "common/rand.h"
-#include "controllers/base.h"
+#include "controllers/runtime.h"
 
 namespace vc::controllers {
 
-class ReplicaSetController : public QueueWorker {
+class ReplicaSetController {
  public:
   ReplicaSetController(apiserver::APIServer* server,
                        client::SharedInformer<api::ReplicaSet>* replicasets,
                        client::SharedInformer<api::Pod>* pods, Clock* clock,
-                       int workers = 2);
+                       int workers = 2, TenantOfFn tenant_of = {});
 
- protected:
-  bool Reconcile(const std::string& key) override;
+  void Start() { runtime_.Start(); }
+  void Stop() { runtime_.Stop(); }
 
  private:
+  bool Reconcile(const std::string& key);
+  void Enqueue(const std::string& key) { runtime_.Enqueue(key); }
   void EnqueueOwner(const api::Pod& pod);
 
   apiserver::APIServer* const server_;
@@ -27,6 +29,7 @@ class ReplicaSetController : public QueueWorker {
   client::SharedInformer<api::Pod>* const pods_;
   std::mutex rng_mu_;
   Rng rng_{0xC0DE};
+  Reconciler runtime_;  // last: drains before members above die
 };
 
 }  // namespace vc::controllers

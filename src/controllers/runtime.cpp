@@ -1,0 +1,227 @@
+#include "controllers/runtime.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace vc::controllers {
+
+Reconciler::Reconciler(Options opts, ReconcileFn fn)
+    : opts_(std::move(opts)),
+      fn_(std::move(fn)),
+      queue_(client::FairQueue::Options{opts_.fair, opts_.default_weight,
+                                        opts_.clock}),
+      backoff_(opts_.backoff_base, opts_.backoff_max),
+      exec_(Executor::SharedFor(opts_.clock)) {
+  if (opts_.workers < 1) opts_.workers = 1;
+  MetricsRegistry* reg =
+      opts_.registry != nullptr ? opts_.registry : &MetricsRegistry::Global();
+  metrics_reg_ = reg->Register(opts_.name, [this] {
+    std::vector<MetricsRegistry::Sample> s;
+    s.emplace_back("queue_depth", static_cast<double>(queue_.Len()));
+    s.emplace_back("in_flight", static_cast<double>(InFlight()));
+    s.emplace_back("reconciles", static_cast<double>(reconciles_.load()));
+    s.emplace_back("retries", static_cast<double>(retries_.load()));
+    AppendHistogram(&s, "queue_latency", queue_lat_);
+    AppendHistogram(&s, "reconcile_latency", reconcile_lat_);
+    return s;
+  });
+}
+
+Reconciler::Reconciler(Options opts, SyncFn fn)
+    : Reconciler(std::move(opts),
+                 ReconcileFn([f = std::move(fn)](const Item& item,
+                                                 Completion done) {
+                   done(f(item.key) ? ReconcileResult::Done()
+                                    : ReconcileResult::Retry());
+                 })) {}
+
+Reconciler::~Reconciler() { Stop(); }
+
+void Reconciler::Start() {
+  {
+    std::lock_guard<std::mutex> l(pump_mu_);
+    if (started_) return;
+    started_ = true;
+  }
+  stopping_.store(false);
+  queue_.SetReadyCallback([this] { Pump(); });
+  Pump();
+}
+
+void Reconciler::StopAsync() {
+  stopping_.store(true);
+  queue_.ShutDown();
+}
+
+bool Reconciler::WaitIdle(Duration timeout) {
+  std::unique_lock<std::mutex> l(pump_mu_);
+  return drain_cv_.wait_for(l, timeout, [this] { return active_ == 0; });
+}
+
+void Reconciler::Stop() {
+  StopAsync();
+  {
+    // Drain: in-flight reconciles finish (or short-circuit on `stopping_`);
+    // queued items are consumed and Done'd without reconciling.
+    BlockingRegion br;
+    std::unique_lock<std::mutex> l(pump_mu_);
+    drain_cv_.wait(l, [this] { return active_ == 0; });
+    started_ = false;
+  }
+  // Sweep delayed-requeue timers. Cancel outside delay_mu_ (an in-flight
+  // OnDelayed takes it; Cancel blocks on in-flight callbacks). No new entries
+  // can appear: EnqueueAfter drops under `stopping_`, and in-flight reconciles
+  // arm their retries before the slot decrement that the drain waited on.
+  for (;;) {
+    std::map<std::string, Delayed> sweep;
+    {
+      std::lock_guard<std::mutex> l(delay_mu_);
+      sweep.swap(delayed_);
+    }
+    if (sweep.empty()) break;
+    for (auto& [fk, d] : sweep) d.timer.Cancel();
+  }
+}
+
+void Reconciler::RegisterTenant(const std::string& tenant, int weight) {
+  queue_.RegisterTenant(tenant, weight);
+}
+
+void Reconciler::UnregisterTenant(const std::string& tenant) {
+  queue_.UnregisterTenant(tenant);
+}
+
+void Reconciler::Enqueue(const std::string& tenant, const std::string& key) {
+  {
+    // An immediate add supersedes a pending delayed one (promote): drop the
+    // entry so the timer no-ops, then enqueue now.
+    std::lock_guard<std::mutex> l(delay_mu_);
+    delayed_.erase(tenant + "|" + key);
+  }
+  queue_.Add(tenant, key);
+}
+
+void Reconciler::Enqueue(const std::string& key) {
+  Enqueue(opts_.key_tenant ? opts_.key_tenant(key) : std::string(), key);
+}
+
+void Reconciler::EnqueueAfter(const std::string& tenant, const std::string& key,
+                              Duration d) {
+  if (d <= Duration::zero()) {
+    Enqueue(tenant, key);
+    return;
+  }
+  std::lock_guard<std::mutex> l(delay_mu_);
+  if (stopping_.load()) return;
+  // Promote-or-drop: a key already in the ready/dirty set will run anyway —
+  // a delayed duplicate would make it run twice.
+  if (queue_.IsQueued(tenant, key)) return;
+  const TimePoint deadline = opts_.clock->Now() + d;
+  auto [it, inserted] = delayed_.try_emplace(tenant + "|" + key);
+  if (!inserted && it->second.deadline <= deadline) return;  // sooner one armed
+  it->second.deadline = deadline;
+  it->second.timer = exec_->RunAfter(
+      d, [this, tenant, key, deadline] { OnDelayed(tenant, key, deadline); });
+}
+
+void Reconciler::EnqueueAfter(const std::string& key, Duration d) {
+  EnqueueAfter(opts_.key_tenant ? opts_.key_tenant(key) : std::string(), key,
+               d);
+}
+
+void Reconciler::OnDelayed(const std::string& tenant, const std::string& key,
+                           TimePoint deadline) {
+  {
+    std::lock_guard<std::mutex> l(delay_mu_);
+    auto it = delayed_.find(tenant + "|" + key);
+    // Superseded (promoted, re-armed earlier, or swept): stale timer no-ops.
+    if (it == delayed_.end() || it->second.deadline != deadline) return;
+    delayed_.erase(it);
+  }
+  queue_.Add(tenant, key);
+}
+
+int Reconciler::InFlight() const {
+  std::lock_guard<std::mutex> l(pump_mu_);
+  return active_;
+}
+
+void Reconciler::Pump() {
+  std::unique_lock<std::mutex> l(pump_mu_);
+  while (active_ < opts_.workers) {
+    std::optional<Item> item = queue_.TryGet();
+    if (!item) break;
+    ++active_;
+    l.unlock();
+    if (!exec_->Submit([this, it = *item] { Process(it); })) {
+      queue_.Done(*item);
+      l.lock();
+      --active_;
+      drain_cv_.notify_all();
+      continue;
+    }
+    l.lock();
+  }
+}
+
+void Reconciler::Process(const Item& item) {
+  if (stopping_.load()) {
+    Finish(item, ReconcileResult::Done(), /*ran=*/false, TimePoint{});
+    return;
+  }
+  queue_lat_.Record(opts_.clock->Now() - item.enqueue_time);
+  const TimePoint start = opts_.clock->Now();
+  fn_(item, [this, item, start](ReconcileResult r) {
+    Finish(item, r, /*ran=*/true, start);
+  });
+}
+
+void Reconciler::Finish(const Item& item, ReconcileResult r, bool ran,
+                        TimePoint start) {
+  if (ran) {
+    reconcile_lat_.Record(opts_.clock->Now() - start);
+    reconciles_.fetch_add(1);
+    const std::string fk = item.tenant + "|" + item.key;
+    switch (r.code) {
+      case ReconcileResult::Code::kDone:
+        backoff_.Forget(fk);
+        break;
+      case ReconcileResult::Code::kRetry:
+        retries_.fetch_add(1);
+        EnqueueAfter(item.tenant, item.key, backoff_.Next(fk));
+        break;
+      case ReconcileResult::Code::kRequeueAfter:
+        backoff_.Forget(fk);
+        EnqueueAfter(item.tenant, item.key, r.delay);
+        break;
+    }
+  }
+  queue_.Done(item);
+  // Hand the slot to the next queued item instead of re-pumping after the
+  // decrement: the moment active_ hits zero Stop() returns and the object may
+  // be destroyed, so the decrement must be the last touch of `this` on this
+  // code path.
+  std::unique_lock<std::mutex> l(pump_mu_);
+  std::optional<Item> next;
+  if (!stopping_.load()) next = queue_.TryGet();
+  if (next) {
+    l.unlock();
+    if (exec_->Submit([this, it = *next] { Process(it); })) return;
+    queue_.Done(*next);
+    l.lock();
+  }
+  --active_;
+  drain_cv_.notify_all();
+}
+
+std::function<std::string(const std::string& key)> NamespacedKeyTenant(
+    TenantOfFn tenant_of) {
+  if (!tenant_of) return {};
+  return [t = std::move(tenant_of)](const std::string& key) {
+    return t(key.substr(0, key.find('/')));
+  };
+}
+
+}  // namespace vc::controllers

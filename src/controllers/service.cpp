@@ -4,9 +4,19 @@ namespace vc::controllers {
 
 ServiceController::ServiceController(apiserver::APIServer* server,
                                      client::SharedInformer<api::Service>* services,
-                                     net::Ipam* vip_pool, Clock* clock, int workers)
-    : QueueWorker("service-controller", clock, workers),
-      server_(server), services_(services), vip_pool_(vip_pool) {
+                                     net::Ipam* vip_pool, Clock* clock, int workers,
+                                     TenantOfFn tenant_of)
+    : server_(server), services_(services), vip_pool_(vip_pool),
+      runtime_(
+          [&] {
+            Reconciler::Options o;
+            o.name = "service-controller";
+            o.clock = clock;
+            o.workers = workers;
+            o.key_tenant = NamespacedKeyTenant(std::move(tenant_of));
+            return o;
+          }(),
+          [this](const std::string& key) { return Reconcile(key); }) {
   client::EventHandlers<api::Service> h;
   h.on_add = [this](const api::Service& s) { Enqueue(s.meta.FullName()); };
   h.on_update = [this](const api::Service&, const api::Service& s) {

@@ -10,26 +10,31 @@
 
 #include "apiserver/apiserver.h"
 #include "client/informer.h"
-#include "controllers/base.h"
+#include "controllers/runtime.h"
 #include "net/ipam.h"
 
 namespace vc::controllers {
 
-class ServiceController : public QueueWorker {
+class ServiceController {
  public:
   ServiceController(apiserver::APIServer* server,
                     client::SharedInformer<api::Service>* services,
-                    net::Ipam* vip_pool, Clock* clock, int workers = 1);
+                    net::Ipam* vip_pool, Clock* clock, int workers = 1,
+                    TenantOfFn tenant_of = {});
 
- protected:
-  bool Reconcile(const std::string& key) override;
+  void Start() { runtime_.Start(); }
+  void Stop() { runtime_.Stop(); }
 
  private:
+  bool Reconcile(const std::string& key);
+  void Enqueue(const std::string& key) { runtime_.Enqueue(key); }
+
   apiserver::APIServer* const server_;
   client::SharedInformer<api::Service>* const services_;
   net::Ipam* const vip_pool_;
   std::mutex mu_;
   std::map<std::string, std::string> allocated_;  // service key -> VIP
+  Reconciler runtime_;  // last: drains before members above die
 };
 
 }  // namespace vc::controllers

@@ -25,6 +25,7 @@ SuperCluster::SuperCluster(Options opts) : opts_(std::move(opts)) {
     co.clock = opts_.clock;
     co.service_vip_pool = &fabric_.service_ipam();
     co.node_tuning = opts_.node_tuning;
+    co.tenant_of = opts_.tenant_of;
     controllers_ = std::make_unique<controllers::ControllerManager>(std::move(co));
   }
 

@@ -38,6 +38,10 @@ class SuperCluster {
     Duration kubelet_heartbeat = Seconds(2);
     bool enforce_network_gate = false;  // kata pods wait for EKP injection
     controllers::NodeLifecycleController::Tuning node_tuning;
+    // ns → tenant mapper forwarded to the controller manager: keys the super
+    // cluster's own control loops by the tenant owning each prefixed
+    // namespace (VcDeployment wires it to the syncer's inverse mapping).
+    controllers::TenantOfFn tenant_of;
   };
 
   explicit SuperCluster(Options opts);

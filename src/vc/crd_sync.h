@@ -10,21 +10,21 @@
 //   static bool CopyStatus(const T&, T&)       — upward status propagation
 // plus the usual kKind/kNamespaced/meta and a Codec<T> specialization.
 //
-// Header-only (templated); instantiated per CRD type.
+// Header-only (templated); instantiated per CRD type. Both sync loops are
+// hosted on the shared reconciler runtime (controllers::Reconciler) like the
+// main syncer's, so they get the same fairness, backoff, and metrics for free.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
 
-#include "client/fairqueue.h"
 #include "client/informer.h"
-#include "common/executor.h"
 #include "common/logging.h"
+#include "controllers/runtime.h"
 #include "vc/syncer/conversion.h"
 #include "vc/tenant_control_plane.h"
 #include "vc/types.h"
@@ -43,20 +43,37 @@ class CrdSyncer {
     Duration op_cost = Duration::zero();
   };
 
-  explicit CrdSyncer(Options opts) : opts_(opts),
-                                     exec_(Executor::SharedFor(opts.clock)),
-                                     downward_([&] {
-                                       client::FairQueue::Options qo;
-                                       qo.fair = opts.fair_queuing;
-                                       qo.clock = opts.clock;
-                                       return qo;
-                                     }()),
-                                     upward_([&] {
-                                       client::FairQueue::Options qo;
-                                       qo.fair = false;
-                                       qo.clock = opts.clock;
-                                       return qo;
-                                     }()) {
+  explicit CrdSyncer(Options opts) : opts_(opts) {
+    downward_ = std::make_unique<controllers::Reconciler>(
+        [&] {
+          controllers::Reconciler::Options o;
+          o.name = std::string("crd-") + T::kKind + "-downward";
+          o.clock = opts_.clock;
+          o.workers = opts_.downward_workers;
+          o.fair = opts_.fair_queuing;
+          o.backoff_base = Millis(10);
+          o.backoff_max = Seconds(1);
+          return o;
+        }(),
+        [this](const client::FairQueue::Item& item,
+               controllers::Reconciler::Completion done) {
+          done(SyncDown(item) ? controllers::ReconcileResult::Done()
+                              : controllers::ReconcileResult::Retry());
+        });
+    upward_ = std::make_unique<controllers::Reconciler>(
+        [&] {
+          controllers::Reconciler::Options o;
+          o.name = std::string("crd-") + T::kKind + "-upward";
+          o.clock = opts_.clock;
+          o.workers = opts_.upward_workers;
+          o.fair = false;
+          return o;
+        }(),
+        [this](const client::FairQueue::Item& item,
+               controllers::Reconciler::Completion done) {
+          SyncUp(item.key);  // upward failures are re-driven by super events
+          done(controllers::ReconcileResult::Done());
+        });
     typename client::SharedInformer<T>::Options io;
     io.clock = opts_.clock;
     super_informer_ = std::make_unique<client::SharedInformer<T>>(
@@ -82,15 +99,17 @@ class CrdSyncer {
         client::ListerWatcher<T>(&tcp->server()), io);
     const std::string tenant = vc.meta.name;
     client::EventHandlers<T> h;
-    h.on_add = [this, tenant](const T& obj) { downward_.Add(tenant, obj.meta.FullName()); };
+    h.on_add = [this, tenant](const T& obj) {
+      downward_->Enqueue(tenant, obj.meta.FullName());
+    };
     h.on_update = [this, tenant](const T&, const T& obj) {
-      downward_.Add(tenant, obj.meta.FullName());
+      downward_->Enqueue(tenant, obj.meta.FullName());
     };
     h.on_delete = [this, tenant](const T& obj) {
-      downward_.Add(tenant, obj.meta.FullName());
+      downward_->Enqueue(tenant, obj.meta.FullName());
     };
     ts->informer->AddHandlers(std::move(h));
-    downward_.RegisterTenant(tenant, std::max(1, vc.weight));
+    downward_->RegisterTenant(tenant, std::max(1, vc.weight));
     bool live;
     {
       std::lock_guard<std::mutex> l(mu_);
@@ -109,38 +128,24 @@ class CrdSyncer {
       ts = it->second;
       tenants_.erase(it);
     }
-    downward_.UnregisterTenant(tenant_id);
+    downward_->UnregisterTenant(tenant_id);
     ts->informer->Stop();
   }
 
   void Start() {
     if (started_.exchange(true)) return;
-    stop_.store(false);
-    downward_.SetReadyCallback([this] { PumpDownward(); });
-    upward_.SetReadyCallback([this] { PumpUpward(); });
     super_informer_->Start();
     std::vector<TenantPtr> snapshot = Snapshot();
     for (TenantPtr& ts : snapshot) ts->informer->Start();
-    PumpDownward();
-    PumpUpward();
+    downward_->Start();
+    upward_->Start();
   }
 
   void Stop() {
     if (!started_.exchange(false)) return;
-    stop_.store(true);
-    downward_.ShutDown();
-    upward_.ShutDown();
-    std::vector<TimerHandle> retries;
-    {
-      std::lock_guard<std::mutex> l(pump_mu_);
-      retries.swap(retry_timers_);
-    }
-    for (TimerHandle& h : retries) h.Cancel();
-    {
-      BlockingRegion br;
-      std::unique_lock<std::mutex> l(pump_mu_);
-      drain_cv_.wait(l, [this] { return active_down_ == 0 && active_up_ == 0; });
-    }
+    // Reconciler::Stop drains in-flight work and sweeps retry timers.
+    downward_->Stop();
+    upward_->Stop();
     for (TenantPtr& ts : Snapshot()) ts->informer->Stop();
     super_informer_->Stop();
   }
@@ -180,55 +185,7 @@ class CrdSyncer {
   void EnqueueUpward(const T& super_obj) {
     std::optional<Origin> origin = OriginOf(super_obj);
     if (!origin) return;
-    upward_.Add(origin->tenant_id, super_obj.meta.FullName());
-  }
-
-  void PumpDownward() {
-    std::unique_lock<std::mutex> l(pump_mu_);
-    while (!stop_.load() && active_down_ < opts_.downward_workers) {
-      std::optional<client::FairQueue::Item> item = downward_.TryGet();
-      if (!item) break;
-      ++active_down_;
-      l.unlock();
-      if (!exec_->Submit([this, it = *item] { ProcessDownward(it); })) {
-        downward_.Done(*item);
-        l.lock();
-        --active_down_;
-        drain_cv_.notify_all();
-        continue;
-      }
-      l.lock();
-    }
-  }
-
-  void ProcessDownward(client::FairQueue::Item item) {
-    bool ok = true;
-    if (!stop_.load()) ok = SyncDown(item);
-    downward_.Done(item);
-    if (!ok && !stop_.load()) {
-      // Simple retry: requeue after a short backoff timer.
-      std::lock_guard<std::mutex> l(pump_mu_);
-      retry_timers_.erase(
-          std::remove_if(retry_timers_.begin(), retry_timers_.end(),
-                         [](const TimerHandle& h) { return !h.active(); }),
-          retry_timers_.end());
-      retry_timers_.push_back(exec_->RunAfter(Millis(10), [this, item] {
-        if (!stop_.load()) downward_.Add(item.tenant, item.key);
-      }));
-    }
-    // Hand the slot to the next queued item; the decrement must be the last
-    // touch of `this` — Stop() may return the moment the counters hit zero.
-    std::unique_lock<std::mutex> l(pump_mu_);
-    std::optional<client::FairQueue::Item> next;
-    if (!stop_.load()) next = downward_.TryGet();
-    if (next) {
-      l.unlock();
-      if (exec_->Submit([this, it = *next] { ProcessDownward(it); })) return;
-      downward_.Done(*next);
-      l.lock();
-    }
-    --active_down_;
-    drain_cv_.notify_all();
+    upward_->Enqueue(origin->tenant_id, super_obj.meta.FullName());
   }
 
   bool SyncDown(const client::FairQueue::Item& item) {
@@ -275,77 +232,36 @@ class CrdSyncer {
     return res.ok();
   }
 
-  void PumpUpward() {
-    std::unique_lock<std::mutex> l(pump_mu_);
-    while (!stop_.load() && active_up_ < opts_.upward_workers) {
-      std::optional<client::FairQueue::Item> item = upward_.TryGet();
-      if (!item) break;
-      ++active_up_;
-      l.unlock();
-      if (!exec_->Submit([this, it = *item] { ProcessUpward(it); })) {
-        upward_.Done(*item);
-        l.lock();
-        --active_up_;
-        drain_cv_.notify_all();
-        continue;
-      }
-      l.lock();
+  void SyncUp(const std::string& key) {
+    auto super_obj = super_informer_->cache().GetByKey(key);
+    if (!super_obj) return;
+    std::optional<Origin> origin = OriginOf(*super_obj);
+    TenantPtr ts = origin ? GetTenant(origin->tenant_id) : nullptr;
+    if (!ts) return;
+    bool wrote = false;
+    Status st = apiserver::RetryUpdate<T>(
+        ts->tcp->server(), origin->tenant_ns, super_obj->meta.name,
+        [&](T& tenant_obj) {
+          wrote = T::CopyStatus(*super_obj, tenant_obj);
+          return wrote;
+        });
+    if (st.ok() && wrote) {
+      opts_.clock->SleepFor(opts_.op_cost);
+      upward_syncs_.fetch_add(1);
     }
-  }
-
-  void ProcessUpward(client::FairQueue::Item item) {
-    if (!stop_.load()) {
-      auto super_obj = super_informer_->cache().GetByKey(item.key);
-      if (super_obj) {
-        std::optional<Origin> origin = OriginOf(*super_obj);
-        TenantPtr ts = origin ? GetTenant(origin->tenant_id) : nullptr;
-        if (ts) {
-          bool wrote = false;
-          Status st = apiserver::RetryUpdate<T>(
-              ts->tcp->server(), origin->tenant_ns, super_obj->meta.name,
-              [&](T& tenant_obj) {
-                wrote = T::CopyStatus(*super_obj, tenant_obj);
-                return wrote;
-              });
-          if (st.ok() && wrote) {
-            opts_.clock->SleepFor(opts_.op_cost);
-            upward_syncs_.fetch_add(1);
-          }
-        }
-      }
-    }
-    upward_.Done(item);
-    // Same slot-handoff shape as ProcessDownward: no touch of `this` after
-    // the decrement.
-    std::unique_lock<std::mutex> l(pump_mu_);
-    std::optional<client::FairQueue::Item> next;
-    if (!stop_.load()) next = upward_.TryGet();
-    if (next) {
-      l.unlock();
-      if (exec_->Submit([this, it = *next] { ProcessUpward(it); })) return;
-      upward_.Done(*next);
-      l.lock();
-    }
-    --active_up_;
-    drain_cv_.notify_all();
   }
 
   Options opts_;
-  std::shared_ptr<Executor> exec_;
   std::unique_ptr<client::SharedInformer<T>> super_informer_;
-  client::FairQueue downward_;
-  client::FairQueue upward_;
-  std::mutex pump_mu_;
-  std::condition_variable drain_cv_;
-  int active_down_ = 0;
-  int active_up_ = 0;
-  std::vector<TimerHandle> retry_timers_;
-  std::atomic<bool> stop_{true};
   std::atomic<bool> started_{false};
   mutable std::mutex mu_;
   std::map<std::string, TenantPtr> tenants_;
   std::atomic<uint64_t> downward_syncs_{0};
   std::atomic<uint64_t> upward_syncs_{0};
+  // Last: the reconcile fns touch everything above; ~CrdSyncer stops them
+  // (via Stop()) before any member is torn down.
+  std::unique_ptr<controllers::Reconciler> downward_;
+  std::unique_ptr<controllers::Reconciler> upward_;
 };
 
 }  // namespace vc::core

@@ -3,6 +3,12 @@
 namespace vc::core {
 
 VcDeployment::VcDeployment(Options opts) : opts_(std::move(opts)) {
+  // Key the super cluster's own control loops by owning tenant (prefixed
+  // namespace → tenant id via the syncer's inverse mapping). The hook only
+  // fires from running controllers, i.e. after the syncer below exists.
+  opts_.super.tenant_of = [this](const std::string& ns) {
+    return syncer_ ? syncer_->TenantForSuperNamespace(ns) : std::string();
+  };
   super_ = std::make_unique<SuperCluster>(opts_.super);
 
   Syncer::Options so;

@@ -1,14 +1,11 @@
 #include "vc/syncer/syncer.h"
 
 #include "common/logging.h"
-#include "common/strings.h"
 #include "common/thread_pool.h"
 
 namespace vc::core {
 
 namespace {
-
-constexpr char kFieldSep = '\x1f';
 
 std::pair<std::string, std::string> SplitKind(const std::string& queue_key) {
   size_t bar = queue_key.find('|');
@@ -39,21 +36,42 @@ typename client::SharedInformer<T>::Options Syncer::InformerOptions() {
 }
 
 Syncer::Syncer(Options opts)
-    : opts_(std::move(opts)),
-      exec_(Executor::SharedFor(opts_.clock)),
-      downward_queue_([&] {
-        client::FairQueue::Options qo;
-        qo.fair = opts_.fair_queuing;
-        qo.clock = opts_.clock;
-        return qo;
-      }()),
-      upward_queue_([&] {
-        client::FairQueue::Options qo;
-        qo.fair = false;  // plain FIFO (paper: fair queuing is downward only)
-        qo.clock = opts_.clock;
-        return qo;
-      }()) {
-  retry_queue_ = std::make_unique<client::DelayingQueue>(opts_.clock);
+    : opts_(std::move(opts)), exec_(Executor::SharedFor(opts_.clock)) {
+  // Both sync pools are instances of the shared reconciler runtime; only the
+  // queueing discipline differs (paper: fair queuing is downward only). The
+  // backoff base matches the old fixed 25 ms retry delay and now grows
+  // exponentially per item up to 1 s.
+  downward_ = std::make_unique<controllers::Reconciler>(
+      [&] {
+        controllers::Reconciler::Options o;
+        o.name = "syncer-downward";
+        o.clock = opts_.clock;
+        o.workers = opts_.downward_workers;
+        o.fair = opts_.fair_queuing;
+        o.backoff_base = Millis(25);
+        o.backoff_max = Seconds(1);
+        return o;
+      }(),
+      [this](const client::FairQueue::Item& item,
+             controllers::Reconciler::Completion done) {
+        DownwardReconcile(item, std::move(done));
+      });
+  upward_ = std::make_unique<controllers::Reconciler>(
+      [&] {
+        controllers::Reconciler::Options o;
+        o.name = "syncer-upward";
+        o.clock = opts_.clock;
+        o.workers = opts_.upward_workers;
+        o.fair = false;  // plain FIFO
+        o.backoff_base = Millis(25);
+        o.backoff_max = Seconds(1);
+        return o;
+      }(),
+      [this](const client::FairQueue::Item& item,
+             controllers::Reconciler::Completion done) {
+        UpwardReconcile(item, std::move(done));
+      });
+
   apiserver::APIServer* super = opts_.super_server;
 
   apiserver::RequestContext ctx;
@@ -97,7 +115,7 @@ Syncer::Syncer(Options opts)
   up.on_add = [this](const api::Pod& pod) {
     std::optional<Origin> origin = OriginOf(pod);
     if (!origin) return;
-    upward_queue_.Add(origin->tenant_id, "Pod|" + pod.meta.FullName());
+    upward_->Enqueue(origin->tenant_id, "Pod|" + pod.meta.FullName());
   };
   up.on_update = [this](const api::Pod& old_pod, const api::Pod& new_pod) {
     std::optional<Origin> origin = OriginOf(new_pod);
@@ -109,7 +127,7 @@ Syncer::Syncer(Options opts)
         metrics_.super_sched.Record(opts_.clock->Now() - *t0);
       }
     }
-    upward_queue_.Add(origin->tenant_id, "Pod|" + key);
+    upward_->Enqueue(origin->tenant_id, "Pod|" + key);
   };
   up.on_delete = [this](const api::Pod& pod) {
     std::optional<Origin> origin = OriginOf(pod);
@@ -125,10 +143,41 @@ Syncer::Syncer(Options opts)
         std::lock_guard<std::mutex> l(gone_mu_);
         pending_gone_[key] = std::move(info);
       }
-      upward_queue_.Add(origin->tenant_id, "PodGone|" + key);
+      upward_->Enqueue(origin->tenant_id, "PodGone|" + key);
     }
   };
   super_pods_->AddHandlers(std::move(up));
+
+  // The reconcilers publish their own uniform runtime blocks; this block adds
+  // the syncer-specific counters and the Fig. 8 phase histograms.
+  metrics_reg_ = MetricsRegistry::Global().Register("syncer", [this] {
+    std::vector<MetricsRegistry::Sample> s;
+    s.emplace_back("downward_creates",
+                   static_cast<double>(metrics_.downward_creates.load()));
+    s.emplace_back("downward_updates",
+                   static_cast<double>(metrics_.downward_updates.load()));
+    s.emplace_back("downward_deletes",
+                   static_cast<double>(metrics_.downward_deletes.load()));
+    s.emplace_back("downward_noops",
+                   static_cast<double>(metrics_.downward_noops.load()));
+    s.emplace_back("upward_updates",
+                   static_cast<double>(metrics_.upward_updates.load()));
+    s.emplace_back("upward_noops",
+                   static_cast<double>(metrics_.upward_noops.load()));
+    s.emplace_back("conflicts_retried",
+                   static_cast<double>(metrics_.conflicts_retried.load()));
+    s.emplace_back("races_tolerated",
+                   static_cast<double>(metrics_.races_tolerated.load()));
+    s.emplace_back("scan_rounds", static_cast<double>(metrics_.scan_rounds.load()));
+    s.emplace_back("scan_resent", static_cast<double>(metrics_.scan_resent.load()));
+    s.emplace_back("pending_sched", static_cast<double>(metrics_.PendingSched()));
+    AppendHistogram(&s, "dws_queue", metrics_.dws_queue);
+    AppendHistogram(&s, "dws_process", metrics_.dws_process);
+    AppendHistogram(&s, "super_sched", metrics_.super_sched);
+    AppendHistogram(&s, "uws_queue", metrics_.uws_queue);
+    AppendHistogram(&s, "uws_process", metrics_.uws_process);
+    return s;
+  });
 }
 
 Syncer::~Syncer() { Stop(); }
@@ -166,13 +215,13 @@ void Syncer::WireTenantHandlers(TenantState& ts, client::SharedInformer<T>* info
   const std::string tenant = ts.map.tenant_id;
   client::EventHandlers<T> h;
   h.on_add = [this, tenant](const T& obj) {
-    downward_queue_.Add(tenant, std::string(T::kKind) + "|" + obj.meta.FullName());
+    downward_->Enqueue(tenant, std::string(T::kKind) + "|" + obj.meta.FullName());
   };
   h.on_update = [this, tenant](const T&, const T& obj) {
-    downward_queue_.Add(tenant, std::string(T::kKind) + "|" + obj.meta.FullName());
+    downward_->Enqueue(tenant, std::string(T::kKind) + "|" + obj.meta.FullName());
   };
   h.on_delete = [this, tenant](const T& obj) {
-    downward_queue_.Add(tenant, std::string(T::kKind) + "|" + obj.meta.FullName());
+    downward_->Enqueue(tenant, std::string(T::kKind) + "|" + obj.meta.FullName());
   };
   informer->AddHandlers(std::move(h));
 }
@@ -217,11 +266,12 @@ void Syncer::AttachTenant(const VirtualClusterObj& vc, TenantControlPlane* tcp) 
   WireTenantHandlers(*ts, ts->serviceaccounts.get());
   WireTenantHandlers(*ts, ts->pvcs.get());
 
-  downward_queue_.RegisterTenant(ts->map.tenant_id, ts->weight);
+  downward_->RegisterTenant(ts->map.tenant_id, ts->weight);
   bool start_now;
   {
     std::lock_guard<std::mutex> l(tenants_mu_);
     tenants_[ts->map.tenant_id] = ts;
+    prefix_to_tenant_[ts->map.ns_prefix + "-"] = ts->map.tenant_id;
     start_now = started_.load();
   }
   if (start_now) {
@@ -244,8 +294,9 @@ void Syncer::DetachTenant(const std::string& tenant_id) {
     if (it == tenants_.end()) return;
     ts = it->second;
     tenants_.erase(it);
+    prefix_to_tenant_.erase(ts->map.ns_prefix + "-");
   }
-  downward_queue_.UnregisterTenant(tenant_id);
+  downward_->UnregisterTenant(tenant_id);
   vnodes_.ForgetTenant(tenant_id);
   ts->scan_timer.Cancel();
   ts->pods->Stop();
@@ -269,6 +320,29 @@ TenantMapping Syncer::MappingOf(const std::string& tenant_id) const {
   return ts ? ts->map : TenantMapping{};
 }
 
+void Syncer::UpdateTenantWeight(const std::string& tenant_id, int weight) {
+  const int w = std::max(1, weight);
+  {
+    std::lock_guard<std::mutex> l(tenants_mu_);
+    auto it = tenants_.find(tenant_id);
+    if (it == tenants_.end() || it->second->weight == w) return;
+    it->second->weight = w;
+  }
+  // Re-registering an attached tenant updates its WRR weight in place.
+  downward_->RegisterTenant(tenant_id, w);
+}
+
+std::string Syncer::TenantForSuperNamespace(const std::string& super_ns) const {
+  std::lock_guard<std::mutex> l(tenants_mu_);
+  // Closest prefix <= super_ns; prefixes end in "-" so at most the immediate
+  // predecessor can be a prefix of super_ns.
+  auto it = prefix_to_tenant_.upper_bound(super_ns);
+  if (it == prefix_to_tenant_.begin()) return {};
+  --it;
+  if (super_ns.compare(0, it->first.size(), it->first) == 0) return it->second;
+  return {};
+}
+
 Syncer::TenantPtr Syncer::GetTenant(const std::string& id) const {
   std::lock_guard<std::mutex> l(tenants_mu_);
   auto it = tenants_.find(id);
@@ -280,10 +354,6 @@ Syncer::TenantPtr Syncer::GetTenant(const std::string& id) const {
 void Syncer::Start() {
   if (started_.exchange(true)) return;
   stop_.store(false);
-
-  downward_queue_.SetReadyCallback([this] { PumpDownward(); });
-  upward_queue_.SetReadyCallback([this] { PumpUpward(); });
-  retry_queue_->SetReadyCallback([this] { ScheduleRetryDrain(); });
 
   super_pods_->Start();
   super_namespaces_->Start();
@@ -315,9 +385,8 @@ void Syncer::Start() {
     BroadcastHeartbeatsOnce();
   });
 
-  PumpDownward();
-  PumpUpward();
-  ScheduleRetryDrain();
+  downward_->Start();
+  upward_->Start();
 }
 
 void Syncer::Stop() {
@@ -332,26 +401,21 @@ void Syncer::Stop() {
     }
     for (TenantPtr& ts : snapshot) ts->scan_timer.Cancel();
   }
-  downward_queue_.ShutDown();
-  upward_queue_.ShutDown();
-  retry_queue_->ShutDown();
+  downward_->StopAsync();
+  upward_->StopAsync();
   // Pending op-cost charges complete inline (Stop does not wait out modeled
   // latencies); in-flight reconciles drain to zero. A reconcile still running
   // may file a new charge after the first sweep, hence the loop.
   DrainCharges();
   {
     BlockingRegion br;
-    std::unique_lock<std::mutex> l(pump_mu_);
-    while (!drain_cv_.wait_for(l, std::chrono::milliseconds(5), [this] {
-      return active_down_ == 0 && active_up_ == 0 && !retry_scheduled_ &&
-             !retry_running_;
-    })) {
-      l.unlock();
+    while (!downward_->WaitIdle(Millis(5)) || !upward_->WaitIdle(Millis(5))) {
       DrainCharges();
-      l.lock();
     }
   }
   DrainCharges();
+  downward_->Stop();
+  upward_->Stop();
 
   std::vector<TenantPtr> snapshot;
   {
@@ -459,61 +523,22 @@ void Syncer::DrainCharges() {
 
 // ------------------------------------------------------------ downward path
 
-void Syncer::PumpDownward() {
-  std::unique_lock<std::mutex> l(pump_mu_);
-  while (!stop_.load() && active_down_ < opts_.downward_workers) {
-    std::optional<client::FairQueue::Item> item = downward_queue_.TryGet();
-    if (!item) break;
-    ++active_down_;
-    l.unlock();
-    if (!exec_->Submit([this, it = *item] { ProcessDownward(it); })) {
-      downward_queue_.Done(*item);
-      l.lock();
-      --active_down_;
-      drain_cv_.notify_all();
-      continue;
-    }
-    l.lock();
-  }
-}
-
-void Syncer::ProcessDownward(client::FairQueue::Item item) {
-  if (stop_.load()) {
-    downward_queue_.Done(item);
-    std::lock_guard<std::mutex> l(pump_mu_);
-    --active_down_;
-    drain_cv_.notify_all();
-    return;
-  }
+void Syncer::DownwardReconcile(const client::FairQueue::Item& item,
+                               controllers::Reconciler::Completion done) {
   Duration cost{};
-  bool done;
+  bool ok;
   {
-    // Scoped: the CPU accounting guard must not outlive the slot decrement
-    // below — once active_down_ hits zero Stop() can return and destroy us.
+    // Scoped: the CPU accounting guard must not outlive the completion —
+    // once the runtime's in-flight count hits zero Stop() can return and
+    // destroy us.
     CpuTimeGroup::Member cpu_member(&cpu_);
-    const TimePoint dequeue = opts_.clock->Now();
-    done = DispatchDownward(item, dequeue, &cost);
+    ok = DispatchDownward(item, opts_.clock->Now(), &cost);
   }
-  ChargeCost(cost, [this, item, done] {
-    if (!done) {
-      retry_queue_->AddAfter(std::string("D") + kFieldSep + item.tenant + kFieldSep +
-                                 item.key,
-                             Millis(25));
-    }
-    downward_queue_.Done(item);
-    // Hand the slot to the next queued item; the decrement must be the last
-    // touch of `this` (see ProcessUpward for the same shape).
-    std::unique_lock<std::mutex> l(pump_mu_);
-    std::optional<client::FairQueue::Item> next;
-    if (!stop_.load()) next = downward_queue_.TryGet();
-    if (next) {
-      l.unlock();
-      if (exec_->Submit([this, it = *next] { ProcessDownward(it); })) return;
-      downward_queue_.Done(*next);
-      l.lock();
-    }
-    --active_down_;
-    drain_cv_.notify_all();
+  // The runtime's backoff handles the retry requeue; completing from the
+  // charge timer keeps the worker slot occupied for the modeled op latency.
+  ChargeCost(cost, [ok, done = std::move(done)] {
+    done(ok ? controllers::ReconcileResult::Done()
+            : controllers::ReconcileResult::Retry());
   });
 }
 
@@ -681,36 +706,12 @@ Status Syncer::EnsureSuperNamespace(TenantState& ts, const std::string& tenant_n
 
 // -------------------------------------------------------------- upward path
 
-void Syncer::PumpUpward() {
-  std::unique_lock<std::mutex> l(pump_mu_);
-  while (!stop_.load() && active_up_ < opts_.upward_workers) {
-    std::optional<client::FairQueue::Item> item = upward_queue_.TryGet();
-    if (!item) break;
-    ++active_up_;
-    l.unlock();
-    if (!exec_->Submit([this, it = *item] { ProcessUpward(it); })) {
-      upward_queue_.Done(*item);
-      l.lock();
-      --active_up_;
-      drain_cv_.notify_all();
-      continue;
-    }
-    l.lock();
-  }
-}
-
-void Syncer::ProcessUpward(client::FairQueue::Item item) {
-  if (stop_.load()) {
-    upward_queue_.Done(item);
-    std::lock_guard<std::mutex> l(pump_mu_);
-    --active_up_;
-    drain_cv_.notify_all();
-    return;
-  }
+void Syncer::UpwardReconcile(const client::FairQueue::Item& item,
+                             controllers::Reconciler::Completion done) {
   const TimePoint dequeue = opts_.clock->Now();
   UpOutcome out;
   {
-    // Scoped: must not outlive the slot decrement in the finish callback.
+    // Scoped: must not outlive the completion (see DownwardReconcile).
     CpuTimeGroup::Member cpu_member(&cpu_);
     auto [kind, key] = SplitKind(item.key);
     if (kind == "Pod") {
@@ -719,7 +720,9 @@ void Syncer::ProcessUpward(client::FairQueue::Item item) {
       ProcessPodGone(key);
     }
   }
-  ChargeCost(out.cost, [this, item, out, dequeue] {
+  // Completion metrics are recorded when the charge fires, matching the old
+  // post-sleep timing; the runtime's slot stays held until `done` runs.
+  ChargeCost(out.cost, [this, item, out, dequeue, done = std::move(done)] {
     if (out.wrote) {
       metrics_.upward_updates.fetch_add(1);
       if (out.became_ready) {
@@ -727,25 +730,8 @@ void Syncer::ProcessUpward(client::FairQueue::Item item) {
         metrics_.uws_process.Record(opts_.clock->Now() - dequeue);
       }
     }
-    if (!out.done) {
-      retry_queue_->AddAfter(std::string("U") + kFieldSep + item.tenant + kFieldSep +
-                                 item.key,
-                             Millis(25));
-    }
-    upward_queue_.Done(item);
-    // Hand the slot to the next queued item; the decrement must be the last
-    // touch of `this` — Stop() may return the moment the counters hit zero.
-    std::unique_lock<std::mutex> l(pump_mu_);
-    std::optional<client::FairQueue::Item> next;
-    if (!stop_.load()) next = upward_queue_.TryGet();
-    if (next) {
-      l.unlock();
-      if (exec_->Submit([this, it = *next] { ProcessUpward(it); })) return;
-      upward_queue_.Done(*next);
-      l.lock();
-    }
-    --active_up_;
-    drain_cv_.notify_all();
+    done(out.done ? controllers::ReconcileResult::Done()
+                  : controllers::ReconcileResult::Retry());
   });
 }
 
@@ -816,8 +802,8 @@ Syncer::UpOutcome Syncer::SyncUpPod(const client::FairQueue::Item& item) {
     return out;
   }
   if (wrote) {
-    // The op cost is charged as a timer by ProcessUpward; completion metrics
-    // are recorded when it fires, matching the old post-sleep timing.
+    // The op cost is charged as a timer by UpwardReconcile; completion
+    // metrics are recorded when it fires, matching the old post-sleep timing.
     out.wrote = true;
     out.became_ready = became_ready;
     out.cost = opts_.upward_op_cost;
@@ -867,56 +853,7 @@ Status Syncer::EnsureVNode(TenantState& ts, const std::string& node) {
   return created.status();
 }
 
-// -------------------------------------------------------- retries/heartbeat
-
-void Syncer::ScheduleRetryDrain() {
-  if (stop_.load()) return;
-  std::lock_guard<std::mutex> l(pump_mu_);
-  if (retry_running_) {
-    // A drain is running; make it loop once more so keys added after its
-    // final TryGet are not stranded.
-    retry_rerun_ = true;
-    return;
-  }
-  if (retry_scheduled_) return;
-  retry_scheduled_ = true;
-  if (!exec_->Submit([this] { RetryDrain(); })) retry_scheduled_ = false;
-}
-
-void Syncer::RetryDrain() {
-  {
-    std::lock_guard<std::mutex> l(pump_mu_);
-    retry_scheduled_ = false;
-    retry_running_ = true;
-  }
-  for (;;) {
-    {
-      // Scoped: the CPU accounting guard must destruct before the final
-      // retry_running_=false below — Stop() may return (and the Syncer be
-      // destroyed) the moment that flag clears.
-      CpuTimeGroup::Member cpu_member(&cpu_);
-      while (std::optional<std::string> key = retry_queue_->TryGet()) {
-        std::vector<std::string> parts = Split(*key, kFieldSep);
-        if (parts.size() == 3) {
-          if (parts[0] == "D") {
-            downward_queue_.Add(parts[1], parts[2]);
-          } else {
-            upward_queue_.Add(parts[1], parts[2]);
-          }
-        }
-        retry_queue_->Done(*key);
-      }
-    }
-    std::lock_guard<std::mutex> l(pump_mu_);
-    if (retry_rerun_) {
-      retry_rerun_ = false;
-      continue;
-    }
-    retry_running_ = false;
-    drain_cv_.notify_all();
-    return;
-  }
-}
+// --------------------------------------------------------------- heartbeat
 
 void Syncer::BroadcastHeartbeatsOnce() {
   std::vector<TenantPtr> snapshot;
@@ -994,8 +931,8 @@ Syncer::ScanRound Syncer::ScanKind(TenantState& ts) {
                  DownwardFingerprint(ToSuper(ts.map, *tenant_obj));
     }
     if (mismatch) {
-      downward_queue_.Add(ts.map.tenant_id,
-                          std::string(T::kKind) + "|" + tenant_obj->meta.FullName());
+      downward_->Enqueue(ts.map.tenant_id,
+                         std::string(T::kKind) + "|" + tenant_obj->meta.FullName());
       round.resent++;
     }
   }
@@ -1009,8 +946,8 @@ Syncer::ScanRound Syncer::ScanKind(TenantState& ts) {
         const std::string tenant_key =
             tenant_ns_obj->meta.name + "/" + shadow->meta.name;
         if (tinf->cache().GetByKey(tenant_key) == nullptr) {
-          downward_queue_.Add(ts.map.tenant_id,
-                              std::string(T::kKind) + "|" + tenant_key);
+          downward_->Enqueue(ts.map.tenant_id,
+                             std::string(T::kKind) + "|" + tenant_key);
           round.resent++;
         }
       }
@@ -1114,7 +1051,7 @@ size_t Syncer::InformerCacheObjects() const {
 
 size_t Syncer::QueuedKeyBytes() const {
   // Queued requests are just keys — "a few bytes" each (paper §IV-C).
-  return downward_queue_.Len() * 64 + upward_queue_.Len() * 64;
+  return downward_->Len() * 64 + upward_->Len() * 64;
 }
 
 }  // namespace vc::core

@@ -5,11 +5,13 @@
 //     (namespaces, pods, services, secrets, configmaps, service accounts,
 //     PVCs) are populated into the super cluster under prefixed namespaces.
 //     All tenant informers feed per-tenant sub-queues; a weighted round-robin
-//     dispatcher (client::FairQueue) feeds the downward workers — the paper's
-//     fair-queuing extension, ablatable to a shared FIFO (Fig. 11).
+//     dispatcher feeds the downward workers — the paper's fair-queuing
+//     extension, ablatable to a shared FIFO (Fig. 11). The loop is hosted on
+//     the shared reconciler runtime (controllers::Reconciler), which owns the
+//     fair queue, the in-flight budget, and the retry backoff.
 //   * UPWARD synchronization: super-cluster pod status (scheduling binds,
 //     readiness, IPs) is written back to the owning tenant control plane by
-//     a separate FIFO worker pool; virtual node objects are created 1:1 with
+//     a separate FIFO reconciler; virtual node objects are created 1:1 with
 //     the physical nodes hosting tenant pods and removed when their last pod
 //     goes away; physical node heartbeats are broadcast to all vNodes.
 //   * CONSISTENCY: reconcilers compare against informer caches (eventual
@@ -25,7 +27,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -33,9 +34,10 @@
 
 #include "client/fairqueue.h"
 #include "client/informer.h"
-#include "client/workqueue.h"
 #include "common/cpu_time.h"
 #include "common/executor.h"
+#include "common/metrics.h"
+#include "controllers/runtime.h"
 #include "vc/syncer/conversion.h"
 #include "vc/syncer/metrics.h"
 #include "vc/syncer/vnode_manager.h"
@@ -85,6 +87,13 @@ class Syncer {
   std::vector<std::string> Tenants() const;
   // Namespace mapping for a tenant (empty mapping if unknown).
   TenantMapping MappingOf(const std::string& tenant_id) const;
+  // Live WRR weight update for an attached tenant (VC spec changes on a
+  // running tenant propagate here without reattaching). No-op if unknown.
+  void UpdateTenantWeight(const std::string& tenant_id, int weight);
+  // Inverse namespace mapping: the tenant owning a prefixed super namespace,
+  // or "" when the namespace belongs to no attached tenant. Used to key the
+  // super cluster's own control loops by tenant (fairness beyond the syncer).
+  std::string TenantForSuperNamespace(const std::string& super_ns) const;
 
   void Start();
   void Stop();
@@ -100,8 +109,8 @@ class Syncer {
   size_t InformerCacheBytes() const;
   size_t InformerCacheObjects() const;
   size_t QueuedKeyBytes() const;
-  size_t DownwardQueueLen() const { return downward_queue_.Len(); }
-  size_t UpwardQueueLen() const { return upward_queue_.Len(); }
+  size_t DownwardQueueLen() const { return downward_->Len(); }
+  size_t UpwardQueueLen() const { return upward_->Len(); }
   // CPU time consumed by all syncer threads (workers, reconcilers, informers,
   // scanners) — the Fig. 10 "accumulated process CPU time" measure.
   Duration WorkerCpuTime() const { return cpu_.Total(); }
@@ -167,14 +176,14 @@ class Syncer {
   template <typename T>
   void WireTenantHandlers(TenantState& ts, client::SharedInformer<T>* informer);
 
-  // Pumps fill the in-flight budgets with executor tasks while keys are
-  // queued; each Process charges its modeled op cost as a timer and re-pumps.
-  void PumpDownward();
-  void PumpUpward();
-  void ProcessDownward(client::FairQueue::Item item);
-  void ProcessUpward(client::FairQueue::Item item);
-  void ScheduleRetryDrain();
-  void RetryDrain();
+  // Reconcile entry points hosted on the shared runtime. Each charges its
+  // modeled op cost as an executor timer and completes the reconcile (via the
+  // runtime's Completion) when the charge fires — the worker slot stays
+  // occupied exactly as long as a sleeping worker thread would hold it.
+  void DownwardReconcile(const client::FairQueue::Item& item,
+                         controllers::Reconciler::Completion done);
+  void UpwardReconcile(const client::FairQueue::Item& item,
+                       controllers::Reconciler::Completion done);
   void ChargeCost(Duration cost, std::function<void()> finish);
   void FinishCharge(uint64_t id);
   void DrainCharges();
@@ -201,9 +210,6 @@ class Syncer {
 
   Options opts_;
   std::shared_ptr<Executor> exec_;
-  client::FairQueue downward_queue_;
-  client::FairQueue upward_queue_;  // fair=false: plain FIFO (paper design)
-  std::unique_ptr<client::DelayingQueue> retry_queue_;  // "<tenant>\x1f<kind|key>"
 
   // Shared super-cluster informers (one per synchronized kind + nodes).
   std::unique_ptr<client::SharedInformer<api::Pod>> super_pods_;
@@ -221,17 +227,13 @@ class Syncer {
 
   mutable std::mutex tenants_mu_;
   std::map<std::string, TenantPtr> tenants_;
+  // "<ns_prefix>-" → tenant id, for TenantForSuperNamespace (guarded by
+  // tenants_mu_; prefixes are contiguous in the ordered map).
+  std::map<std::string, std::string> prefix_to_tenant_;
 
   std::mutex gone_mu_;
   std::map<std::string, GoneInfo> pending_gone_;
 
-  std::mutex pump_mu_;
-  std::condition_variable drain_cv_;
-  int active_down_ = 0;  // in-flight downward reconciles (<= downward_workers)
-  int active_up_ = 0;    // in-flight upward reconciles (<= upward_workers)
-  bool retry_scheduled_ = false;
-  bool retry_running_ = false;
-  bool retry_rerun_ = false;
   TimerHandle heartbeat_timer_;
 
   std::mutex charge_mu_;
@@ -243,6 +245,16 @@ class Syncer {
 
   std::mutex scan_mu_;
   ScanRound last_scan_;
+
+  // The two control loops, hosted on the shared reconciler runtime. Declared
+  // after everything their reconcile functions touch; Stop() drains them
+  // before any member above is torn down.
+  std::unique_ptr<controllers::Reconciler> downward_;  // WRR fair (ablatable)
+  std::unique_ptr<controllers::Reconciler> upward_;    // FIFO (paper design)
+
+  // LAST member: unregisters the "syncer" metrics block before the data the
+  // provider reads dies.
+  MetricsRegistry::Registration metrics_reg_;
 };
 
 }  // namespace vc::core

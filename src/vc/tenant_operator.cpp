@@ -48,15 +48,24 @@ std::shared_ptr<TenantControlPlane> TenantManager::Remove(const std::string& ten
 // -------------------------------------------------------------- TenantOperator
 
 TenantOperator::TenantOperator(Options opts)
-    : QueueWorker("tenant-operator", opts.clock, 4), opts_(std::move(opts)) {
+    : opts_(std::move(opts)),
+      runtime_(
+          [&] {
+            controllers::Reconciler::Options o;
+            o.name = "tenant-operator";
+            o.clock = opts_.clock;
+            o.workers = 4;
+            return o;
+          }(),
+          [this](const std::string& key) { return Reconcile(key); }) {
   client::SharedInformer<VirtualClusterObj>::Options io;
   io.clock = opts_.clock;
   informer_ = std::make_unique<client::SharedInformer<VirtualClusterObj>>(
       client::ListerWatcher<VirtualClusterObj>(opts_.super_server), io);
   client::EventHandlers<VirtualClusterObj> h;
-  h.on_add = [this](const VirtualClusterObj& vc) { Enqueue(vc.meta.FullName()); };
+  h.on_add = [this](const VirtualClusterObj& vc) { runtime_.Enqueue(vc.meta.FullName()); };
   h.on_update = [this](const VirtualClusterObj&, const VirtualClusterObj& vc) {
-    Enqueue(vc.meta.FullName());
+    runtime_.Enqueue(vc.meta.FullName());
   };
   informer_->AddHandlers(std::move(h));
 }
@@ -65,11 +74,11 @@ TenantOperator::~TenantOperator() { Stop(); }
 
 void TenantOperator::Start() {
   informer_->Start();
-  StartWorkers();
+  runtime_.Start();
 }
 
 void TenantOperator::Stop() {
-  StopWorkers();
+  runtime_.Stop();
   informer_->Stop();
 }
 
@@ -115,7 +124,12 @@ bool TenantOperator::Reconcile(const std::string& key) {
     if (!st.ok()) return false;
   }
 
-  if (vc->phase == "Running" && manager_.Get(name) != nullptr) return true;
+  if (vc->phase == "Running" && manager_.Get(name) != nullptr) {
+    // Spec changes on a live tenant don't reprovision, but the WRR weight
+    // must track the spec (paper future work: per-tenant weights).
+    if (opts_.syncer != nullptr) opts_.syncer->UpdateTenantWeight(name, vc->weight);
+    return true;
+  }
   Status st = Provision(*vc);
   if (!st.ok()) {
     LOG(WARN) << "tenant-operator: provisioning " << key << " failed: " << st;

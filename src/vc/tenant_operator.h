@@ -15,7 +15,7 @@
 #include <mutex>
 
 #include "client/informer.h"
-#include "controllers/base.h"
+#include "controllers/runtime.h"
 #include "vc/syncer/syncer.h"
 #include "vc/tenant_control_plane.h"
 #include "vc/types.h"
@@ -37,7 +37,7 @@ class TenantManager {
   std::map<std::string, std::shared_ptr<TenantControlPlane>> tenants_;
 };
 
-class TenantOperator : public controllers::QueueWorker {
+class TenantOperator {
  public:
   struct Options {
     apiserver::APIServer* super_server = nullptr;
@@ -57,7 +57,7 @@ class TenantOperator : public controllers::QueueWorker {
   };
 
   explicit TenantOperator(Options opts);
-  ~TenantOperator() override;
+  ~TenantOperator();
 
   void Start();
   void Stop();
@@ -68,16 +68,15 @@ class TenantOperator : public controllers::QueueWorker {
   // Blocks until the named VC reaches phase Running (or timeout).
   bool WaitForRunning(const std::string& ns, const std::string& name, Duration timeout);
 
- protected:
-  bool Reconcile(const std::string& key) override;
-
  private:
+  bool Reconcile(const std::string& key);
   Status Provision(VirtualClusterObj& vc);
   Status Teardown(VirtualClusterObj& vc);
 
   Options opts_;
   std::unique_ptr<client::SharedInformer<VirtualClusterObj>> informer_;
   TenantManager manager_;
+  controllers::Reconciler runtime_;  // last: drains before members above die
 };
 
 }  // namespace vc::core

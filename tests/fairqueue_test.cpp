@@ -156,6 +156,57 @@ TEST(FairQueueTest, UnregisterDropsPending) {
   EXPECT_EQ(q.Get()->tenant, "stay");
 }
 
+TEST(FairQueueTest, UnregisterWithQueuedAndInProcessingItems) {
+  FairQueue q;
+  q.Add("gone", "queued-a");
+  q.Add("gone", "queued-b");
+  auto in_flight = q.Get();  // "queued-a" now processing
+  ASSERT_EQ(in_flight->tenant, "gone");
+  q.Add("gone", "queued-a");  // dirty while processing: would requeue on Done
+  q.Add("stay", "c");
+  q.UnregisterTenant("gone");
+  EXPECT_EQ(q.Len(), 1u);  // only the surviving tenant's item remains
+  // Done on the detached tenant's in-flight item must not resurrect it: the
+  // dirty mark was cleared by UnregisterTenant.
+  q.Done(*in_flight);
+  EXPECT_EQ(q.Len(), 1u);
+  EXPECT_EQ(q.Get()->tenant, "stay");
+}
+
+TEST(FairQueueTest, ReRegisterUpdatesWeightLive) {
+  FairQueue q;
+  q.RegisterTenant("heavy", 1);
+  q.RegisterTenant("light", 1);
+  for (int i = 0; i < 40; ++i) {
+    q.Add("heavy", "h" + std::to_string(i));
+    q.Add("light", "l" + std::to_string(i));
+  }
+  // Weight change while items are queued takes effect at the next refill.
+  q.RegisterTenant("heavy", 3);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 24; ++i) {
+    auto item = q.Get();
+    counts[item->tenant]++;
+    q.Done(*item);
+  }
+  // 3:1 after at most one stale round: heavy gets well over half.
+  EXPECT_GE(counts["heavy"], 16);
+  EXPECT_LE(counts["light"], 8);
+}
+
+TEST(FairQueueTest, IsQueuedTracksDirtySet) {
+  FairQueue q;
+  EXPECT_FALSE(q.IsQueued("t", "k"));
+  q.Add("t", "k");
+  EXPECT_TRUE(q.IsQueued("t", "k"));
+  auto item = q.Get();
+  EXPECT_FALSE(q.IsQueued("t", "k"));  // processing, not queued
+  q.Add("t", "k");
+  EXPECT_TRUE(q.IsQueued("t", "k"));  // dirty: will re-run after Done
+  q.Done(*item);
+  EXPECT_TRUE(q.IsQueued("t", "k"));
+}
+
 TEST(FairQueueTest, ShutdownUnblocksAndDrains) {
   FairQueue q;
   q.Add("t", "a");

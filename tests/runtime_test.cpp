@@ -1,0 +1,271 @@
+// Tests for the shared reconciler runtime (controllers/runtime.h): backoff
+// policy, async completions, promote-or-drop dedup between the delayed and
+// ready sets, drain-on-stop with in-flight retries, and the uniform metrics
+// block. Runs under tsan via the `concurrency` ctest label.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "controllers/runtime.h"
+
+namespace vc::controllers {
+namespace {
+
+Reconciler::Options Opts(const std::string& name, int workers = 1) {
+  Reconciler::Options o;
+  o.name = name;
+  o.workers = workers;
+  return o;
+}
+
+// Spins until pred() holds or the deadline passes.
+template <typename Pred>
+bool WaitFor(Pred pred, Duration timeout = Seconds(5)) {
+  Stopwatch sw(RealClock::Get());
+  while (!pred()) {
+    if (sw.Elapsed() > timeout) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+TEST(ReconcilerTest, ReconcilesEnqueuedKeys) {
+  std::atomic<int> runs{0};
+  Reconciler r(Opts("basic", 2), Reconciler::SyncFn([&](const std::string&) {
+                 runs.fetch_add(1);
+                 return true;
+               }));
+  r.Start();
+  for (int i = 0; i < 10; ++i) r.Enqueue("t", "k" + std::to_string(i));
+  EXPECT_TRUE(WaitFor([&] { return runs.load() >= 10; }));
+  r.Stop();
+  EXPECT_EQ(runs.load(), 10);
+  EXPECT_GE(r.reconciles(), 10u);
+}
+
+TEST(ReconcilerTest, RetryBacksOffUntilSuccess) {
+  std::atomic<int> attempts{0};
+  Reconciler r(Opts("retry"), Reconciler::SyncFn([&](const std::string&) {
+                 return attempts.fetch_add(1) + 1 >= 3;
+               }));
+  r.Start();
+  r.Enqueue("t", "k");
+  EXPECT_TRUE(WaitFor([&] { return attempts.load() >= 3; }));
+  r.Stop();
+  EXPECT_EQ(attempts.load(), 3);
+  EXPECT_EQ(r.retries(), 2u);
+  EXPECT_GE(r.reconciles(), 3u);
+}
+
+TEST(ReconcilerTest, RequeueAfterRunsAgainWithoutRetryCount) {
+  std::atomic<int> runs{0};
+  Reconciler r(Opts("requeue"),
+               [&](const Reconciler::Item&, Reconciler::Completion done) {
+                 done(runs.fetch_add(1) == 0
+                          ? ReconcileResult::RequeueAfter(Millis(5))
+                          : ReconcileResult::Done());
+               });
+  r.Start();
+  r.Enqueue("t", "k");
+  EXPECT_TRUE(WaitFor([&] { return runs.load() >= 2; }));
+  r.Stop();
+  EXPECT_EQ(runs.load(), 2);
+  EXPECT_EQ(r.retries(), 0u);  // explicit requeue is not a retry
+}
+
+// An asynchronous completion (invoked from another thread after the reconcile
+// function returned) holds the worker slot until it fires.
+TEST(ReconcilerTest, AsyncCompletionHoldsSlot) {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Reconciler::Completion> pending;
+  Reconciler r(Opts("async", 1),
+               [&](const Reconciler::Item&, Reconciler::Completion done) {
+                 std::lock_guard<std::mutex> l(mu);
+                 pending.push_back(std::move(done));
+                 cv.notify_all();
+               });
+  r.Start();
+  r.Enqueue("t", "a");
+  r.Enqueue("t", "b");
+  {
+    std::unique_lock<std::mutex> l(mu);
+    cv.wait(l, [&] { return pending.size() == 1; });
+  }
+  // One worker, completion not yet invoked: "b" must still be queued.
+  EXPECT_EQ(r.Len(), 1u);
+  EXPECT_EQ(r.InFlight(), 1);
+  {
+    std::lock_guard<std::mutex> l(mu);
+    pending.front()(ReconcileResult::Done());
+    pending.clear();
+  }
+  EXPECT_EQ(r.reconciles(), 1u);
+  // Releasing "a"'s slot lets "b" dispatch; complete it too.
+  {
+    std::unique_lock<std::mutex> l(mu);
+    cv.wait(l, [&] { return pending.size() == 1; });
+    pending.front()(ReconcileResult::Done());
+    pending.clear();
+  }
+  EXPECT_TRUE(WaitFor([&] { return r.reconciles() >= 2; }));
+  r.Stop();
+}
+
+// Regression (promote): EnqueueAfter followed by an immediate Enqueue of the
+// same key runs the key ONCE — the delayed entry is promoted, and its timer
+// must not produce a second run when it fires.
+TEST(ReconcilerTest, EnqueuepromotesPendingDelayedAdd) {
+  std::atomic<int> runs{0};
+  Reconciler r(Opts("promote"), Reconciler::SyncFn([&](const std::string&) {
+                 runs.fetch_add(1);
+                 return true;
+               }));
+  r.Start();
+  r.EnqueueAfter("t", "k", Millis(50));
+  r.Enqueue("t", "k");  // supersedes the delayed add
+  EXPECT_TRUE(WaitFor([&] { return runs.load() >= 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));  // past deadline
+  EXPECT_EQ(runs.load(), 1) << "stale delayed timer re-ran a promoted key";
+  r.Stop();
+}
+
+// Regression (drop): EnqueueAfter of a key already sitting in the ready set is
+// dropped — the queued run covers it.
+TEST(ReconcilerTest, EnqueueAfterDroppedWhenAlreadyQueued) {
+  std::atomic<int> k_runs{0};
+  std::atomic<bool> blocker_started{false};
+  std::atomic<bool> release{false};
+  Reconciler r(Opts("drop", 1), Reconciler::SyncFn([&](const std::string& key) {
+                 if (key == "blocker") {
+                   blocker_started.store(true);
+                   while (!release.load()) {
+                     std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                   }
+                 } else {
+                   k_runs.fetch_add(1);
+                 }
+                 return true;
+               }));
+  r.Start();
+  r.Enqueue("t", "blocker");
+  ASSERT_TRUE(WaitFor([&] { return blocker_started.load(); }));
+  r.Enqueue("t", "k");                // queued behind the blocker
+  r.EnqueueAfter("t", "k", Millis(5));  // dropped: already queued
+  release.store(true);
+  EXPECT_TRUE(WaitFor([&] { return k_runs.load() >= 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(k_runs.load(), 1) << "delayed duplicate ran a queued key twice";
+  r.Stop();
+}
+
+// Stop while reconciles are failing (and therefore arming backoff timers)
+// must drain cleanly: no hang, no use-after-stop reconcile, timers swept.
+TEST(ReconcilerTest, StopWithInflightRetriesDrainsCleanly) {
+  std::atomic<int> runs{0};
+  Reconciler r(Opts("stop-drain", 4), Reconciler::SyncFn([&](const std::string&) {
+                 runs.fetch_add(1);
+                 return false;  // always retry
+               }));
+  r.Start();
+  for (int t = 0; t < 4; ++t) {
+    for (int i = 0; i < 25; ++i) {
+      r.Enqueue("t" + std::to_string(t), "k" + std::to_string(i));
+    }
+  }
+  ASSERT_TRUE(WaitFor([&] { return runs.load() >= 20; }));
+  r.Stop();
+  const int after = runs.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(runs.load(), after) << "reconcile ran after Stop() returned";
+  EXPECT_EQ(r.InFlight(), 0);
+}
+
+TEST(ReconcilerTest, StopIsIdempotentAndStopsFreshRuntime) {
+  Reconciler r(Opts("idle"),
+               Reconciler::SyncFn([](const std::string&) { return true; }));
+  r.Stop();  // never started
+  r.Start();
+  r.Stop();
+  r.Stop();
+}
+
+TEST(ReconcilerTest, KeyTenantMapsSingleArgEnqueue) {
+  std::mutex mu;
+  std::vector<std::string> tenants;
+  Reconciler::Options o = Opts("keyed", 1);
+  o.key_tenant = NamespacedKeyTenant(
+      [](const std::string& ns) { return "tenant-of-" + ns; });
+  Reconciler r(std::move(o),
+               [&](const Reconciler::Item& item, Reconciler::Completion done) {
+                 {
+                   std::lock_guard<std::mutex> l(mu);
+                   tenants.push_back(item.tenant);
+                 }
+                 done(ReconcileResult::Done());
+               });
+  r.Start();
+  r.Enqueue("ns1/pod-a");
+  EXPECT_TRUE(WaitFor([&] { return r.reconciles() >= 1; }));
+  r.Stop();
+  std::lock_guard<std::mutex> l(mu);
+  ASSERT_EQ(tenants.size(), 1u);
+  EXPECT_EQ(tenants[0], "tenant-of-ns1");
+}
+
+// The uniform metrics block: every runtime-hosted loop is visible in one
+// Collect() of the shared registry.
+TEST(ReconcilerTest, MetricsBlocksVisibleInOneDump) {
+  MetricsRegistry reg;
+  Reconciler::Options oa = Opts("loop-a");
+  oa.registry = &reg;
+  Reconciler::Options ob = Opts("loop-b");
+  ob.registry = &reg;
+  Reconciler a(std::move(oa),
+               Reconciler::SyncFn([](const std::string&) { return true; }));
+  Reconciler b(std::move(ob), Reconciler::SyncFn([&](const std::string&) {
+                 return false;  // retried
+               }));
+  a.Start();
+  b.Start();
+  a.Enqueue("t", "k");
+  b.Enqueue("t", "k");
+  EXPECT_TRUE(WaitFor([&] { return a.reconciles() >= 1 && b.retries() >= 1; }));
+  std::map<std::string, double> m = reg.Collect();
+  for (const char* loop : {"loop-a", "loop-b"}) {
+    for (const char* metric : {"queue_depth", "in_flight", "reconciles",
+                               "retries", "queue_latency_count",
+                               "reconcile_latency_count"}) {
+      EXPECT_EQ(m.count(std::string(loop) + "." + metric), 1u)
+          << loop << "." << metric << " missing from dump";
+    }
+  }
+  EXPECT_GE(m["loop-a.reconciles"], 1.0);
+  EXPECT_GE(m["loop-b.retries"], 1.0);
+  EXPECT_GE(m["loop-a.queue_latency_count"], 1.0);
+  b.Stop();
+  a.Stop();
+}
+
+// Same-name loops get uniquified blocks instead of clobbering each other.
+TEST(ReconcilerTest, DuplicateNamesAreUniquified) {
+  MetricsRegistry reg;
+  Reconciler::Options o1 = Opts("dup");
+  o1.registry = &reg;
+  Reconciler::Options o2 = Opts("dup");
+  o2.registry = &reg;
+  Reconciler r1(std::move(o1),
+                Reconciler::SyncFn([](const std::string&) { return true; }));
+  Reconciler r2(std::move(o2),
+                Reconciler::SyncFn([](const std::string&) { return true; }));
+  std::map<std::string, double> m = reg.Collect();
+  EXPECT_EQ(m.count("dup.queue_depth"), 1u);
+  EXPECT_EQ(m.count("dup#2.queue_depth"), 1u);
+}
+
+}  // namespace
+}  // namespace vc::controllers
