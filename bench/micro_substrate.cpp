@@ -14,6 +14,13 @@
 #include "kv/kvstore.h"
 #include "scheduler/predicates.h"
 
+// Baseline-compat shim (see scripts/bench_compare.sh): pre-serving-tier
+// checkouts have no RequestDispatcher.
+#if __has_include("apiserver/dispatch.h")
+#include "apiserver/dispatch.h"
+#define VC_HAS_DISPATCHER 1
+#endif
+
 namespace vc {
 namespace {
 
@@ -185,6 +192,25 @@ BENCHMARK(BM_FairQueueDequeue)
     ->Args({100, 10})
     ->Args({1000, 10})
     ->Args({1000, 1000});
+
+#ifdef VC_HAS_DISPATCHER
+// Fast-path admission: classify + grant an inflight slot + release, single
+// uncontended caller. This is the per-request tax every verb now pays, so it
+// must stay under 1us.
+void BM_DispatchAdmit(benchmark::State& state) {
+  apiserver::RequestDispatcher::Options o;
+  o.max_inflight = 64;  // never queues from one thread
+  apiserver::RequestDispatcher d(std::move(o));
+  apiserver::RequestContext ctx;
+  ctx.identity.user = "tenant:bench";
+  ctx.flow = "bench";
+  for (auto _ : state) {
+    Result<apiserver::RequestDispatcher::Ticket> t = d.Admit(ctx);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_DispatchAdmit);
+#endif  // VC_HAS_DISPATCHER
 
 void BM_SchedulerFilter(benchmark::State& state) {
   std::vector<std::shared_ptr<const api::Node>> nodes;

@@ -18,7 +18,7 @@ cd "$(dirname "$0")/.."
 
 BASELINE_REF="${BASELINE_REF:-HEAD~1}"
 OUT="${OUT:-BENCH_storage.json}"
-FILTER='BM_WatchFanout|BM_ListZeroCopy|BM_ApiServerListSelective|BM_KvPut|BM_KvGet|BM_KvList|BM_FairQueueDequeue'
+FILTER='BM_WatchFanout|BM_ListZeroCopy|BM_ApiServerListSelective|BM_KvPut|BM_KvGet|BM_KvList|BM_FairQueueDequeue|BM_DispatchAdmit'
 NPROC="$(nproc)"
 
 build_and_run() {  # $1 = source dir, $2 = result json, $3 = text-output dir
@@ -28,6 +28,7 @@ build_and_run() {  # $1 = source dir, $2 = result json, $3 = text-output dir
         > "$src/build-bench/configure.log" 2>&1 || return 1
   cmake --build "$src/build-bench" -j "$NPROC" \
         --target micro_substrate fig9_throughput fig11_fairness scale_tenants \
+                 frontend_scaleout \
         > "$src/build-bench/build.log" 2>&1 || return 1
   "$src/build-bench/bench/micro_substrate" \
       --benchmark_filter="$FILTER" \
@@ -39,6 +40,9 @@ build_and_run() {  # $1 = source dir, $2 = result json, $3 = text-output dir
   # many-registered-tenants dequeue path.
   "$src/build-bench/bench/fig11_fairness" --quick > "$txt/fig11" 2>&1 || return 1
   "$src/build-bench/bench/scale_tenants" --quick > "$txt/scale_tenants" 2>&1 || return 1
+  # Serving-tier macro bench: frontends={1,2,4} read-throughput axis + the APF
+  # flood p99 bars (compiles to a stub on pre-serving-tier baselines).
+  "$src/build-bench/bench/frontend_scaleout" --quick > "$txt/frontend_scaleout" 2>&1 || return 1
 }
 
 echo "==> head: building + running storage benches"
@@ -113,7 +117,7 @@ report = {
     "baseline_ref": base_ref if base else None,
     "benchmarks": {},
 }
-for fig in ("fig9", "fig11", "scale_tenants"):
+for fig in ("fig9", "fig11", "scale_tenants", "frontend_scaleout"):
     report[f"{fig}_quick"] = {"head": read_text(head_txt, fig),
                               "baseline": read_text(base_txt, fig)}
 for name in sorted(set(head) | set(base)):

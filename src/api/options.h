@@ -1,0 +1,90 @@
+// Verb options for the read path (Get/List/Watch), plus the ONE place their
+// defaulting and invariants live: NormalizeOptions. Every client facade and
+// every server verb funnels options through here instead of doing per-verb
+// inline fixups, so the rules below hold identically no matter which path a
+// request took.
+//
+// Invariants enforced by NormalizeOptions (violations are InvalidArgument):
+//   * ns defaulting happens exactly once: an empty ns inherits the caller's
+//     scope (TypedClient's namespace); a non-empty ns always wins. "" after
+//     normalization means all-namespaces / cluster scope.
+//   * resource_version / from_revision are revisions, never negative.
+//     resource_version on Get/List is ADVISORY ("not older than"): reads are
+//     served from current state, which trivially satisfies it.
+//   * ListOptions.limit bounds MATCHING objects per page (not scanned ones);
+//     0 = unpaged. A continue_token pins the snapshot of page 1 — it is only
+//     meaningful on a paged list and carries its own namespace scope inside
+//     the encoded key range, so ns must not change between pages.
+//   * WatchOptions.bookmark_interval is a revision count, never negative;
+//     0 disables bookmarks.
+//
+// The selector strings use the kubectl grammars and are parsed server-side;
+// parse errors surface as InvalidArgument from the verb itself (parsing needs
+// the selector library, which normalization deliberately does not depend on).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace vc::api {
+
+struct GetOptions {
+  // Advisory "not older than" revision; see the header comment.
+  int64_t resource_version = 0;
+};
+
+struct ListOptions {
+  std::string ns;               // "" = all namespaces / cluster scope
+  std::string label_selector;   // e.g. "app=web,env in (prod,dev)"
+  std::string field_selector;   // e.g. "spec.nodeName=node-1"
+  // Max *matching* objects per page; 0 = no paging. When a page is truncated
+  // the result carries an opaque continue_token for the next call.
+  size_t limit = 0;
+  std::string continue_token;
+  int64_t resource_version = 0;  // advisory, see GetOptions
+};
+
+struct WatchOptions {
+  std::string ns;
+  int64_t from_revision = 0;  // normally TypedList::revision
+  std::string label_selector;
+  std::string field_selector;
+  // When > 0, the server emits a revision-only kBookmark after this many
+  // revisions pass without a delivered event, keeping an idle (e.g. fully
+  // filtered) watcher's resume revision ahead of compaction.
+  int64_t bookmark_interval = 0;
+};
+
+inline Status NormalizeOptions(GetOptions* opts, const std::string& scope_ns = "") {
+  (void)scope_ns;  // Get names its object directly; no ns field to default
+  if (opts->resource_version < 0) {
+    return InvalidArgumentError("resourceVersion must be >= 0");
+  }
+  return OkStatus();
+}
+
+inline Status NormalizeOptions(ListOptions* opts, const std::string& scope_ns = "") {
+  if (opts->ns.empty()) opts->ns = scope_ns;
+  if (opts->resource_version < 0) {
+    return InvalidArgumentError("resourceVersion must be >= 0");
+  }
+  if (!opts->continue_token.empty() && opts->limit == 0) {
+    return InvalidArgumentError("continue token requires a paged list (limit > 0)");
+  }
+  return OkStatus();
+}
+
+inline Status NormalizeOptions(WatchOptions* opts, const std::string& scope_ns = "") {
+  if (opts->ns.empty()) opts->ns = scope_ns;
+  if (opts->from_revision < 0) {
+    return InvalidArgumentError("watch from_revision must be >= 0");
+  }
+  if (opts->bookmark_interval < 0) {
+    return InvalidArgumentError("bookmark_interval must be >= 0");
+  }
+  return OkStatus();
+}
+
+}  // namespace vc::api

@@ -1,5 +1,6 @@
 #include "apiserver/apiserver.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 
@@ -9,17 +10,30 @@ namespace vc::apiserver {
 
 APIServer::APIServer(Options opts) : opts_(std::move(opts)) {
   exec_ = Executor::SharedFor(opts_.clock);
-  kv::KvStore::Options store_opts;
-  store_opts.max_log_bytes = opts_.max_log_bytes;
-  store_opts.executor = exec_;
-  store_ = std::make_unique<kv::KvStore>(std::move(store_opts));
+  if (opts_.store) {
+    store_ = opts_.store;  // front end over a shared store (FrontendTier)
+  } else {
+    kv::KvStore::Options store_opts;
+    store_opts.max_log_bytes = opts_.max_log_bytes;
+    store_opts.executor = exec_;
+    store_ = std::make_shared<kv::KvStore>(std::move(store_opts));
+  }
+  RequestDispatcher::Options dopts;
+  dopts.clock = opts_.clock;
+  dopts.max_inflight = opts_.max_inflight;
+  dopts.fairness = opts_.fairness;
+  dopts.queue_limit = opts_.queue_limit;
+  dopts.max_wait = opts_.max_queue_wait;
+  dopts.best_effort_max_wait = opts_.best_effort_max_wait;
+  dispatcher_ = std::make_unique<RequestDispatcher>(dopts);
   decode_cache_ = std::make_shared<DecodeCache>();
   if (opts_.create_default_namespaces) {
     for (const char* ns : {"default", "kube-system"}) {
       api::NamespaceObj n;
       n.meta.name = ns;
       Result<api::NamespaceObj> r = Create(std::move(n));
-      if (!r.ok()) {
+      // A sibling front end over the same store already bootstrapped them.
+      if (!r.ok() && !r.status().IsAlreadyExists()) {
         LOG(ERROR) << name() << ": failed to create namespace " << ns << ": " << r.status();
       }
     }
@@ -42,30 +56,53 @@ APIServer::APIServer(Options opts) : opts_(std::move(opts)) {
                    static_cast<double>(stats_.store_log_bytes.load()));
     s.emplace_back("store_log_events",
                    static_cast<double>(stats_.store_log_events.load()));
+    for (MetricsRegistry::Sample& ds : dispatcher_->CollectSamples()) {
+      s.push_back(std::move(ds));
+    }
     return s;
   });
 }
 
 void APIServer::Restart() {
-  LOG(INFO) << name() << ": simulated restart (breaking all watches)";
-  store_->BreakWatches();
-}
-
-APIServer::InflightSlot::InflightSlot(const APIServer* server) : server_(server) {
-  if (server_->opts_.max_inflight <= 0) return;
-  std::unique_lock<std::mutex> l(server_->inflight_mu_);
-  server_->inflight_cv_.wait(
-      l, [&] { return server_->inflight_ < server_->opts_.max_inflight; });
-  server_->inflight_++;
-}
-
-APIServer::InflightSlot::~InflightSlot() {
-  if (server_->opts_.max_inflight <= 0) return;
-  {
-    std::lock_guard<std::mutex> l(server_->inflight_mu_);
-    server_->inflight_--;
+  LOG(INFO) << name() << ": simulated restart ("
+            << (owns_store() ? "breaking all watches" : "breaking this front end's watches")
+            << ")";
+  if (owns_store()) {
+    // Single-apiserver mode: apiserver + etcd restart together, every watch
+    // on the store (including other components') breaks with Gone.
+    store_->BreakWatches();
+  } else {
+    // Shared-store mode: only THIS front end crashed. Break the watches it
+    // vended; sibling front ends' watchers must be untouched.
+    std::vector<std::weak_ptr<kv::WatchChannel>> vended;
+    {
+      std::lock_guard<std::mutex> l(watches_mu_);
+      vended.swap(vended_watches_);
+    }
+    for (const std::weak_ptr<kv::WatchChannel>& w : vended) {
+      if (std::shared_ptr<kv::WatchChannel> ch = w.lock()) ch->CloseGone();
+    }
   }
-  server_->inflight_cv_.notify_one();
+  // Drop the per-front-end watch caches (each holds its own store watch —
+  // destroyed here, re-primed lazily on the next read) and reset the
+  // dispatcher's inflight accounting; old-epoch tickets release as no-ops.
+  std::map<std::string, std::shared_ptr<void>> dropped;
+  {
+    std::lock_guard<std::mutex> l(cache_mu_);
+    dropped.swap(caches_);
+  }
+  dropped.clear();  // destroys caches outside cache_mu_
+  dispatcher_->Reset();
+}
+
+void APIServer::TrackWatch(const std::shared_ptr<kv::WatchChannel>& ch) const {
+  std::lock_guard<std::mutex> l(watches_mu_);
+  // Opportunistic pruning keeps the list proportional to LIVE watches.
+  vended_watches_.erase(
+      std::remove_if(vended_watches_.begin(), vended_watches_.end(),
+                     [](const std::weak_ptr<kv::WatchChannel>& w) { return w.expired(); }),
+      vended_watches_.end());
+  vended_watches_.push_back(ch);
 }
 
 std::string APIServer::MakeContinueToken(int64_t revision, const std::string& last_key) {
@@ -115,22 +152,30 @@ std::function<std::optional<kv::Event>(const kv::Event&)> APIServer::MakeSelecto
   };
 }
 
-Status APIServer::Before(const char* verb, const char* kind, const std::string& ns,
-                         const RequestContext& ctx) const {
+Result<RequestDispatcher::Ticket> APIServer::Admit(const char* verb, const char* kind,
+                                                   const std::string& ns,
+                                                   const RequestContext& ctx) const {
   if (store_->IsShutdown()) return UnavailableError(name() + " is shut down");
   stats_.BumpIdentity(ctx.StatsKey());
   if (LogEnabled(LogLevel::kDebug)) {
     LOG(DEBUG) << name() << ": " << verb << " " << kind
                << (ns.empty() ? "" : " ns=" + ns) << " user=" << ctx.identity.user
                << (ctx.user_agent.empty() ? "" : " ua=" + ctx.user_agent)
-               << (ctx.trace_id.empty() ? "" : " trace=" + ctx.trace_id);
+               << (ctx.trace_id.empty() ? "" : " trace=" + ctx.trace_id)
+               << " band=" << BandName(ClassifyBand(ctx));
   }
   if (!authorizer_.Allowed(ctx.identity, verb, kind, ns)) {
     return ForbiddenError(StrFormat("user %s cannot %s %s in namespace %s",
                                     ctx.identity.user.c_str(), verb, kind,
                                     ns.empty() ? "<cluster>" : ns.c_str()));
   }
-  if (opts_.client_qps > 0 && ctx.identity.user != "system:loopback") {
+  // Control-plane components (system:masters — loopback and the attributed
+  // system:<component> identities) are exempt from the per-tenant token
+  // bucket, like kube's --max-requests-inflight exemptions; the dispatcher
+  // still classifies and accounts them.
+  const bool exempt = std::find(ctx.identity.groups.begin(), ctx.identity.groups.end(),
+                                "system:masters") != ctx.identity.groups.end();
+  if (opts_.client_qps > 0 && !exempt) {
     TokenBucket* bucket = nullptr;
     {
       std::lock_guard<std::mutex> l(rl_mu_);
@@ -147,13 +192,19 @@ Status APIServer::Before(const char* verb, const char* kind, const std::string& 
                                             ctx.identity.user.c_str(), opts_.client_qps));
     }
   }
+  Result<RequestDispatcher::Ticket> ticket = dispatcher_->Admit(ctx);
+  if (!ticket.ok()) {
+    stats_.rate_limited++;
+    return ticket.status();
+  }
   if (opts_.request_latency > Duration::zero()) {
-    // Holding an inflight slot while the handler "executes" is what lets one
-    // flooding client crowd out others on a shared apiserver (Fig. 1).
-    InflightSlot slot(this);
+    // The slot is held while the handler "executes": on a shared apiserver
+    // without fairness this is what lets one flooding client crowd out
+    // everyone else (Fig. 1); with fairness on, the crowd-out stops at its
+    // band's assured share.
     opts_.clock->SleepFor(opts_.request_latency);
   }
-  return OkStatus();
+  return ticket;
 }
 
 Status APIServer::CheckNamespaceActive(const std::string& ns) const {

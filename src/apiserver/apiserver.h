@@ -1,8 +1,13 @@
 // The apiserver: a typed, watchable object registry over a kv::KvStore —
 // the front end of a Kubernetes control plane. Every control plane in the
 // system (the super cluster and each tenant control plane) is one APIServer
-// instance with its own dedicated store, matching the paper's deployment
-// ("each tenant control plane used a dedicated etcd").
+// instance, matching the paper's deployment ("each tenant control plane used
+// a dedicated etcd"). A control plane may also scale its serving tier OUT:
+// several APIServer front ends can share one store (Options::store), each
+// with its own watch-cache replicas, dispatcher, and rate limits, while
+// writes CAS into the shared store — revision semantics and the watch
+// no-gap/no-dup contract are unchanged because there is still exactly one
+// revision counter (see FrontendTier).
 //
 // Faithfully reproduced apiserver behaviours the rest of the stack depends on:
 //   * Optimistic concurrency: updates/deletes CAS on metadata.resourceVersion
@@ -16,6 +21,9 @@
 //   * Admission: namespaced creates require an existing, non-terminating
 //     namespace; metadata defaults (uid, creationTimestamp) are filled in.
 //   * RBAC authorization and per-identity token-bucket rate limits (429).
+//   * Priority & fairness: every verb runs Admit → Execute → Account through
+//     the RequestDispatcher (see dispatch.h) — priority bands, per-flow fair
+//     queuing of inflight slots, best-effort shedding with 429.
 #pragma once
 
 #include <array>
@@ -27,9 +35,12 @@
 #include <vector>
 
 #include "api/codec.h"
+#include "api/options.h"
 #include "api/selector.h"
 #include "api/types.h"
+#include "apiserver/dispatch.h"
 #include "apiserver/rbac.h"
+#include "apiserver/request_context.h"
 #include "apiserver/watch_cache.h"
 #include "common/clock.h"
 #include "common/hash.h"
@@ -42,53 +53,12 @@
 
 namespace vc::apiserver {
 
-struct RequestContext {
-  Identity identity = Identity::Loopback();
-  // Optional attribution: stamped into request log lines and the per-identity
-  // ServerStats counters so interference benches can tell which tenant is
-  // loading a shared control plane.
-  std::string trace_id;
-  std::string user_agent;
-
-  // Stats key: "<user>" or "<user>/<user_agent>".
-  std::string StatsKey() const {
-    return user_agent.empty() ? identity.user : identity.user + "/" + user_agent;
-  }
-};
-
-// ------------------------------------------------------------ verb options
-//
-// Options structs for the read path (the unified TypedClient API passes these
-// through). The string selectors use the kubectl grammars and are parsed
-// server-side; parse errors surface as InvalidArgument.
-
-struct GetOptions {
-  // Advisory: reads are always served from current state, which trivially
-  // satisfies any "not older than" constraint.
-  int64_t resource_version = 0;
-};
-
-struct ListOptions {
-  std::string ns;               // "" = all namespaces / cluster scope
-  std::string label_selector;   // e.g. "app=web,env in (prod,dev)"
-  std::string field_selector;   // e.g. "spec.nodeName=node-1"
-  // Max *matching* objects per page; 0 = no paging. When a page is truncated
-  // the result carries an opaque continue_token for the next call.
-  size_t limit = 0;
-  std::string continue_token;
-  int64_t resource_version = 0;  // advisory, see GetOptions
-};
-
-struct WatchOptions {
-  std::string ns;
-  int64_t from_revision = 0;  // normally TypedList::revision
-  std::string label_selector;
-  std::string field_selector;
-  // When > 0, the server emits a revision-only kBookmark after this many
-  // revisions pass without a delivered event, keeping an idle (e.g. fully
-  // filtered) watcher's resume revision ahead of compaction.
-  int64_t bookmark_interval = 0;
-};
+// The verb options live in api/options.h together with NormalizeOptions (the
+// ONE place defaulting/invariants are enforced); aliased here because the
+// whole tree spells them apiserver::ListOptions etc.
+using api::GetOptions;
+using api::ListOptions;
+using api::WatchOptions;
 
 template <typename T>
 struct WatchEvent {
@@ -251,6 +221,11 @@ class APIServer {
   struct Options {
     std::string name = "apiserver";
     Clock* clock = RealClock::Get();
+    // When set, this front end SERVES the given store instead of owning a
+    // dedicated one — the multi-front-end mode (see FrontendTier). The store
+    // keeps the single revision counter; this front end keeps its own watch
+    // caches, dispatcher, rate limits, and stats.
+    std::shared_ptr<kv::KvStore> store;
     // Per-identity rate limit; 0 = unlimited. The paper notes tenant control
     // planes run with built-in rate limits enabled (§III-C).
     double client_qps = 0;
@@ -264,6 +239,15 @@ class APIServer {
     // flooding a SHARED apiserver visibly delays everyone else — the Fig. 1
     // interference problem that motivates per-tenant control planes.
     int max_inflight = 0;
+    // Server-side priority & fairness (kube-APF) over the inflight budget:
+    // per-band assured concurrency, per-flow fair queuing, best-effort
+    // shedding with 429. Off by default so a plain shared apiserver still
+    // exhibits the Fig. 1 crowding-out the paper measures; the serving tier
+    // turns it on. Remaining knobs mirror RequestDispatcher::Options.
+    bool fairness = false;
+    size_t queue_limit = 1024;
+    Duration max_queue_wait = Seconds(1);
+    Duration best_effort_max_wait = Millis(50);
     // Per-kind watch cache serving Get and unpaged List from decoded objects
     // (kube's watchCache). Reads fall back to the store whenever the cache
     // cannot answer with read-your-write freshness within cache_fresh_timeout
@@ -282,16 +266,36 @@ class APIServer {
   Authorizer& authorizer() { return authorizer_; }
   ServerStats& stats() { return stats_; }
   kv::KvStore& store() { return *store_; }
+  // The shared store handle, for spinning up additional front ends over it.
+  const std::shared_ptr<kv::KvStore>& shared_store() const { return store_; }
+  bool owns_store() const { return !opts_.store; }
+  RequestDispatcher& dispatcher() { return *dispatcher_; }
 
-  // Simulates an apiserver/etcd crash-restart: all watches break with Gone
-  // and a fresh store epoch begins with the same data. Reflectors must relist.
+  // Simulates a crash-restart of THIS front end: every watch it vended (and
+  // its watch caches) breaks with Gone, and its dispatcher's inflight
+  // accounting resets. Reflectors must relist. A front end that owns its
+  // store additionally breaks all store watches (the single-apiserver
+  // apiserver+etcd restart of old); one that serves a shared store leaves the
+  // other front ends' watches untouched.
   void Restart();
 
   // --------------------------------------------------------------- verbs
+  //
+  // Every verb runs the same typed pipeline: Admit (authn/authz, rate limit,
+  // priority classification, fair queuing of an inflight slot — may shed with
+  // 429) → Execute (the verb body below, with the RAII Ticket held) →
+  // Account (queue-wait and execution latency recorded into per-band
+  // histograms when the Ticket releases).
+  //
+  // The defaulted context is the privileged loopback identity — in-process
+  // callers (tests, bootstrap) are the only ones that can reach these methods
+  // directly, exactly like kube-apiserver's loopback client. Attributed
+  // components thread an explicit RequestContext (see request_context.h).
 
   template <typename T>
-  Result<T> Create(T obj, const RequestContext& ctx = {}) {
-    VC_RETURN_IF_ERROR(Before("create", T::kKind, obj.meta.ns, ctx));
+  Result<T> Create(T obj, const RequestContext& ctx = RequestContext::Loopback()) {
+    Result<RequestDispatcher::Ticket> ticket = Admit("create", T::kKind, obj.meta.ns, ctx);
+    if (!ticket.ok()) return ticket.status();
     stats_.creates++;
     if (obj.meta.name.empty()) return InvalidArgumentError("metadata.name is required");
     if constexpr (T::kNamespaced) {
@@ -326,11 +330,12 @@ class APIServer {
 
   template <typename T>
   Result<T> Get(const std::string& ns, const std::string& name,
-                const RequestContext& ctx = {}) const {
-    VC_RETURN_IF_ERROR(Before("get", T::kKind, ns, ctx));
+                const RequestContext& ctx = RequestContext::Loopback()) const {
+    Result<RequestDispatcher::Ticket> ticket = Admit("get", T::kKind, ns, ctx);
+    if (!ticket.ok()) return ticket.status();
     stats_.gets++;
     if (opts_.enable_watch_cache) {
-      WatchCache<T>* cache = CacheFor<T>();
+      std::shared_ptr<WatchCache<T>> cache = CacheFor<T>();
       Result<std::shared_ptr<const T>> hit = cache->GetFresh(
           Key<T>(ns, name), store_->CurrentRevision(), opts_.cache_fresh_timeout);
       if (hit.ok()) {
@@ -358,9 +363,11 @@ class APIServer {
   // the skip-scanner, so non-matching objects cost a partial scan, never a
   // full decode — O(matching) decode bytes per page.
   template <typename T>
-  Result<TypedList<T>> List(const ListOptions& opts = {},
-                            const RequestContext& ctx = {}) const {
-    VC_RETURN_IF_ERROR(Before("list", T::kKind, opts.ns, ctx));
+  Result<TypedList<T>> List(ListOptions opts = {},
+                            const RequestContext& ctx = RequestContext::Loopback()) const {
+    VC_RETURN_IF_ERROR(api::NormalizeOptions(&opts));
+    Result<RequestDispatcher::Ticket> ticket = Admit("list", T::kKind, opts.ns, ctx);
+    if (!ticket.ok()) return ticket.status();
     stats_.lists++;
     Result<api::LabelSelector> labels = api::ParseLabelSelector(opts.label_selector);
     if (!labels.ok()) return labels.status();
@@ -374,7 +381,7 @@ class APIServer {
     // store path (their snapshot is pinned to a past revision the cache no
     // longer holds).
     if (opts_.enable_watch_cache && opts.limit == 0 && opts.continue_token.empty()) {
-      WatchCache<T>* cache = CacheFor<T>();
+      std::shared_ptr<WatchCache<T>> cache = CacheFor<T>();
       const std::vector<std::string> paths = fields->Paths();
       TypedList<T> out;
       const bool served = cache->SnapshotScan(
@@ -449,7 +456,7 @@ class APIServer {
 
   // Full-object update with optimistic concurrency on resourceVersion.
   template <typename T>
-  Result<T> Update(T obj, const RequestContext& ctx = {}) {
+  Result<T> Update(T obj, const RequestContext& ctx = RequestContext::Loopback()) {
     return DoUpdate(std::move(obj), "update", ctx);
   }
 
@@ -457,7 +464,7 @@ class APIServer {
   // mirroring Kubernetes' /status endpoint used by kubelet and the syncer's
   // upward synchronization.
   template <typename T>
-  Result<T> UpdateStatus(T obj, const RequestContext& ctx = {}) {
+  Result<T> UpdateStatus(T obj, const RequestContext& ctx = RequestContext::Loopback()) {
     return DoUpdate(std::move(obj), "update-status", ctx);
   }
 
@@ -465,8 +472,9 @@ class APIServer {
   // been initiated (deletionTimestamp set, finalizers pending).
   template <typename T>
   Status Delete(const std::string& ns, const std::string& name,
-                const RequestContext& ctx = {}) {
-    VC_RETURN_IF_ERROR(Before("delete", T::kKind, ns, ctx));
+                const RequestContext& ctx = RequestContext::Loopback()) {
+    Result<RequestDispatcher::Ticket> ticket = Admit("delete", T::kKind, ns, ctx);
+    if (!ticket.ok()) return ticket.status();
     stats_.deletes++;
     for (int attempt = 0; attempt < 16; ++attempt) {
       Result<kv::Entry> e = store_->Get(Key<T>(ns, name));
@@ -513,9 +521,11 @@ class APIServer {
   // put whose new state stops matching is delivered as a delete, and fully
   // invisible churn surfaces only as bookmark events (when enabled).
   template <typename T>
-  Result<TypedWatch<T>> Watch(const WatchOptions& opts,
-                              const RequestContext& ctx = {}) const {
-    VC_RETURN_IF_ERROR(Before("watch", T::kKind, opts.ns, ctx));
+  Result<TypedWatch<T>> Watch(WatchOptions opts,
+                              const RequestContext& ctx = RequestContext::Loopback()) const {
+    VC_RETURN_IF_ERROR(api::NormalizeOptions(&opts));
+    Result<RequestDispatcher::Ticket> ticket = Admit("watch", T::kKind, opts.ns, ctx);
+    if (!ticket.ok()) return ticket.status();
     stats_.watches++;
     Result<api::LabelSelector> labels = api::ParseLabelSelector(opts.label_selector);
     if (!labels.ok()) return labels.status();
@@ -531,6 +541,7 @@ class APIServer {
     }
     Result<std::shared_ptr<kv::WatchChannel>> ch = store_->Watch(prefix, std::move(params));
     if (!ch.ok()) return ch.status();
+    TrackWatch(*ch);
     return TypedWatch<T>(std::move(*ch), decode_cache_);
   }
 
@@ -572,7 +583,8 @@ class APIServer {
  private:
   template <typename T>
   Result<T> DoUpdate(T obj, const char* verb, const RequestContext& ctx) {
-    VC_RETURN_IF_ERROR(Before(verb, T::kKind, obj.meta.ns, ctx));
+    Result<RequestDispatcher::Ticket> ticket = Admit(verb, T::kKind, obj.meta.ns, ctx);
+    if (!ticket.ok()) return ticket.status();
     stats_.updates++;
     if (obj.meta.resource_version == 0) {
       return InvalidArgumentError("update requires metadata.resourceVersion");
@@ -602,22 +614,31 @@ class APIServer {
     return obj;
   }
 
-  Status Before(const char* verb, const char* kind, const std::string& ns,
-                const RequestContext& ctx) const;
+  // Admit half of the pipeline: shutdown check, per-identity accounting,
+  // RBAC, token-bucket rate limit, then dispatcher admission (classification
+  // + fair queuing + simulated handler latency). The returned Ticket must
+  // stay alive for the verb body (Execute); releasing it is Account.
+  Result<RequestDispatcher::Ticket> Admit(const char* verb, const char* kind,
+                                          const std::string& ns,
+                                          const RequestContext& ctx) const;
   Status CheckNamespaceActive(const std::string& ns) const;
+  // Remembers a vended watch channel so Restart() can break it (per-front-end
+  // watch teardown when the store is shared).
+  void TrackWatch(const std::shared_ptr<kv::WatchChannel>& ch) const;
 
   // Lazily builds the per-kind watch cache (first typed read pays the priming
   // list). Keyed by T::kKind; the shared_ptr<void> erases the type while
-  // keeping the right destructor.
+  // keeping the right destructor. Returned shared so a concurrent Restart()
+  // (which drops the map) cannot pull the cache out from under a reader.
   template <typename T>
-  WatchCache<T>* CacheFor() const {
+  std::shared_ptr<WatchCache<T>> CacheFor() const {
     std::lock_guard<std::mutex> l(cache_mu_);
     std::shared_ptr<void>& slot = caches_[T::kKind];
     if (!slot) {
       slot = std::make_shared<WatchCache<T>>(store_.get(), KindPrefix<T>(),
                                              decode_cache_, exec_);
     }
-    return static_cast<WatchCache<T>*>(slot.get());
+    return std::static_pointer_cast<WatchCache<T>>(slot);
   }
 
   // Mirrors the store's replay-log pressure into the stats gauges; called
@@ -629,32 +650,21 @@ class APIServer {
                                           std::memory_order_relaxed);
   }
 
-  // RAII slot in the max-inflight gate (no-op when unlimited).
-  class InflightSlot {
-   public:
-    explicit InflightSlot(const APIServer* server);
-    ~InflightSlot();
-    InflightSlot(const InflightSlot&) = delete;
-    InflightSlot& operator=(const InflightSlot&) = delete;
-
-   private:
-    const APIServer* server_;
-  };
-  friend class InflightSlot;
-
   Options opts_;
   // Shared executor hosting the store's dispatch strand and the watch caches'
   // apply strands. Declared before store_/caches_ so it outlives them.
   std::shared_ptr<Executor> exec_;
-  std::unique_ptr<kv::KvStore> store_;
+  // Owned (opts_.store unset) or shared with sibling front ends.
+  std::shared_ptr<kv::KvStore> store_;
   Authorizer authorizer_;
   mutable ServerStats stats_;
   mutable std::mutex rl_mu_;
   mutable std::map<std::string, std::unique_ptr<TokenBucket>> rate_limiters_;
-  mutable std::mutex inflight_mu_;
-  mutable std::condition_variable inflight_cv_;
-  mutable int inflight_ = 0;
+  std::unique_ptr<RequestDispatcher> dispatcher_;
   std::shared_ptr<DecodeCache> decode_cache_;
+  // Watch channels this front end vended, for per-front-end Restart().
+  mutable std::mutex watches_mu_;
+  mutable std::vector<std::weak_ptr<kv::WatchChannel>> vended_watches_;
   // Per-kind watch caches. Declared after store_ so they are destroyed first
   // (each holds a live watch on the store).
   mutable std::mutex cache_mu_;
@@ -668,7 +678,8 @@ class APIServer {
 // fn returns false to abort (object already in desired state).
 template <typename T, typename Fn>
 Status RetryUpdate(APIServer& server, const std::string& ns, const std::string& name, Fn fn,
-                   const RequestContext& ctx = {}, int max_attempts = 10) {
+                   const RequestContext& ctx = RequestContext::Loopback(),
+                   int max_attempts = 10) {
   for (int i = 0; i < max_attempts; ++i) {
     Result<T> obj = server.Get<T>(ns, name, ctx);
     if (!obj.ok()) return obj.status();
@@ -685,7 +696,8 @@ Status RetryUpdate(APIServer& server, const std::string& ns, const std::string& 
 // syncer's upward sync) needs no full "update" grant.
 template <typename T, typename Fn>
 Status RetryUpdateStatus(APIServer& server, const std::string& ns, const std::string& name,
-                         Fn fn, const RequestContext& ctx = {}, int max_attempts = 10) {
+                         Fn fn, const RequestContext& ctx = RequestContext::Loopback(),
+                         int max_attempts = 10) {
   for (int i = 0; i < max_attempts; ++i) {
     Result<T> obj = server.Get<T>(ns, name, ctx);
     if (!obj.ok()) return obj.status();

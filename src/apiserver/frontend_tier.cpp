@@ -1,0 +1,24 @@
+#include "apiserver/frontend_tier.h"
+
+#include <algorithm>
+
+namespace vc::apiserver {
+
+FrontendTier::FrontendTier(Options opts) {
+  const int n = std::max(1, opts.frontends);
+  frontends_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    APIServer::Options o = opts.server;
+    o.name = opts.server.name + "-fe" + std::to_string(i);
+    if (i == 0) {
+      o.store = nullptr;  // front end 0 owns the store
+    } else {
+      o.store = frontends_[0]->shared_store();
+      // Front end 0 already bootstrapped the default namespaces.
+      o.create_default_namespaces = false;
+    }
+    frontends_.push_back(std::make_unique<APIServer>(std::move(o)));
+  }
+}
+
+}  // namespace vc::apiserver

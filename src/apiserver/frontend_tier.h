@@ -1,0 +1,64 @@
+// FrontendTier: N APIServer front ends serving ONE shared kv::KvStore — the
+// horizontally scaled apiserver deployment of a real control plane (kube runs
+// several apiservers against one etcd behind a load balancer).
+//
+// The contract that makes scale-out safe here is exactly the single-server
+// one, because the STORE is still singular:
+//   * One revision counter. Every write, through any front end, CASes into
+//     the shared store, so optimistic concurrency and AlreadyExists behave
+//     identically no matter which front end served the write.
+//   * Watch no-gap/no-dup. Watch channels attach to the shared store's
+//     replay log; a List on front end A followed by Watch(from=revision) on
+//     front end B resumes exactly at that revision.
+//   * Per-front-end caches. Each front end keeps its OWN watch-cache
+//     replicas (primed from the shared store, kept fresh by its own store
+//     watch) and its own dispatcher, rate limits, and stats — restarting or
+//     overloading one front end does not disturb the others.
+//
+// Front end 0 owns the store; the rest serve it via APIServer::Options::store.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apiserver/apiserver.h"
+
+namespace vc::apiserver {
+
+class FrontendTier {
+ public:
+  struct Options {
+    int frontends = 2;
+    // Template applied to every front end; `name` becomes "<name>-fe<i>" and
+    // `store` is filled in by the tier (front end 0's store is shared).
+    APIServer::Options server;
+  };
+
+  explicit FrontendTier(Options opts);
+
+  size_t size() const { return frontends_.size(); }
+  APIServer& frontend(size_t i) { return *frontends_[i]; }
+  kv::KvStore& store() { return frontends_[0]->store(); }
+
+  // Round-robin load balancing — what ClusterFrontends uses to spread
+  // TypedClient traffic.
+  APIServer& Pick() {
+    return *frontends_[next_.fetch_add(1, std::memory_order_relaxed) %
+                       frontends_.size()];
+  }
+
+  std::vector<APIServer*> All() {
+    std::vector<APIServer*> out;
+    out.reserve(frontends_.size());
+    for (auto& f : frontends_) out.push_back(f.get());
+    return out;
+  }
+
+ private:
+  std::vector<std::unique_ptr<APIServer>> frontends_;
+  std::atomic<size_t> next_{0};
+};
+
+}  // namespace vc::apiserver

@@ -1,0 +1,105 @@
+// Request metadata threaded through every apiserver verb — who is calling
+// (identity), on behalf of what component (user_agent), within which flow
+// (fair-queuing key), and at which priority (band). One RequestContext is the
+// unit the whole serving tier agrees on: RBAC authorizes the identity, the
+// per-identity stats and rate limits key off StatsKey(), and the
+// RequestDispatcher classifies (band, flow) to schedule the request against
+// everyone else's (kube-APF's FlowSchema/PriorityLevel pair, folded into the
+// context itself).
+//
+// Defaults are deliberately UNPRIVILEGED: a default-constructed context is
+// the anonymous user. The old behaviour — RequestContext{} silently meant
+// the system:masters loopback identity — let any internal call site skip
+// attribution and run with cluster-admin powers; that footgun is gone.
+// Privileged contexts are now explicit:
+//   * RequestContext::Loopback(ua)   — tests/admin tooling (system band)
+//   * RequestContext::System("name") — control-plane loops (leader band),
+//     attributed as user "system:<name>" with the system:masters group.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "apiserver/rbac.h"
+
+namespace vc::apiserver {
+
+// Server-side priority bands, highest first. Classification (see
+// ClassifyBand) is identity-driven unless the context carries an explicit
+// override; the RequestDispatcher gives each band an assured share of the
+// inflight budget and sheds kBestEffort first under overload.
+enum class PriorityBand : int {
+  kSystem = 0,      // loopback/admin traffic and system:masters identities
+  kLeader = 1,      // control-plane loops: controllers, syncer, kubelet, scheduler
+  kWorkload = 2,    // ordinary (tenant) client traffic
+  kBestEffort = 3,  // bulk/batch traffic that opted in to being shed first
+};
+inline constexpr int kNumBands = 4;
+
+inline const char* BandName(PriorityBand b) {
+  switch (b) {
+    case PriorityBand::kSystem: return "system";
+    case PriorityBand::kLeader: return "leader";
+    case PriorityBand::kWorkload: return "workload";
+    case PriorityBand::kBestEffort: return "best-effort";
+  }
+  return "?";
+}
+
+struct RequestContext {
+  // ANONYMOUS by default — see the header comment. Internal components must
+  // attribute themselves via System()/Loopback() or an explicit identity.
+  Identity identity;
+  // Optional attribution: stamped into request log lines and the per-identity
+  // ServerStats counters so interference benches can tell which tenant is
+  // loading a shared control plane.
+  std::string trace_id;
+  std::string user_agent;
+  // Fair-queuing key: requests sharing one flow share one sub-queue in the
+  // dispatcher (a tenant id, typically). Empty = derived from identity.user,
+  // so per-user fairness is the default and per-tenant fairness is opt-in.
+  std::string flow;
+  // Explicit band override; unset = classified from the identity.
+  std::optional<PriorityBand> band;
+
+  // Stats key: "<user>" or "<user>/<user_agent>".
+  std::string StatsKey() const {
+    return user_agent.empty() ? identity.user : identity.user + "/" + user_agent;
+  }
+
+  std::string FlowKey() const { return flow.empty() ? identity.user : flow; }
+
+  // The cluster-admin loopback context (tests, admin tooling, in-process
+  // bootstrap). This is what the defaulted verb arguments pass.
+  static RequestContext Loopback(std::string user_agent = "") {
+    RequestContext ctx;
+    ctx.identity = Identity::Loopback();
+    ctx.user_agent = std::move(user_agent);
+    return ctx;
+  }
+
+  // An attributed control-plane component: user "system:<component>" in the
+  // system:masters group (RBAC bypass + rate-limit exemption), user agent
+  // <component>, classified into the leader band.
+  static RequestContext System(std::string component) {
+    RequestContext ctx;
+    ctx.identity.user = "system:" + component;
+    ctx.identity.groups = {"system:masters"};
+    ctx.user_agent = std::move(component);
+    return ctx;
+  }
+};
+
+// Identity-driven band classification (explicit ctx.band wins):
+//   system:loopback           → kSystem (admin/bootstrap)
+//   system:*                  → kLeader (control-plane loops)
+//   anything else             → kWorkload
+// kBestEffort is never inferred — callers opt in explicitly.
+inline PriorityBand ClassifyBand(const RequestContext& ctx) {
+  if (ctx.band.has_value()) return *ctx.band;
+  if (ctx.identity.user == "system:loopback") return PriorityBand::kSystem;
+  if (ctx.identity.user.rfind("system:", 0) == 0) return PriorityBand::kLeader;
+  return PriorityBand::kWorkload;
+}
+
+}  // namespace vc::apiserver

@@ -1,0 +1,55 @@
+// ClusterFrontends: the client-side half of the serving tier — a handle over
+// a set of apiserver front ends (normally a FrontendTier) that load-balances
+// TypedClient traffic across them round-robin, the way a service VIP spreads
+// kube clients over apiserver replicas.
+//
+// Because all front ends serve ONE store, a client may freely mix front ends
+// between calls: revisions are globally ordered, so List-on-A +
+// Watch(from=revision)-on-B keeps the no-gap/no-dup watch contract.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apiserver/frontend_tier.h"
+#include "client/typed_client.h"
+
+namespace vc::client {
+
+class ClusterFrontends {
+ public:
+  explicit ClusterFrontends(apiserver::FrontendTier* tier)
+      : frontends_(tier->All()) {}
+  explicit ClusterFrontends(std::vector<apiserver::APIServer*> frontends)
+      : frontends_(std::move(frontends)) {
+    assert(!frontends_.empty());
+  }
+
+  size_t size() const { return frontends_.size(); }
+  apiserver::APIServer& frontend(size_t i) const { return *frontends_[i]; }
+
+  // Round-robin pick; each call may land on a different front end.
+  apiserver::APIServer& Next() const {
+    return *frontends_[next_.fetch_add(1, std::memory_order_relaxed) %
+                       frontends_.size()];
+  }
+
+  // A TypedClient pinned to the next front end in rotation. Constructing one
+  // client per logical consumer (not per request) matches how reflectors hold
+  // a connection to one apiserver replica at a time.
+  template <typename T>
+  TypedClient<T> Client(
+      std::string ns = "",
+      apiserver::RequestContext ctx = apiserver::RequestContext::Loopback()) const {
+    return TypedClient<T>(&Next(), std::move(ns), std::move(ctx));
+  }
+
+ private:
+  std::vector<apiserver::APIServer*> frontends_;
+  mutable std::atomic<size_t> next_{0};
+};
+
+}  // namespace vc::client

@@ -56,12 +56,12 @@ class ListerWatcher {
  public:
   ListerWatcher() = default;
   ListerWatcher(apiserver::APIServer* server, std::string ns = "",
-                apiserver::RequestContext ctx = {})
+                apiserver::RequestContext ctx = apiserver::RequestContext::Loopback())
       : server_(server), ctx_(std::move(ctx)) {
     opts_.ns = std::move(ns);
   }
   ListerWatcher(apiserver::APIServer* server, ReflectorOptions<T> opts,
-                apiserver::RequestContext ctx = {})
+                apiserver::RequestContext ctx = apiserver::RequestContext::Loopback())
       : server_(server), opts_(std::move(opts)), ctx_(std::move(ctx)) {}
 
   // Follows continue tokens until the full (filtered) set is assembled, so

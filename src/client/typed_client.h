@@ -1,12 +1,16 @@
 // TypedClient<T>: thin per-kind facade bundling (apiserver, RequestContext,
 // namespace scope) — the "clientset" every component holds instead of
-// threading (server, ns, ctx) triples through each call site. All verbs take
-// the options structs from apiserver.h; the client only fills in its scope.
+// threading (server, ns, ctx) triples through each call site. The client's
+// identity and user agent are set ONCE at construction and stamped on every
+// request; WithContext() derives a per-call override. Option defaulting
+// (namespace scope, invariants) goes through api::NormalizeOptions — the one
+// place those rules live.
 #pragma once
 
 #include <string>
 #include <utility>
 
+#include "api/options.h"
 #include "apiserver/apiserver.h"
 
 namespace vc::client {
@@ -15,8 +19,11 @@ template <typename T>
 class TypedClient {
  public:
   TypedClient() = default;
+  // The defaulted context is the explicit loopback factory (in-process
+  // privileged callers: tests, bootstrap) — attributed components pass
+  // RequestContext::System("<name>") or a tenant identity instead.
   TypedClient(apiserver::APIServer* server, std::string ns = "",
-              apiserver::RequestContext ctx = {})
+              apiserver::RequestContext ctx = apiserver::RequestContext::Loopback())
       : server_(server), ns_(std::move(ns)), ctx_(std::move(ctx)) {}
 
   apiserver::APIServer* server() const { return server_; }
@@ -28,6 +35,12 @@ class TypedClient {
     return TypedClient(server_, std::move(ns), ctx_);
   }
 
+  // Returns a copy of this client speaking as another context (per-call
+  // identity/flow/band override).
+  TypedClient WithContext(apiserver::RequestContext ctx) const {
+    return TypedClient(server_, ns_, std::move(ctx));
+  }
+
   Result<T> Create(T obj) const {
     if constexpr (T::kNamespaced) {
       if (obj.meta.ns.empty()) obj.meta.ns = ns_;
@@ -35,15 +48,18 @@ class TypedClient {
     return server_->Create<T>(std::move(obj), ctx_);
   }
 
-  Result<T> Get(const std::string& name, const apiserver::GetOptions& = {}) const {
+  Result<T> Get(const std::string& name, apiserver::GetOptions opts = {}) const {
+    Status s = api::NormalizeOptions(&opts);
+    if (!s.ok()) return s;
     return server_->Get<T>(ScopeNs(), name, ctx_);
   }
 
   // opts.ns defaults to the client's scope; pass a non-empty opts.ns to
   // override (e.g. a cluster-scoped client listing one namespace).
   Result<apiserver::TypedList<T>> List(apiserver::ListOptions opts = {}) const {
-    if (opts.ns.empty()) opts.ns = ns_;
-    return server_->List<T>(opts, ctx_);
+    Status s = api::NormalizeOptions(&opts, ns_);
+    if (!s.ok()) return s;
+    return server_->List<T>(std::move(opts), ctx_);
   }
 
   Result<T> Update(T obj) const { return server_->Update<T>(std::move(obj), ctx_); }
@@ -57,8 +73,9 @@ class TypedClient {
   }
 
   Result<apiserver::TypedWatch<T>> Watch(apiserver::WatchOptions opts = {}) const {
-    if (opts.ns.empty()) opts.ns = ns_;
-    return server_->Watch<T>(opts, ctx_);
+    Status s = api::NormalizeOptions(&opts, ns_);
+    if (!s.ok()) return s;
+    return server_->Watch<T>(std::move(opts), ctx_);
   }
 
   // Read-modify-write with conflict retry, scoped like Get/Delete.

@@ -5,6 +5,16 @@
 
 namespace vc::controllers {
 
+namespace {
+// Attributed control-loop identity: leader band, rate-limit exempt.
+const vc::apiserver::RequestContext& CtrlCtx() {
+  static const vc::apiserver::RequestContext ctx =
+      vc::apiserver::RequestContext::System("deployment-controller");
+  return ctx;
+}
+}  // namespace
+
+
 DeploymentController::DeploymentController(
     apiserver::APIServer* server, client::SharedInformer<api::Deployment>* deployments,
     client::SharedInformer<api::ReplicaSet>* replicasets, Clock* clock, int workers,
@@ -62,7 +72,7 @@ bool DeploymentController::Reconcile(const std::string& key) {
   // Scale/create the active ReplicaSet.
   auto active = replicasets_->cache().Get(dep->meta.ns, rs_name);
   if (!active) {
-    Result<api::ReplicaSet> live = server_->Get<api::ReplicaSet>(dep->meta.ns, rs_name);
+    Result<api::ReplicaSet> live = server_->Get<api::ReplicaSet>(dep->meta.ns, rs_name, CtrlCtx());
     if (!live.ok()) {
       api::ReplicaSet rs;
       rs.meta.ns = dep->meta.ns;
@@ -74,7 +84,7 @@ bool DeploymentController::Reconcile(const std::string& key) {
       rs.replicas = dep->replicas;
       rs.selector = dep->selector;
       rs.template_ = dep->template_;
-      Result<api::ReplicaSet> created = server_->Create(std::move(rs));
+      Result<api::ReplicaSet> created = server_->Create(std::move(rs), CtrlCtx());
       if (!created.ok() && !created.status().IsAlreadyExists()) return false;
     }
     return false;  // converge on a later pass once the cache sees it
@@ -94,7 +104,7 @@ bool DeploymentController::Reconcile(const std::string& key) {
     if (rs->meta.name == rs_name || rs->meta.deleting()) continue;
     for (const auto& ref : rs->meta.owner_references) {
       if (ref.uid == dep->meta.uid && ref.controller) {
-        (void)server_->Delete<api::ReplicaSet>(rs->meta.ns, rs->meta.name);
+        (void)server_->Delete<api::ReplicaSet>(rs->meta.ns, rs->meta.name, CtrlCtx());
       }
     }
   }

@@ -4,6 +4,16 @@
 
 namespace vc::controllers {
 
+namespace {
+// Attributed control-loop identity: leader band, rate-limit exempt.
+const vc::apiserver::RequestContext& CtrlCtx() {
+  static const vc::apiserver::RequestContext ctx =
+      vc::apiserver::RequestContext::System("endpoints-controller");
+  return ctx;
+}
+}  // namespace
+
+
 EndpointsController::EndpointsController(apiserver::APIServer* server,
                                          client::SharedInformer<api::Pod>* pods,
                                          client::SharedInformer<api::Service>* services,
@@ -70,7 +80,7 @@ bool EndpointsController::Reconcile(const std::string& key) {
   const std::string name = key.substr(slash + 1);
 
   if (!svc || svc->meta.deleting()) {
-    Status st = server_->Delete<api::Endpoints>(ns, name);
+    Status st = server_->Delete<api::Endpoints>(ns, name, CtrlCtx());
     return st.ok() || st.IsNotFound();
   }
   if (svc->spec.selector.empty()) return true;  // manually-managed endpoints
@@ -103,7 +113,7 @@ bool EndpointsController::Reconcile(const std::string& key) {
   std::vector<api::EndpointSubset> desired;
   if (!subset.addresses.empty()) desired.push_back(std::move(subset));
 
-  Result<api::Endpoints> existing = server_->Get<api::Endpoints>(ns, name);
+  Result<api::Endpoints> existing = server_->Get<api::Endpoints>(ns, name, CtrlCtx());
   if (!existing.ok()) {
     if (!existing.status().IsNotFound()) return false;
     api::Endpoints ep;
@@ -111,12 +121,12 @@ bool EndpointsController::Reconcile(const std::string& key) {
     ep.meta.name = name;
     ep.meta.owner_references.push_back({api::Service::kKind, name, svc->meta.uid, true});
     ep.subsets = std::move(desired);
-    Result<api::Endpoints> created = server_->Create(std::move(ep));
+    Result<api::Endpoints> created = server_->Create(std::move(ep), CtrlCtx());
     return created.ok() || created.status().IsAlreadyExists();
   }
   if (existing->subsets == desired) return true;  // converged
   existing->subsets = std::move(desired);
-  Result<api::Endpoints> updated = server_->Update(std::move(*existing));
+  Result<api::Endpoints> updated = server_->Update(std::move(*existing), CtrlCtx());
   if (!updated.ok()) return updated.status().IsNotFound();
   return true;
 }

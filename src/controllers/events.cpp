@@ -4,6 +4,16 @@
 
 namespace vc::controllers {
 
+namespace {
+// Attributed control-loop identity: leader band, rate-limit exempt.
+const vc::apiserver::RequestContext& CtrlCtx() {
+  static const vc::apiserver::RequestContext ctx =
+      vc::apiserver::RequestContext::System("event-recorder");
+  return ctx;
+}
+}  // namespace
+
+
 EventRecorder::EventRecorder(apiserver::APIServer* server, Clock* clock,
                              std::string component)
     : server_(server), clock_(clock), component_(std::move(component)) {}
@@ -17,12 +27,12 @@ void EventRecorder::Record(const std::string& ns, const std::string& involved_ki
       involved_name + "." + ShortHash(involved_kind + involved_uid + reason, 8);
   const int64_t now = clock_->WallUnixMillis();
 
-  Result<api::EventObj> existing = server_->Get<api::EventObj>(ns, name);
+  Result<api::EventObj> existing = server_->Get<api::EventObj>(ns, name, CtrlCtx());
   if (existing.ok()) {
     existing->count++;
     existing->last_timestamp_ms = now;
     existing->message = message;
-    (void)server_->Update(*existing);  // best effort; conflicts are fine
+    (void)server_->Update(*existing, CtrlCtx());  // best effort; conflicts are fine
     return;
   }
   api::EventObj ev;
@@ -37,7 +47,7 @@ void EventRecorder::Record(const std::string& ns, const std::string& involved_ki
   ev.type = type;
   ev.count = 1;
   ev.last_timestamp_ms = now;
-  (void)server_->Create(std::move(ev));  // best effort
+  (void)server_->Create(std::move(ev), CtrlCtx());  // best effort
 }
 
 }  // namespace vc::controllers

@@ -4,6 +4,16 @@
 
 namespace vc::controllers {
 
+namespace {
+// Attributed control-loop identity: leader band, rate-limit exempt.
+const vc::apiserver::RequestContext& CtrlCtx() {
+  static const vc::apiserver::RequestContext ctx =
+      vc::apiserver::RequestContext::System("garbage-collector");
+  return ctx;
+}
+}  // namespace
+
+
 // GC queue keys are "<Kind>|<ns>/<name>".
 GarbageCollector::GarbageCollector(apiserver::APIServer* server,
                                    client::SharedInformer<api::Pod>* pods,
@@ -96,17 +106,17 @@ bool GarbageCollector::Reconcile(const std::string& key) {
       auto rs = replicasets_->cache().Get(obj_ns, ref.name);
       if (rs && rs->meta.uid == ref.uid) return true;
       // The cache may lag; confirm against the apiserver before deleting.
-      Result<api::ReplicaSet> live = server_->Get<api::ReplicaSet>(obj_ns, ref.name);
+      Result<api::ReplicaSet> live = server_->Get<api::ReplicaSet>(obj_ns, ref.name, CtrlCtx());
       return live.ok() && live->meta.uid == ref.uid;
     }
     if (ref.kind == api::Deployment::kKind) {
       auto d = deployments_->cache().Get(obj_ns, ref.name);
       if (d && d->meta.uid == ref.uid) return true;
-      Result<api::Deployment> live = server_->Get<api::Deployment>(obj_ns, ref.name);
+      Result<api::Deployment> live = server_->Get<api::Deployment>(obj_ns, ref.name, CtrlCtx());
       return live.ok() && live->meta.uid == ref.uid;
     }
     if (ref.kind == api::Service::kKind) {
-      Result<api::Service> live = server_->Get<api::Service>(obj_ns, ref.name);
+      Result<api::Service> live = server_->Get<api::Service>(obj_ns, ref.name, CtrlCtx());
       return live.ok() && live->meta.uid == ref.uid;
     }
     return true;  // unknown owner kinds are never collected
@@ -117,7 +127,7 @@ bool GarbageCollector::Reconcile(const std::string& key) {
     if (!pod || pod->meta.deleting()) return true;
     for (const auto& ref : pod->meta.owner_references) {
       if (ref.controller && !owner_alive(ref, ns)) {
-        (void)server_->Delete<api::Pod>(ns, name);
+        (void)server_->Delete<api::Pod>(ns, name, CtrlCtx());
         collected_.fetch_add(1);
         return true;
       }
@@ -127,7 +137,7 @@ bool GarbageCollector::Reconcile(const std::string& key) {
     if (!rs || rs->meta.deleting()) return true;
     for (const auto& ref : rs->meta.owner_references) {
       if (ref.controller && !owner_alive(ref, ns)) {
-        (void)server_->Delete<api::ReplicaSet>(ns, name);
+        (void)server_->Delete<api::ReplicaSet>(ns, name, CtrlCtx());
         collected_.fetch_add(1);
         return true;
       }

@@ -13,18 +13,28 @@ typename client::SharedInformer<T>::Options InformerOpts(Clock* clock) {
 
 }  // namespace
 
+namespace {
+// All controller-manager informers speak as one attributed identity (leader
+// band in the dispatcher, exempt from tenant rate limits).
+apiserver::RequestContext ManagerContext() {
+  return apiserver::RequestContext::System("controller-manager");
+}
+}  // namespace
+
 InformerSet::InformerSet(apiserver::APIServer* server, Clock* clock)
-    : pods(client::ListerWatcher<api::Pod>(server), InformerOpts<api::Pod>(clock)),
-      services(client::ListerWatcher<api::Service>(server),
+    : pods(client::ListerWatcher<api::Pod>(server, "", ManagerContext()),
+           InformerOpts<api::Pod>(clock)),
+      services(client::ListerWatcher<api::Service>(server, "", ManagerContext()),
                InformerOpts<api::Service>(clock)),
-      endpoints(client::ListerWatcher<api::Endpoints>(server),
+      endpoints(client::ListerWatcher<api::Endpoints>(server, "", ManagerContext()),
                 InformerOpts<api::Endpoints>(clock)),
-      namespaces(client::ListerWatcher<api::NamespaceObj>(server),
+      namespaces(client::ListerWatcher<api::NamespaceObj>(server, "", ManagerContext()),
                  InformerOpts<api::NamespaceObj>(clock)),
-      nodes(client::ListerWatcher<api::Node>(server), InformerOpts<api::Node>(clock)),
-      replicasets(client::ListerWatcher<api::ReplicaSet>(server),
+      nodes(client::ListerWatcher<api::Node>(server, "", ManagerContext()),
+            InformerOpts<api::Node>(clock)),
+      replicasets(client::ListerWatcher<api::ReplicaSet>(server, "", ManagerContext()),
                   InformerOpts<api::ReplicaSet>(clock)),
-      deployments(client::ListerWatcher<api::Deployment>(server),
+      deployments(client::ListerWatcher<api::Deployment>(server, "", ManagerContext()),
                   InformerOpts<api::Deployment>(clock)) {}
 
 void InformerSet::StartAll() {

@@ -29,9 +29,7 @@ NamespaceController::NamespaceController(
 
 namespace {
 apiserver::RequestContext ControllerContext() {
-  apiserver::RequestContext ctx;
-  ctx.user_agent = "namespace-controller";
-  return ctx;
+  return apiserver::RequestContext::System("namespace-controller");
 }
 }  // namespace
 

@@ -56,7 +56,9 @@ void NodeLifecycleController::CheckOnce() {
         clock_->Now() - it->second >= tuning_.eviction_delay) {
       for (const auto& pod : pods_->cache().List()) {
         if (pod->spec.node_name != node->meta.name || pod->meta.deleting()) continue;
-        Status st = server_->Delete<api::Pod>(pod->meta.ns, pod->meta.name);
+        Status st = server_->Delete<api::Pod>(pod->meta.ns, pod->meta.name,
+                                          apiserver::RequestContext::System(
+                                              "node-lifecycle-controller"));
         if (st.ok()) evicted_.fetch_add(1);
       }
     }

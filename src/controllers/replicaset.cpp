@@ -5,6 +5,16 @@
 namespace vc::controllers {
 
 namespace {
+// Attributed control-loop identity: leader band, rate-limit exempt.
+const vc::apiserver::RequestContext& CtrlCtx() {
+  static const vc::apiserver::RequestContext ctx =
+      vc::apiserver::RequestContext::System("replicaset-controller");
+  return ctx;
+}
+}  // namespace
+
+
+namespace {
 
 const char* kSuffixAlphabet = "bcdfghjklmnpqrstvwxz2456789";
 
@@ -84,7 +94,7 @@ bool ReplicaSetController::Reconcile(const std::string& key) {
       pod.meta.owner_references.push_back(
           {api::ReplicaSet::kKind, rs->meta.name, rs->meta.uid, true});
       pod.spec = rs->template_.spec;
-      Result<api::Pod> created = server_->Create(std::move(pod));
+      Result<api::Pod> created = server_->Create(std::move(pod), CtrlCtx());
       if (!created.ok() && !created.status().IsAlreadyExists()) return false;
     }
     return false;  // re-check counts after the informer catches up
@@ -98,7 +108,8 @@ bool ReplicaSetController::Reconcile(const std::string& key) {
     });
     for (int i = 0; i < have - want; ++i) {
       (void)server_->Delete<api::Pod>(owned[static_cast<size_t>(i)]->meta.ns,
-                                      owned[static_cast<size_t>(i)]->meta.name);
+                                      owned[static_cast<size_t>(i)]->meta.name,
+                                      CtrlCtx());
     }
     return false;
   }

@@ -6,6 +6,15 @@
 namespace vc::kubelet {
 
 namespace {
+const apiserver::RequestContext& KubeletCtx() {
+  static const apiserver::RequestContext ctx =
+      apiserver::RequestContext::System("kubelet");
+  return ctx;
+}
+}  // namespace
+
+
+namespace {
 
 bool IsTerminal(const api::Pod& pod) {
   return pod.status.phase == api::PodPhase::kSucceeded ||
@@ -61,7 +70,7 @@ Status Kubelet::Start() {
   node.status.last_heartbeat_ms = opts_.clock->WallUnixMillis();
   node.status.conditions = {{api::kNodeReady, true, node.status.last_heartbeat_ms,
                              "KubeletReady"}};
-  Result<api::Node> created = opts_.server->Create(node);
+  Result<api::Node> created = opts_.server->Create(node, KubeletCtx());
   if (!created.ok() && !created.status().IsAlreadyExists()) return created.status();
   if (created.status().IsAlreadyExists()) {
     VC_RETURN_IF_ERROR(UpdateNodeStatus(true));
@@ -178,18 +187,19 @@ Status Kubelet::StartPod(const api::Pod& pod) {
   // Volume prerequisites: referenced secrets/configmaps/PVCs must exist.
   for (const api::VolumeSource& vol : pod.spec.volumes) {
     if (!vol.secret_name.empty()) {
-      if (!opts_.server->Get<api::Secret>(pod.meta.ns, vol.secret_name).ok()) {
+      if (!opts_.server->Get<api::Secret>(pod.meta.ns, vol.secret_name, KubeletCtx()).ok()) {
         return NotFoundError("volume " + vol.name + ": secret " + vol.secret_name +
                              " not found");
       }
     } else if (!vol.config_map_name.empty()) {
-      if (!opts_.server->Get<api::ConfigMap>(pod.meta.ns, vol.config_map_name).ok()) {
+      if (!opts_.server->Get<api::ConfigMap>(pod.meta.ns, vol.config_map_name, KubeletCtx()).ok()) {
         return NotFoundError("volume " + vol.name + ": configmap " + vol.config_map_name +
                              " not found");
       }
     } else if (!vol.pvc_name.empty()) {
       Result<api::PersistentVolumeClaim> pvc =
-          opts_.server->Get<api::PersistentVolumeClaim>(pod.meta.ns, vol.pvc_name);
+          opts_.server->Get<api::PersistentVolumeClaim>(pod.meta.ns, vol.pvc_name,
+                                                        KubeletCtx());
       if (!pvc.ok()) {
         return NotFoundError("volume " + vol.name + ": pvc " + vol.pvc_name + " not found");
       }
@@ -257,8 +267,7 @@ Status Kubelet::StartPod(const api::Pod& pod) {
   // Report Running/Ready. Status-only write: goes through the /status
   // subresource (RBAC verb "update-status"), like the real kubelet.
   const int64_t now_ms = opts_.clock->WallUnixMillis();
-  apiserver::RequestContext ctx;
-  ctx.user_agent = "kubelet";
+  const apiserver::RequestContext ctx = apiserver::RequestContext::System("kubelet");
   Status st = apiserver::RetryUpdateStatus<api::Pod>(
       *opts_.server, pod.meta.ns, pod.meta.name, [&](api::Pod& live) {
         if (live.meta.uid != pod.meta.uid) return false;
@@ -300,8 +309,7 @@ void Kubelet::TeardownPod(const std::string& key) {
 
 Status Kubelet::UpdateNodeStatus(bool ready) {
   const int64_t now_ms = opts_.clock->WallUnixMillis();
-  apiserver::RequestContext ctx;
-  ctx.user_agent = "kubelet";
+  const apiserver::RequestContext ctx = apiserver::RequestContext::System("kubelet");
   return apiserver::RetryUpdateStatus<api::Node>(
       *opts_.server, "", opts_.node_name, [&](api::Node& node) {
         node.status.capacity = opts_.capacity;
@@ -354,7 +362,7 @@ KubeletFleet::KubeletFleet(apiserver::APIServer* server, Clock* clock) : server_
   client::SharedInformer<api::Pod>::Options opts;
   opts.clock = clock;
   pod_informer_ = std::make_unique<client::SharedInformer<api::Pod>>(
-      client::ListerWatcher<api::Pod>(server), opts);
+      client::ListerWatcher<api::Pod>(server, "", KubeletCtx()), opts);
 }
 
 KubeletFleet::~KubeletFleet() { Stop(); }

@@ -139,13 +139,18 @@ class WatchChannel {
   // blocking in Next().
   void SetSignal(std::function<void()> fn);
 
+  // Kills the channel with Gone (410) as a broken-watch/compaction signal:
+  // consumers must relist. Used by the store's BreakWatches and by an
+  // apiserver front end restarting over a SHARED store, which must break only
+  // the channels it vended.
+  void CloseGone();
+
  private:
   friend class KvStore;
   explicit WatchChannel(size_t capacity) : capacity_(capacity) {}
 
   // Store-side: enqueue; returns false (and poisons the channel) on overflow.
   bool Offer(const Event& e);
-  void CloseGone();
 
   void Signal();
 

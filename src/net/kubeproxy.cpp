@@ -42,9 +42,11 @@ std::map<std::string, std::vector<DnatRule>> BuildDesiredRules(
 
 KubeProxy::KubeProxy(Options opts) : opts_(std::move(opts)) {
   svc_informer_ = std::make_unique<client::SharedInformer<api::Service>>(
-      client::ListerWatcher<api::Service>(opts_.server));
+      client::ListerWatcher<api::Service>(opts_.server, "",
+                                          apiserver::RequestContext::System("kube-proxy")));
   ep_informer_ = std::make_unique<client::SharedInformer<api::Endpoints>>(
-      client::ListerWatcher<api::Endpoints>(opts_.server));
+      client::ListerWatcher<api::Endpoints>(opts_.server, "",
+                                            apiserver::RequestContext::System("kube-proxy")));
 }
 
 KubeProxy::~KubeProxy() { Stop(); }

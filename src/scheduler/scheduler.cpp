@@ -29,9 +29,11 @@ Scheduler::Scheduler(Options opts)
   queue_ = std::make_unique<client::RateLimitingQueue>(opts_.clock, Millis(10),
                                                        opts_.unschedulable_backoff);
   pod_informer_ = std::make_unique<client::SharedInformer<api::Pod>>(
-      client::ListerWatcher<api::Pod>(opts_.server));
+      client::ListerWatcher<api::Pod>(opts_.server, "",
+                                      apiserver::RequestContext::System("scheduler")));
   node_informer_ = std::make_unique<client::SharedInformer<api::Node>>(
-      client::ListerWatcher<api::Node>(opts_.server));
+      client::ListerWatcher<api::Node>(opts_.server, "",
+                                       apiserver::RequestContext::System("scheduler")));
 
   client::EventHandlers<api::Pod> h;
   h.on_add = [this](const api::Pod& pod) {
@@ -176,8 +178,7 @@ bool Scheduler::ScheduleOne(const std::string& key) {
 
   const std::string node_name = best->meta.name;
   bool bound = false;
-  apiserver::RequestContext ctx;
-  ctx.user_agent = "scheduler";
+  const apiserver::RequestContext ctx = apiserver::RequestContext::System("scheduler");
   Status st = apiserver::RetryUpdate<api::Pod>(
       *opts_.server, pod->meta.ns, pod->meta.name,
       [&](api::Pod& live) {

@@ -24,7 +24,7 @@ namespace vc::core {
 struct ConformanceEnv {
   std::string description;
   apiserver::APIServer* server = nullptr;
-  apiserver::RequestContext ctx;
+  apiserver::RequestContext ctx = apiserver::RequestContext::Loopback("conformance");
   Clock* clock = RealClock::Get();
   Duration pod_ready_timeout = Seconds(15);
 

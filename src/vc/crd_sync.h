@@ -31,6 +31,14 @@
 
 namespace vc::core {
 
+// Attributed identity every CrdSyncer speaks as (leader band, rate-limit
+// exempt on tenant apiservers).
+inline const apiserver::RequestContext& SyncCtx() {
+  static const apiserver::RequestContext ctx =
+      apiserver::RequestContext::System("crd-syncer");
+  return ctx;
+}
+
 template <typename T>
 class CrdSyncer {
  public:
@@ -77,7 +85,7 @@ class CrdSyncer {
     typename client::SharedInformer<T>::Options io;
     io.clock = opts_.clock;
     super_informer_ = std::make_unique<client::SharedInformer<T>>(
-        client::ListerWatcher<T>(opts_.super_server), io);
+        client::ListerWatcher<T>(opts_.super_server, "", SyncCtx()), io);
     client::EventHandlers<T> up;
     up.on_add = [this](const T& obj) { EnqueueUpward(obj); };
     up.on_update = [this](const T&, const T& obj) { EnqueueUpward(obj); };
@@ -96,7 +104,7 @@ class CrdSyncer {
     typename client::SharedInformer<T>::Options io;
     io.clock = opts_.clock;
     ts->informer = std::make_unique<client::SharedInformer<T>>(
-        client::ListerWatcher<T>(&tcp->server()), io);
+        client::ListerWatcher<T>(&tcp->server(), "", SyncCtx()), io);
     const std::string tenant = vc.meta.name;
     client::EventHandlers<T> h;
     h.on_add = [this, tenant](const T& obj) {
@@ -210,9 +218,9 @@ class CrdSyncer {
       if (!opts_.super_server->template Get<api::NamespaceObj>("", super_ns).ok()) {
         api::NamespaceObj tenant_view;
         tenant_view.meta.name = tenant_ns;
-        (void)opts_.super_server->Create(ToSuper(ts->map, tenant_view));
+        (void)opts_.super_server->Create(ToSuper(ts->map, tenant_view), SyncCtx());
       }
-      Result<T> created = opts_.super_server->Create(desired);
+      Result<T> created = opts_.super_server->Create(desired, SyncCtx());
       if (created.ok()) {
         downward_syncs_.fetch_add(1);
         return true;
@@ -227,7 +235,7 @@ class CrdSyncer {
     updated.meta.creation_timestamp_ms = existing->meta.creation_timestamp_ms;
     // Preserve the super-owned fields currently on the shadow.
     (void)T::CopyStatus(*existing, updated);
-    Result<T> res = opts_.super_server->Update(std::move(updated));
+    Result<T> res = opts_.super_server->Update(std::move(updated), SyncCtx());
     if (res.ok()) downward_syncs_.fetch_add(1);
     return res.ok();
   }

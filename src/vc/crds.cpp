@@ -6,7 +6,9 @@ GpuJobPlugin::GpuJobPlugin(Options opts) : opts_(std::move(opts)) {
   client::SharedInformer<GpuJob>::Options io;
   io.clock = opts_.clock;
   informer_ = std::make_unique<client::SharedInformer<GpuJob>>(
-      client::ListerWatcher<GpuJob>(opts_.server), io);
+      client::ListerWatcher<GpuJob>(opts_.server, "",
+                                    apiserver::RequestContext::System("gpujob-plugin")),
+      io);
 }
 
 GpuJobPlugin::~GpuJobPlugin() { Stop(); }

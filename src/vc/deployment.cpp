@@ -71,7 +71,8 @@ Result<std::shared_ptr<TenantControlPlane>> VcDeployment::CreateTenant(
   vc.provision_mode = mode;
   vc.weight = weight;
   vc.client_qps = 0;  // unlimited unless a bench opts in
-  Result<VirtualClusterObj> created = super_->server().Create(std::move(vc));
+  Result<VirtualClusterObj> created = super_->server().Create(
+      std::move(vc), apiserver::RequestContext::Loopback("vc-deployment"));
   if (!created.ok() && !created.status().IsAlreadyExists()) return created.status();
   if (!operator_->WaitForRunning("default", name, timeout)) {
     return TimeoutError("tenant " + name + " did not reach Running");
@@ -82,7 +83,8 @@ Result<std::shared_ptr<TenantControlPlane>> VcDeployment::CreateTenant(
 }
 
 Status VcDeployment::DeleteTenant(const std::string& name) {
-  return super_->server().Delete<VirtualClusterObj>("default", name);
+  return super_->server().Delete<VirtualClusterObj>(
+      "default", name, apiserver::RequestContext::Loopback("vc-deployment"));
 }
 
 }  // namespace vc::core

@@ -37,7 +37,8 @@ int MultiSuperDeployment::PickSuper() const {
   double best_load = 1e18;
   for (size_t i = 0; i < supers_.size(); ++i) {
     Result<apiserver::TypedList<api::Pod>> pods =
-        supers_[i]->super().server().List<api::Pod>();
+        supers_[i]->super().server().List<api::Pod>(
+            {}, apiserver::RequestContext::Loopback("multi-super"));
     size_t pod_count = pods.ok() ? pods->items.size() : 0;
     int nodes = supers_[i]->super().options().num_nodes;
     size_t tenant_count = 0;

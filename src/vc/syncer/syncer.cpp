@@ -74,8 +74,7 @@ Syncer::Syncer(Options opts)
 
   apiserver::APIServer* super = opts_.super_server;
 
-  apiserver::RequestContext ctx;
-  ctx.user_agent = "syncer";
+  const apiserver::RequestContext ctx = apiserver::RequestContext::System("syncer");
 
   // Super-cluster reflectors for the synchronized kinds select only tenant
   // shadows (stamped with kTenantLabel by ToSuper) SERVER-side: the super
@@ -234,8 +233,7 @@ void Syncer::AttachTenant(const VirtualClusterObj& vc, TenantControlPlane* tcp) 
   ts->tcp = tcp;
   ts->weight = std::max(1, vc.weight);
   apiserver::APIServer* server = &tcp->server();
-  apiserver::RequestContext ctx;
-  ctx.user_agent = "syncer";
+  const apiserver::RequestContext ctx = apiserver::RequestContext::System("syncer");
 
   ts->pods = std::make_unique<client::SharedInformer<api::Pod>>(
       client::ListerWatcher<api::Pod>(server, "", ctx), InformerOptions<api::Pod>());
@@ -616,7 +614,8 @@ Syncer::DownResult Syncer::SyncDownObj(TenantState& ts, const std::string& tenan
     // create has already been issued, so an unconditional delete is safe;
     // NotFound simply means there was nothing to clean up.
     const bool shadow_cached = sinf->cache().GetByKey(super_key) != nullptr;
-    Status st = opts_.super_server->Delete<T>(del_ns, del_name);
+    Status st = opts_.super_server->Delete<T>(del_ns, del_name,
+                                              apiserver::RequestContext::System("syncer"));
     if (st.ok()) {
       *cost += opts_.downward_op_cost;
       return DownResult::kDeleted;
@@ -645,7 +644,8 @@ Syncer::DownResult Syncer::SyncDownObj(TenantState& ts, const std::string& tenan
       if (!ns_st.ok()) return DownResult::kRetry;
     }
     *cost += opts_.downward_op_cost;
-    Result<T> created = opts_.super_server->Create(desired);
+    Result<T> created =
+        opts_.super_server->Create(desired, apiserver::RequestContext::System("syncer"));
     if (!created.ok()) {
       if (created.status().IsAlreadyExists()) {
         // Informer lag (our shadow exists but the cache hasn't seen it yet)
@@ -683,7 +683,8 @@ Syncer::DownResult Syncer::SyncDownObj(TenantState& ts, const std::string& tenan
     updated.phase = existing->phase;
   }
   *cost += opts_.downward_op_cost;
-  Result<T> res = opts_.super_server->Update(std::move(updated));
+  Result<T> res = opts_.super_server->Update(std::move(updated),
+                                             apiserver::RequestContext::System("syncer"));
   if (!res.ok()) {
     if (res.status().IsConflict()) metrics_.conflicts_retried.fetch_add(1);
     if (res.status().IsNotFound()) metrics_.races_tolerated.fetch_add(1);
@@ -695,11 +696,13 @@ Syncer::DownResult Syncer::SyncDownObj(TenantState& ts, const std::string& tenan
 Status Syncer::EnsureSuperNamespace(TenantState& ts, const std::string& tenant_ns) {
   const std::string mapped = ts.map.SuperNamespace(tenant_ns);
   if (super_namespaces_->cache().GetByKey(mapped) != nullptr) return OkStatus();
-  if (opts_.super_server->Get<api::NamespaceObj>("", mapped).ok()) return OkStatus();
+  const apiserver::RequestContext sctx = apiserver::RequestContext::System("syncer");
+  if (opts_.super_server->Get<api::NamespaceObj>("", mapped, sctx).ok()) return OkStatus();
   api::NamespaceObj tenant_view;
   tenant_view.meta.name = tenant_ns;
   api::NamespaceObj shadow = ToSuper(ts.map, tenant_view);
-  Result<api::NamespaceObj> created = opts_.super_server->Create(std::move(shadow));
+  Result<api::NamespaceObj> created =
+      opts_.super_server->Create(std::move(shadow), sctx);
   if (created.ok() || created.status().IsAlreadyExists()) return OkStatus();
   return created.status();
 }
@@ -763,8 +766,8 @@ Syncer::UpOutcome Syncer::SyncUpPod(const client::FairQueue::Item& item) {
 
   bool wrote = false;
   bool became_ready = false;
-  apiserver::RequestContext ctx;
-  ctx.user_agent = "syncer-upward";
+  const apiserver::RequestContext ctx =
+      apiserver::RequestContext::System("syncer-upward");
   Status st = apiserver::RetryUpdate<api::Pod>(
       ts->tcp->server(), origin->tenant_ns, super_pod->meta.name,
       [&](api::Pod& tp) {
@@ -828,7 +831,8 @@ void Syncer::ProcessPodGone(const std::string& super_key) {
   if (!ts) return;
   // "Once a virtual node has no binding Pods, it will be removed from the
   // tenant control plane by the syncer." (§III-C)
-  Status st = ts->tcp->server().Delete<api::Node>("", info.node);
+  Status st = ts->tcp->server().Delete<api::Node>(
+      "", info.node, apiserver::RequestContext::System("syncer"));
   if (!st.ok() && !st.IsNotFound()) {
     VLOG(1) << "syncer: vNode removal failed for " << info.node << ": " << st;
   }
@@ -848,7 +852,8 @@ Status Syncer::EnsureVNode(TenantState& ts, const std::string& node) {
   // log/exec to the real kubelet (§III-B (3)).
   std::string address = snode ? snode->status.address : node;
   vn.status.kubelet_endpoint = address + ":" + std::to_string(opts_.vnagent_port);
-  Result<api::Node> created = ts.tcp->server().Create(vn);
+  Result<api::Node> created =
+      ts.tcp->server().Create(vn, apiserver::RequestContext::System("syncer"));
   if (created.ok() || created.status().IsAlreadyExists()) return OkStatus();
   return created.status();
 }
@@ -861,8 +866,8 @@ void Syncer::BroadcastHeartbeatsOnce() {
     std::lock_guard<std::mutex> l(tenants_mu_);
     for (auto& [id, ts] : tenants_) snapshot.push_back(ts);
   }
-  apiserver::RequestContext ctx;
-  ctx.user_agent = "syncer-heartbeat";
+  const apiserver::RequestContext ctx =
+      apiserver::RequestContext::System("syncer-heartbeat");
   for (TenantPtr& ts : snapshot) {
     for (const std::string& node : vnodes_.NodesOf(ts->map.tenant_id)) {
       auto snode = super_nodes_->cache().GetByKey(node);

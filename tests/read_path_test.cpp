@@ -387,9 +387,7 @@ TEST(ReadPathTest, UpdateStatusVerbIsSeparateFromUpdate) {
 
 TEST(ReadPathTest, TypedClientScopesVerbs) {
   APIServer server({});
-  RequestContext ctx;
-  ctx.user_agent = "test-client";
-  TypedClient<Pod> pods(&server, "default", ctx);
+  TypedClient<Pod> pods(&server, "default", RequestContext::Loopback("test-client"));
 
   ASSERT_TRUE(pods.Create(LabeledPod("", "w0", "tier", "web")).ok());
   ASSERT_TRUE(pods.Create(LabeledPod("", "b0", "tier", "batch")).ok());
