@@ -21,6 +21,13 @@
 #define VC_HAS_DISPATCHER 1
 #endif
 
+// Same shim for the trace facility: baseline checkouts predate vc::trace, and
+// the dispatcher's Admit(ctx, trace) overload landed with it.
+#if __has_include("common/trace.h")
+#include "common/trace.h"
+#define VC_HAS_TRACE 1
+#endif
+
 namespace vc {
 namespace {
 
@@ -196,7 +203,9 @@ BENCHMARK(BM_FairQueueDequeue)
 #ifdef VC_HAS_DISPATCHER
 // Fast-path admission: classify + grant an inflight slot + release, single
 // uncontended caller. This is the per-request tax every verb now pays, so it
-// must stay under 1us.
+// must stay under 1us. With vc::trace available, range(0) selects the
+// untraced (0) vs traced (1) axis: the traced run emits kAdmit + kExecute +
+// kAccount per iteration and must stay within 10% of untraced.
 void BM_DispatchAdmit(benchmark::State& state) {
   apiserver::RequestDispatcher::Options o;
   o.max_inflight = 64;  // never queues from one thread
@@ -204,13 +213,48 @@ void BM_DispatchAdmit(benchmark::State& state) {
   apiserver::RequestContext ctx;
   ctx.identity.user = "tenant:bench";
   ctx.flow = "bench";
+#ifdef VC_HAS_TRACE
+  const bool traced = state.range(0) != 0;
+  trace::SetEnabled(traced);
+  const uint64_t id = traced ? trace::NewTraceId() : 0;
+  for (auto _ : state) {
+    Result<apiserver::RequestDispatcher::Ticket> t = d.Admit(ctx, id);
+    benchmark::DoNotOptimize(t);
+  }
+  trace::SetEnabled(false);  // restore the process-wide default
+  trace::Reset();
+#else
   for (auto _ : state) {
     Result<apiserver::RequestDispatcher::Ticket> t = d.Admit(ctx);
     benchmark::DoNotOptimize(t);
   }
+#endif
 }
+#ifdef VC_HAS_TRACE
+BENCHMARK(BM_DispatchAdmit)->Arg(0)->Arg(1);
+#else
 BENCHMARK(BM_DispatchAdmit);
+#endif
 #endif  // VC_HAS_DISPATCHER
+
+#ifdef VC_HAS_TRACE
+// Cost of one trace::Emit on the hot path: TLS buffer lookup + steady-clock
+// read + 8 relaxed word stores + key-tail copy + release publish. The budget
+// the instrumentation sweep rests on is <= 100 ns/event (DESIGN.md §11); the
+// ring overwrites in place, so a long benchmark run never allocates or stalls.
+void BM_TraceRecord(benchmark::State& state) {
+  trace::SetEnabled(true);
+  const uint64_t id = trace::NewTraceId();
+  int64_t rev = 0;
+  for (auto _ : state) {
+    trace::Emit(trace::Component::kKv, trace::Verb::kPut, id, ++rev,
+                "/registry/pods/default/bench-pod", 7);
+  }
+  trace::SetEnabled(false);  // restore the process-wide default
+  trace::Reset();
+}
+BENCHMARK(BM_TraceRecord);
+#endif  // VC_HAS_TRACE
 
 void BM_SchedulerFilter(benchmark::State& state) {
   std::vector<std::shared_ptr<const api::Node>> nodes;

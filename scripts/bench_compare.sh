@@ -18,7 +18,9 @@ cd "$(dirname "$0")/.."
 
 BASELINE_REF="${BASELINE_REF:-HEAD~1}"
 OUT="${OUT:-BENCH_storage.json}"
-FILTER='BM_WatchFanout|BM_ListZeroCopy|BM_ApiServerListSelective|BM_KvPut|BM_KvGet|BM_KvList|BM_FairQueueDequeue|BM_DispatchAdmit'
+# BM_DispatchAdmit runs as a /0 (untraced) vs /1 (traced) axis on checkouts
+# that have vc::trace; BM_TraceRecord is the raw per-event Emit cost.
+FILTER='BM_WatchFanout|BM_ListZeroCopy|BM_ApiServerListSelective|BM_KvPut|BM_KvGet|BM_KvList|BM_FairQueueDequeue|BM_DispatchAdmit|BM_TraceRecord'
 NPROC="$(nproc)"
 
 build_and_run() {  # $1 = source dir, $2 = result json, $3 = text-output dir

@@ -8,6 +8,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# A failing test prints its per-thread vc::trace rings (tests/test_main.cpp),
+# so a flaky concurrency failure in CI ships its own interleaving.
+export VC_TRACE_DUMP_ON_FAILURE=1
+
 run_preset() {
   local preset="$1"; shift
   echo "==> configure [$preset]"
@@ -21,9 +25,12 @@ run_preset() {
 case "${1:-default}" in
   default)
     run_preset default
-    # The executor/workqueue/fairqueue/runtime/syncer suites carry the
-    # `concurrency` label; any data race in the shared executor stack or the
-    # reconciler runtime is a hard failure.
+    # The executor/workqueue/fairqueue/dispatch/storage/trace/runtime/syncer
+    # suites carry the `concurrency` label; any data race in the shared
+    # executor stack, the storage fan-out, or the reconciler runtime is a hard
+    # failure. The storage/dispatch suites also drain the vc::trace history
+    # and have the checker certify ordering (no-gap/no-dup, read-your-write,
+    # span pairing) on the tsan-interleaved runs.
     run_preset tsan -L concurrency
     ;;
   tsan)    run_preset tsan ;;

@@ -156,12 +156,20 @@ Result<RequestDispatcher::Ticket> APIServer::Admit(const char* verb, const char*
                                                    const std::string& ns,
                                                    const RequestContext& ctx) const {
   if (store_->IsShutdown()) return UnavailableError(name() + " is shut down");
-  stats_.BumpIdentity(ctx.StatsKey());
+  // Effective trace id: an explicitly-stamped context wins, then the ambient
+  // scope (a reconcile body calling back into the apiserver), then a fresh id
+  // — every admitted request is traceable end to end.
+  uint64_t trace = ctx.trace_id;
+  if (trace == 0) trace = trace::CurrentTraceId();
+  if (trace == 0 && trace::Enabled()) trace = trace::NewTraceId();
+  stats_.BumpIdentity(ctx.StatsKey(), trace);
+  trace::Emit(trace::Component::kApiServer, trace::Verb::kRequest, trace, 0,
+              std::string(verb) + " " + kind);
   if (LogEnabled(LogLevel::kDebug)) {
     LOG(DEBUG) << name() << ": " << verb << " " << kind
                << (ns.empty() ? "" : " ns=" + ns) << " user=" << ctx.identity.user
                << (ctx.user_agent.empty() ? "" : " ua=" + ctx.user_agent)
-               << (ctx.trace_id.empty() ? "" : " trace=" + ctx.trace_id)
+               << (ctx.trace_id == 0 ? "" : " trace=" + Hex64(ctx.trace_id))
                << " band=" << BandName(ClassifyBand(ctx));
   }
   if (!authorizer_.Allowed(ctx.identity, verb, kind, ns)) {
@@ -192,7 +200,7 @@ Result<RequestDispatcher::Ticket> APIServer::Admit(const char* verb, const char*
                                             ctx.identity.user.c_str(), opts_.client_qps));
     }
   }
-  Result<RequestDispatcher::Ticket> ticket = dispatcher_->Admit(ctx);
+  Result<RequestDispatcher::Ticket> ticket = dispatcher_->Admit(ctx, trace);
   if (!ticket.ok()) {
     stats_.rate_limited++;
     return ticket.status();

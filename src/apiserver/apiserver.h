@@ -183,32 +183,47 @@ struct ServerStats {
 
   // Per-identity request counts keyed by RequestContext::StatsKey(). Striped
   // across shards so the per-request bump does not serialize every identity
-  // behind one global mutex on the hot path.
-  void BumpIdentity(const std::string& key) {
+  // behind one global mutex on the hot path. Each identity also remembers the
+  // trace id of its most recent request, so "who is loading this server" can
+  // be joined straight to that request's trace records.
+  void BumpIdentity(const std::string& key, uint64_t trace = 0) {
     IdentityShard& s = ShardFor(key);
     std::lock_guard<std::mutex> l(s.mu);
-    s.counts[key]++;
+    IdentityEntry& e = s.counts[key];
+    e.requests++;
+    if (trace != 0) e.last_trace = trace;
   }
   uint64_t IdentityRequests(const std::string& key) const {
     IdentityShard& s = ShardFor(key);
     std::lock_guard<std::mutex> l(s.mu);
     auto it = s.counts.find(key);
-    return it == s.counts.end() ? 0 : it->second;
+    return it == s.counts.end() ? 0 : it->second.requests;
+  }
+  // Trace id of the identity's most recent traced request (0 = none seen).
+  uint64_t IdentityLastTrace(const std::string& key) const {
+    IdentityShard& s = ShardFor(key);
+    std::lock_guard<std::mutex> l(s.mu);
+    auto it = s.counts.find(key);
+    return it == s.counts.end() ? 0 : it->second.last_trace;
   }
   std::map<std::string, uint64_t> PerIdentity() const {
     std::map<std::string, uint64_t> out;
     for (const IdentityShard& s : identity_shards_) {
       std::lock_guard<std::mutex> l(s.mu);
-      for (const auto& [k, v] : s.counts) out[k] += v;
+      for (const auto& [k, v] : s.counts) out[k] += v.requests;
     }
     return out;
   }
 
  private:
   static constexpr size_t kIdentityShards = 16;
+  struct IdentityEntry {
+    uint64_t requests = 0;
+    uint64_t last_trace = 0;
+  };
   struct IdentityShard {
     mutable std::mutex mu;
-    std::map<std::string, uint64_t> counts;
+    std::map<std::string, IdentityEntry> counts;
   };
   IdentityShard& ShardFor(const std::string& key) const {
     return identity_shards_[Fnv1a64(key) % kIdentityShards];

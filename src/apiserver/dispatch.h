@@ -49,6 +49,7 @@
 #include "common/histogram.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 
 namespace vc::apiserver {
 
@@ -75,7 +76,9 @@ class RequestDispatcher {
 
   // RAII inflight slot. Releasing records the execution latency of the
   // request into its band's histogram. Epoch-stamped so a slot admitted
-  // before Reset() never corrupts the accounting of the new epoch.
+  // before Reset() never corrupts the accounting of the new epoch. The
+  // ticket also scopes the request's trace id (trace::CurrentTraceId()) over
+  // the verb body, so kv writes and cache reads under the verb inherit it.
   class Ticket {
    public:
     Ticket() = default;
@@ -87,16 +90,25 @@ class RequestDispatcher {
     Ticket& operator=(const Ticket&) = delete;
 
     PriorityBand band() const { return band_; }
+    uint64_t trace() const { return trace_; }
 
    private:
     friend class RequestDispatcher;
-    Ticket(RequestDispatcher* d, PriorityBand band, uint64_t epoch, TimePoint start)
-        : dispatcher_(d), band_(band), epoch_(epoch), start_(start) {}
+    Ticket(RequestDispatcher* d, PriorityBand band, uint64_t epoch, TimePoint start,
+           uint64_t trace)
+        : dispatcher_(d),
+          band_(band),
+          epoch_(epoch),
+          start_(start),
+          trace_(trace),
+          scope_(trace) {}
 
     RequestDispatcher* dispatcher_ = nullptr;
     PriorityBand band_ = PriorityBand::kWorkload;
     uint64_t epoch_ = 0;
     TimePoint start_{};
+    uint64_t trace_ = 0;
+    trace::TraceScope scope_;
   };
 
   explicit RequestDispatcher(Options opts);
@@ -108,8 +120,9 @@ class RequestDispatcher {
   // Blocks until the request holds an inflight slot (fair order within its
   // band), or sheds it with TooManyRequests (queue full / wait budget
   // exhausted) or Unavailable (dispatcher reset mid-wait). Never blocks when
-  // max_inflight == 0.
-  Result<Ticket> Admit(const RequestContext& ctx);
+  // max_inflight == 0. `trace` is the request's trace id (0 = untraced); the
+  // returned Ticket scopes it over the verb body.
+  Result<Ticket> Admit(const RequestContext& ctx, uint64_t trace = 0);
 
   // Restart support: new epoch, zeroed inflight accounting, all queued
   // waiters failed with Unavailable. Slots admitted under the old epoch
@@ -148,6 +161,12 @@ class RequestDispatcher {
     uint64_t shed = 0;
     Histogram queue_wait;
     Histogram exec;
+    // Exemplars: the trace id behind the worst histogram entry, so a slow
+    // request in dispatch.<band>.exec.p99 can be joined to its trace records.
+    double slow_exec_s = 0;
+    uint64_t slow_exec_trace = 0;
+    double slow_wait_s = 0;
+    uint64_t slow_wait_trace = 0;
   };
 
   Band& BandOf(PriorityBand b) { return bands_[static_cast<size_t>(b)]; }
@@ -158,7 +177,7 @@ class RequestDispatcher {
   // Hands freed capacity to queued waiters, highest band first, per-flow fair
   // within a band. Caller must notify cv_ after unlocking.
   void GrantLocked();
-  void ReleaseSlot(PriorityBand band, uint64_t epoch, TimePoint start);
+  void ReleaseSlot(PriorityBand band, uint64_t epoch, TimePoint start, uint64_t trace);
   std::unique_ptr<client::FairQueue> NewQueue() const;
 
   const Options opts_;

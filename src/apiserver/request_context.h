@@ -50,10 +50,12 @@ struct RequestContext {
   // ANONYMOUS by default — see the header comment. Internal components must
   // attribute themselves via System()/Loopback() or an explicit identity.
   Identity identity;
-  // Optional attribution: stamped into request log lines and the per-identity
-  // ServerStats counters so interference benches can tell which tenant is
-  // loading a shared control plane.
-  std::string trace_id;
+  // Optional attribution: a vc::trace id (0 = untraced) stamped into request
+  // log lines, span events, and the per-identity ServerStats counters so a
+  // slow request in any histogram can be joined to its trace records. Verbs
+  // that arrive without one inherit the ambient trace::CurrentTraceId() or
+  // get a fresh id at admission.
+  uint64_t trace_id = 0;
   std::string user_agent;
   // Fair-queuing key: requests sharing one flow share one sub-queue in the
   // dispatcher (a tenant id, typically). Empty = derived from identity.user,
@@ -67,7 +69,7 @@ struct RequestContext {
     return user_agent.empty() ? identity.user : identity.user + "/" + user_agent;
   }
 
-  std::string FlowKey() const { return flow.empty() ? identity.user : flow; }
+  const std::string& FlowKey() const { return flow.empty() ? identity.user : flow; }
 
   // The cluster-admin loopback context (tests, admin tooling, in-process
   // bootstrap). This is what the defaulted verb arguments pass.

@@ -34,6 +34,7 @@
 #include "common/clock.h"
 #include "common/executor.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "kv/kvstore.h"
 
 namespace vc::apiserver {
@@ -141,7 +142,15 @@ class WatchCache {
     BlockingRegion blocking;  // reconcilers call reads from pool tasks
     std::unique_lock<std::mutex> l(mu_);
     cv_.wait_for(l, timeout, [&] { return !healthy_ || revision_ >= target; });
-    return healthy_ && revision_ >= target;
+    const bool fresh = healthy_ && revision_ >= target;
+    if (fresh) {
+      // Still under mu_: revision_ is exactly what this read will serve from.
+      // The checker's read-your-write pass asserts revision >= arg (target).
+      trace::Emit(trace::Component::kWatchCache, trace::Verb::kCacheServe,
+                  trace::CurrentTraceId(), revision_, prefix_,
+                  static_cast<uint64_t>(target));
+    }
+    return fresh;
   }
 
   // Fresh read of one key. Unavailable = cache cannot serve (fall back to the
@@ -312,6 +321,8 @@ class WatchCache {
       std::lock_guard<std::mutex> l(mu_);
       revision_ = e.revision;
     }
+    trace::Emit(trace::Component::kWatchCache, trace::Verb::kCacheApply,
+                e.trace, e.revision, e.key.empty() ? prefix_ : e.key);
     cv_.notify_all();
   }
 

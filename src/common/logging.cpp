@@ -1,8 +1,12 @@
 #include "common/logging.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <mutex>
+
+#include "common/trace.h"
 
 namespace vc {
 namespace {
@@ -34,7 +38,34 @@ bool LogEnabled(LogLevel level) { return static_cast<int>(level) <= g_level.load
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
-  stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line << "] ";
+  // One attributable prefix: wall clock (joins logs across processes),
+  // monotonic nanos (joins the vc::trace records, same steady_clock), and the
+  // trace registry's thread slot (matches the t<N> names in trace dumps) —
+  // without these, N front ends logging concurrently are indistinguishable.
+  const auto wall = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(wall);
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           wall.time_since_epoch())
+                           .count() %
+                       1000;
+  const uint64_t mono_ns = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  std::tm tm{};
+  localtime_r(&secs, &tm);
+  char ts[32];
+  std::snprintf(ts, sizeof(ts), "%02d:%02d:%02d.%03d", tm.tm_hour, tm.tm_min,
+                tm.tm_sec, static_cast<int>(wall_ms));
+  // Registration is independent of trace::Enabled(), so log lines carry a
+  // stable thread id even when tracing is off (the default).
+  trace::internal::ThreadBuffer* tb = trace::internal::TlsBuffer();
+  if (tb == nullptr) tb = trace::internal::RegisterThread();
+  stream_ << "[" << LevelTag(level) << " " << ts << " +" << mono_ns << "ns t";
+  if (tb != nullptr) {
+    stream_ << tb->tid;
+  } else {
+    stream_ << "?";
+  }
+  stream_ << " " << Basename(file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

@@ -3,7 +3,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace vc::controllers {
 
@@ -173,7 +175,17 @@ void Reconciler::Process(const Item& item) {
   }
   queue_lat_.Record(opts_.clock->Now() - item.enqueue_time);
   const TimePoint start = opts_.clock->Now();
-  fn_(item, [this, item, start](ReconcileResult r) {
+  // One trace id per reconcile attempt; the scope makes it ambient so every
+  // apiserver call the body makes (and the kv writes underneath) joins it.
+  // arg identifies the reconciler (name hash; the name itself is in dumps of
+  // the apiserver records the id links to).
+  const uint64_t trace = trace::Enabled() ? trace::NewTraceId() : 0;
+  trace::Emit(trace::Component::kReconciler, trace::Verb::kDequeue, trace, 0,
+              item.key, Fnv1a64(opts_.name));
+  trace::TraceScope scope(trace);
+  fn_(item, [this, item, start, trace](ReconcileResult r) {
+    trace::Emit(trace::Component::kReconciler, trace::Verb::kReconcile, trace,
+                static_cast<int64_t>(r.code), item.key, Fnv1a64(opts_.name));
     Finish(item, r, /*ran=*/true, start);
   });
 }

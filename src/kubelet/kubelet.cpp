@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace vc::kubelet {
 
@@ -133,6 +134,9 @@ void Kubelet::Pump() {
 }
 
 void Kubelet::Process(const std::string& key) {
+  // One ambient trace per pod-worker attempt: the status writes below and the
+  // apiserver requests they become carry this id.
+  trace::TraceScope scope(trace::Enabled() ? trace::NewTraceId() : 0);
   if (!stop_.load()) {
     bool done = ReconcilePod(key);
     if (done) {
@@ -268,6 +272,8 @@ Status Kubelet::StartPod(const api::Pod& pod) {
   // subresource (RBAC verb "update-status"), like the real kubelet.
   const int64_t now_ms = opts_.clock->WallUnixMillis();
   const apiserver::RequestContext ctx = apiserver::RequestContext::System("kubelet");
+  trace::Emit(trace::Component::kKubelet, trace::Verb::kStatusWrite,
+              trace::CurrentTraceId(), 0, pod.meta.ns + "/" + pod.meta.name);
   Status st = apiserver::RetryUpdateStatus<api::Pod>(
       *opts_.server, pod.meta.ns, pod.meta.name, [&](api::Pod& live) {
         if (live.meta.uid != pod.meta.uid) return false;
@@ -310,6 +316,8 @@ void Kubelet::TeardownPod(const std::string& key) {
 Status Kubelet::UpdateNodeStatus(bool ready) {
   const int64_t now_ms = opts_.clock->WallUnixMillis();
   const apiserver::RequestContext ctx = apiserver::RequestContext::System("kubelet");
+  trace::Emit(trace::Component::kKubelet, trace::Verb::kStatusWrite,
+              trace::CurrentTraceId(), 0, opts_.node_name);
   return apiserver::RetryUpdateStatus<api::Node>(
       *opts_.server, "", opts_.node_name, [&](api::Node& node) {
         node.status.capacity = opts_.capacity;

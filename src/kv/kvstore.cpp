@@ -1,11 +1,19 @@
 #include "kv/kvstore.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace vc::kv {
+
+namespace {
+// Watcher ids are process-unique (not per-store): the history checker keys
+// per-watcher sequences on the id alone, and one test may run many stores.
+std::atomic<uint64_t> g_next_watcher_id{1};
+}  // namespace
 
 // ---------------------------------------------------------------- WatchChannel
 
@@ -100,15 +108,25 @@ KvStore::KvStore(size_t max_log_events, int64_t start_revision)
 
 KvStore::~KvStore() { Shutdown(); }
 
-void KvStore::OfferFiltered(Watcher& w, const Event& e) {
+void KvStore::OfferFiltered(Watcher& w, const Event& e, uint64_t now_ns) {
   if (StartsWith(e.key, w.prefix)) {
+    if (test_drop_deliveries_.load(std::memory_order_relaxed) > 0 &&
+        test_drop_deliveries_.fetch_sub(1, std::memory_order_relaxed) > 0) {
+      return;  // injected fault: silently lose the delivery (no record)
+    }
     if (!w.filter) {
-      w.channel->Offer(e);
+      if (w.channel->Offer(e)) {
+        trace::EmitAt(trace::Component::kWatch, trace::Verb::kDeliver, e.trace,
+                      e.revision, e.key, w.id, now_ns);
+      }
       w.last_sent_revision = e.revision;
       return;
     }
     if (std::optional<Event> out = w.filter(e)) {
-      w.channel->Offer(*out);
+      if (w.channel->Offer(*out)) {
+        trace::EmitAt(trace::Component::kWatch, trace::Verb::kDeliver, e.trace,
+                      e.revision, e.key, w.id, now_ns);
+      }
       w.last_sent_revision = e.revision;
       return;
     }
@@ -121,10 +139,29 @@ void KvStore::OfferFiltered(Watcher& w, const Event& e) {
     Event bm;
     bm.type = EventType::kBookmark;
     bm.revision = e.revision;
-    w.channel->Offer(bm);
+    if (w.channel->Offer(bm)) {
+      trace::EmitAt(trace::Component::kWatch, trace::Verb::kBookmark, e.trace,
+                    e.revision, e.key, w.id, now_ns);
+    }
     w.last_sent_revision = e.revision;
+    return;
   }
+  // Invisible and no bookmark due: record the skip so the checker can prove
+  // this revision was CONSIDERED for this watcher (gap vs. filter decision).
+  trace::EmitAt(trace::Component::kWatch, trace::Verb::kSkip, e.trace,
+                e.revision, e.key, w.id, now_ns);
 }
+
+namespace {
+// One trace timestamp per dispatched event: fanning one event out to N
+// watchers costs one clock read, not N (the clock dominates EmitAt's cost).
+uint64_t TraceNowNs() {
+  return trace::Enabled()
+             ? static_cast<uint64_t>(
+                   std::chrono::steady_clock::now().time_since_epoch().count())
+             : 0;
+}
+}  // namespace
 
 size_t KvStore::EventBytes(const Event& e) {
   return sizeof(Event) + e.key.size() + e.value.size() + e.prev_value.size();
@@ -202,14 +239,16 @@ void KvStore::ProcessCmd(DispatchCmd cmd) {
       fan_targets_.fetch_sub(1, std::memory_order_relaxed);
       return;
     }
+    const uint64_t replay_ns = TraceNowNs();
     for (const Event& e : cmd.replay) {
-      OfferFiltered(cmd.watcher, e);
+      OfferFiltered(cmd.watcher, e, replay_ns);
       if (!cmd.watcher.channel->ok()) break;
     }
     watchers_.push_back(std::move(cmd.watcher));
     return;
   }
   // Fan an event out to live watchers; drop the dead ones.
+  const uint64_t now_ns = TraceNowNs();
   auto it = watchers_.begin();
   while (it != watchers_.end()) {
     if (!it->channel->ok()) {
@@ -217,7 +256,7 @@ void KvStore::ProcessCmd(DispatchCmd cmd) {
       fan_targets_.fetch_sub(1, std::memory_order_relaxed);
       continue;
     }
-    OfferFiltered(*it, cmd.event);
+    OfferFiltered(*it, cmd.event, now_ns);
     ++it;
   }
 }
@@ -239,10 +278,16 @@ Result<int64_t> KvStore::Put(const std::string& key, std::string value,
     if (expected_mod_revision.has_value()) {
       int64_t want = *expected_mod_revision;
       if (want == 0) {
-        if (it != data_.end()) return AlreadyExistsError("key exists: " + key);
+        if (it != data_.end()) {
+          trace::Emit(trace::Component::kKv, trace::Verb::kCasFail,
+                      trace::CurrentTraceId(), want, key);
+          return AlreadyExistsError("key exists: " + key);
+        }
       } else {
         if (it == data_.end()) return NotFoundError("key not found: " + key);
         if (it->second.mod_revision != want) {
+          trace::Emit(trace::Component::kKv, trace::Verb::kCasFail,
+                      trace::CurrentTraceId(), want, key);
           return ConflictError(StrFormat("mod revision mismatch for %s: have %lld want %lld",
                                          key.c_str(),
                                          static_cast<long long>(it->second.mod_revision),
@@ -257,6 +302,10 @@ Result<int64_t> KvStore::Put(const std::string& key, std::string value,
     e.key = key;
     e.value = blob;
     e.revision = revision_;
+    e.trace = trace::CurrentTraceId();
+    // Under mu_ exclusive: commit records across writers appear in revision
+    // order, which the checker's single-store monotonicity pass asserts.
+    trace::Emit(trace::Component::kKv, trace::Verb::kPut, e.trace, e.revision, key);
     if (it == data_.end()) {
       Entry entry;
       entry.key = key;
@@ -290,6 +339,8 @@ Result<int64_t> KvStore::Delete(const std::string& key,
     auto it = data_.find(key);
     if (it == data_.end()) return NotFoundError("key not found: " + key);
     if (expected_mod_revision.has_value() && it->second.mod_revision != *expected_mod_revision) {
+      trace::Emit(trace::Component::kKv, trace::Verb::kCasFail,
+                  trace::CurrentTraceId(), *expected_mod_revision, key);
       return ConflictError(StrFormat("mod revision mismatch for %s: have %lld want %lld",
                                      key.c_str(),
                                      static_cast<long long>(it->second.mod_revision),
@@ -301,6 +352,8 @@ Result<int64_t> KvStore::Delete(const std::string& key,
     e.key = key;
     e.prev_value = it->second.value;
     e.revision = revision_;
+    e.trace = trace::CurrentTraceId();
+    trace::Emit(trace::Component::kKv, trace::Verb::kDelete, e.trace, e.revision, key);
     live_bytes_ -= key.size() + it->second.value.size();
     data_.erase(it);
     AppendLocked(std::move(e));
@@ -377,6 +430,7 @@ Result<std::shared_ptr<WatchChannel>> KvStore::Watch(const std::string& prefix,
     cmd.watcher.filter = std::move(params.filter);
     cmd.watcher.bookmark_interval = params.bookmark_interval;
     cmd.watcher.last_sent_revision = params.from_revision;
+    cmd.watcher.id = g_next_watcher_id.fetch_add(1, std::memory_order_relaxed);
     // Capture the replay under the store lock: every event <= revision_ is
     // already ahead of this command in the queue (writers enqueue while
     // holding mu_), so the strand replays (from_revision, revision_] exactly
@@ -449,6 +503,10 @@ void KvStore::BreakWatches() {
                            std::memory_order_relaxed);
   }
   for (Watcher& w : watchers) w.channel->CloseGone();
+}
+
+void KvStore::TestDropNextDeliveries(int n) {
+  test_drop_deliveries_.fetch_add(n, std::memory_order_relaxed);
 }
 
 bool KvStore::IsShutdown() const {

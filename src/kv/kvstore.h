@@ -103,6 +103,9 @@ struct Event {
   Blob value;       // new value (empty for kDelete/kBookmark)
   Blob prev_value;  // value before this event (empty for first Put)
   int64_t revision = 0;  // store revision of this event
+  // vc::trace id of the mutation that produced this event (0 = untraced), so
+  // a watch delivery can be joined to the write that caused it end to end.
+  uint64_t trace = 0;
 };
 
 struct Entry {
@@ -268,6 +271,11 @@ class KvStore {
   // state surviving a process restart.
   void BreakWatches();
 
+  // Fault injection for the history checker's own acceptance test: the next
+  // `n` watch deliveries are dropped SILENTLY (no offer, no trace record) —
+  // a genuine per-watcher gap that trace::CheckHistory must flag.
+  void TestDropNextDeliveries(int n);
+
   // Blocks until every event enqueued before this call has been offered to
   // (or filtered away from) every watcher. Tests and benchmarks use this to
   // draw a line under the asynchronous fan-out; safe to call from executor
@@ -291,6 +299,9 @@ class KvStore {
     // Revision of the last event (data or bookmark) offered to the channel;
     // drives bookmark pacing.
     int64_t last_sent_revision = 0;
+    // Process-unique id stamped into per-watcher trace records (the history
+    // checker keys its no-gap/no-dup sequences on it).
+    uint64_t id = 0;
   };
 
   // A unit of work for the dispatch strand. Either a store event to fan out,
@@ -318,7 +329,11 @@ class KvStore {
   void ProcessCmd(DispatchCmd cmd);
   // Offers `e` if it survives the watcher's filter; otherwise emits a
   // bookmark when the watcher has been quiet for bookmark_interval revisions.
-  static void OfferFiltered(Watcher& w, const Event& e);
+  // Records exactly one of deliver/bookmark/skip per (watcher, revision) —
+  // the totality the checker's no-gap validation rests on. `now_ns` is the
+  // trace timestamp, read once per dispatched event rather than per watcher
+  // so fan-out to N watchers pays one clock read.
+  void OfferFiltered(Watcher& w, const Event& e, uint64_t now_ns);
 
   // Store state. Reads take shared, mutations exclusive.
   mutable std::shared_mutex mu_;
@@ -350,6 +365,8 @@ class KvStore {
   // Live watchers + queued registrations. When zero, writers skip enqueueing
   // event commands entirely (the log still records them for future replay).
   std::atomic<int64_t> fan_targets_{0};
+  // Pending silent delivery drops (TestDropNextDeliveries); strand-only reads.
+  std::atomic<int> test_drop_deliveries_{0};
 };
 
 }  // namespace vc::kv

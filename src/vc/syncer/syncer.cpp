@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace vc::core {
 
@@ -523,6 +524,10 @@ void Syncer::DrainCharges() {
 
 void Syncer::DownwardReconcile(const client::FairQueue::Item& item,
                                controllers::Reconciler::Completion done) {
+  // Inherits the reconcile attempt's ambient trace id (Reconciler::Process
+  // opened the scope), so super-cluster writes below join the same trace.
+  trace::Emit(trace::Component::kSyncer, trace::Verb::kDownSync,
+              trace::CurrentTraceId(), 0, item.key);
   Duration cost{};
   bool ok;
   {
@@ -711,6 +716,8 @@ Status Syncer::EnsureSuperNamespace(TenantState& ts, const std::string& tenant_n
 
 void Syncer::UpwardReconcile(const client::FairQueue::Item& item,
                              controllers::Reconciler::Completion done) {
+  trace::Emit(trace::Component::kSyncer, trace::Verb::kUpSync,
+              trace::CurrentTraceId(), 0, item.key);
   const TimePoint dequeue = opts_.clock->Now();
   UpOutcome out;
   {

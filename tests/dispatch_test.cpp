@@ -22,6 +22,8 @@
 #include "apiserver/request_context.h"
 #include "client/frontends.h"
 #include "client/typed_client.h"
+#include "common/thread_pool.h"
+#include "common/trace_check.h"
 
 namespace vc::apiserver {
 namespace {
@@ -222,6 +224,48 @@ TEST(DispatcherTest, ResetShedsWaitersAndInvalidatesOldTickets) {
   EXPECT_EQ(d.Stats(PriorityBand::kWorkload).inflight, 1);
 }
 
+// The trace history PROVES the dispatcher's core isolation invariant instead
+// of sampling it: across a concurrent burst in every band, the checker pairs
+// every grant with exactly one release and verifies that the number of
+// simultaneously executing requests in a band never exceeded its assured
+// share. kExecute/kAccount records are stamped under the dispatcher lock, so
+// their timestamp order is the true interleaving.
+TEST(DispatcherTest, HistoryCheckerProvesAssuredShareIsolation) {
+  trace::Reset();
+  RequestDispatcher::Options o;
+  o.max_inflight = 8;  // shares 3:2:1:1
+  o.max_wait = Seconds(5);
+  o.best_effort_max_wait = Seconds(5);
+  RequestDispatcher d(o);
+
+  constexpr int kThreads = 8;
+  constexpr int kAdmits = 50;
+  ParallelFor(kThreads, [&](int t) {
+    RequestContext ctx;
+    switch (t % 4) {
+      case 0: ctx = RequestContext::Loopback(); break;
+      case 1: ctx = RequestContext::System("controller"); break;
+      case 2: ctx.identity.user = "tenant:acme"; break;
+      default: ctx = BestEffort("flood-" + std::to_string(t)); break;
+    }
+    for (int i = 0; i < kAdmits; ++i) {
+      Result<RequestDispatcher::Ticket> ticket = d.Admit(ctx, trace::NewTraceId());
+      ASSERT_TRUE(ticket.ok()) << ticket.status();
+    }
+  });
+
+  trace::CheckReport report = trace::DrainAndCheck();
+  EXPECT_TRUE(report.certified) << report.Summary();
+  EXPECT_EQ(report.dispatch_spans, static_cast<size_t>(kThreads * kAdmits));
+  ASSERT_EQ(report.max_concurrency.size(), 4u);
+  for (int b = 0; b < 4; ++b) {
+    const auto band = static_cast<PriorityBand>(b);
+    EXPECT_LE(report.max_concurrency[b], d.AssuredShare(band))
+        << "band " << b << " exceeded its assured share";
+    EXPECT_GE(report.max_concurrency[b], 1) << "band " << b << " never ran";
+  }
+}
+
 TEST(DispatcherTest, NoFairnessDegradesToSharedFifoWithUnboundedWait) {
   RequestDispatcher::Options o;
   o.max_inflight = 1;
@@ -258,6 +302,7 @@ double P99Millis(std::vector<double> samples) {
 }
 
 TEST(DispatcherFloodTest, SystemP99SurvivesBestEffortFlood) {
+  trace::Reset();
   APIServer::Options o;
   o.fairness = true;
   o.max_inflight = 8;
@@ -313,6 +358,18 @@ TEST(DispatcherFloodTest, SystemP99SurvivesBestEffortFlood) {
   EXPECT_GT(be.shed + be.queued, 0u);
   // And the probe's band never queued behind it.
   EXPECT_EQ(server.dispatcher().Stats(PriorityBand::kSystem).queued, 0u);
+
+  // Certify the whole flood window: every grant paired with one release, no
+  // ring drops, every cache-served Get read-your-write, and neither the
+  // system band nor the flood's own band ever ran past its assured share.
+  trace::CheckReport report = trace::DrainAndCheck();
+  EXPECT_TRUE(report.certified) << report.Summary();
+  EXPECT_GT(report.dispatch_spans, 100u);
+  ASSERT_EQ(report.max_concurrency.size(), 4u);
+  EXPECT_LE(report.max_concurrency[static_cast<size_t>(PriorityBand::kSystem)],
+            server.dispatcher().AssuredShare(PriorityBand::kSystem));
+  EXPECT_LE(report.max_concurrency[static_cast<size_t>(PriorityBand::kBestEffort)],
+            server.dispatcher().AssuredShare(PriorityBand::kBestEffort));
 }
 
 // ------------------------------------------------------------- frontend tier

@@ -1,0 +1,54 @@
+// Shared gtest main for every test binary: installs a listener that prints
+// the vc::trace ring buffers when a test fails, so a flaky concurrency
+// failure ships its own interleaving instead of an unreproducible stack.
+//
+// Enable with --trace-dump-on-failure or VC_TRACE_DUMP_ON_FAILURE=1 (the env
+// form is what scripts/check.sh sets for the ctest/tsan runs, where argv is
+// not reachable). Off by default: a red unit test should not print 64 lines
+// per thread of ring context.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "common/trace.h"
+
+namespace {
+
+class TraceDumpOnFailure : public ::testing::EmptyTestEventListener {
+ public:
+  explicit TraceDumpOnFailure(size_t max_per_thread)
+      : max_per_thread_(max_per_thread) {}
+
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    if (info.result() == nullptr || !info.result()->Failed()) return;
+    std::cerr << "\n[trace] " << info.test_suite_name() << "." << info.name()
+              << " failed; dumping per-thread trace rings\n";
+    vc::trace::DumpText(std::cerr, max_per_thread_);
+  }
+
+ private:
+  const size_t max_per_thread_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  bool dump = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-dump-on-failure") == 0) dump = true;
+  }
+  const char* env = std::getenv("VC_TRACE_DUMP_ON_FAILURE");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') dump = true;
+  if (dump) {
+    ::testing::UnitTest::GetInstance()->listeners().Append(
+        new TraceDumpOnFailure(/*max_per_thread=*/64));
+  }
+  // Tracing is off by default in production; tests run traced so the
+  // history checker can certify orderings on every suite.
+  vc::trace::SetEnabled(true);
+  vc::trace::RegisterMetrics();
+  return RUN_ALL_TESTS();
+}
