@@ -2,9 +2,10 @@
 # Local CI: configure + build + run the full test suite.
 #
 #   scripts/check.sh          # RelWithDebInfo build + full suite, then the
-#                             # concurrency-labelled suites under tsan
+#                             # concurrency-labelled suites under tsan + asan
 #   scripts/check.sh tsan     # ThreadSanitizer build, full suite (slow)
-#   scripts/check.sh all      # both full suites
+#   scripts/check.sh asan     # Address+UBSan build, full suite
+#   scripts/check.sh all      # all three full suites
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,8 +33,13 @@ case "${1:-default}" in
     # and have the checker certify ordering (no-gap/no-dup, read-your-write,
     # span pairing) on the tsan-interleaved runs.
     run_preset tsan -L concurrency
+    # Same suites under ASan+UBSan: tsan proves ordering, asan proves the
+    # lock-free index never touches freed memory (epoch reclamation) and the
+    # WAL codecs stay in bounds.
+    run_preset asan -L concurrency
     ;;
   tsan)    run_preset tsan ;;
-  all)     run_preset default; run_preset tsan ;;
-  *) echo "usage: $0 [default|tsan|all]" >&2; exit 2 ;;
+  asan)    run_preset asan ;;
+  all)     run_preset default; run_preset tsan; run_preset asan ;;
+  *) echo "usage: $0 [default|tsan|asan|all]" >&2; exit 2 ;;
 esac

@@ -13,8 +13,8 @@ APIServer::APIServer(Options opts) : opts_(std::move(opts)) {
   if (opts_.store) {
     store_ = opts_.store;  // front end over a shared store (FrontendTier)
   } else {
-    kv::KvStore::Options store_opts;
-    store_opts.max_log_bytes = opts_.max_log_bytes;
+    kv::KvStore::Options store_opts = opts_.store_options;
+    if (opts_.max_log_bytes > 0) store_opts.max_log_bytes = opts_.max_log_bytes;
     store_opts.executor = exec_;
     store_ = std::make_shared<kv::KvStore>(std::move(store_opts));
   }

@@ -272,6 +272,12 @@ class APIServer {
     // Byte bound on the store's watch-replay log (0 = event-count bound
     // only); see kv::KvStore::Options::max_log_bytes.
     size_t max_log_bytes = 0;
+    // Template for the owned store when `store` is unset: sharded-index
+    // sizing, WAL durability (`store_options.wal_dir` makes this control
+    // plane survive a restart with its revision stream intact), replay-log
+    // bounds. `max_log_bytes` above and the server's executor are merged in
+    // on top for backward compatibility.
+    kv::KvStore::Options store_options;
   };
 
   explicit APIServer(Options opts);
@@ -352,7 +358,7 @@ class APIServer {
     if (opts_.enable_watch_cache) {
       std::shared_ptr<WatchCache<T>> cache = CacheFor<T>();
       Result<std::shared_ptr<const T>> hit = cache->GetFresh(
-          Key<T>(ns, name), store_->CurrentRevision(), opts_.cache_fresh_timeout);
+          Key<T>(ns, name), store_->RevisionFence(), opts_.cache_fresh_timeout);
       if (hit.ok()) {
         stats_.cache_served_gets++;
         return T(**hit);  // resource_version already stamped at decode
@@ -400,7 +406,7 @@ class APIServer {
       const std::vector<std::string> paths = fields->Paths();
       TypedList<T> out;
       const bool served = cache->SnapshotScan(
-          prefix, store_->CurrentRevision(), opts_.cache_fresh_timeout, &out.revision,
+          prefix, store_->RevisionFence(), opts_.cache_fresh_timeout, &out.revision,
           [&](const std::string&, const typename WatchCache<T>::Item& item) {
             if (selecting) {
               if (!labels->Empty() && !labels->Matches(item.obj->meta.labels)) return;

@@ -33,6 +33,8 @@ class FrontendTier {
     int frontends = 2;
     // Template applied to every front end; `name` becomes "<name>-fe<i>" and
     // `store` is filled in by the tier (front end 0's store is shared).
+    // `server.store_options` applies to that owned store — e.g. set
+    // `store_options.wal_dir` to make the whole tier's state durable.
     APIServer::Options server;
   };
 

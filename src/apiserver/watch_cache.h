@@ -137,7 +137,12 @@ class WatchCache {
 
   // Blocks (real time, bounded) until the cache has applied `target`.
   // Returns false when unhealthy or the deadline passes — caller must serve
-  // from the store.
+  // from the store. `target` must be a PUBLISHED revision — the store's
+  // RevisionFence(), not its minted counter: with the sharded store a commit
+  // exists between minting and publication, and waiting on an unpublished
+  // revision would stall reads behind a write that has not reached the watch
+  // stream yet. RevisionFence() also guarantees read-your-write, because a
+  // mutation only returns after its own revision publishes.
   bool WaitFresh(int64_t target, Duration timeout) {
     BlockingRegion blocking;  // reconcilers call reads from pool tasks
     std::unique_lock<std::mutex> l(mu_);

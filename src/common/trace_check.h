@@ -21,9 +21,13 @@
 //      (both recorded under the dispatcher lock, so the interleaving is a
 //      total order) computes the max overlap per band, which tests compare
 //      against the configured assured shares.
-//   6. (opt-in) Per-key revision monotonicity for kPut/kDelete — only valid
-//      when all records come from a single store, so tests enable it
-//      explicitly via CheckOptions.
+//   6. (opt-in) Commit monotonicity for kPut/kDelete over a SHARDED store —
+//      commit records carry their shard index in `arg` and are stamped under
+//      the owning shard's lock, so the checker asserts (a) each shard's
+//      stream is strictly revision-increasing in drained order and (b) all
+//      streams interleave into one dense global revision sequence (no
+//      duplicate or skipped mint). Only valid when all records come from a
+//      single store, so tests enable it explicitly via CheckOptions.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +59,7 @@ struct CheckReport {
   size_t watchers = 0;             // distinct watcher ids seen
   size_t fresh_serves = 0;         // kCacheServe records checked
   size_t dispatch_spans = 0;       // completed execute→account pairs
+  size_t commits = 0;              // kPut/kDelete commits (single_store mode)
   std::vector<int> max_concurrency;  // per band, from the sweep
 
   std::string Summary() const;

@@ -1,0 +1,84 @@
+#include "kv/epoch.h"
+
+namespace vc::kv::ebr {
+
+namespace internal {
+
+std::atomic<uint64_t> g_epoch{1};
+ReaderSlot g_slots[kMaxReaders];
+
+namespace {
+
+ReaderSlot* ClaimSlot() {
+  for (size_t i = 0; i < kMaxReaders; ++i) {
+    bool expected = false;
+    if (g_slots[i].claimed.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+      return &g_slots[i];
+    }
+  }
+  return nullptr;
+}
+
+// Claims on construction (first use in the thread), releases the slot for
+// reuse on thread exit. The release store of claimed=false synchronizes with
+// the acquiring CAS of the next claimant, so slot reuse is race-free.
+struct TlsReader {
+  ReaderSlot* slot = ClaimSlot();
+  ~TlsReader() {
+    if (slot != nullptr) {
+      slot->epoch.store(0, std::memory_order_seq_cst);
+      slot->claimed.store(false, std::memory_order_release);
+    }
+  }
+};
+
+}  // namespace
+
+ReaderSlot* ThisThreadSlot() {
+  thread_local TlsReader reader;
+  return reader.slot;
+}
+
+}  // namespace internal
+
+uint64_t RetireEpoch() {
+  return internal::g_epoch.fetch_add(1, std::memory_order_seq_cst) + 1;
+}
+
+uint64_t MinActiveEpoch() {
+  uint64_t min = UINT64_MAX;
+  for (size_t i = 0; i < internal::kMaxReaders; ++i) {
+    const uint64_t e =
+        internal::g_slots[i].epoch.load(std::memory_order_seq_cst);
+    if (e != 0 && e < min) min = e;
+  }
+  return min;
+}
+
+void LimboList::Retire(void* p, void (*free_fn)(void*)) {
+  items_.push_back(Item{p, free_fn, RetireEpoch()});
+  if (++since_collect_ >= kCollectEvery) {
+    since_collect_ = 0;
+    Collect();
+  }
+}
+
+void LimboList::Collect() {
+  if (items_.empty()) return;
+  const uint64_t min = MinActiveEpoch();
+  size_t n = 0;
+  while (n < items_.size() && items_[n].epoch < min) {
+    items_[n].free_fn(items_[n].p);
+    ++n;
+  }
+  if (n > 0) items_.erase(items_.begin(), items_.begin() + n);
+}
+
+void LimboList::CollectAll() {
+  for (const Item& it : items_) it.free_fn(it.p);
+  items_.clear();
+  since_collect_ = 0;
+}
+
+}  // namespace vc::kv::ebr

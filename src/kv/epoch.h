@@ -1,0 +1,147 @@
+// vc::kv::ebr — epoch-based reclamation for the store's lock-free read index.
+//
+// The sharded KvStore publishes immutable index nodes that readers traverse
+// WITHOUT holding any shard lock (see DESIGN.md §12). A writer that replaces
+// or unlinks a node cannot free it immediately — a reader may still be inside
+// the chain — so the node is *retired* into the owning shard's LimboList and
+// freed only once every reader that could possibly have seen it is gone.
+//
+// Scheme (classic epoch-based reclamation, all-seq_cst for tsan soundness):
+//   * A process-wide epoch counter `g_epoch` only ever increases.
+//   * Each reader thread owns one cache-line-aligned slot in a fixed registry
+//     (claimed on first use, recycled on thread exit). A ReadGuard announces
+//     the current epoch into the slot with a seq_cst exchange on entry and
+//     stores 0 (quiescent) on exit.
+//   * Retiring a node bumps `g_epoch` and stamps the node with the NEW value.
+//   * A retired node is freed when MinActiveEpoch() — the minimum announced
+//     epoch across all slots — exceeds its stamp.
+//
+// Why that is safe: announce (seq_cst RMW on the slot) and retire (seq_cst
+// RMW on g_epoch) are totally ordered. A reader that can still reach a node
+// must have announced BEFORE the unlinking writer's epoch bump (otherwise the
+// seq_cst total order forces it to observe the unlink), and because the
+// announced value is a seq_cst load of g_epoch sequenced before the announce,
+// that value is strictly less than the node's stamp. The collector therefore
+// sees min_active <= announced < stamp and keeps the node. Every access a
+// reader makes to node memory is reached through these atomics, so tsan sees
+// real happens-before edges — no fences, no annotations.
+//
+// Slot exhaustion (more than kMaxReaders concurrent reader threads) is not an
+// error: ReadGuard::pinned() returns false and the caller falls back to its
+// locked read path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vc::kv::ebr {
+
+namespace internal {
+
+inline constexpr size_t kMaxReaders = 256;
+
+struct alignas(64) ReaderSlot {
+  std::atomic<bool> claimed{false};
+  // 0 = quiescent; otherwise the epoch announced by the owning thread's
+  // innermost active ReadGuard.
+  std::atomic<uint64_t> epoch{0};
+};
+
+extern std::atomic<uint64_t> g_epoch;
+extern ReaderSlot g_slots[kMaxReaders];
+
+// This thread's claimed slot, or nullptr when the registry is exhausted.
+// Claimed lazily on first use; released (and recyclable) on thread exit.
+ReaderSlot* ThisThreadSlot();
+
+}  // namespace internal
+
+// RAII read-side critical section. While pinned, any node reachable through
+// the index at entry stays allocated. Nestable: inner guards piggyback on the
+// outer announcement (the slot keeps the OLDEST live epoch, which is the
+// conservative one).
+class ReadGuard {
+ public:
+  ReadGuard() : slot_(internal::ThisThreadSlot()) {
+    if (slot_ != nullptr) {
+      // Own-thread slot: only we write it, so a relaxed read is exact.
+      if (slot_->epoch.load(std::memory_order_relaxed) != 0) {
+        slot_ = nullptr;  // nested guard: the outer one already protects us
+        pinned_ = true;
+        return;
+      }
+      // The announced value must be read seq_cst: it is then ordered before
+      // any retire bump that our exchange precedes in the SC total order,
+      // guaranteeing announced < stamp for every node we can still reach.
+      slot_->epoch.exchange(
+          internal::g_epoch.load(std::memory_order_seq_cst),
+          std::memory_order_seq_cst);
+      pinned_ = true;
+    }
+  }
+  ~ReadGuard() {
+    if (slot_ != nullptr) slot_->epoch.store(0, std::memory_order_seq_cst);
+  }
+
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+
+  // False when the reader registry is exhausted — caller must take its locked
+  // fallback path instead of touching lock-free structures.
+  bool pinned() const { return pinned_; }
+
+ private:
+  internal::ReaderSlot* slot_ = nullptr;
+  bool pinned_ = false;
+};
+
+// Bumps the global epoch and returns the new value; stamp retired nodes with
+// it. Called by writers (under their shard lock), so the stamp order matches
+// retire order within a shard.
+uint64_t RetireEpoch();
+
+// Minimum epoch announced by any active reader (UINT64_MAX when none). A node
+// stamped `e` may be freed once MinActiveEpoch() > e.
+uint64_t MinActiveEpoch();
+
+// Deferred-free list for one single-writer domain (one store shard). All
+// calls must be made by at most one thread at a time (the shard-lock holder);
+// the destructor frees everything unconditionally, so it must only run when
+// no reader can still be traversing the owning structure.
+class LimboList {
+ public:
+  LimboList() = default;
+  ~LimboList() { CollectAll(); }
+
+  LimboList(const LimboList&) = delete;
+  LimboList& operator=(const LimboList&) = delete;
+
+  // Takes ownership of `p`; frees it with `free_fn` once safe. Opportunistic
+  // amortized collection: every kCollectEvery retirements, free the prefix
+  // whose epochs precede every active reader.
+  void Retire(void* p, void (*free_fn)(void*));
+
+  // Frees every item with stamp < MinActiveEpoch(). Items were stamped in
+  // increasing epoch order, so this is always a prefix.
+  void Collect();
+
+  // Unconditional free of everything (teardown only).
+  void CollectAll();
+
+  size_t size() const { return items_.size(); }
+
+ private:
+  static constexpr size_t kCollectEvery = 128;
+
+  struct Item {
+    void* p;
+    void (*free_fn)(void*);
+    uint64_t epoch;
+  };
+  std::vector<Item> items_;
+  size_t since_collect_ = 0;
+};
+
+}  // namespace vc::kv::ebr

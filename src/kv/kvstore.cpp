@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "common/trace.h"
+#include "kv/wal.h"
 
 namespace vc::kv {
 
@@ -93,20 +96,375 @@ void WatchChannel::CloseGone() {
   Signal();
 }
 
+// ----------------------------------------------------------------- ShardIndex
+
+void ShardIndex::Configure(size_t buckets) {
+  size_t n = 1;
+  while (n < buckets) n <<= 1;
+  mask_ = n - 1;
+}
+
+ShardIndex::~ShardIndex() {
+  std::atomic<IndexNode*>* b = buckets_.load(std::memory_order_relaxed);
+  if (b == nullptr) return;
+  for (size_t i = 0; i <= mask_; ++i) {
+    IndexNode* n = b[i].load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      IndexNode* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+  delete[] b;
+}
+
+std::atomic<IndexNode*>* ShardIndex::EnsureBuckets() {
+  std::atomic<IndexNode*>* b = buckets_.load(std::memory_order_acquire);
+  if (b != nullptr) return b;
+  // Single writer (shard lock held): no CAS needed, just publish the zeroed
+  // array so concurrent lock-free readers see either null or a valid table.
+  b = new std::atomic<IndexNode*>[mask_ + 1]();
+  buckets_.store(b, std::memory_order_seq_cst);
+  return b;
+}
+
+IndexNode* ShardIndex::Upsert(IndexNode* n) {
+  std::atomic<IndexNode*>* b = EnsureBuckets();
+  std::atomic<IndexNode*>& head = b[(n->hash >> 4) & mask_];
+  IndexNode* prev = nullptr;
+  IndexNode* cur = head.load(std::memory_order_seq_cst);
+  while (cur != nullptr &&
+         !(cur->hash == n->hash && cur->entry.key == n->entry.key)) {
+    prev = cur;
+    cur = cur->next.load(std::memory_order_seq_cst);
+  }
+  // Fill n->next before the publishing store below makes n reachable. The
+  // displaced node keeps its own next pointer intact: a reader that already
+  // holds it can still finish traversing the chain through it.
+  n->next.store(cur != nullptr ? cur->next.load(std::memory_order_seq_cst)
+                               : head.load(std::memory_order_seq_cst),
+                std::memory_order_relaxed);
+  if (cur == nullptr) {
+    head.store(n, std::memory_order_seq_cst);
+    return nullptr;
+  }
+  if (prev != nullptr) {
+    prev->next.store(n, std::memory_order_seq_cst);
+  } else {
+    head.store(n, std::memory_order_seq_cst);
+  }
+  return cur;
+}
+
+IndexNode* ShardIndex::Erase(std::string_view key, uint64_t hash) {
+  std::atomic<IndexNode*>* b = buckets_.load(std::memory_order_acquire);
+  if (b == nullptr) return nullptr;
+  std::atomic<IndexNode*>& head = b[(hash >> 4) & mask_];
+  IndexNode* prev = nullptr;
+  IndexNode* cur = head.load(std::memory_order_seq_cst);
+  while (cur != nullptr && !(cur->hash == hash && cur->entry.key == key)) {
+    prev = cur;
+    cur = cur->next.load(std::memory_order_seq_cst);
+  }
+  if (cur == nullptr) return nullptr;
+  IndexNode* next = cur->next.load(std::memory_order_seq_cst);
+  if (prev != nullptr) {
+    prev->next.store(next, std::memory_order_seq_cst);
+  } else {
+    head.store(next, std::memory_order_seq_cst);
+  }
+  return cur;
+}
+
+const IndexNode* ShardIndex::Find(std::string_view key, uint64_t hash) const {
+  std::atomic<IndexNode*>* b = buckets_.load(std::memory_order_seq_cst);
+  if (b == nullptr) return nullptr;
+  const IndexNode* n = b[(hash >> 4) & mask_].load(std::memory_order_seq_cst);
+  while (n != nullptr && !(n->hash == hash && n->entry.key == key)) {
+    n = n->next.load(std::memory_order_seq_cst);
+  }
+  return n;
+}
+
 // -------------------------------------------------------------------- KvStore
 
 KvStore::KvStore(Options opts)
     : revision_(opts.start_revision),
+      published_(opts.start_revision),
       compacted_(opts.start_revision),
       max_log_events_(opts.max_log_events),
       max_log_bytes_(opts.max_log_bytes),
+      index_buckets_(opts.index_buckets_per_shard),
       executor_(opts.executor ? std::move(opts.executor)
-                              : Executor::SharedFor(RealClock::Get())) {}
+                              : Executor::SharedFor(RealClock::Get())),
+      wal_sync_every_commit_(opts.wal_sync_every_commit),
+      wal_buffer_bytes_(opts.wal_buffer_bytes),
+      wal_rotate_bytes_(opts.wal_rotate_bytes),
+      wal_dir_(opts.wal_dir) {
+  for (Shard& sh : shards_) sh.index.Configure(index_buckets_);
+  if (!wal_dir_.empty()) RecoverFromDisk(opts);
+}
 
 KvStore::KvStore(size_t max_log_events, int64_t start_revision)
-    : KvStore(Options{max_log_events, /*max_log_bytes=*/0, start_revision, nullptr}) {}
+    : KvStore([&] {
+        Options o;
+        o.max_log_events = max_log_events;
+        o.start_revision = start_revision;
+        return o;
+      }()) {}
 
 KvStore::~KvStore() { Shutdown(); }
+
+void KvStore::FreeIndexNode(void* p) { delete static_cast<IndexNode*>(p); }
+
+// ------------------------------------------------------------------- recovery
+
+void KvStore::ApplyRecovered(const wal::Record& rec) {
+  // Constructor-only: no locks, no readers, no events — rebuild shard state
+  // exactly as the original op stream left it.
+  const uint64_t h = Fnv1a64(rec.key);
+  Shard& sh = shards_[ShardOf(h)];
+  auto it = sh.keys.find(rec.key);
+  if (rec.type == 2) {  // delete
+    if (it == sh.keys.end()) return;
+    IndexNode* old = sh.index.Erase(rec.key, h);
+    live_bytes_.fetch_sub(rec.key.size() + it->second->entry.value.size(),
+                          std::memory_order_relaxed);
+    entry_count_.fetch_sub(1, std::memory_order_relaxed);
+    sh.keys.erase(it);
+    delete old;
+    return;
+  }
+  IndexNode* n = new IndexNode;
+  n->hash = h;
+  n->entry.key = rec.key;
+  n->entry.value = rec.value;
+  n->entry.mod_revision = rec.revision;
+  if (it == sh.keys.end()) {
+    n->entry.create_revision = rec.revision;
+    n->entry.version = 1;
+    live_bytes_.fetch_add(rec.key.size() + rec.value.size(),
+                          std::memory_order_relaxed);
+    entry_count_.fetch_add(1, std::memory_order_relaxed);
+    sh.index.Upsert(n);
+    sh.keys.emplace(n->entry.key, n);
+  } else {
+    const Entry& old = it->second->entry;
+    n->entry.create_revision = old.create_revision;
+    n->entry.version = old.version + 1;
+    live_bytes_.fetch_add(rec.value.size(), std::memory_order_relaxed);
+    live_bytes_.fetch_sub(old.value.size(), std::memory_order_relaxed);
+    IndexNode* displaced = sh.index.Upsert(n);
+    it->second = n;
+    delete displaced;
+  }
+}
+
+void KvStore::RecoverFromDisk(const Options& opts) {
+  namespace fs = std::filesystem;
+  const std::string snap_path = wal_dir_ + "/" + wal::kSnapshotFile;
+  const std::string wal_path = wal_dir_ + "/" + wal::kWalFile;
+  std::error_code ec;
+  fs::create_directories(wal_dir_, ec);
+  if (ec) {
+    wal_health_ = InternalError(StrFormat("create wal dir %s: %s",
+                                          wal_dir_.c_str(), ec.message().c_str()));
+    LOG(ERROR) << "kv: durability disabled: " << wal_health_.message();
+    return;
+  }
+  Result<wal::SnapshotData> snap = wal::ReadSnapshot(snap_path);
+  if (!snap.ok()) {
+    wal_health_ = snap.status();
+    LOG(ERROR) << "kv: durability disabled: " << wal_health_.message();
+    return;
+  }
+  const int64_t snap_revision = snap->revision;
+  int64_t recovered = snap_revision;
+  for (Entry& e : snap->entries) {
+    const uint64_t h = Fnv1a64(e.key);
+    Shard& sh = shards_[ShardOf(h)];
+    IndexNode* n = new IndexNode;
+    n->hash = h;
+    n->entry = std::move(e);
+    live_bytes_.fetch_add(n->entry.key.size() + n->entry.value.size(),
+                          std::memory_order_relaxed);
+    entry_count_.fetch_add(1, std::memory_order_relaxed);
+    sh.index.Upsert(n);
+    sh.keys.emplace(n->entry.key, n);
+  }
+  Result<wal::ReplayStats> stats =
+      wal::Replay(wal_path, [&](wal::Record rec) {
+        if (rec.revision <= snap_revision) return;  // already in the snapshot
+        ApplyRecovered(rec);
+        recovered = rec.revision;
+      });
+  if (!stats.ok()) {
+    wal_health_ = stats.status();
+    LOG(ERROR) << "kv: durability disabled: " << wal_health_.message();
+    return;
+  }
+  if (stats->torn_tail) {
+    LOG(WARN) << "kv: wal " << wal_path << " ended in a torn record after revision "
+              << recovered << "; discarding the damaged tail";
+  }
+  const int64_t rev = std::max(recovered, opts.start_revision);
+  revision_.store(rev, std::memory_order_relaxed);
+  published_.store(rev, std::memory_order_relaxed);
+  // The replay log does not survive a restart: watches older than the
+  // recovered revision must relist (410 Gone), like an etcd whose compaction
+  // caught up to its snapshot.
+  compacted_.store(rev, std::memory_order_relaxed);
+  // Fold everything into a fresh checkpoint: a torn WAL tail must never
+  // shadow future appends, and restart cost stays proportional to live state
+  // instead of accreted history.
+  std::lock_guard<std::mutex> wl(wal_io_mu_);
+  wal_active_.store(true, std::memory_order_relaxed);
+  if (Status s = CheckpointLocked(); !s.ok()) {
+    LOG(ERROR) << "kv: recovery checkpoint failed: " << s.message();
+  }
+}
+
+// ----------------------------------------------------------------- durability
+
+void KvStore::AppendWalLocked(const Event& e) {
+  if (!wal_active_.load(std::memory_order_relaxed)) return;
+  wal::Record rec;
+  rec.type = e.type == EventType::kDelete ? 2 : 1;
+  rec.revision = e.revision;
+  rec.key = e.key;
+  rec.value = e.value;  // refcount bump, no byte copy under log_mu_
+  // Approximate on-disk size (payload + framing) for the flush trigger.
+  wal_pending_bytes_.fetch_add(e.key.size() + e.value.size() + 25,
+                               std::memory_order_relaxed);
+  wal_pending_.push_back(std::move(rec));
+}
+
+void KvStore::MaybeFlushWal() {
+  if (wal_dir_.empty()) return;
+  if (wal_sync_every_commit_ ||
+      wal_pending_bytes_.load(std::memory_order_relaxed) >= wal_buffer_bytes_) {
+    // Sticky wal_health_ records a failure; the mutation itself succeeded.
+    (void)SyncWal();
+  }
+}
+
+Status KvStore::SyncWal() {
+  if (wal_dir_.empty()) return OkStatus();
+  std::lock_guard<std::mutex> wl(wal_io_mu_);
+  return FlushWalLocked();
+}
+
+Status KvStore::FlushWalLocked() {
+  std::vector<wal::Record> batch;
+  {
+    std::lock_guard<std::mutex> ll(log_mu_);
+    batch.swap(wal_pending_);
+    wal_pending_bytes_.store(0, std::memory_order_relaxed);
+  }
+  // Abandoned or unhealthy: drop the batch (the swap above keeps the pending
+  // queue from growing without bound after TestAbandonWal).
+  if (!wal_active_.load(std::memory_order_relaxed) || wal_ == nullptr) {
+    return wal_health_;
+  }
+  if (!wal_health_.ok()) return wal_health_;
+  std::string bytes;
+  for (const wal::Record& r : batch) wal::EncodeRecord(r, &bytes);
+  if (Status s = wal_->WriteBatch(bytes); !s.ok()) {
+    wal_health_ = s;
+    LOG(ERROR) << "kv: wal write failed: " << s.message();
+    return s;
+  }
+  if (wal_rotate_bytes_ > 0 && wal_->file_bytes() > wal_rotate_bytes_) {
+    return CheckpointLocked();
+  }
+  return OkStatus();
+}
+
+Status KvStore::CheckpointLocked() {
+  if (!wal_active_.load(std::memory_order_relaxed)) {
+    return UnavailableError("wal abandoned");
+  }
+  if (!wal_health_.ok()) return wal_health_;
+  wal::SnapshotData snap;
+  {
+    // Revision fence: with every shard lock held shared no writer is inside
+    // its commit section, so published_ == revision_ and the per-shard maps
+    // together form the exact state at that revision.
+    std::array<std::shared_lock<std::shared_mutex>, kShards> fence;
+    for (size_t i = 0; i < kShards; ++i) {
+      fence[i] = std::shared_lock<std::shared_mutex>(shards_[i].mu);
+    }
+    snap.revision = published_.load(std::memory_order_seq_cst);
+    {
+      std::lock_guard<std::mutex> ll(log_mu_);
+      snap.compacted = compacted_.load(std::memory_order_relaxed);
+      // Every pending record has revision <= the fence: the snapshot
+      // supersedes them all.
+      wal_pending_.clear();
+      wal_pending_bytes_.store(0, std::memory_order_relaxed);
+    }
+    snap.entries.reserve(entry_count_.load(std::memory_order_relaxed));
+    for (const Shard& sh : shards_) {
+      for (const auto& [key, node] : sh.keys) snap.entries.push_back(node->entry);
+    }
+  }  // release the fence before file IO
+  if (Status s = wal::WriteSnapshot(wal_dir_ + "/" + wal::kSnapshotFile, snap);
+      !s.ok()) {
+    wal_health_ = s;
+    LOG(ERROR) << "kv: snapshot write failed: " << s.message();
+    return s;
+  }
+  Result<std::unique_ptr<wal::Writer>> w = wal::Writer::Open(
+      wal_dir_ + "/" + wal::kWalFile, snap.revision, /*truncate=*/true);
+  if (!w.ok()) {
+    wal_health_ = w.status();
+    LOG(ERROR) << "kv: wal reopen failed: " << wal_health_.message();
+    return wal_health_;
+  }
+  wal_ = std::move(*w);
+  ++wal_checkpoints_;
+  return OkStatus();
+}
+
+Status KvStore::SnapshotNow() {
+  if (wal_dir_.empty()) return InvalidArgumentError("durability is not enabled");
+  std::lock_guard<std::mutex> wl(wal_io_mu_);
+  if (Status s = FlushWalLocked(); !s.ok()) return s;
+  return CheckpointLocked();
+}
+
+Status KvStore::WalHealth() const {
+  if (wal_dir_.empty()) return OkStatus();
+  std::lock_guard<std::mutex> wl(wal_io_mu_);
+  return wal_health_;
+}
+
+size_t KvStore::WalFileBytes() const {
+  if (wal_dir_.empty()) return 0;
+  std::lock_guard<std::mutex> wl(wal_io_mu_);
+  return wal_ ? wal_->file_bytes() : 0;
+}
+
+uint64_t KvStore::WalCheckpoints() const {
+  if (wal_dir_.empty()) return 0;
+  std::lock_guard<std::mutex> wl(wal_io_mu_);
+  return wal_checkpoints_;
+}
+
+void KvStore::TestAbandonWal() {
+  std::lock_guard<std::mutex> wl(wal_io_mu_);
+  wal_active_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> ll(log_mu_);
+    wal_pending_.clear();
+    wal_pending_bytes_.store(0, std::memory_order_relaxed);
+  }
+  // Closing the fd does not flush anything we have not already written: the
+  // Writer is unbuffered (batches live in wal_pending_, dropped above).
+  wal_.reset();
+}
+
+// ------------------------------------------------------------------- dispatch
 
 void KvStore::OfferFiltered(Watcher& w, const Event& e, uint64_t now_ns) {
   if (StartsWith(e.key, w.prefix)) {
@@ -172,12 +530,12 @@ void KvStore::TrimLogLocked() {
          (log_.size() > max_log_events_ ||
           (max_log_bytes_ > 0 && log_bytes_ > max_log_bytes_))) {
     log_bytes_ -= EventBytes(log_.front());
-    compacted_ = log_.front().revision;
+    compacted_.store(log_.front().revision, std::memory_order_relaxed);
     log_.pop_front();
   }
 }
 
-void KvStore::AppendLocked(Event e) {
+void KvStore::AppendLogLocked(Event e) {
   log_bytes_ += EventBytes(e);
   log_.push_back(e);
   TrimLogLocked();
@@ -268,106 +626,194 @@ void KvStore::FlushWatchDispatch() {
   pend_cv_.wait(pl, [this] { return pending_.empty() && !dispatch_active_; });
 }
 
+// ---------------------------------------------------------------- publication
+
+void KvStore::AwaitPublishTurn(int64_t rev) {
+  // The common case — predecessor already published — is one atomic load.
+  // All four sequencer accesses (published_ store/load, pub_waiters_
+  // fetch_add/load) are seq_cst: the publisher's "store published_, then
+  // check for waiters" and the waiter's "count self, then re-check
+  // published_" form a Dekker pair, and seq_cst guarantees at least one side
+  // sees the other (no lost wakeup without holding pub_mu_ on the fast path).
+  if (published_.load(std::memory_order_seq_cst) >= rev - 1) return;
+  for (int spin = 0; spin < 1024; ++spin) {
+    if (published_.load(std::memory_order_seq_cst) >= rev - 1) return;
+  }
+  pub_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::unique_lock<std::mutex> pl(pub_mu_);
+    pub_cv_.wait(pl, [&] {
+      return published_.load(std::memory_order_seq_cst) >= rev - 1;
+    });
+  }
+  pub_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void KvStore::Publish(Event e) {
+  const int64_t rev = e.revision;
+  AwaitPublishTurn(rev);
+  {
+    std::lock_guard<std::mutex> ll(log_mu_);
+    AppendWalLocked(e);
+    AppendLogLocked(std::move(e));
+    // The write is globally visible from here: the log holds it, the
+    // dispatch queue (if anyone listens) holds it, and every revision below
+    // it published first.
+    published_.store(rev, std::memory_order_seq_cst);
+  }
+  if (pub_waiters_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> pl(pub_mu_);
+    pub_cv_.notify_all();
+  }
+}
+
+// ------------------------------------------------------------------ mutations
+
 Result<int64_t> KvStore::Put(const std::string& key, std::string value,
                              std::optional<int64_t> expected_mod_revision) {
+  const uint64_t h = Fnv1a64(key);
+  const size_t shard = ShardOf(h);
+  Shard& sh = shards_[shard];
   int64_t rev;
   {
-    std::unique_lock<std::shared_mutex> l(mu_);
-    if (shutdown_) return UnavailableError("store is shut down");
-    auto it = data_.find(key);
+    std::unique_lock<std::shared_mutex> l(sh.mu);
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return UnavailableError("store is shut down");
+    }
+    auto it = sh.keys.find(key);
+    IndexNode* cur = it == sh.keys.end() ? nullptr : it->second;
     if (expected_mod_revision.has_value()) {
       int64_t want = *expected_mod_revision;
       if (want == 0) {
-        if (it != data_.end()) {
+        if (cur != nullptr) {
           trace::Emit(trace::Component::kKv, trace::Verb::kCasFail,
-                      trace::CurrentTraceId(), want, key);
+                      trace::CurrentTraceId(), want, key, shard);
           return AlreadyExistsError("key exists: " + key);
         }
       } else {
-        if (it == data_.end()) return NotFoundError("key not found: " + key);
-        if (it->second.mod_revision != want) {
+        if (cur == nullptr) return NotFoundError("key not found: " + key);
+        if (cur->entry.mod_revision != want) {
           trace::Emit(trace::Component::kKv, trace::Verb::kCasFail,
-                      trace::CurrentTraceId(), want, key);
+                      trace::CurrentTraceId(), want, key, shard);
           return ConflictError(StrFormat("mod revision mismatch for %s: have %lld want %lld",
                                          key.c_str(),
-                                         static_cast<long long>(it->second.mod_revision),
+                                         static_cast<long long>(cur->entry.mod_revision),
                                          static_cast<long long>(want)));
         }
       }
     }
-    ++revision_;
+    // Mint only after every precondition passed: failed writes consume no
+    // revision, keeping the published stream dense.
+    rev = revision_.fetch_add(1, std::memory_order_seq_cst) + 1;
     Blob blob(std::move(value));
     Event e;
     e.type = EventType::kPut;
     e.key = key;
     e.value = blob;
-    e.revision = revision_;
+    e.revision = rev;
     e.trace = trace::CurrentTraceId();
-    // Under mu_ exclusive: commit records across writers appear in revision
-    // order, which the checker's single-store monotonicity pass asserts.
-    trace::Emit(trace::Component::kKv, trace::Verb::kPut, e.trace, e.revision, key);
-    if (it == data_.end()) {
-      Entry entry;
-      entry.key = key;
-      entry.value = blob;
-      entry.create_revision = revision_;
-      entry.mod_revision = revision_;
-      entry.version = 1;
-      live_bytes_ += key.size() + blob.size();
-      data_.emplace(key, std::move(entry));
+    // Stamped under the shard lock: commits of one shard trace in revision
+    // order, which the checker's per-shard monotonicity pass asserts
+    // (arg = shard).
+    trace::Emit(trace::Component::kKv, trace::Verb::kPut, e.trace, rev, key, shard);
+    IndexNode* n = new IndexNode;
+    n->hash = h;
+    n->entry.key = key;
+    n->entry.value = blob;
+    n->entry.mod_revision = rev;
+    if (cur == nullptr) {
+      n->entry.create_revision = rev;
+      n->entry.version = 1;
+      live_bytes_.fetch_add(key.size() + blob.size(), std::memory_order_relaxed);
+      entry_count_.fetch_add(1, std::memory_order_relaxed);
     } else {
-      e.prev_value = it->second.value;
-      live_bytes_ += blob.size();
-      live_bytes_ -= it->second.value.size();
-      it->second.value = std::move(blob);
-      it->second.mod_revision = revision_;
-      it->second.version++;
+      e.prev_value = cur->entry.value;
+      n->entry.create_revision = cur->entry.create_revision;
+      n->entry.version = cur->entry.version + 1;
+      live_bytes_.fetch_add(blob.size(), std::memory_order_relaxed);
+      live_bytes_.fetch_sub(cur->entry.value.size(), std::memory_order_relaxed);
     }
-    AppendLocked(std::move(e));
-    rev = revision_;
+    IndexNode* displaced = sh.index.Upsert(n);
+    if (it == sh.keys.end()) {
+      sh.keys.emplace(key, n);
+    } else {
+      it->second = n;
+    }
+    if (displaced != nullptr) sh.limbo.Retire(displaced, &FreeIndexNode);
+    Publish(std::move(e));
   }
   KickDispatch();
+  MaybeFlushWal();
   return rev;
 }
 
 Result<int64_t> KvStore::Delete(const std::string& key,
                                 std::optional<int64_t> expected_mod_revision) {
+  const uint64_t h = Fnv1a64(key);
+  const size_t shard = ShardOf(h);
+  Shard& sh = shards_[shard];
   int64_t rev;
   {
-    std::unique_lock<std::shared_mutex> l(mu_);
-    if (shutdown_) return UnavailableError("store is shut down");
-    auto it = data_.find(key);
-    if (it == data_.end()) return NotFoundError("key not found: " + key);
-    if (expected_mod_revision.has_value() && it->second.mod_revision != *expected_mod_revision) {
+    std::unique_lock<std::shared_mutex> l(sh.mu);
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return UnavailableError("store is shut down");
+    }
+    auto it = sh.keys.find(key);
+    if (it == sh.keys.end()) return NotFoundError("key not found: " + key);
+    IndexNode* cur = it->second;
+    if (expected_mod_revision.has_value() &&
+        cur->entry.mod_revision != *expected_mod_revision) {
       trace::Emit(trace::Component::kKv, trace::Verb::kCasFail,
-                  trace::CurrentTraceId(), *expected_mod_revision, key);
+                  trace::CurrentTraceId(), *expected_mod_revision, key, shard);
       return ConflictError(StrFormat("mod revision mismatch for %s: have %lld want %lld",
                                      key.c_str(),
-                                     static_cast<long long>(it->second.mod_revision),
+                                     static_cast<long long>(cur->entry.mod_revision),
                                      static_cast<long long>(*expected_mod_revision)));
     }
-    ++revision_;
+    rev = revision_.fetch_add(1, std::memory_order_seq_cst) + 1;
     Event e;
     e.type = EventType::kDelete;
     e.key = key;
-    e.prev_value = it->second.value;
-    e.revision = revision_;
+    e.prev_value = cur->entry.value;
+    e.revision = rev;
     e.trace = trace::CurrentTraceId();
-    trace::Emit(trace::Component::kKv, trace::Verb::kDelete, e.trace, e.revision, key);
-    live_bytes_ -= key.size() + it->second.value.size();
-    data_.erase(it);
-    AppendLocked(std::move(e));
-    rev = revision_;
+    trace::Emit(trace::Component::kKv, trace::Verb::kDelete, e.trace, rev, key, shard);
+    live_bytes_.fetch_sub(key.size() + cur->entry.value.size(),
+                          std::memory_order_relaxed);
+    entry_count_.fetch_sub(1, std::memory_order_relaxed);
+    IndexNode* unlinked = sh.index.Erase(key, h);
+    sh.keys.erase(it);
+    if (unlinked != nullptr) sh.limbo.Retire(unlinked, &FreeIndexNode);
+    Publish(std::move(e));
   }
   KickDispatch();
+  MaybeFlushWal();
   return rev;
 }
 
+// ---------------------------------------------------------------------- reads
+
 Result<Entry> KvStore::Get(const std::string& key) const {
-  std::shared_lock<std::shared_mutex> l(mu_);
-  auto it = data_.find(key);
-  if (it == data_.end()) return NotFoundError("key not found: " + key);
-  return it->second;
+  const uint64_t h = Fnv1a64(key);
+  const Shard& sh = shards_[ShardOf(h)];
+  {
+    ebr::ReadGuard guard;
+    if (guard.pinned()) {
+      // Lock-free path: the index is maintained synchronously with the map
+      // under the shard lock, so a miss here is a true miss at this
+      // linearization point, and a hit is an immutable node the guard keeps
+      // alive while we copy it out.
+      const IndexNode* n = sh.index.Find(key, h);
+      if (n == nullptr) return NotFoundError("key not found: " + key);
+      return n->entry;
+    }
+  }
+  // Reader registry exhausted (> ebr::kMaxReaders concurrent reader
+  // threads): locked fallback.
+  std::shared_lock<std::shared_mutex> l(sh.mu);
+  auto it = sh.keys.find(key);
+  if (it == sh.keys.end()) return NotFoundError("key not found: " + key);
+  return it->second->entry;
 }
 
 ListResult KvStore::List(const std::string& prefix) const {
@@ -376,31 +822,61 @@ ListResult KvStore::List(const std::string& prefix) const {
 
 ListResult KvStore::List(const std::string& prefix, size_t limit,
                          const std::string& start_after) const {
-  std::shared_lock<std::shared_mutex> l(mu_);
+  // Revision fence: hold every shard lock shared (fixed order, so fence
+  // takers never deadlock each other). A writer publishes while holding its
+  // shard lock exclusive, so with the full fence held nobody is mid-commit:
+  // published_ == revision_ and the k-way merge below is the exact state at
+  // that revision.
+  std::array<std::shared_lock<std::shared_mutex>, kShards> fence;
+  for (size_t i = 0; i < kShards; ++i) {
+    fence[i] = std::shared_lock<std::shared_mutex>(shards_[i].mu);
+  }
   ListResult out;
-  out.revision = revision_;
-  auto it = start_after.empty() ? data_.lower_bound(prefix)
-                                : data_.upper_bound(start_after);
-  for (; it != data_.end(); ++it) {
-    if (!StartsWith(it->first, prefix)) break;
+  out.revision = published_.load(std::memory_order_seq_cst);
+  using MapIt = std::map<std::string, IndexNode*>::const_iterator;
+  struct Stream {
+    MapIt it, end;
+  };
+  std::array<Stream, kShards> streams;
+  for (size_t i = 0; i < kShards; ++i) {
+    const auto& keys = shards_[i].keys;
+    streams[i].it = start_after.empty() ? keys.lower_bound(prefix)
+                                        : keys.upper_bound(start_after);
+    streams[i].end = keys.end();
+  }
+  // K-way merge of the per-shard sorted maps. kShards is small; a linear
+  // min-scan beats heap bookkeeping at this width.
+  for (;;) {
+    int best = -1;
+    for (int i = 0; i < static_cast<int>(kShards); ++i) {
+      Stream& s = streams[i];
+      if (s.it == s.end) continue;
+      if (!StartsWith(s.it->first, prefix)) {
+        s.it = s.end;  // sorted map: nothing later matches either
+        continue;
+      }
+      if (best < 0 || s.it->first < streams[best].it->first) best = i;
+    }
+    if (best < 0) break;
     if (limit > 0 && out.entries.size() >= limit) {
       out.more = true;
       break;
     }
-    out.entries.push_back(it->second);
+    out.entries.push_back(streams[best].it->second->entry);
+    ++streams[best].it;
   }
   return out;
 }
 
 int64_t KvStore::CurrentRevision() const {
-  std::shared_lock<std::shared_mutex> l(mu_);
-  return revision_;
+  return published_.load(std::memory_order_seq_cst);
 }
 
 int64_t KvStore::CompactedRevision() const {
-  std::shared_lock<std::shared_mutex> l(mu_);
-  return compacted_;
+  return compacted_.load(std::memory_order_seq_cst);
 }
+
+// --------------------------------------------------------------------- watch
 
 Result<std::shared_ptr<WatchChannel>> KvStore::Watch(const std::string& prefix,
                                                      int64_t from_revision,
@@ -415,12 +891,22 @@ Result<std::shared_ptr<WatchChannel>> KvStore::Watch(const std::string& prefix,
                                                      WatchParams params) {
   std::shared_ptr<WatchChannel> ch;
   {
-    std::unique_lock<std::shared_mutex> l(mu_);
-    if (shutdown_) return UnavailableError("store is shut down");
-    if (params.from_revision < compacted_) {
+    // log_mu_ blocks publication, freezing the fence: every event <=
+    // published_ is in log_ (or compacted), and every later commit enqueues
+    // its dispatch command AFTER this registration. The strand therefore
+    // replays (from_revision, published_] exactly once and live events
+    // resume at published_ + 1 — no gap, no duplication. Shutdown also sets
+    // its flag under log_mu_, so a registration that saw shutdown == false
+    // fully enqueued (with its epoch) before Shutdown's epoch bump.
+    std::lock_guard<std::mutex> ll(log_mu_);
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return UnavailableError("store is shut down");
+    }
+    const int64_t compacted = compacted_.load(std::memory_order_relaxed);
+    if (params.from_revision < compacted) {
       return GoneError(StrFormat("revision %lld compacted (compacted=%lld)",
                                  static_cast<long long>(params.from_revision),
-                                 static_cast<long long>(compacted_)));
+                                 static_cast<long long>(compacted)));
     }
     ch = std::shared_ptr<WatchChannel>(new WatchChannel(params.buffer_capacity));
     DispatchCmd cmd;
@@ -431,10 +917,6 @@ Result<std::shared_ptr<WatchChannel>> KvStore::Watch(const std::string& prefix,
     cmd.watcher.bookmark_interval = params.bookmark_interval;
     cmd.watcher.last_sent_revision = params.from_revision;
     cmd.watcher.id = g_next_watcher_id.fetch_add(1, std::memory_order_relaxed);
-    // Capture the replay under the store lock: every event <= revision_ is
-    // already ahead of this command in the queue (writers enqueue while
-    // holding mu_), so the strand replays (from_revision, revision_] exactly
-    // once and live events resume at revision_ + 1 — no gap, no duplication.
     for (const Event& e : log_) {
       if (e.revision <= params.from_revision) continue;
       cmd.replay.push_back(e);
@@ -451,27 +933,41 @@ Result<std::shared_ptr<WatchChannel>> KvStore::Watch(const std::string& prefix,
 }
 
 void KvStore::Compact(int64_t up_to) {
-  std::unique_lock<std::shared_mutex> l(mu_);
+  std::lock_guard<std::mutex> ll(log_mu_);
   while (!log_.empty() && log_.front().revision <= up_to) {
     log_bytes_ -= EventBytes(log_.front());
-    compacted_ = log_.front().revision;
+    compacted_.store(log_.front().revision, std::memory_order_relaxed);
     log_.pop_front();
   }
-  if (up_to > compacted_ && up_to <= revision_) compacted_ = up_to;
+  if (up_to > compacted_.load(std::memory_order_relaxed) &&
+      up_to <= published_.load(std::memory_order_seq_cst)) {
+    compacted_.store(up_to, std::memory_order_relaxed);
+  }
 }
 
+// ----------------------------------------------------------------- lifecycle
+
 void KvStore::Shutdown() {
+  bool already;
   {
-    std::unique_lock<std::shared_mutex> l(mu_);
-    if (shutdown_) {
-      l.unlock();
-      // A concurrent first Shutdown may still be flushing; wait for it so the
-      // destructor never races the strand.
-      FlushWatchDispatch();
-      return;
-    }
-    shutdown_ = true;
+    std::lock_guard<std::mutex> ll(log_mu_);
+    already = shutdown_.exchange(true, std::memory_order_seq_cst);
   }
+  if (already) {
+    // A concurrent first Shutdown may still be flushing; wait for it so the
+    // destructor never races the strand.
+    FlushWatchDispatch();
+    return;
+  }
+  // Barrier: an in-flight writer holds its shard lock through publication,
+  // so after sweeping every shard exclusively no commit is mid-flight and
+  // all minted revisions are published. New writers observed shutdown_.
+  for (Shard& sh : shards_) {
+    sh.mu.lock();
+    sh.mu.unlock();
+  }
+  // Durability: flush any buffered records so a clean shutdown loses nothing.
+  if (!wal_dir_.empty()) (void)SyncWal();
   {
     std::lock_guard<std::mutex> pl(pend_mu_);
     ++epoch_;  // queued registrations must break too
@@ -510,27 +1006,26 @@ void KvStore::TestDropNextDeliveries(int n) {
 }
 
 bool KvStore::IsShutdown() const {
-  std::shared_lock<std::shared_mutex> l(mu_);
-  return shutdown_;
+  return shutdown_.load(std::memory_order_acquire);
 }
 
+// ------------------------------------------------------------------- accessors
+
 size_t KvStore::ApproxBytes() const {
-  std::shared_lock<std::shared_mutex> l(mu_);
-  return live_bytes_;
+  return live_bytes_.load(std::memory_order_relaxed);
 }
 
 size_t KvStore::EntryCount() const {
-  std::shared_lock<std::shared_mutex> l(mu_);
-  return data_.size();
+  return entry_count_.load(std::memory_order_relaxed);
 }
 
 size_t KvStore::LogBytes() const {
-  std::shared_lock<std::shared_mutex> l(mu_);
+  std::lock_guard<std::mutex> ll(log_mu_);
   return log_bytes_;
 }
 
 size_t KvStore::LogEvents() const {
-  std::shared_lock<std::shared_mutex> l(mu_);
+  std::lock_guard<std::mutex> ll(log_mu_);
   return log_.size();
 }
 

@@ -19,20 +19,41 @@
 //   * Per-watcher bounded buffers: a slow watcher overflows and is closed
 //     with Gone rather than blocking writers.
 //
-// Hot-path structure:
+// Hot-path structure (DESIGN.md §12):
+//   * The keyspace is sharded 16 ways by FNV-1a of the key (the same split
+//     ServerStats::BumpIdentity uses). Each shard has its own mutex, sorted
+//     map, and lock-free hash index, so writers to different shards never
+//     contend on a lock.
+//   * Revisions are minted from one atomic counter under the owning shard's
+//     lock; a *publication sequencer* then admits commits into the global
+//     replay log / watch dispatch queue strictly in revision order, so the
+//     watch no-gap/no-dup and commit-monotonicity contracts survive
+//     concurrent multi-shard writers. `CurrentRevision()` (alias
+//     `RevisionFence()`) returns the published watermark: every revision at
+//     or below it is fully visible to Get/List/Watch.
+//   * Get is lock-free: it walks the shard's immutable-node hash index under
+//     an epoch-based read guard (kv/epoch.h) and never touches a shard
+//     mutex. Cross-shard List takes every shard lock shared (a revision
+//     fence: no writer is mid-commit, so published == minted) and k-way
+//     merges the per-shard sorted maps into one consistent snapshot.
 //   * Values are shared blobs (`Blob` = shared_ptr<const string>): Get, List
-//     snapshots, watch events, and the replay log all alias one allocation
-//     instead of deep-copying under the lock.
-//   * Reads take `mu_` shared; only mutations take it exclusive, so Get/List/
-//     CurrentRevision proceed concurrently with each other.
+//     snapshots, watch events, the replay log, and the WAL all alias one
+//     allocation instead of deep-copying under a lock.
 //   * Writers never fan out: Put/Delete append the event to the log, enqueue
 //     a dispatch command, and return. Filter evaluation, bookmark pacing, and
-//     overflow poisoning run on a sequenced strand (one task at a time) on the
-//     shared Executor, preserving per-watcher ordering and the no-gap/no-dup
-//     replay contract (registration commands are sequenced through the same
-//     queue, with replay captured under the store lock).
+//     overflow poisoning run on a sequenced strand (one task at a time) on
+//     the shared Executor, preserving per-watcher ordering and the
+//     no-gap/no-dup replay contract (registration commands are sequenced
+//     through the same queue, with replay captured under the log lock).
+//   * Durability is opt-in (`Options::wal_dir`): committed events append to a
+//     write-ahead log in publication order (sharing the same Blob
+//     allocations, flushed in byte-bounded batches or per-commit), with
+//     atomic snapshot checkpoints truncating the log. A store constructed
+//     over an existing wal_dir restores snapshot + WAL byte-exact, with its
+//     revision stream intact.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -49,8 +70,14 @@
 #include "common/clock.h"
 #include "common/executor.h"
 #include "common/status.h"
+#include "kv/epoch.h"
 
 namespace vc::kv {
+
+namespace wal {
+class Writer;
+struct Record;
+}  // namespace wal
 
 // Immutable shared value buffer. Copying a Blob bumps a refcount; the bytes
 // are written once (at Put) and shared by the live entry, the replay log,
@@ -193,8 +220,59 @@ struct WatchParams {
   int64_t bookmark_interval = 0;
 };
 
+// One shard's lock-free read index: an open-chaining hash table of
+// heap-allocated, immutable nodes. Mutations (Upsert/Erase) are single-writer
+// — the caller holds the shard's exclusive lock — and publish with seq_cst
+// stores; readers traverse under an ebr::ReadGuard and never lock. A
+// displaced or erased node is RETURNED to the caller, who must retire it into
+// the shard's LimboList rather than deleting it (a reader may still hold it).
+//
+// The bucket count is fixed at construction (no rehash): the sorted map keeps
+// stable IndexNode pointers, and chains degrade gracefully — O(n/buckets) —
+// instead of paying a stop-the-world clone. Internal to KvStore; exposed at
+// namespace scope for tests.
+struct IndexNode {
+  std::atomic<IndexNode*> next{nullptr};
+  uint64_t hash = 0;
+  Entry entry;
+};
+
+class ShardIndex {
+ public:
+  ShardIndex() = default;
+  ~ShardIndex();
+
+  // Sets the bucket count (rounded up to a power of two). Called once before
+  // any concurrent use; the bucket array itself is allocated lazily on the
+  // first Upsert so idle stores (hibernated tenants) stay cheap.
+  void Configure(size_t buckets);
+
+  ShardIndex(const ShardIndex&) = delete;
+  ShardIndex& operator=(const ShardIndex&) = delete;
+
+  // Writer API (shard lock held exclusive). Upsert publishes `n` (taking
+  // ownership) and returns the displaced node for the same key, or nullptr.
+  // Erase unlinks and returns the node, or nullptr when absent.
+  IndexNode* Upsert(IndexNode* n);
+  IndexNode* Erase(std::string_view key, uint64_t hash);
+
+  // Reader API: caller holds a pinned ebr::ReadGuard (or the shard lock).
+  const IndexNode* Find(std::string_view key, uint64_t hash) const;
+
+ private:
+  std::atomic<IndexNode*>* EnsureBuckets();
+
+  size_t mask_ = 0;
+  // Published on first write; readers that observe null see an empty shard.
+  std::atomic<std::atomic<IndexNode*>*> buckets_{nullptr};
+};
+
 class KvStore {
  public:
+  // Keyspace shards; writers to different shards share no lock. Matches the
+  // ServerStats::BumpIdentity split.
+  static constexpr size_t kShards = 16;
+
   struct Options {
     // Bounds the watch-replay event log by event count; older events are
     // auto-compacted (watchers needing them get Gone).
@@ -203,11 +281,32 @@ class KvStore {
     // 0 = bounded by event count only.
     size_t max_log_bytes = 0;
     // Seeds the revision counter, used when rebuilding a store across a
-    // simulated restart so revisions stay monotone for clients.
+    // simulated restart so revisions stay monotone for clients. When WAL
+    // recovery finds a higher revision on disk, the recovered value wins.
     int64_t start_revision = 0;
     // Executor hosting the watch-dispatch strand. nullptr → the process-wide
     // default executor.
     std::shared_ptr<Executor> executor;
+
+    // Buckets per shard in the lock-free Get index (rounded to a power of
+    // two; fixed for the store's lifetime — chains grow past ~this many
+    // entries per shard but never stop the world to rehash).
+    size_t index_buckets_per_shard = 256;
+
+    // ---- durability (empty wal_dir = in-memory store, the default) ----
+    // Directory for the write-ahead log + snapshot; created if missing. The
+    // constructor restores any state found there (snapshot, then WAL replay
+    // up to the first torn record) and folds it into a fresh checkpoint.
+    std::string wal_dir;
+    // true: every Put/Delete flushes its WAL record before returning (the
+    // acked prefix survives a crash byte-exact). false: records buffer up to
+    // wal_buffer_bytes between flushes.
+    bool wal_sync_every_commit = false;
+    // Byte threshold that triggers an async batch flush in buffered mode.
+    size_t wal_buffer_bytes = 1u << 20;
+    // WAL file size that triggers an automatic snapshot checkpoint (which
+    // truncates the log). 0 = only explicit SnapshotNow() checkpoints.
+    size_t wal_rotate_bytes = 64u << 20;
   };
 
   explicit KvStore(Options opts);
@@ -222,7 +321,9 @@ class KvStore {
   //   expected_mod_revision == 0       : create; fails AlreadyExists if present
   //   expected_mod_revision == r > 0   : update iff current mod_revision == r,
   //                                      else Conflict (or NotFound if absent)
-  // Returns the new store revision.
+  // Returns the new store revision. The write is published (visible to
+  // CurrentRevision/Get/List/Watch — and flushed, in WAL sync mode) before
+  // returning.
   Result<int64_t> Put(const std::string& key, std::string value,
                       std::optional<int64_t> expected_mod_revision = std::nullopt);
 
@@ -230,11 +331,15 @@ class KvStore {
   Result<int64_t> Delete(const std::string& key,
                          std::optional<int64_t> expected_mod_revision = std::nullopt);
 
+  // Lock-free: walks the shard's immutable-node index under an epoch read
+  // guard; never blocks behind writers (falls back to the shard lock only if
+  // the process exceeds ebr::kMaxReaders concurrent reader threads).
   Result<Entry> Get(const std::string& key) const;
 
   // Snapshot of all live entries whose key starts with `prefix`, sorted by
   // key, plus the revision of the snapshot. Entry values alias the stored
-  // blobs (no copy).
+  // blobs (no copy). Cross-shard consistency comes from the revision fence:
+  // all shard locks are held shared, so no writer is mid-commit anywhere.
   ListResult List(const std::string& prefix) const;
 
   // Paged variant: entries with key > start_after (all of them when empty),
@@ -244,7 +349,14 @@ class KvStore {
   ListResult List(const std::string& prefix, size_t limit,
                   const std::string& start_after) const;
 
+  // The published watermark: every revision <= this value is fully visible
+  // to Get/List/Watch replay. Lock-free.
   int64_t CurrentRevision() const;
+  // Alias of CurrentRevision() under the name read paths should use when
+  // they mean "the freshness fence I must serve at or after" (WatchCache
+  // WaitFresh targets). Distinct from the minted counter, which may be ahead
+  // while a commit is between minting and publication.
+  int64_t RevisionFence() const { return CurrentRevision(); }
   int64_t CompactedRevision() const;
 
   // Begin watching keys under `prefix` for events with revision >
@@ -263,6 +375,7 @@ class KvStore {
   void Compact(int64_t up_to);
 
   // Closes all watch channels with Gone; further mutations fail Unavailable.
+  // Flushes any buffered WAL records.
   void Shutdown();
   bool IsShutdown() const;
 
@@ -290,6 +403,24 @@ class KvStore {
   size_t LogBytes() const;
   size_t LogEvents() const;
 
+  // ---- durability controls (no-ops / errors when wal_dir is empty) ----
+
+  // Flushes all buffered WAL records to the file. Returns the sticky WAL
+  // health status (first IO error wins).
+  Status SyncWal();
+  // Writes a full-state snapshot at the current revision fence and truncates
+  // the WAL. FailedPrecondition-ish error when durability is off.
+  Status SnapshotNow();
+  // Sticky WAL health: OK until the first write/flush error.
+  Status WalHealth() const;
+  size_t WalFileBytes() const;
+  uint64_t WalCheckpoints() const;
+  // Crash simulation for recovery tests: drops every buffered (un-flushed)
+  // WAL record and closes the file WITHOUT flushing, exactly as if the
+  // process died. The in-memory store keeps working; further mutations are
+  // simply no longer logged.
+  void TestAbandonWal();
+
  private:
   struct Watcher {
     std::string prefix;
@@ -305,8 +436,8 @@ class KvStore {
   };
 
   // A unit of work for the dispatch strand. Either a store event to fan out,
-  // or a watcher registration (replay captured under the store lock) to
-  // splice into the fan-out at exactly its snapshot position.
+  // or a watcher registration (replay captured under the log lock) to splice
+  // into the fan-out at exactly its snapshot position.
   struct DispatchCmd {
     enum class Kind { kEvent, kRegister };
     Kind kind = Kind::kEvent;
@@ -316,13 +447,35 @@ class KvStore {
     uint64_t epoch = 0;         // kRegister: guards against BreakWatches races
   };
 
+  // One keyspace shard. The shard mutex orders all mutations of the shard's
+  // keys; the sorted map (List scans) and the hash index (lock-free Gets)
+  // point at the same immutable IndexNodes. Retired nodes park in the limbo
+  // list until no epoch reader can still reach them.
+  struct alignas(64) Shard {
+    mutable std::shared_mutex mu;
+    std::map<std::string, IndexNode*> keys;
+    ShardIndex index;
+    ebr::LimboList limbo;
+  };
+
   static size_t EventBytes(const Event& e);
-  // Appends to the replay log, trims by count/bytes, and enqueues the event
-  // for the dispatch strand. Requires mu_ held exclusive.
-  void AppendLocked(Event e);
+  static void FreeIndexNode(void* p);
+
+  size_t ShardOf(uint64_t hash) const { return hash % kShards; }
+
+  // Commit publication: called with the owning shard's lock held exclusive
+  // and revision `e.revision` freshly minted. Waits for every earlier
+  // revision to publish, appends to the replay log + WAL + dispatch queue,
+  // and advances the published watermark. On return the write is globally
+  // visible (read-your-write holds).
+  void Publish(Event e);
+  void AwaitPublishTurn(int64_t rev);
+
+  // Log append + trim + conditional dispatch enqueue; log_mu_ held.
+  void AppendLogLocked(Event e);
   void TrimLogLocked();
-  // Enqueues cmd (requires mu_ held exclusive, so queue order == revision
-  // order) without kicking the strand; call KickDispatch() after unlocking.
+  // Enqueues cmd (requires log_mu_ held, so queue order == revision order)
+  // without kicking the strand; call KickDispatch() after unlocking.
   void EnqueueLocked(DispatchCmd cmd);
   void KickDispatch();
   void DispatchLoop();
@@ -335,21 +488,78 @@ class KvStore {
   // so fan-out to N watchers pays one clock read.
   void OfferFiltered(Watcher& w, const Event& e, uint64_t now_ns);
 
-  // Store state. Reads take shared, mutations exclusive.
-  mutable std::shared_mutex mu_;
-  std::map<std::string, Entry> data_;
-  std::deque<Event> log_;  // events with revision in (compacted_, revision_]
-  int64_t revision_ = 0;
-  int64_t compacted_ = 0;
+  // ---- durability internals ----
+  void RecoverFromDisk(const Options& opts);
+  // Applies one replayed mutation directly to shard state (no events, no
+  // publication) during recovery.
+  void ApplyRecovered(const wal::Record& rec);
+  // Encodes `e` into the pending WAL batch; log_mu_ held (publication order
+  // == batch order).
+  void AppendWalLocked(const Event& e);
+  // Post-commit flush policy: sync mode flushes every commit, buffered mode
+  // flushes when the pending batch exceeds wal_buffer_bytes. Called with NO
+  // locks held.
+  void MaybeFlushWal();
+  // Flush + (if due) checkpoint; wal_io_mu_ held.
+  Status FlushWalLocked();
+  Status CheckpointLocked();
+
+  // Shards, fixed for the store's lifetime.
+  std::array<Shard, kShards> shards_;
+
+  // Minted revision counter (fetch_add under a shard lock) and the published
+  // watermark trailing it. revision_ == published_ whenever no writer is
+  // inside its commit critical section.
+  std::atomic<int64_t> revision_{0};
+  std::atomic<int64_t> published_{0};
+  std::atomic<int64_t> compacted_{0};
+  std::atomic<bool> shutdown_{false};
+
+  // Publication sequencer waiters: a writer whose predecessor revision has
+  // not yet published spins briefly, then waits on pub_cv_. Publishers only
+  // take pub_mu_ when pub_waiters_ shows someone is parked.
+  std::mutex pub_mu_;
+  std::condition_variable pub_cv_;
+  std::atomic<int> pub_waiters_{0};
+
+  // The global replay log, in publication (= revision) order. Guarded by
+  // log_mu_ — a single short critical section per commit, after per-shard
+  // work is done. Watch registration also runs under log_mu_, which blocks
+  // publication and thereby freezes the fence for an exact replay splice.
+  mutable std::mutex log_mu_;
+  std::deque<Event> log_;  // events with revision in (compacted_, published_]
   const size_t max_log_events_;
   const size_t max_log_bytes_;
-  size_t live_bytes_ = 0;
   size_t log_bytes_ = 0;  // incremental mirror of the log's EventBytes sum
-  bool shutdown_ = false;
 
+  std::atomic<size_t> live_bytes_{0};
+  std::atomic<size_t> entry_count_{0};
+
+  const size_t index_buckets_;
   std::shared_ptr<Executor> executor_;
 
-  // Dispatch queue. Writers push under mu_ (exclusive) + pend_mu_; the strand
+  // ---- durability state ----
+  const bool wal_sync_every_commit_;
+  const size_t wal_buffer_bytes_;
+  const size_t wal_rotate_bytes_;
+  std::string wal_dir_;
+  // True while records should be logged; cleared by TestAbandonWal and on
+  // unrecoverable setup errors. Relaxed reads on the commit path.
+  std::atomic<bool> wal_active_{false};
+  // Pending records, appended under log_mu_ (publication order) holding the
+  // committed Blobs by reference — no byte copy on the commit path; encoding
+  // happens at flush time under wal_io_mu_. wal_pending_bytes_ is read
+  // without log_mu_ by MaybeFlushWal (approximate trigger), hence atomic.
+  std::vector<wal::Record> wal_pending_;
+  std::atomic<size_t> wal_pending_bytes_{0};
+  // Serializes all WAL file IO and checkpoints. Ordering: wal_io_mu_ may be
+  // taken first, then shard locks / log_mu_; never the other way around.
+  mutable std::mutex wal_io_mu_;
+  std::unique_ptr<wal::Writer> wal_;  // null = durability off or abandoned
+  Status wal_health_;                 // guarded by wal_io_mu_
+  uint64_t wal_checkpoints_ = 0;      // guarded by wal_io_mu_
+
+  // Dispatch queue. Publishers push under log_mu_ + pend_mu_; the strand
   // pops under pend_mu_ alone. dispatch_active_ is true while a strand task
   // is scheduled or running — at most one at a time.
   std::mutex pend_mu_;

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
 #include <set>
 #include <string>
 #include <thread>
@@ -150,6 +151,114 @@ TEST(StorageConcurrencyTest, SlowWatcherOverflowsToGoneWithoutBlockingWriters) {
   }
   // The overflowed watcher's offered sequence simply truncates (its channel
   // poisoned, no record past it) — not a gap; the history still certifies.
+  trace::CheckOptions copts;
+  copts.single_store = true;
+  ExpectCertified(copts);
+}
+
+// The sharded hot path: 8 writers spread over many keys (hence many shards),
+// mixing upserts, CAS updates, CAS failures, and deletes, while reader
+// threads hammer the lock-free Get path and fenced Lists. The checker then
+// proves the sharded commit contract: each shard's trace stream is
+// revision-ordered and all streams interleave into ONE dense global revision
+// sequence (no double mint, no lost commit).
+TEST(StorageConcurrencyTest, ShardedWritersCertifyGlobalRevisionOrder) {
+  trace::Reset();
+  KvStore store;
+  constexpr int kWriters = 8;
+  constexpr int kKeysPerWriter = 16;  // 128 keys — every shard gets traffic
+  constexpr int kRounds = 60;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&store, &stop, r] {
+      // Per key, successive lock-free Gets must never travel back in time:
+      // the index publishes nodes with seq_cst stores, so mod_revision is
+      // monotone per reader thread.
+      std::map<std::string, int64_t> seen;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string key =
+            "/shard/t" + std::to_string(r * 4) + "/k" + std::to_string(r);
+        Result<Entry> e = store.Get(key);
+        if (e.ok()) {
+          int64_t& last = seen[key];
+          EXPECT_GE(e->mod_revision, last);
+          last = e->mod_revision;
+        }
+        ListResult snap = store.List("/shard/");
+        for (const Entry& ent : snap.entries) {
+          EXPECT_LE(ent.mod_revision, snap.revision);
+          EXPECT_GT(ent.mod_revision, 0);
+        }
+      }
+    });
+  }
+  ParallelFor(kWriters, [&](int t) {
+    for (int i = 0; i < kRounds; ++i) {
+      const std::string key = "/shard/t" + std::to_string(t) + "/k" +
+                              std::to_string(i % kKeysPerWriter);
+      if (i % 7 == 3) {
+        // CAS create on an existing key fails without minting a revision.
+        Result<int64_t> r = store.Put(key, "dup", /*expected_mod_revision=*/0);
+        EXPECT_TRUE(r.ok() || r.status().IsAlreadyExists()) << r.status();
+      } else if (i % 11 == 5) {
+        (void)store.Delete(key);  // NotFound ok: first round for this key
+      } else {
+        ASSERT_TRUE(store.Put(key, "v" + std::to_string(i)).ok());
+      }
+    }
+  });
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : readers) th.join();
+  store.FlushWatchDispatch();
+  trace::CheckOptions copts;
+  copts.single_store = true;
+  trace::CheckReport report = trace::DrainAndCheck(copts);
+  EXPECT_TRUE(report.certified) << report.Summary();
+  EXPECT_GT(report.commits, 0u);
+  EXPECT_EQ(report.commits, static_cast<size_t>(store.CurrentRevision()));
+}
+
+// The cross-shard revision fence: a writer that writes key A then key B
+// (hashing to different shards) has published A's revision before B's exists.
+// A List snapshot must therefore NEVER show the newer B value with an older A
+// value — the fence drains all shards at one revision, it is not a racy
+// per-shard scan.
+TEST(StorageConcurrencyTest, ListFenceNeverSplitsDependentWrites) {
+  trace::Reset();
+  KvStore store;
+  constexpr int kPairs = 300;
+  std::atomic<bool> stop{false};
+  std::thread writer([&store] {
+    for (int i = 1; i <= kPairs; ++i) {
+      ASSERT_TRUE(store.Put("/fence/a", std::to_string(i)).ok());
+      ASSERT_TRUE(store.Put("/fence/b", std::to_string(i)).ok());
+    }
+  });
+  std::vector<std::thread> listers;
+  for (int l = 0; l < 3; ++l) {
+    listers.emplace_back([&store, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        ListResult snap = store.List("/fence/");
+        int a = 0, b = 0;
+        for (const Entry& e : snap.entries) {
+          if (e.key == "/fence/a") a = std::stoi(e.value.str());
+          if (e.key == "/fence/b") b = std::stoi(e.value.str());
+        }
+        // b is written strictly after a reaches the same value.
+        EXPECT_GE(a, b) << "fence split a dependent write pair at rev "
+                        << snap.revision;
+        // And the snapshot revision covers everything it returned.
+        for (const Entry& e : snap.entries) {
+          EXPECT_LE(e.mod_revision, snap.revision);
+        }
+      }
+    });
+  }
+  writer.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : listers) th.join();
+  store.FlushWatchDispatch();
   trace::CheckOptions copts;
   copts.single_store = true;
   ExpectCertified(copts);
